@@ -1,0 +1,58 @@
+// Shared helpers for the benchmark harness: paper-style report printing.
+// Every bench binary first prints its figure/table reproduction (verdicts
+// and resource counters in the format of the paper's Figures 7/10/15/17),
+// then runs the google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "symbolic/checker.hpp"
+
+namespace cmc::bench {
+
+/// Print one Fig.-7-style block: per-spec verdicts then the resource
+/// summary of the context after all checks ran.
+inline void printFigureReport(const std::string& title,
+                              symbolic::Context& ctx,
+                              const symbolic::SymbolicSystem& sys,
+                              const std::vector<ctl::Spec>& specs,
+                              double seconds) {
+  std::printf("== %s ==\n", title.c_str());
+  symbolic::Checker checker(sys);
+  bool all = true;
+  for (const ctl::Spec& spec : specs) {
+    const bool holds = checker.holds(spec);
+    all = all && holds;
+    std::string text = ctl::toString(spec.f);
+    if (text.size() > 56) text = text.substr(0, 53) + "...";
+    std::printf("-- spec. %s is %s\n", text.c_str(),
+                holds ? "true" : "false");
+  }
+  std::printf("\nresources used:\n");
+  std::printf("user time: %g s\n", seconds);
+  std::printf("BDD nodes allocated: %llu\n",
+              static_cast<unsigned long long>(
+                  ctx.mgr().stats().nodesAllocatedTotal));
+  std::printf("BDD nodes representing transition relation: %llu + %zu\n",
+              static_cast<unsigned long long>(sys.transNodeCount()),
+              sys.vars.size());
+  std::printf("%s\n\n", all ? "(all specifications hold)"
+                            : "(SOME SPECIFICATIONS FAILED)");
+}
+
+}  // namespace cmc::bench
+
+/// Standard main: print the reproduction report(s), then run benchmarks.
+#define CMC_BENCH_MAIN(reportFn)                         \
+  int main(int argc, char** argv) {                      \
+    reportFn();                                          \
+    benchmark::Initialize(&argc, argv);                  \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                 \
+    benchmark::Shutdown();                               \
+    return 0;                                            \
+  }

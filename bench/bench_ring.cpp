@@ -1,0 +1,98 @@
+// Token-ring case study benchmarks: a second data point for the §5 scaling
+// claim on a protocol with a liveness proof (3(n-1)+1 Rule-4 guarantees).
+// Compositional obligations grow polynomially (Θ(n²) component checks of
+// constant-size components) while the monolithic product grows as 12^n/2
+// states.
+#include "bench_common.hpp"
+#include "comp/verifier.hpp"
+#include "ring/token_ring.hpp"
+#include "symbolic/composition.hpp"
+#include "util/timer.hpp"
+
+using namespace cmc;
+
+namespace {
+
+bool monolithicRingCheck(int n) {
+  symbolic::Context ctx(1 << 16);
+  ring::RingComponents comps = ring::buildRing(ctx, n);
+  std::vector<symbolic::SymbolicSystem> systems;
+  for (const smv::ElaboratedModule& mod : comps.stations) {
+    systems.push_back(mod.sys);
+  }
+  const symbolic::SymbolicSystem whole = symbolic::composeAll(systems);
+  symbolic::Checker checker(whole);
+  ctl::Restriction r;
+  r.init = ring::ringInit(n);
+  r.fairness = {ctl::mkTrue()};
+  return checker.holds(r, ctl::AG(ring::mutualExclusion(n)));
+}
+
+void report() {
+  std::printf("== token ring: compositional vs monolithic ==\n");
+  std::printf("%3s  %10s  %12s  %12s  %12s\n", "n", "checks",
+              "safety (s)", "live (s)", "monol. (s)");
+  for (int n = 2; n <= 5; ++n) {
+    WallTimer safetyTimer;
+    const ring::RingReport safety =
+        ring::verifyTokenRing(n, /*liveness=*/false, false);
+    const double safetySeconds = safetyTimer.seconds();
+
+    WallTimer liveTimer;
+    const ring::RingReport live =
+        ring::verifyTokenRing(n, /*liveness=*/true, false);
+    const double liveSeconds = liveTimer.seconds();
+
+    double monoSeconds = -1.0;
+    if (n <= 4) {
+      WallTimer monoTimer;
+      if (!monolithicRingCheck(n)) {
+        std::printf("  !! monolithic check FAILED at n=%d\n", n);
+      }
+      monoSeconds = monoTimer.seconds();
+    }
+    if (!safety.safety || !live.allOk()) {
+      std::printf("  !! compositional verification FAILED at n=%d\n", n);
+    }
+    std::printf("%3d  %10zu  %12.4f  %12.4f  %12.4f\n", n,
+                live.componentChecks, safetySeconds, liveSeconds,
+                monoSeconds);
+  }
+  std::printf("(monol. -1 = skipped)\n\n");
+}
+
+void BM_RingSafety(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring::verifyTokenRing(n, false, false).safety);
+  }
+  state.counters["stations"] = n;
+}
+BENCHMARK(BM_RingSafety)->Arg(2)->Arg(3)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RingLiveness(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring::verifyTokenRing(n, true, false).liveness);
+  }
+  state.counters["stations"] = n;
+}
+BENCHMARK(BM_RingLiveness)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RingMonolithic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monolithicRingCheck(n));
+  }
+  state.counters["stations"] = n;
+}
+BENCHMARK(BM_RingMonolithic)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CMC_BENCH_MAIN(report)

@@ -1,0 +1,37 @@
+// The paper's §4.2 case study end to end: verify the AFS-1 cache-coherence
+// protocol compositionally and print the machine-checked proof tree.
+//
+//   $ ./afs1_verification [--no-cross-check]
+//
+// Safety (Afs1) is derived with the invariance rule; liveness (Afs2) with
+// seven Rule-4 guarantees chained through the leads-to ledger — exactly the
+// argument of §4.2.3, but with every step checked by the tool.
+#include <cstring>
+#include <iostream>
+
+#include "afs/verify_afs1.hpp"
+
+int main(int argc, char** argv) {
+  bool crossCheck = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-cross-check") == 0) crossCheck = false;
+  }
+
+  const cmc::afs::Afs1Report report = cmc::afs::verifyAfs1(crossCheck);
+
+  std::cout << report.proof.render() << "\n";
+  std::cout << "== AFS-1 verification summary ==\n";
+  std::cout << "  (Afs1) safety, compositional:  "
+            << (report.safety ? "proved" : "FAILED") << "\n";
+  std::cout << "  (Afs2) liveness, compositional: "
+            << (report.liveness ? "proved" : "FAILED") << "\n";
+  if (crossCheck) {
+    std::cout << "  (Afs1) direct global check:     "
+              << (report.safetyCrossCheck ? "confirmed" : "FAILED") << "\n";
+    std::cout << "  (Afs2) direct global check:     "
+              << (report.livenessCrossCheck ? "confirmed" : "FAILED") << "\n";
+  }
+  std::cout << "  per-component model checks:     " << report.componentChecks
+            << "\n";
+  return report.allOk() ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// The alternating bit protocol verified compositionally: sender, receiver,
+// and two lossy channels, communicating through shared variables.
+//
+//   $ ./alternating_bit [--proof]
+//
+// Safety (no duplicate delivery) is proved with four per-component checks
+// via the invariance rule; a global cross-check and a fairness-based
+// liveness check (every message eventually delivered unless the channel
+// loses forever) round out the picture.  Also prints a simulated lossy run.
+#include <cstring>
+#include <iostream>
+
+#include "abp/abp.hpp"
+#include "symbolic/composition.hpp"
+#include "symbolic/prop.hpp"
+#include "symbolic/trace.hpp"
+
+using namespace cmc;
+
+int main(int argc, char** argv) {
+  bool showProof = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--proof") == 0) showProof = true;
+  }
+
+  std::cout << "== alternating bit protocol ==\n";
+  std::cout << abp::senderSmv() << abp::receiverSmv() << abp::msgChannelSmv()
+            << "\n";
+
+  const abp::AbpReport report = abp::verifyAbp(true, true);
+  if (showProof) std::cout << report.proof.render() << "\n";
+
+  std::cout << "safety (AG no duplicate delivery): "
+            << (report.safety ? "proved compositionally" : "FAILED") << " ("
+            << report.componentChecks << " component checks)\n";
+  std::cout << "global cross-check:                "
+            << (report.safetyCrossCheck ? "confirmed" : "FAILED") << "\n";
+  std::cout << "liveness under channel fairness:   "
+            << (report.liveness ? "holds" : "FAILED")
+            << " (direct check)\n\n";
+
+  // Simulate a run of the composed protocol.
+  symbolic::Context ctx(1 << 14);
+  abp::AbpComponents comps = abp::buildAbp(ctx);
+  const symbolic::SymbolicSystem whole = symbolic::composeAll(
+      {comps.sender.sys, comps.receiver.sys, comps.msgChannel.sys,
+       comps.ackChannel.sys});
+  symbolic::TraceBuilder builder(whole);
+  const bdd::Bdd init = symbolic::propositionalBdd(ctx, abp::abpInit());
+  std::cout << "a simulated lossy run (12 steps):\n"
+            << builder.simulate(init, 12, /*seed=*/3).toString();
+  return report.allOk() ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// cmc_check: a miniature SMV-style command-line model checker.
+//
+//   $ ./cmc_check model.smv             # check every module's SPECs
+//   $ ./cmc_check --compose model.smv   # also check them on the composition
+//   $ ./cmc_check --reorder model.smv   # sift variables first, report delta
+//
+// A file may contain several MODULEs (components sharing variables by
+// name).  Each module's SPECs are checked on that component under its own
+// INIT/FAIRNESS restriction; with --compose the components are closed
+// under stuttering, composed with the interleaving operator, and every
+// SPEC is re-checked on the composed system.
+//
+// Output follows the reports the paper reproduces in Figures 7/10/15/17:
+// per-spec verdicts, then the resource summary (user time, BDD nodes
+// allocated, transition-relation nodes).  Failing AG specs come with a
+// shortest counterexample trace.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bdd/io.hpp"
+#include "smv/elaborate.hpp"
+#include "symbolic/checker.hpp"
+#include "symbolic/composition.hpp"
+#include "util/timer.hpp"
+
+using namespace cmc;
+
+namespace {
+
+bool checkSpecs(symbolic::Checker& checker,
+                const std::vector<ctl::Spec>& specs) {
+  bool allTrue = true;
+  for (const ctl::Spec& spec : specs) {
+    const bool holds = checker.holds(spec);
+    allTrue = allTrue && holds;
+    std::string text = ctl::toString(spec.f);
+    if (text.size() > 60) text = text.substr(0, 57) + "...";
+    std::cout << "-- spec. " << text << " is " << (holds ? "true" : "false")
+              << "\n";
+    if (!holds) {
+      if (const auto trace = checker.counterexampleTrace(spec.r, spec.f)) {
+        std::cout << "-- counterexample:\n" << *trace;
+      } else if (const auto witness =
+                     checker.violationWitness(spec.r, spec.f)) {
+        std::cout << "--   violating state: " << *witness << "\n";
+      }
+    }
+  }
+  return allTrue;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool compose = false;
+  bool reorder = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compose") == 0) {
+      compose = true;
+    } else if (std::strcmp(argv[i], "--reorder") == 0) {
+      reorder = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::cerr << "usage: cmc_check [--compose] [--reorder] <model.smv>\n";
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cmc_check: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    WallTimer timer;
+    symbolic::Context ctx(1 << 14);
+    const std::vector<smv::ElaboratedModule> modules =
+        smv::elaborateProgram(ctx, buffer.str());
+
+    if (reorder) {
+      const std::uint64_t before = ctx.mgr().liveNodeCount();
+      const std::uint64_t after = ctx.mgr().reorderSift();
+      std::cout << "-- reordering (sifting): " << before << " -> " << after
+                << " live BDD nodes, " << ctx.mgr().stats().levelSwaps
+                << " level swaps\n\n";
+    }
+
+    bool allTrue = true;
+    for (const smv::ElaboratedModule& mod : modules) {
+      if (modules.size() > 1) {
+        std::cout << "== module " << mod.sys.name << " ==\n";
+      }
+      symbolic::Checker checker(mod.sys);
+      allTrue = checkSpecs(checker, mod.specs) && allTrue;
+      std::cout << "\n"
+                << bdd::resourceReport(ctx.mgr(), mod.sys.transNodeCount(),
+                                       mod.sys.vars.size(), timer.seconds())
+                << "\n";
+    }
+
+    if (compose && modules.size() > 1) {
+      std::cout << "== composed system ==\n";
+      std::vector<symbolic::SymbolicSystem> components;
+      for (const smv::ElaboratedModule& mod : modules) {
+        components.push_back(mod.sys);
+        symbolic::addReflexive(components.back());
+      }
+      const symbolic::SymbolicSystem whole =
+          symbolic::composeAll(components);
+      symbolic::Checker checker(whole);
+      for (const smv::ElaboratedModule& mod : modules) {
+        allTrue = checkSpecs(checker, mod.specs) && allTrue;
+      }
+      std::cout << "\n"
+                << bdd::resourceReport(ctx.mgr(), whole.transNodeCount(),
+                                       whole.vars.size(), timer.seconds());
+    }
+    return allTrue ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "cmc_check: " << e.what() << "\n";
+    return 2;
+  }
+}

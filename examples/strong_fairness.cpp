@@ -1,0 +1,84 @@
+// The paper's Figure 2: a system that needs *strong* fairness.  The ring
+// p1 → p2 → … → p6 → p1 has a single exit p1 → q, so the exit transition
+// is enabled only intermittently: Rule 4's premise p ⇒ EX q fails, while
+// Rule 5 with helpful disjunct p1 derives the progress property
+//   r ⊨ (p ⇒ A(p U q))  with  r = (true, {¬p ∨ q}).
+//
+//   $ ./strong_fairness
+#include <iostream>
+
+#include "comp/rules.hpp"
+#include "comp/verifier.hpp"
+#include "ctl/parser.hpp"
+#include "smv/elaborate.hpp"
+#include "symbolic/checker.hpp"
+
+using namespace cmc;
+
+int main() {
+  const char* model = R"(
+MODULE figure2
+VAR s : {p1, p2, p3, p4, p5, p6, q};
+ASSIGN
+  next(s) :=
+    case
+      s = p1 : {p2, q};
+      s = p2 : p3;
+      s = p3 : p4;
+      s = p4 : p5;
+      s = p5 : p6;
+      s = p6 : p1;
+      1 : s;
+    esac;
+)";
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, model);
+  symbolic::Checker checker(mod.sys);
+  std::cout << "Figure 2 system:" << model << "\n";
+
+  const ctl::FormulaPtr p =
+      ctl::parse("s=p1 | s=p2 | s=p3 | s=p4 | s=p5 | s=p6");
+  const ctl::FormulaPtr q = ctl::parse("s=q");
+
+  // Rule 4 fails: p ⇒ EX q does not hold (only p1 can exit).
+  comp::ProofTree proof;
+  const auto rule4 = comp::deriveRule4(checker, p, q, proof);
+  std::cout << "Rule 4 premise p => EX q: "
+            << (rule4.has_value() ? "holds (unexpected!)" : "fails, as the paper explains")
+            << "\n";
+
+  // Rule 5 succeeds with helpful disjunct p1.
+  const std::vector<ctl::FormulaPtr> ps = {
+      ctl::parse("s=p1"), ctl::parse("s=p2"), ctl::parse("s=p3"),
+      ctl::parse("s=p4"), ctl::parse("s=p5"), ctl::parse("s=p6")};
+  const auto rule5 = comp::deriveRule5(checker, ps, 0, q, proof);
+  if (!rule5.has_value()) {
+    std::cout << "Rule 5 failed unexpectedly\n";
+    return 1;
+  }
+  std::cout << "Rule 5 derived:\n" << rule5->toString() << "\n";
+
+  comp::CompositionalVerifier verifier(ctx);
+  verifier.addComponent(mod.sys);
+  std::vector<ctl::Spec> conclusions;
+  const bool discharged = verifier.discharge(*rule5, proof, &conclusions);
+  std::cout << "left side discharged: " << (discharged ? "yes" : "NO")
+            << "\n\n";
+
+  // Show that the conclusion really needs the fairness constraint.
+  const ctl::FormulaPtr progress = ctl::mkImplies(p, ctl::AU(p, q));
+  const bool withoutFairness =
+      checker.holds(ctl::Restriction::trivial(), progress);
+  const bool withFairness = checker.holds(comp::progressRestriction(p, q),
+                                          progress);
+  std::cout << "p => A[p U q] without fairness: "
+            << (withoutFairness ? "true" : "false (the ring can cycle forever)")
+            << "\n";
+  std::cout << "p => A[p U q] under (true, {!p | q}): "
+            << (withFairness ? "true" : "false") << "\n\n"
+            << proof.render();
+  return (!rule4.has_value() && discharged && !withoutFairness &&
+          withFairness)
+             ? 0
+             : 1;
+}

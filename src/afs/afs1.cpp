@@ -1,0 +1,47 @@
+#include "afs/afs1.hpp"
+
+#include "afs/smv_sources.hpp"
+
+namespace cmc::afs {
+
+Afs1Components buildAfs1(symbolic::Context& ctx, bool reflexive) {
+  Afs1Components out;
+  out.server = smv::elaborateText(ctx, afs1ServerQualifiedSmv());
+  out.client = smv::elaborateText(ctx, afs1ClientQualifiedSmv());
+  if (reflexive) {
+    symbolic::addReflexive(out.server.sys);
+    symbolic::addReflexive(out.client.sys);
+  }
+  return out;
+}
+
+ctl::FormulaPtr afs1Init() {
+  return ctl::conj({
+      ctl::eq("Server.belief", "none"),
+      ctl::mkOr(ctl::eq("Client.belief", "nofile"),
+                ctl::eq("Client.belief", "suspect")),
+      ctl::eq("r", "null"),
+  });
+}
+
+ctl::FormulaPtr afs1Invariant() {
+  return ctl::mkAnd(afs1Target(),
+                    ctl::mkImplies(ctl::eq("r", "val"),
+                                   ctl::eq("Server.belief", "valid")));
+}
+
+ctl::FormulaPtr afs1Target() {
+  return ctl::mkImplies(ctl::eq("Client.belief", "valid"),
+                        ctl::eq("Server.belief", "valid"));
+}
+
+ctl::Spec afs1SafetySpec() {
+  ctl::Restriction r;
+  r.init = afs1Init();
+  r.fairness = {ctl::mkTrue()};
+  return ctl::Spec{"Afs1", std::move(r), ctl::AG(afs1Target())};
+}
+
+ctl::FormulaPtr afs1Goal() { return ctl::eq("Client.belief", "valid"); }
+
+}  // namespace cmc::afs

@@ -1,0 +1,37 @@
+// AFS-1 case study (paper §4.1-4.2): builders for the server/client
+// components and the system-level specifications (Afs1) and (Afs2).
+#pragma once
+
+#include "comp/property.hpp"
+#include "smv/elaborate.hpp"
+
+namespace cmc::afs {
+
+struct Afs1Components {
+  smv::ElaboratedModule server;  ///< qualified names, shared `r`
+  smv::ElaboratedModule client;
+};
+
+/// Elaborate the composition-ready AFS-1 components into `ctx`.  When
+/// `reflexive`, the components are closed under stuttering (the theory's
+/// standing assumption, §2.1); the figure-faithful component checks in the
+/// bench use the raw models instead.
+Afs1Components buildAfs1(symbolic::Context& ctx, bool reflexive = true);
+
+/// I  =  Server.belief = none ∧ (Client.belief = nofile ∨ suspect) ∧ r = null.
+ctl::FormulaPtr afs1Init();
+
+/// Inv  =  (Client.belief = valid ⇒ Server.belief = valid)
+///       ∧ (r = val ⇒ Server.belief = valid)        (§4.2.3).
+ctl::FormulaPtr afs1Invariant();
+
+/// Client.belief = valid ⇒ Server.belief = valid  (the body of (Afs1)).
+ctl::FormulaPtr afs1Target();
+
+/// (Afs1):  ⊨_(I,{true}) AG(Client.belief = valid ⇒ Server.belief = valid).
+ctl::Spec afs1SafetySpec();
+
+/// Client.belief = valid (the goal region of (Afs2)).
+ctl::FormulaPtr afs1Goal();
+
+}  // namespace cmc::afs

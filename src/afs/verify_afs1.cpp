@@ -1,0 +1,150 @@
+#include "afs/verify_afs1.hpp"
+
+#include "comp/leadsto.hpp"
+#include "comp/rules.hpp"
+#include "comp/verifier.hpp"
+#include "symbolic/composition.hpp"
+
+namespace cmc::afs {
+
+namespace {
+
+using ctl::FormulaPtr;
+
+struct Regions {
+  FormulaPtr nofile = ctl::eq("Client.belief", "nofile");
+  FormulaPtr suspect = ctl::eq("Client.belief", "suspect");
+  FormulaPtr cvalid = ctl::eq("Client.belief", "valid");
+  FormulaPtr snone = ctl::eq("Server.belief", "none");
+  FormulaPtr svalid = ctl::eq("Server.belief", "valid");
+  FormulaPtr sinvalid = ctl::eq("Server.belief", "invalid");
+  FormulaPtr rnull = ctl::eq("r", "null");
+  FormulaPtr rfetch = ctl::eq("r", "fetch");
+  FormulaPtr rvalidate = ctl::eq("r", "validate");
+  FormulaPtr rval = ctl::eq("r", "val");
+  FormulaPtr rinval = ctl::eq("r", "inval");
+};
+
+}  // namespace
+
+Afs1Report verifyAfs1(bool crossCheck) {
+  Afs1Report report;
+  symbolic::Context ctx;
+  Afs1Components comps = buildAfs1(ctx, /*reflexive=*/true);
+
+  comp::CompositionalVerifier verifier(ctx);
+  verifier.addComponent(comps.server.sys);
+  verifier.addComponent(comps.client.sys);
+
+  // ---- Safety: (Afs1) via the invariance argument of §4.2.3 ----------------
+  report.safety = verifier.verifyInvariance(afs1Init(), afs1Invariant(),
+                                            afs1Target(), report.proof,
+                                            "Afs1");
+
+  // ---- Liveness: (Afs2) -----------------------------------------------------
+  // Rule 4 is applied to the component *expansions* over the union alphabet
+  // (Lemma 8 lifts the component premises over nonvisible variables).
+  const Regions R;
+  symbolic::SymbolicSystem serverExp =
+      symbolic::expand(comps.server.sys, comps.client.sys.vars);
+  serverExp.name = "server (expanded)";
+  symbolic::SymbolicSystem clientExp =
+      symbolic::expand(comps.client.sys, comps.server.sys.vars);
+  clientExp.name = "client (expanded)";
+  symbolic::Checker serverChecker(serverExp);
+  symbolic::Checker clientChecker(clientExp);
+
+  struct Step {
+    const char* name;
+    symbolic::Checker* component;  ///< who provides the EX premise
+    FormulaPtr p;
+    FormulaPtr q;
+  };
+  const FormulaPtr qValidate =
+      ctl::mkAnd(R.suspect, ctl::mkOr(ctl::mkAnd(R.svalid, R.rval),
+                                      ctl::mkAnd(R.sinvalid, R.rinval)));
+  const std::vector<Step> steps = {
+      // The fetch run: (nofile,null) -> (nofile,fetch) -> (nofile,val)
+      // -> (valid,val)   [client, server, client — cf. Cli4 and Srv5].
+      {"E.fetch.request", &clientChecker, ctl::mkAnd(R.nofile, R.rnull),
+       ctl::mkAnd(R.nofile, R.rfetch)},
+      {"E.fetch.serve", &serverChecker, ctl::mkAnd(R.nofile, R.rfetch),
+       ctl::mkAnd(R.nofile, R.rval)},
+      {"E.fetch.accept", &clientChecker, ctl::mkAnd(R.nofile, R.rval),
+       ctl::mkAnd(R.cvalid, R.rval)},
+      // The validate run: (suspect,null) -> (suspect,validate) ->
+      // (suspect,val)|(suspect,inval) -> …   [Cli5 and Srv5].
+      {"E.validate.request", &clientChecker,
+       ctl::conj({R.suspect, R.rnull, R.snone}),
+       ctl::conj({R.suspect, R.rvalidate, R.snone})},
+      {"E.validate.serve", &serverChecker,
+       ctl::conj({R.suspect, R.snone, R.rvalidate}), qValidate},
+      {"E.validate.accept", &clientChecker, ctl::mkAnd(R.suspect, R.rval),
+       ctl::mkAnd(R.cvalid, R.rval)},
+      {"E.validate.discard", &clientChecker, ctl::mkAnd(R.suspect, R.rinval),
+       ctl::mkAnd(R.nofile, R.rnull)},
+  };
+
+  comp::LeadsToLedger ledger(ctx, verifier.composed().vars, report.proof);
+  std::vector<comp::LeadsToLedger::FactId> facts;
+  bool liveness = true;
+  for (const Step& step : steps) {
+    std::optional<comp::Guarantee> g = comp::deriveRule4(
+        *step.component, step.p, step.q, report.proof, step.name);
+    if (!g.has_value()) {
+      liveness = false;
+      break;
+    }
+    std::vector<ctl::Spec> conclusions;
+    if (!verifier.discharge(*g, report.proof, &conclusions)) {
+      liveness = false;
+      break;
+    }
+    // conclusions[0] is the A-until part: p => A[p U q].
+    facts.push_back(ledger.fromAU(conclusions.at(0)));
+  }
+
+  ctl::Spec afs2Spec{"Afs2", ctl::Restriction::trivial(),
+                     ctl::AF(afs1Goal())};
+  if (liveness) {
+    const FormulaPtr goal = afs1Goal();
+    // nofile chain: request -> serve -> accept, then drop to the goal.
+    const auto nofileChain =
+        ledger.chain(ledger.chain(facts[0], facts[1]), facts[2]);
+    const auto nofileToGoal = ledger.weakenRhs(nofileChain, goal);
+    // suspect chain: request -> serve, then split on the server's answer.
+    const auto suspectServe = ledger.chain(facts[3], facts[4]);
+    const auto acceptToGoal = ledger.weakenRhs(facts[5], goal);
+    const auto discardToGoal = ledger.chain(facts[6], nofileToGoal);
+    const auto split = ledger.caseSplit(ledger.to(suspectServe), goal,
+                                        {acceptToGoal, discardToGoal});
+    const auto suspectToGoal = ledger.chain(suspectServe, split);
+    // Initial states split into the two runs.
+    const auto fromInit = ledger.caseSplit(afs1Init(), goal,
+                                           {nofileToGoal, suspectToGoal});
+    afs2Spec = ledger.concludeAF(fromInit, afs1Init(), "Afs2");
+    liveness = ledger.valid();
+  }
+  report.liveness = liveness;
+  report.componentChecks = report.proof.modelCheckCount();
+
+  // ---- Cross-checks on the composed system ----------------------------------
+  if (crossCheck) {
+    symbolic::Checker composed(verifier.composed());
+    const ctl::Spec afs1 = afs1SafetySpec();
+    report.safetyCrossCheck = composed.holds(afs1.r, afs1.f);
+    report.proof.add(comp::ProofNode::Kind::ModelCheck,
+                     "cross-check: composed system |= (Afs1) directly",
+                     report.safetyCrossCheck);
+    if (liveness) {
+      report.livenessCrossCheck = composed.holds(afs2Spec.r, afs2Spec.f);
+      report.proof.add(comp::ProofNode::Kind::ModelCheck,
+                       "cross-check: composed system |= (Afs2) directly "
+                       "under the derived fairness",
+                       report.livenessCrossCheck);
+    }
+  }
+  return report;
+}
+
+}  // namespace cmc::afs

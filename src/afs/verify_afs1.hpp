@@ -1,0 +1,33 @@
+// Mechanized version of the paper's §4.2.3 composition argument for AFS-1:
+//  - safety (Afs1) via the invariance rule over the invariant Inv;
+//  - liveness (Afs2) via seven Rule-4 guarantees (one per protocol step,
+//    applied to component *expansions* as licensed by Lemma 8), discharged
+//    compositionally, then chained with the leads-to ledger.
+// Every step lands in the returned proof tree; optional cross-checks verify
+// the conclusions directly on the composed system.
+#pragma once
+
+#include "afs/afs1.hpp"
+#include "comp/proof.hpp"
+
+namespace cmc::afs {
+
+struct Afs1Report {
+  comp::ProofTree proof;
+  bool safety = false;    ///< (Afs1) derived compositionally
+  bool liveness = false;  ///< (Afs2) derived compositionally
+  bool safetyCrossCheck = false;    ///< (Afs1) re-checked globally
+  bool livenessCrossCheck = false;  ///< (Afs2) re-checked globally
+  std::size_t componentChecks = 0;  ///< per-component obligations discharged
+
+  bool allOk() const {
+    return safety && liveness && proof.valid();
+  }
+};
+
+/// Run the full AFS-1 verification.  `crossCheck` additionally model checks
+/// the two conclusions on the composed system (non-compositional; used to
+/// validate the deduction machinery itself).
+Afs1Report verifyAfs1(bool crossCheck = true);
+
+}  // namespace cmc::afs

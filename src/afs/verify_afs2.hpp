@@ -1,0 +1,26 @@
+// Mechanized version of §4.3.4: the AFS-2 safety property (Afs1') for one
+// server and n clients, derived with the invariance rule — every obligation
+// is a per-component check, so the obligation count grows linearly in n
+// (the §5 claim; bench_scaling quantifies it against the monolithic check).
+#pragma once
+
+#include "afs/afs2.hpp"
+#include "comp/proof.hpp"
+
+namespace cmc::afs {
+
+struct Afs2Report {
+  comp::ProofTree proof;
+  int numClients = 0;
+  bool safety = false;              ///< (Afs1') derived compositionally
+  bool safetyCrossCheck = false;    ///< re-checked globally (small n only)
+  std::size_t componentChecks = 0;  ///< per-component obligations
+
+  bool allOk() const { return safety && proof.valid(); }
+};
+
+/// Verify AFS-2 with `numClients` clients.  `crossCheck` re-checks the
+/// conclusion on the composed system (exponential; keep n small).
+Afs2Report verifyAfs2(int numClients, bool crossCheck = false);
+
+}  // namespace cmc::afs

@@ -1,0 +1,78 @@
+#include "bdd/io.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace cmc::bdd {
+
+namespace {
+
+std::string varLabel(std::uint32_t var,
+                     const std::vector<std::string>& varNames) {
+  if (var < varNames.size() && !varNames[var].empty()) return varNames[var];
+  return "x" + std::to_string(var);
+}
+
+}  // namespace
+
+std::string toDot(const Manager& mgr, const Bdd& f,
+                  const std::vector<std::string>& varNames) {
+  std::ostringstream out;
+  out << "digraph bdd {\n";
+  out << "  node [shape=circle];\n";
+  out << "  t0 [label=\"0\", shape=box];\n";
+  out << "  t1 [label=\"1\", shape=box];\n";
+
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack;
+  if (!f.isNull() && f.index() >= 2) {
+    stack.push_back(f.index());
+    seen.insert(f.index());
+  } else if (!f.isNull()) {
+    out << "  root -> t" << (f.isTrue() ? 1 : 0) << ";\n";
+  }
+  auto nodeName = [](NodeIndex i) -> std::string {
+    if (i == kFalseNode) return "t0";
+    if (i == kTrueNode) return "t1";
+    return "n" + std::to_string(i);
+  };
+  while (!stack.empty()) {
+    const NodeIndex i = stack.back();
+    stack.pop_back();
+    const Manager::Node& n = mgr.node(i);
+    out << "  n" << i << " [label=\"" << varLabel(n.var, varNames) << "\"];\n";
+    out << "  n" << i << " -> " << nodeName(n.low) << " [style=dashed];\n";
+    out << "  n" << i << " -> " << nodeName(n.high) << ";\n";
+    if (n.low >= 2 && seen.insert(n.low).second) stack.push_back(n.low);
+    if (n.high >= 2 && seen.insert(n.high).second) stack.push_back(n.high);
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string cubeToString(const std::vector<std::int8_t>& cube,
+                         const std::vector<std::string>& varNames) {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t v = 0; v < cube.size(); ++v) {
+    if (cube[v] < 0) continue;
+    if (!first) out << ' ';
+    first = false;
+    out << varLabel(static_cast<std::uint32_t>(v), varNames) << '='
+        << static_cast<int>(cube[v]);
+  }
+  return out.str();
+}
+
+std::string resourceReport(const Manager& mgr, std::uint64_t transNodes,
+                           std::uint64_t extraParts, double userSeconds) {
+  std::ostringstream out;
+  out << "resources used:\n";
+  out << "user time: " << userSeconds << " s\n";
+  out << "BDD nodes allocated: " << mgr.stats().nodesAllocatedTotal << "\n";
+  out << "BDD nodes representing transition relation: " << transNodes << " + "
+      << extraParts << "\n";
+  return out.str();
+}
+
+}  // namespace cmc::bdd

@@ -1,0 +1,28 @@
+// Debug/report output for BDDs: Graphviz export and the resource summary
+// mirroring the SMV reports reproduced in the paper's Figures 7/10/15/17.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace cmc::bdd {
+
+/// Graphviz DOT rendering of f's DAG.  `varNames[i]` labels variable i
+/// (falls back to "x<i>" when absent).
+std::string toDot(const Manager& mgr, const Bdd& f,
+                  const std::vector<std::string>& varNames = {});
+
+/// Render one cube from pickCube() as e.g. "x0=1 x2=0" (don't-cares skipped).
+std::string cubeToString(const std::vector<std::int8_t>& cube,
+                         const std::vector<std::string>& varNames = {});
+
+/// SMV-style resource report:
+///   resources used:
+///   BDD nodes allocated: N
+///   BDD nodes representing transition relation: T + k
+std::string resourceReport(const Manager& mgr, std::uint64_t transNodes,
+                           std::uint64_t extraParts, double userSeconds);
+
+}  // namespace cmc::bdd

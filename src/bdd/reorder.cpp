@@ -1,0 +1,145 @@
+// Dynamic variable reordering: Rudell's sifting algorithm.
+//
+// The primitive is the in-place adjacent-level swap.  Swapping levels
+// l (variable x) and l+1 (variable y) rewrites every x-node whose children
+// test y from
+//     f = x ? (y ? f11 : f10) : (y ? f01 : f00)
+// to the equivalent
+//     f = y ? (x ? f11 : f01) : (x ? f10 : f00)
+// *in place* (same node index, new label/children), so external Bdd handles
+// remain valid and keep denoting the same boolean function.  x-nodes whose
+// children do not test y are untouched — their representation is already
+// canonical under the new order.  Orphaned y-nodes become garbage.
+//
+// siftVariable() moves one variable through every level, measuring live
+// nodes (after a collection) at each position, and parks it at the best
+// one; reorderSift() sifts all variables, largest-support first.
+#include <algorithm>
+#include <numeric>
+
+#include "bdd/manager.hpp"
+#include "util/hash.hpp"
+
+namespace cmc::bdd {
+
+void Manager::swapAdjacentLevels(std::uint32_t level) {
+  CMC_ASSERT(level + 1 < numVars_);
+  ++stats_.levelSwaps;
+  const std::uint32_t x = levelToVar_[level];
+  const std::uint32_t y = levelToVar_[level + 1];
+
+  // Free-list nodes carry poisoned labels; identify them up front so the
+  // sweep below does not touch them.
+  std::vector<bool> isFree(nodes_.size(), false);
+  for (NodeIndex i = freeList_; i != kNilNode; i = nodes_[i].next) {
+    isFree[i] = true;
+  }
+
+  // Collect the x-nodes that actually test y below.
+  std::vector<NodeIndex> affected;
+  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+    if (isFree[i] || nodes_[i].var != x) continue;
+    const Node& n = nodes_[i];
+    if (nodes_[n.low].var == y || nodes_[n.high].var == y) {
+      affected.push_back(i);
+    }
+  }
+
+  for (NodeIndex i : affected) {
+    // Read the old structure first: mk() below may grow the node arena and
+    // invalidate references (never indices).
+    const NodeIndex oldLow = nodes_[i].low;
+    const NodeIndex oldHigh = nodes_[i].high;
+    const auto cofactors = [&](NodeIndex c) -> std::pair<NodeIndex, NodeIndex> {
+      if (c >= 2 && nodes_[c].var == y) {
+        return {nodes_[c].low, nodes_[c].high};
+      }
+      return {c, c};
+    };
+    const auto [f00, f01] = cofactors(oldLow);
+    const auto [f10, f11] = cofactors(oldHigh);
+    // New children test x (which moves one level down).
+    const NodeIndex newLow = mk(x, f00, f10);
+    const NodeIndex newHigh = mk(x, f01, f11);
+    CMC_ASSERT(newLow != newHigh);
+    Node& n = nodes_[i];
+    n.var = y;
+    n.low = newLow;
+    n.high = newHigh;
+  }
+
+  std::swap(varToLevel_[x], varToLevel_[y]);
+  std::swap(levelToVar_[level], levelToVar_[level + 1]);
+
+  // Rewritten nodes sit in stale unique-table buckets; rebuild and drop the
+  // (still sound, but order-specific) computed results.
+  rehashUniqueTable(uniqueBuckets_.size());
+  clearCache();
+}
+
+std::uint64_t Manager::siftVariable(std::uint32_t var) {
+  CMC_ASSERT(var < numVars_);
+  auto measure = [this]() {
+    collectGarbage();
+    return stats_.liveNodes;
+  };
+
+  std::uint64_t best = measure();
+  std::uint32_t bestLevel = varToLevel_[var];
+
+  // Walk to the top...
+  while (varToLevel_[var] > 0) {
+    swapAdjacentLevels(varToLevel_[var] - 1);
+    const std::uint64_t count = measure();
+    if (count < best) {
+      best = count;
+      bestLevel = varToLevel_[var];
+    }
+  }
+  // ...then to the bottom...
+  while (varToLevel_[var] + 1 < numVars_) {
+    swapAdjacentLevels(varToLevel_[var]);
+    const std::uint64_t count = measure();
+    if (count < best) {
+      best = count;
+      bestLevel = varToLevel_[var];
+    }
+  }
+  // ...and back to the best position seen.
+  while (varToLevel_[var] > bestLevel) {
+    swapAdjacentLevels(varToLevel_[var] - 1);
+  }
+  while (varToLevel_[var] < bestLevel) {
+    swapAdjacentLevels(varToLevel_[var]);
+  }
+  return measure();
+}
+
+std::uint64_t Manager::reorderSift() {
+  ++stats_.reorderings;
+  // Sift variables in decreasing order of population (nodes labelled with
+  // the variable), the classic heuristic.
+  std::vector<std::uint64_t> population(numVars_, 0);
+  std::vector<bool> isFree(nodes_.size(), false);
+  for (NodeIndex i = freeList_; i != kNilNode; i = nodes_[i].next) {
+    isFree[i] = true;
+  }
+  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+    if (!isFree[i] && nodes_[i].var != kTerminalLevel) {
+      ++population[nodes_[i].var];
+    }
+  }
+  std::vector<std::uint32_t> order(numVars_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return population[a] > population[b];
+            });
+  std::uint64_t result = stats_.liveNodes;
+  for (std::uint32_t var : order) {
+    result = siftVariable(var);
+  }
+  return result;
+}
+
+}  // namespace cmc::bdd

@@ -1,0 +1,35 @@
+// Syntactic classification of CTL specs as universal / existential
+// compositional properties, per the paper's Rules 1-3:
+//
+//   Rule 1: a propositional f under r = (I, {true}) is existential.
+//   Rule 2: p ⇒ AX q (p, q propositional) is universal (restriction-free;
+//           Lemma 11 lets fairness be added after composition).
+//   Rule 3: p ⇒ EX q is existential.
+//
+// Conjunctions classify as the strongest class all conjuncts admit
+// (existential ∧ existential = existential; anything ∧ universal = universal
+// provided each conjunct is at least universal).  The classifier is
+// deliberately conservative: "Unknown" means no rule applies, not that the
+// property is non-compositional.
+#pragma once
+
+#include "comp/property.hpp"
+#include "ctl/formula.hpp"
+
+namespace cmc::comp {
+
+/// Classify `spec` (formula + restriction index).
+PropertyClass classify(const ctl::Spec& spec);
+PropertyClass classify(const ctl::Restriction& r, const ctl::FormulaPtr& f);
+
+/// Shape matcher: f ≡ p ⇒ AX q with propositional p, q.
+bool matchImpliesAX(const ctl::FormulaPtr& f, ctl::FormulaPtr* p,
+                    ctl::FormulaPtr* q);
+/// Shape matcher: f ≡ p ⇒ EX q with propositional p, q.
+bool matchImpliesEX(const ctl::FormulaPtr& f, ctl::FormulaPtr* p,
+                    ctl::FormulaPtr* q);
+
+/// Split a conjunction into its top-level conjuncts.
+std::vector<ctl::FormulaPtr> conjuncts(const ctl::FormulaPtr& f);
+
+}  // namespace cmc::comp

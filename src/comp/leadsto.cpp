@@ -1,0 +1,168 @@
+#include "comp/leadsto.hpp"
+
+#include <algorithm>
+
+#include "symbolic/prop.hpp"
+
+namespace cmc::comp {
+
+using ctl::FormulaPtr;
+
+bool LeadsToLedger::checkValid(const FormulaPtr& f, const std::string& what) {
+  const bool ok = symbolic::propositionallyValid(ctx_, vars_, f);
+  proof_.add(ProofNode::Kind::RuleApplication,
+             "side condition (" + what + "): " + ctl::toString(f), ok);
+  valid_ = valid_ && ok;
+  return ok;
+}
+
+LeadsToLedger::FactId LeadsToLedger::addFact(Fact fact) {
+  facts_.push_back(std::move(fact));
+  return facts_.size() - 1;
+}
+
+std::vector<FormulaPtr> LeadsToLedger::mergeFairness(
+    const std::vector<FormulaPtr>& a, const std::vector<FormulaPtr>& b) {
+  std::vector<FormulaPtr> out = a;
+  for (const FormulaPtr& f : b) {
+    const bool dup = std::any_of(out.begin(), out.end(), [&](const FormulaPtr& g) {
+      return ctl::equal(f, g);
+    });
+    if (!dup) out.push_back(f);
+  }
+  return out;
+}
+
+LeadsToLedger::FactId LeadsToLedger::fromAU(const ctl::Spec& spec) {
+  // Expect f = p -> A[p' U q] with p == p'.
+  const FormulaPtr& f = spec.f;
+  if (f->op() != ctl::Op::Implies || f->rhs()->op() != ctl::Op::AU ||
+      !ctl::equal(f->lhs(), f->rhs()->lhs())) {
+    throw ModelError("fromAU: spec is not of the shape p => A[p U q]: " +
+                     ctl::toString(f));
+  }
+  Fact fact;
+  fact.from = f->lhs();
+  fact.to = f->rhs()->rhs();
+  fact.fairness = spec.r.fairness;
+  fact.node = proof_.add(
+      ProofNode::Kind::RuleApplication,
+      "leads-to from " + spec.name + ": " + ctl::toString(fact.from) +
+          " ~> " + ctl::toString(fact.to),
+      true);
+  return addFact(std::move(fact));
+}
+
+LeadsToLedger::FactId LeadsToLedger::reflexivity(FormulaPtr p) {
+  Fact fact;
+  fact.from = p;
+  fact.to = p;
+  fact.node = proof_.add(ProofNode::Kind::RuleApplication,
+                         "leads-to reflexivity: " + ctl::toString(p) +
+                             " ~> " + ctl::toString(p),
+                         true);
+  return addFact(std::move(fact));
+}
+
+LeadsToLedger::FactId LeadsToLedger::strengthen(FactId id,
+                                                FormulaPtr newFrom) {
+  const Fact& base = facts_.at(id);
+  const bool ok = checkValid(ctl::mkImplies(newFrom, base.from),
+                             "strengthen lhs");
+  Fact fact;
+  fact.from = std::move(newFrom);
+  fact.to = base.to;
+  fact.fairness = base.fairness;
+  fact.node = proof_.add(ProofNode::Kind::RuleApplication,
+                         "leads-to strengthen: " + ctl::toString(fact.from) +
+                             " ~> " + ctl::toString(fact.to),
+                         ok, {base.node});
+  return addFact(std::move(fact));
+}
+
+LeadsToLedger::FactId LeadsToLedger::weakenRhs(FactId id, FormulaPtr newTo) {
+  const Fact& base = facts_.at(id);
+  const bool ok =
+      checkValid(ctl::mkImplies(base.to, newTo), "weaken rhs");
+  Fact fact;
+  fact.from = base.from;
+  fact.to = std::move(newTo);
+  fact.fairness = base.fairness;
+  fact.node = proof_.add(ProofNode::Kind::RuleApplication,
+                         "leads-to weaken: " + ctl::toString(fact.from) +
+                             " ~> " + ctl::toString(fact.to),
+                         ok, {base.node});
+  return addFact(std::move(fact));
+}
+
+LeadsToLedger::FactId LeadsToLedger::chain(FactId a, FactId b) {
+  const Fact& fa = facts_.at(a);
+  const Fact& fb = facts_.at(b);
+  const bool ok =
+      checkValid(ctl::mkImplies(fa.to, fb.from), "chain link");
+  Fact fact;
+  fact.from = fa.from;
+  fact.to = fb.to;
+  fact.fairness = mergeFairness(fa.fairness, fb.fairness);
+  fact.node = proof_.add(ProofNode::Kind::RuleApplication,
+                         "leads-to chain: " + ctl::toString(fact.from) +
+                             " ~> " + ctl::toString(fact.to),
+                         ok, {fa.node, fb.node});
+  return addFact(std::move(fact));
+}
+
+LeadsToLedger::FactId LeadsToLedger::caseSplit(
+    FormulaPtr p, FormulaPtr target, const std::vector<FactId>& ids) {
+  CMC_ASSERT(!ids.empty());
+  std::vector<FormulaPtr> froms;
+  std::vector<std::size_t> nodes;
+  std::vector<FormulaPtr> fairnessUnion;
+  bool ok = true;
+  for (FactId id : ids) {
+    const Fact& f = facts_.at(id);
+    froms.push_back(f.from);
+    nodes.push_back(f.node);
+    fairnessUnion = mergeFairness(fairnessUnion, f.fairness);
+    ok = checkValid(ctl::mkImplies(f.to, target), "case target") && ok;
+  }
+  ok = checkValid(ctl::mkImplies(p, ctl::disj(froms)), "case coverage") && ok;
+  Fact fact;
+  fact.from = std::move(p);
+  fact.to = std::move(target);
+  fact.fairness = std::move(fairnessUnion);
+  fact.node = proof_.add(ProofNode::Kind::RuleApplication,
+                         "leads-to case split: " + ctl::toString(fact.from) +
+                             " ~> " + ctl::toString(fact.to),
+                         ok, std::move(nodes));
+  return addFact(std::move(fact));
+}
+
+ctl::Spec LeadsToLedger::concludeAF(FactId id, FormulaPtr init,
+                                    std::string name) {
+  const bool ok = checkValid(ctl::mkImplies(init, facts_.at(id).from),
+                             "init covered by leads-to lhs");
+  const Fact& fact = facts_.at(id);
+  proof_.add(ProofNode::Kind::Conclusion,
+             "composition |=_(" + ctl::toString(init) + ", F) AF " +
+                 ctl::toString(fact.to) + "  [" + name + "]",
+             ok, {fact.node});
+  ctl::Restriction r;
+  r.init = std::move(init);
+  r.fairness = fact.fairness.empty()
+                   ? std::vector<FormulaPtr>{ctl::mkTrue()}
+                   : fact.fairness;
+  return ctl::Spec{std::move(name), std::move(r), ctl::AF(fact.to)};
+}
+
+ctl::Spec LeadsToLedger::factSpec(FactId id, std::string name) const {
+  const Fact& fact = facts_.at(id);
+  ctl::Restriction r;
+  r.init = ctl::mkTrue();
+  r.fairness = fact.fairness.empty()
+                   ? std::vector<FormulaPtr>{ctl::mkTrue()}
+                   : fact.fairness;
+  return ctl::Spec{std::move(name), std::move(r),
+                   ctl::mkImplies(fact.from, ctl::AF(fact.to))};
+}
+
+}  // namespace cmc::comp

@@ -1,0 +1,99 @@
+// Leads-to ledger: the algebra the paper uses informally in §4.2.3 / §5 to
+// assemble "leads to" liveness properties (p ⇒ AF q) from the A(p U q)
+// conclusions of Rules 4/5:
+//
+//   "Our theory provides the tools for proving properties of this type by
+//    identifying a series of predicates p₀, p₁, …, pₙ such that p = p₀ and
+//    pₙ = q and then proving a series of basic liveness properties
+//    pᵢ ⇒ A(pᵢ U pᵢ₊₁)."
+//
+// Each fact is  ⊨_(true,F) (from ⇒ AF to)  for the composed system.  The
+// inference steps are the standard leads-to laws, each machine-validated:
+//
+//   fromAU        p ⇒ A(p U q) under F        ⊢ p ⤳_F q
+//   reflexivity                                ⊢ p ⤳_∅ p
+//   strengthen    p' ⇒ p valid, p ⤳_F q        ⊢ p' ⤳_F q
+//   weakenRhs     q ⇒ q' valid, p ⤳_F q        ⊢ p ⤳_F q'
+//   chain         p ⤳_F q, q ⤳_G t             ⊢ p ⤳_{F∪G} t
+//   caseSplit     p ⇒ ∨ᵢ pᵢ valid, pᵢ ⤳_Fᵢ t   ⊢ p ⤳_{∪Fᵢ} t
+//
+// (Fairness weakening F ⊆ F' is sound for A-quantified properties: more
+// constraints mean fewer fair paths.)  Propositional side conditions are
+// discharged with BDD validity checks over the variable domains; every step
+// is recorded in the proof tree.
+#pragma once
+
+#include "comp/proof.hpp"
+#include "ctl/formula.hpp"
+#include "symbolic/var_table.hpp"
+
+namespace cmc::comp {
+
+class LeadsToLedger {
+ public:
+  using FactId = std::size_t;
+
+  LeadsToLedger(symbolic::Context& ctx, std::vector<symbolic::VarId> vars,
+                ProofTree& proof)
+      : ctx_(ctx), vars_(std::move(vars)), proof_(proof) {}
+
+  /// Enter a fact from a discharged A-until spec: f must have the shape
+  /// p ⇒ A[p U q]; the fairness of `spec.r` is attached to the fact.
+  FactId fromAU(const ctl::Spec& spec);
+
+  /// p ⤳ p with no fairness assumptions.
+  FactId reflexivity(ctl::FormulaPtr p);
+
+  /// Strengthen the left side: requires newFrom ⇒ from(fact).
+  FactId strengthen(FactId fact, ctl::FormulaPtr newFrom);
+
+  /// Weaken the right side: requires to(fact) ⇒ newTo.
+  FactId weakenRhs(FactId fact, ctl::FormulaPtr newTo);
+
+  /// Transitivity: requires to(a) ⇒ from(b); fairness unions.
+  FactId chain(FactId a, FactId b);
+
+  /// Case analysis: requires p ⇒ ∨ from(factᵢ) and every to(factᵢ) ⇒ target.
+  FactId caseSplit(ctl::FormulaPtr p, ctl::FormulaPtr target,
+                   const std::vector<FactId>& facts);
+
+  /// The concluded spec  (init, fairness) : AF to(fact); checks the side
+  /// condition init ⇒ from(fact).  This is the shape of the paper's (Afs2).
+  ctl::Spec concludeAF(FactId fact, ctl::FormulaPtr init, std::string name);
+
+  /// The fact as a spec  (true, fairness) : from ⇒ AF to.
+  ctl::Spec factSpec(FactId fact, std::string name) const;
+
+  const ctl::FormulaPtr& from(FactId fact) const {
+    return facts_.at(fact).from;
+  }
+  const ctl::FormulaPtr& to(FactId fact) const { return facts_.at(fact).to; }
+  const std::vector<ctl::FormulaPtr>& fairness(FactId fact) const {
+    return facts_.at(fact).fairness;
+  }
+
+  /// True iff every side condition so far checked out.
+  bool valid() const noexcept { return valid_; }
+
+ private:
+  struct Fact {
+    ctl::FormulaPtr from;
+    ctl::FormulaPtr to;
+    std::vector<ctl::FormulaPtr> fairness;
+    std::size_t node;  ///< proof node
+  };
+
+  bool checkValid(const ctl::FormulaPtr& f, const std::string& what);
+  FactId addFact(Fact fact);
+  static std::vector<ctl::FormulaPtr> mergeFairness(
+      const std::vector<ctl::FormulaPtr>& a,
+      const std::vector<ctl::FormulaPtr>& b);
+
+  symbolic::Context& ctx_;
+  std::vector<symbolic::VarId> vars_;
+  ProofTree& proof_;
+  std::vector<Fact> facts_;
+  bool valid_ = true;
+};
+
+}  // namespace cmc::comp

@@ -1,0 +1,327 @@
+#include "comp/lemmas.hpp"
+
+#include "ctl/formula.hpp"
+
+namespace cmc::comp {
+
+using kripke::ExplicitChecker;
+using kripke::ExplicitSystem;
+using kripke::State;
+
+namespace {
+
+LemmaResult pass(std::string lemma, std::string detail = "holds") {
+  return LemmaResult{true, std::move(lemma), std::move(detail)};
+}
+
+LemmaResult fail(std::string lemma, std::string detail) {
+  return LemmaResult{false, std::move(lemma), std::move(detail)};
+}
+
+/// Random propositional formula over the given atoms.
+ctl::FormulaPtr randomProp(std::mt19937& rng,
+                           const std::vector<std::string>& atoms,
+                           int depth) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 5);
+  std::uniform_int_distribution<std::size_t> atomPick(0, atoms.size() - 1);
+  switch (pick(rng)) {
+    case 0:
+    case 1:
+      return ctl::atom(atoms[atomPick(rng)]);
+    case 2:
+      return ctl::mkNot(randomProp(rng, atoms, depth - 1));
+    case 3:
+      return ctl::mkAnd(randomProp(rng, atoms, depth - 1),
+                        randomProp(rng, atoms, depth - 1));
+    case 4:
+      return ctl::mkOr(randomProp(rng, atoms, depth - 1),
+                       randomProp(rng, atoms, depth - 1));
+    default:
+      return ctl::mkImplies(randomProp(rng, atoms, depth - 1),
+                            randomProp(rng, atoms, depth - 1));
+  }
+}
+
+/// Random CTL formula over the atoms (bounded depth).
+ctl::FormulaPtr randomCtl(std::mt19937& rng,
+                          const std::vector<std::string>& atoms, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth <= 0 ? 1 : 9);
+  switch (pick(rng)) {
+    case 0:
+    case 1:
+      return randomProp(rng, atoms, 1);
+    case 2:
+      return ctl::mkNot(randomCtl(rng, atoms, depth - 1));
+    case 3:
+      return ctl::mkAnd(randomCtl(rng, atoms, depth - 1),
+                        randomCtl(rng, atoms, depth - 1));
+    case 4:
+      return ctl::EX(randomCtl(rng, atoms, depth - 1));
+    case 5:
+      return ctl::AX(randomCtl(rng, atoms, depth - 1));
+    case 6:
+      return ctl::EF(randomCtl(rng, atoms, depth - 1));
+    case 7:
+      return ctl::AG(randomCtl(rng, atoms, depth - 1));
+    case 8:
+      return ctl::EU(randomCtl(rng, atoms, depth - 1),
+                     randomCtl(rng, atoms, depth - 1));
+    default:
+      return ctl::AU(randomCtl(rng, atoms, depth - 1),
+                     randomCtl(rng, atoms, depth - 1));
+  }
+}
+
+}  // namespace
+
+LemmaResult checkLemma1(const ExplicitSystem& a, const ExplicitSystem& b,
+                        const ExplicitSystem& c) {
+  if (!kripke::compose(a, b).sameBehavior(kripke::compose(b, a))) {
+    return fail("Lemma 1", "composition is not commutative on these systems");
+  }
+  const ExplicitSystem left = kripke::compose(kripke::compose(a, b), c);
+  const ExplicitSystem right = kripke::compose(a, kripke::compose(b, c));
+  if (!left.sameBehavior(right)) {
+    return fail("Lemma 1", "composition is not associative on these systems");
+  }
+  return pass("Lemma 1", "o is commutative and associative");
+}
+
+LemmaResult checkLemma2(const ExplicitSystem& a, const ExplicitSystem& b) {
+  if (a.atoms() != b.atoms()) {
+    return fail("Lemma 2", "systems must share the same alphabet");
+  }
+  const ExplicitSystem composed = kripke::compose(a, b);
+  ExplicitSystem expected(a.atoms());
+  a.forEachTransition([&](State s, State t) { expected.addTransition(s, t); });
+  b.forEachTransition([&](State s, State t) { expected.addTransition(s, t); });
+  expected.makeReflexive();
+  if (!composed.sameBehavior(expected)) {
+    return fail("Lemma 2", "composition differs from the relation union");
+  }
+  return pass("Lemma 2", "(S,R) o (S,R') = (S, R u R')");
+}
+
+LemmaResult checkLemma3(const ExplicitSystem& a) {
+  if (!a.isReflexive()) {
+    return fail("Lemma 3",
+                "the system is not reflexive (the paper's standing "
+                "assumption); the identity law needs it");
+  }
+  const ExplicitSystem composed =
+      kripke::compose(a, kripke::identitySystem(a.atoms()));
+  if (!composed.sameBehavior(a)) {
+    return fail("Lemma 3", "(S, I) is not an identity on this system");
+  }
+  return pass("Lemma 3", "(S, I) is the identity element");
+}
+
+LemmaResult checkLemma4(const ExplicitSystem& a, const ExplicitSystem& b) {
+  const ExplicitSystem direct = kripke::compose(a, b);
+  const ExplicitSystem viaExpansions = kripke::compose(
+      kripke::expand(a, b.atoms()), kripke::expand(b, a.atoms()));
+  if (!direct.sameBehavior(viaExpansions)) {
+    return fail("Lemma 4", "expansion path differs from direct composition");
+  }
+  return pass("Lemma 4", "M o M' = (M o (S',I)) o (M' o (S,I))");
+}
+
+LemmaResult checkLemma5(const ExplicitSystem& a,
+                        const std::vector<std::string>& extraAtoms,
+                        std::mt19937& rng, int samples) {
+  const ExplicitSystem expanded = kripke::expand(a, extraAtoms);
+  ExplicitChecker ca(a);
+  ExplicitChecker ce(expanded);
+  const ctl::Restriction trivial = ctl::Restriction::trivial();
+  for (int i = 0; i < samples; ++i) {
+    const ctl::FormulaPtr f = randomCtl(rng, a.atoms(), 3);
+    if (ca.holds(trivial, f) != ce.holds(trivial, f)) {
+      return fail("Lemma 5",
+                  "expansion changed the verdict of " + ctl::toString(f));
+    }
+  }
+  return pass("Lemma 5", "expansion preserves C(S) properties");
+}
+
+LemmaResult checkLemma6(const ExplicitSystem& a, std::mt19937& rng,
+                        int samples) {
+  ExplicitChecker checker(a);
+  for (int i = 0; i < samples; ++i) {
+    const ctl::FormulaPtr f = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr g = randomProp(rng, a.atoms(), 2);
+    const bool lhs = checker.holds(ctl::Restriction::trivial(),
+                                   ctl::mkImplies(f, ctl::AX(g)));
+    const kripke::StateSet satF = checker.sat(f, {});
+    const kripke::StateSet satG = checker.sat(g, {});
+    bool rhs = true;
+    a.forEachTransition([&](State s, State t) {
+      if (satF[s] && !satG[t]) rhs = false;
+    });
+    if (lhs != rhs) {
+      return fail("Lemma 6", "AX characterization broke for f = " +
+                                 ctl::toString(f));
+    }
+  }
+  return pass("Lemma 6", "f => AXg iff every f-transition lands in g");
+}
+
+LemmaResult checkLemma7(const ExplicitSystem& a, std::mt19937& rng,
+                        int samples) {
+  ExplicitChecker checker(a);
+  for (int i = 0; i < samples; ++i) {
+    const ctl::FormulaPtr f = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr g = randomProp(rng, a.atoms(), 2);
+    const bool lhs = checker.holds(ctl::Restriction::trivial(),
+                                   ctl::mkImplies(f, ctl::EX(g)));
+    const kripke::StateSet satF = checker.sat(f, {});
+    const kripke::StateSet satG = checker.sat(g, {});
+    bool rhs = true;
+    for (State s = 0; s < a.stateCount(); ++s) {
+      if (!satF[s]) continue;
+      bool some = false;
+      for (State t : a.successors(s)) some = some || satG[t];
+      if (!some) rhs = false;
+    }
+    if (lhs != rhs) {
+      return fail("Lemma 7", "EX characterization broke for f = " +
+                                 ctl::toString(f));
+    }
+  }
+  return pass("Lemma 7", "f => EXg iff every f-state has a g-successor");
+}
+
+LemmaResult checkLemma8(const ExplicitSystem& a,
+                        const std::vector<std::string>& extraAtoms,
+                        std::mt19937& rng, int samples) {
+  const ExplicitSystem expanded = kripke::expand(a, extraAtoms);
+  ExplicitChecker ca(a);
+  ExplicitChecker ce(expanded);
+  const ctl::Restriction trivial = ctl::Restriction::trivial();
+  for (int i = 0; i < samples; ++i) {
+    const ctl::FormulaPtr p = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr q = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr pp = randomProp(rng, extraAtoms, 2);
+    if (ca.holds(trivial, ctl::mkImplies(p, ctl::AX(q))) &&
+        !ce.holds(trivial, ctl::mkImplies(ctl::mkAnd(p, pp),
+                                          ctl::AX(ctl::mkAnd(q, pp))))) {
+      return fail("Lemma 8", "AX transfer failed for p = " +
+                                 ctl::toString(p));
+    }
+    if (ca.holds(trivial, ctl::mkImplies(p, ctl::EX(q))) &&
+        !ce.holds(trivial, ctl::mkImplies(ctl::mkAnd(p, pp),
+                                          ctl::EX(ctl::mkAnd(q, pp))))) {
+      return fail("Lemma 8", "EX transfer failed for p = " +
+                                 ctl::toString(p));
+    }
+  }
+  return pass("Lemma 8", "expansion transfers p&p' => AX(q&p') and EX");
+}
+
+LemmaResult checkLemma9(const ExplicitSystem& a,
+                        const std::vector<std::string>& extraAtoms,
+                        std::mt19937& rng, int samples) {
+  const ExplicitSystem expanded = kripke::expand(a, extraAtoms);
+  ExplicitChecker ca(a);
+  ExplicitChecker ce(expanded);
+  const ctl::Restriction trivial = ctl::Restriction::trivial();
+  for (int i = 0; i < samples; ++i) {
+    const ctl::FormulaPtr p = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr q = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr pp = randomProp(rng, extraAtoms, 2);
+    if (ca.holds(trivial, ctl::mkImplies(p, ctl::AX(q))) &&
+        !ce.holds(trivial, ctl::mkImplies(ctl::mkOr(p, pp),
+                                          ctl::AX(ctl::mkOr(q, pp))))) {
+      return fail("Lemma 9", "disjunctive AX transfer failed for p = " +
+                                 ctl::toString(p));
+    }
+  }
+  return pass("Lemma 9", "expansion transfers (p|p') => AX(q|p')");
+}
+
+LemmaResult checkLemma10(const ExplicitSystem& a, const ExplicitSystem& b,
+                         std::mt19937& rng, int samples) {
+  // Require a's atoms to be a prefix of b's so the projection is a mask.
+  if (b.atomCount() < a.atomCount()) {
+    return fail("Lemma 10", "second system must extend the first's alphabet");
+  }
+  for (std::size_t i = 0; i < a.atomCount(); ++i) {
+    if (a.atoms()[i] != b.atoms()[i]) {
+      return fail("Lemma 10", "alphabets must agree on a prefix");
+    }
+  }
+  const State mask =
+      static_cast<State>((std::uint64_t{1} << a.atomCount()) - 1);
+  ExplicitChecker ca(a);
+  ExplicitChecker cb(b);
+  for (int i = 0; i < samples; ++i) {
+    const ctl::FormulaPtr p = randomProp(rng, a.atoms(), 2);
+    const kripke::StateSet satA = ca.sat(p, {});
+    const kripke::StateSet satB = cb.sat(p, {});
+    for (State sb = 0; sb < b.stateCount(); ++sb) {
+      if (satA[sb & mask] != satB[sb]) {
+        return fail("Lemma 10",
+                    "projection broke for p = " + ctl::toString(p));
+      }
+    }
+  }
+  return pass("Lemma 10", "M,s |= p iff M',s' |= p when s = s' n S");
+}
+
+LemmaResult checkLemma11(const ExplicitSystem& a, std::mt19937& rng,
+                         int samples) {
+  ExplicitChecker checker(a);
+  for (int i = 0; i < samples; ++i) {
+    const ctl::FormulaPtr f = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr g = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr fc = randomProp(rng, a.atoms(), 2);
+    const ctl::FormulaPtr spec = ctl::mkImplies(f, ctl::AX(g));
+    if (checker.holds(ctl::Restriction::trivial(), spec)) {
+      ctl::Restriction r;
+      r.init = ctl::mkTrue();
+      r.fairness = {fc};
+      if (!checker.holds(r, spec)) {
+        return fail("Lemma 11", "fairness strengthening broke " +
+                                    ctl::toString(spec));
+      }
+    }
+  }
+  return pass("Lemma 11", "strengthening fairness preserves f => AXg");
+}
+
+std::vector<LemmaResult> checkAllLemmas(unsigned seed) {
+  std::mt19937 rng(seed);
+  auto randomSystem = [&rng](const std::vector<std::string>& atoms) {
+    ExplicitSystem sys(atoms);
+    std::uniform_int_distribution<std::uint64_t> state(0, sys.stateCount() - 1);
+    std::uniform_int_distribution<int> fanout(1, 3);
+    for (State s = 0; s < sys.stateCount(); ++s) {
+      const int k = fanout(rng);
+      for (int i = 0; i < k; ++i) {
+        sys.addTransition(s, static_cast<State>(state(rng)));
+      }
+    }
+    sys.makeReflexive();
+    return sys;
+  };
+  const ExplicitSystem a = randomSystem({"a", "b"});
+  const ExplicitSystem a2 = randomSystem({"a", "b"});
+  const ExplicitSystem b = randomSystem({"b", "c"});
+  const ExplicitSystem c = randomSystem({"c"});
+  const ExplicitSystem abc = randomSystem({"a", "b", "c"});
+
+  std::vector<LemmaResult> results;
+  results.push_back(checkLemma1(a, b, c));
+  results.push_back(checkLemma2(a, a2));
+  results.push_back(checkLemma3(a));
+  results.push_back(checkLemma4(a, b));
+  results.push_back(checkLemma5(a, {"z"}, rng));
+  results.push_back(checkLemma6(abc, rng));
+  results.push_back(checkLemma7(abc, rng));
+  results.push_back(checkLemma8(a, {"u", "v"}, rng));
+  results.push_back(checkLemma9(a, {"u"}, rng));
+  results.push_back(checkLemma10(a, abc, rng));
+  results.push_back(checkLemma11(abc, rng));
+  return results;
+}
+
+}  // namespace cmc::comp

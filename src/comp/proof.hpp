@@ -1,0 +1,62 @@
+// Proof trees: a machine-checked record of a compositional verification.
+//
+// Every deduction the paper performs by hand in §4.2.3 / §4.3.4 becomes a
+// node here: either a ModelCheck (discharged by one of the checkers on one
+// component), a RuleApplication (Rules 1-5, Lemma 11, invariance), or a
+// Conclusion justified by its children.  A proof is valid iff every node is
+// ok; render() prints an indented certificate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cmc::comp {
+
+struct ProofNode {
+  enum class Kind {
+    ModelCheck,       ///< a ⊨ check on a concrete component/system
+    RuleApplication,  ///< one of the paper's rules or lemmas
+    Classification,   ///< universal/existential classification of a spec
+    Conclusion,       ///< derived fact about the composed system
+    Note,             ///< informational
+  };
+
+  Kind kind = Kind::Note;
+  std::string description;
+  bool ok = true;
+  std::vector<std::size_t> children;
+};
+
+class ProofTree {
+ public:
+  /// Add a node; children must already exist.
+  std::size_t add(ProofNode::Kind kind, std::string description, bool ok,
+                  std::vector<std::size_t> children = {});
+
+  const ProofNode& node(std::size_t id) const { return nodes_.at(id); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// True iff every node checked out.
+  bool valid() const;
+
+  /// Number of ModelCheck nodes (the per-component obligations — the
+  /// quantity the paper argues grows linearly with the number of
+  /// components).
+  std::size_t modelCheckCount() const;
+
+  /// Indented textual certificate (roots are nodes nobody references).
+  std::string render() const;
+
+  /// Graphviz DOT rendering of the proof DAG (conclusions point at their
+  /// justifications; failed nodes drawn red).
+  std::string toDot() const;
+
+  /// Machine-readable JSON (array of {id, kind, ok, description, children}).
+  std::string toJson() const;
+
+ private:
+  std::vector<ProofNode> nodes_;
+};
+
+}  // namespace cmc::comp

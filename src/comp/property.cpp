@@ -1,0 +1,32 @@
+#include "comp/property.hpp"
+
+#include <sstream>
+
+namespace cmc::comp {
+
+std::string toString(PropertyClass c) {
+  switch (c) {
+    case PropertyClass::Existential:
+      return "existential";
+    case PropertyClass::Universal:
+      return "universal";
+    case PropertyClass::Unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string Guarantee::toString() const {
+  std::ostringstream out;
+  out << name << " (" << derivedBy << ", component " << component << "):\n";
+  for (const ctl::Spec& s : lhs) {
+    out << "    " << s.r.toString() << " : " << ctl::toString(s.f) << "\n";
+  }
+  out << "  guarantees\n";
+  for (const ctl::Spec& s : rhs) {
+    out << "    " << s.r.toString() << " : " << ctl::toString(s.f) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cmc::comp

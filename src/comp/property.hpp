@@ -1,0 +1,47 @@
+// Compositional property classes (paper §3.3).
+//
+//  - Existential: M ⊨_r f implies M∘M' ⊨_r f for every M'.
+//  - Universal:   M ⊨_r f and M' ⊨_r f imply M∘M' ⊨_r f.
+//    (Every existential property is trivially universal: one satisfying
+//    component already suffices.)
+//  - Guarantees:  "f guarantees_r' g" holds of component M iff for every M',
+//    M∘M' ⊨_r f ⟹ M∘M' ⊨_r' g.  Note the f is a property of the *composed*
+//    system, not of the environment — this is what distinguishes the
+//    construction from classical rely/guarantee.  Guarantees properties are
+//    themselves existential, so they are inherited by any containing system.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ctl/formula.hpp"
+
+namespace cmc::comp {
+
+enum class PropertyClass {
+  Existential,
+  Universal,
+  Unknown,
+};
+
+std::string toString(PropertyClass c);
+
+/// A guarantees property of a component: once derived (Rules 4/5), its left
+/// side is discharged on the composed system — obligation by obligation,
+/// using the classes above so every check stays per-component — and the
+/// right side follows for the whole system.
+struct Guarantee {
+  std::string name;
+  /// The component this guarantee belongs to (informational).
+  std::string component;
+  /// Left side: properties of the composed system to discharge.
+  std::vector<ctl::Spec> lhs;
+  /// Right side: what the composed system then satisfies.
+  std::vector<ctl::Spec> rhs;
+  /// Which rule produced it ("Rule 4", "Rule 5", manual).
+  std::string derivedBy;
+
+  std::string toString() const;
+};
+
+}  // namespace cmc::comp

@@ -1,0 +1,101 @@
+#include "comp/rules.hpp"
+
+namespace cmc::comp {
+
+using ctl::FormulaPtr;
+
+ctl::Restriction progressRestriction(const FormulaPtr& p,
+                                     const FormulaPtr& q) {
+  ctl::Restriction r;
+  r.init = ctl::mkTrue();
+  r.fairness = {ctl::mkOr(ctl::mkNot(p), q)};
+  return r;
+}
+
+std::optional<Guarantee> deriveRule4(symbolic::Checker& m,
+                                     const FormulaPtr& p, const FormulaPtr& q,
+                                     ProofTree& proof, std::string name) {
+  if (!ctl::isPropositional(p) || !ctl::isPropositional(q)) {
+    throw ModelError("Rule 4 requires propositional p and q");
+  }
+  const FormulaPtr premise = ctl::mkImplies(p, ctl::EX(q));
+  const bool premiseOk =
+      m.holds(ctl::Restriction{ctl::mkTrue(), {ctl::mkTrue()}}, premise);
+  const std::size_t premiseNode = proof.add(
+      ProofNode::Kind::ModelCheck,
+      m.system().name + " |= " + ctl::toString(premise), premiseOk);
+  if (!premiseOk) return std::nullopt;
+
+  const ctl::Restriction r = progressRestriction(p, q);
+  Guarantee g;
+  g.name = name.empty() ? "Rule4(" + ctl::toString(p) + ")" : std::move(name);
+  g.component = m.system().name;
+  g.derivedBy = "Rule 4";
+  g.lhs.push_back(ctl::Spec{
+      g.name + ".lhs",
+      ctl::Restriction{ctl::mkTrue(), {ctl::mkTrue()}},
+      ctl::mkImplies(p, ctl::AX(ctl::mkOr(p, q)))});
+  g.rhs.push_back(
+      ctl::Spec{g.name + ".AU", r, ctl::mkImplies(p, ctl::AU(p, q))});
+  g.rhs.push_back(
+      ctl::Spec{g.name + ".EU", r, ctl::mkImplies(p, ctl::EU(p, q))});
+
+  proof.add(ProofNode::Kind::RuleApplication,
+            "Rule 4 on " + m.system().name + ": " + g.toString(), true,
+            {premiseNode});
+  return g;
+}
+
+std::optional<Guarantee> deriveRule5(symbolic::Checker& m,
+                                     const std::vector<FormulaPtr>& ps,
+                                     std::size_t helpful, const FormulaPtr& q,
+                                     ProofTree& proof, std::string name) {
+  if (ps.empty() || helpful >= ps.size()) {
+    throw ModelError("Rule 5 needs a non-empty disjunct list and a valid "
+                     "helpful index");
+  }
+  for (const FormulaPtr& pi : ps) {
+    if (!ctl::isPropositional(pi)) {
+      throw ModelError("Rule 5 requires propositional disjuncts");
+    }
+  }
+  if (!ctl::isPropositional(q)) {
+    throw ModelError("Rule 5 requires a propositional q");
+  }
+  const FormulaPtr p = ctl::disj(ps);
+  const FormulaPtr pi = ps[helpful];
+
+  const FormulaPtr premise = ctl::mkImplies(pi, ctl::EX(q));
+  const bool premiseOk =
+      m.holds(ctl::Restriction{ctl::mkTrue(), {ctl::mkTrue()}}, premise);
+  const std::size_t premiseNode = proof.add(
+      ProofNode::Kind::ModelCheck,
+      m.system().name + " |= " + ctl::toString(premise), premiseOk);
+  if (!premiseOk) return std::nullopt;
+
+  const ctl::Restriction r = progressRestriction(p, q);
+  Guarantee g;
+  g.name = name.empty() ? "Rule5(" + ctl::toString(p) + ")" : std::move(name);
+  g.component = m.system().name;
+  g.derivedBy = "Rule 5";
+  const ctl::Restriction trivial{ctl::mkTrue(), {ctl::mkTrue()}};
+  g.lhs.push_back(ctl::Spec{g.name + ".lhs.ax", trivial,
+                            ctl::mkImplies(p, ctl::AX(ctl::mkOr(p, q)))});
+  for (std::size_t j = 0; j < ps.size(); ++j) {
+    g.lhs.push_back(ctl::Spec{
+        g.name + ".lhs.ef" + std::to_string(j), trivial,
+        ctl::mkImplies(ps[j], ctl::EF(pi))});
+  }
+  g.rhs.push_back(
+      ctl::Spec{g.name + ".AU", r, ctl::mkImplies(p, ctl::AU(p, q))});
+  g.rhs.push_back(
+      ctl::Spec{g.name + ".EU", r, ctl::mkImplies(p, ctl::EU(p, q))});
+
+  proof.add(ProofNode::Kind::RuleApplication,
+            "Rule 5 on " + m.system().name + " (helpful disjunct " +
+                ctl::toString(pi) + "): " + g.toString(),
+            true, {premiseNode});
+  return g;
+}
+
+}  // namespace cmc::comp

@@ -1,0 +1,41 @@
+// Executable versions of the paper's proof rules.  Each rule checks its
+// premise by model checking the component and, on success, returns the
+// derived fact (recording everything in a ProofTree).
+//
+// Rule 4 (weak fairness): if M ⊨ p ⇒ EX q then M satisfies
+//     (p ⇒ AX(p ∨ q))  guarantees_r  ((p ⇒ A(p U q)) ∧ (p ⇒ E(p U q)))
+// with r = (true, {¬p ∨ q}).
+//
+// Rule 5 (strong fairness): with p = p₁ ∨ … ∨ pₙ and M ⊨ pᵢ ⇒ EX q for the
+// helpful disjunct pᵢ, M satisfies
+//     (p ⇒ AX(p ∨ q)) ∧ (⋀ⱼ pⱼ ⇒ EF pᵢ)  guarantees_r  (…same rhs…).
+#pragma once
+
+#include <optional>
+
+#include "comp/proof.hpp"
+#include "comp/property.hpp"
+#include "symbolic/checker.hpp"
+
+namespace cmc::comp {
+
+/// Derive Rule 4 for component `m`.  Returns nullopt (and a failed proof
+/// node) when the premise M ⊨ p ⇒ EX q does not hold.
+std::optional<Guarantee> deriveRule4(symbolic::Checker& m,
+                                     const ctl::FormulaPtr& p,
+                                     const ctl::FormulaPtr& q,
+                                     ProofTree& proof, std::string name = {});
+
+/// Derive Rule 5 for component `m`.  `ps` are the disjuncts p₁..pₙ and
+/// `helpful` the index i with M ⊨ pᵢ ⇒ EX q.
+std::optional<Guarantee> deriveRule5(symbolic::Checker& m,
+                                     const std::vector<ctl::FormulaPtr>& ps,
+                                     std::size_t helpful,
+                                     const ctl::FormulaPtr& q,
+                                     ProofTree& proof, std::string name = {});
+
+/// The restriction r = (true, {¬p ∨ q}) both rules conclude under.
+ctl::Restriction progressRestriction(const ctl::FormulaPtr& p,
+                                     const ctl::FormulaPtr& q);
+
+}  // namespace cmc::comp

@@ -1,0 +1,237 @@
+#include "comp/verifier.hpp"
+
+#include <algorithm>
+#include <future>
+#include <sstream>
+
+#include "symbolic/prop.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace cmc::comp {
+
+void CompositionalVerifier::addComponent(symbolic::SymbolicSystem sys) {
+  CMC_ASSERT(sys.ctx == &ctx_);
+  components_.push_back(std::move(sys));
+  expansions_.emplace_back();
+  expansionBuilt_.push_back(false);
+  composed_.reset();
+}
+
+std::vector<symbolic::VarId> CompositionalVerifier::unionVars() const {
+  std::vector<symbolic::VarId> all;
+  for (const symbolic::SymbolicSystem& sys : components_) {
+    all.insert(all.end(), sys.vars.begin(), sys.vars.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+const symbolic::SymbolicSystem& CompositionalVerifier::composed() {
+  if (!composed_.has_value()) {
+    if (components_.empty()) {
+      throw ModelError("no components registered");
+    }
+    composed_ = symbolic::composeAll(components_);
+  }
+  return *composed_;
+}
+
+const symbolic::SymbolicSystem& CompositionalVerifier::expansion(
+    std::size_t i) {
+  CMC_ASSERT(i < components_.size());
+  if (!expansionBuilt_[i]) {
+    std::vector<symbolic::VarId> extra;
+    const std::vector<symbolic::VarId> all = unionVars();
+    std::set_difference(all.begin(), all.end(), components_[i].vars.begin(),
+                        components_[i].vars.end(), std::back_inserter(extra));
+    expansions_[i] = symbolic::expand(components_[i], extra);
+    expansions_[i].name = components_[i].name + " (expanded)";
+    expansionBuilt_[i] = true;
+  }
+  return expansions_[i];
+}
+
+bool CompositionalVerifier::verify(const ctl::Spec& spec, ProofTree& proof,
+                                   bool allowGlobalFallback) {
+  if (components_.empty()) {
+    throw ModelError("no components registered");
+  }
+  const PropertyClass cls = classify(spec);
+  const std::size_t clsNode = proof.add(
+      ProofNode::Kind::Classification,
+      spec.name + " : " + ctl::toString(spec.f) + " is " + toString(cls),
+      true);
+
+  switch (cls) {
+    case PropertyClass::Universal: {
+      std::vector<std::size_t> checks{clsNode};
+      bool all = true;
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+        symbolic::Checker checker(expansion(i));
+        const bool ok = checker.holds(spec.r, spec.f);
+        checks.push_back(proof.add(
+            ProofNode::Kind::ModelCheck,
+            expansion(i).name + " |= " + ctl::toString(spec.f), ok));
+        all = all && ok;
+      }
+      proof.add(ProofNode::Kind::Conclusion,
+                "composition |= " + spec.name + " (universal, Rule 2)", all,
+                std::move(checks));
+      return all;
+    }
+    case PropertyClass::Existential: {
+      // Find one component whose expansion satisfies the spec.
+      for (std::size_t i = 0; i < components_.size(); ++i) {
+        symbolic::Checker checker(expansion(i));
+        if (checker.holds(spec.r, spec.f)) {
+          const std::size_t check = proof.add(
+              ProofNode::Kind::ModelCheck,
+              expansion(i).name + " |= " + ctl::toString(spec.f), true);
+          proof.add(
+              ProofNode::Kind::Conclusion,
+              "composition |= " + spec.name + " (existential, Rules 1/3)",
+              true, {clsNode, check});
+          return true;
+        }
+      }
+      proof.add(ProofNode::Kind::Conclusion,
+                "no component satisfies existential spec " + spec.name,
+                false, {clsNode});
+      return false;
+    }
+    case PropertyClass::Unknown: {
+      if (!allowGlobalFallback) {
+        proof.add(ProofNode::Kind::Conclusion,
+                  spec.name + " is not compositional by Rules 1-3 and the "
+                              "global fallback is disabled",
+                  false, {clsNode});
+        return false;
+      }
+      symbolic::Checker checker(composed());
+      const bool ok = checker.holds(spec.r, spec.f);
+      const std::size_t check =
+          proof.add(ProofNode::Kind::ModelCheck,
+                    "composed system |= " + ctl::toString(spec.f) +
+                        "  (direct, non-compositional)",
+                    ok);
+      proof.add(ProofNode::Kind::Conclusion,
+                "composition |= " + spec.name + " (global check)", ok,
+                {clsNode, check});
+      return ok;
+    }
+  }
+  throw Error("verify: unreachable");
+}
+
+bool CompositionalVerifier::discharge(const Guarantee& g, ProofTree& proof,
+                                      std::vector<ctl::Spec>* conclusions,
+                                      bool allowGlobalFallback) {
+  std::vector<std::size_t> lhsNodes;
+  bool all = true;
+  for (const ctl::Spec& spec : g.lhs) {
+    const bool ok = verify(spec, proof, allowGlobalFallback);
+    all = all && ok;
+    lhsNodes.push_back(proof.size() - 1);  // the Conclusion verify() added
+  }
+  proof.add(ProofNode::Kind::RuleApplication,
+            "discharge left side of " + g.name + " (" + g.derivedBy + ")",
+            all, std::move(lhsNodes));
+  if (!all) return false;
+  for (const ctl::Spec& spec : g.rhs) {
+    proof.add(ProofNode::Kind::Conclusion,
+              "composition |= " + spec.name + " under " + spec.r.toString() +
+                  " : " + ctl::toString(spec.f),
+              true, {proof.size() - 1});
+    if (conclusions != nullptr) conclusions->push_back(spec);
+  }
+  return true;
+}
+
+bool CompositionalVerifier::verifyInvariance(const ctl::FormulaPtr& init,
+                                             const ctl::FormulaPtr& inv,
+                                             const ctl::FormulaPtr& target,
+                                             ProofTree& proof,
+                                             const std::string& name) {
+  if (!ctl::isPropositional(init) || !ctl::isPropositional(inv) ||
+      !ctl::isPropositional(target)) {
+    throw ModelError("verifyInvariance requires propositional formulas");
+  }
+  const std::vector<symbolic::VarId> all = unionVars();
+
+  const bool baseOk = propositionallyValid(ctx_, all, ctl::mkImplies(init, inv));
+  const std::size_t baseNode =
+      proof.add(ProofNode::Kind::RuleApplication,
+                name + ": init => inv is propositionally valid", baseOk);
+
+  const ctl::Spec step{
+      name + ".step",
+      ctl::Restriction{ctl::mkTrue(), {ctl::mkTrue()}},
+      ctl::mkImplies(inv, ctl::AX(inv))};
+  const bool stepOk = verify(step, proof, /*allowGlobalFallback=*/false);
+  const std::size_t stepNode = proof.size() - 1;
+
+  const bool implOk =
+      propositionallyValid(ctx_, all, ctl::mkImplies(inv, target));
+  const std::size_t implNode =
+      proof.add(ProofNode::Kind::RuleApplication,
+                name + ": inv => target is propositionally valid", implOk);
+
+  const bool ok = baseOk && stepOk && implOk;
+  proof.add(ProofNode::Kind::Conclusion,
+            "composition |=_(init,{true}) AG " + ctl::toString(target) +
+                "  [" + name + ", invariance]",
+            ok, {baseNode, stepNode, implNode});
+  return ok;
+}
+
+// ---- Parallel obligation runner --------------------------------------------
+
+std::string ParallelReport::summary() const {
+  std::ostringstream out;
+  out << (allOk ? "ALL OK" : "FAILURES") << " (" << results.size()
+      << " obligations, " << wallSeconds << " s wall)\n";
+  for (const ObligationResult& r : results) {
+    out << "  " << (r.ok ? "ok  " : "FAIL") << ' ' << r.name << " ("
+        << r.seconds << " s)";
+    if (!r.error.empty()) out << "  error: " << r.error;
+    out << '\n';
+  }
+  return out.str();
+}
+
+ParallelReport runObligations(std::vector<Obligation> obligations,
+                              unsigned threads) {
+  ThreadPool pool(threads);
+  WallTimer wall;
+
+  std::vector<std::future<ObligationResult>> futures;
+  futures.reserve(obligations.size());
+  for (Obligation& ob : obligations) {
+    futures.push_back(pool.submit([ob = std::move(ob)]() {
+      ObligationResult result;
+      result.name = ob.name;
+      WallTimer timer;
+      try {
+        result.ok = ob.run();
+      } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+      }
+      result.seconds = timer.seconds();
+      return result;
+    }));
+  }
+
+  ParallelReport report;
+  report.allOk = true;
+  for (std::future<ObligationResult>& f : futures) {
+    report.results.push_back(f.get());
+    report.allOk = report.allOk && report.results.back().ok;
+  }
+  report.wallSeconds = wall.seconds();
+  return report;
+}
+
+}  // namespace cmc::comp

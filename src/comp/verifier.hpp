@@ -1,0 +1,111 @@
+// The compositional verifier: turns a spec for a composed system into
+// per-component model-checking obligations using the property classes, and
+// discharges guarantees properties (paper §3.3, applied in §4.2.3/§4.3.4).
+//
+// Verification strategy for a spec S on M₁ ∘ … ∘ Mₙ:
+//  - classify(S) == Universal:    check S on the expansion of *every*
+//    component over the union alphabet (Lemma 5 makes the expansion the
+//    right object); conclude S for the composition (Rule 2).
+//  - classify(S) == Existential:  check S on the expansion of *some*
+//    component; conclude for the composition (Rules 1/3).
+//  - Unknown: optionally fall back to a direct (non-compositional) check on
+//    the composed system.  The proof tree labels this honestly so the
+//    certificate shows which steps were compositional.
+//
+// ParallelVerifier runs independent obligations on a thread pool; each
+// obligation builds its own BDD manager (managers are single-threaded), so
+// obligations scale with cores — this is the engine behind the §5 claim of
+// linear cost in the number of components.
+#pragma once
+
+#include <functional>
+
+#include "comp/classify.hpp"
+#include "comp/proof.hpp"
+#include "comp/property.hpp"
+#include "symbolic/checker.hpp"
+#include "symbolic/composition.hpp"
+
+namespace cmc::comp {
+
+class CompositionalVerifier {
+ public:
+  explicit CompositionalVerifier(symbolic::Context& ctx) : ctx_(ctx) {}
+
+  /// Register a component (copied; cheap — BDD handles).
+  void addComponent(symbolic::SymbolicSystem sys);
+
+  std::size_t componentCount() const noexcept { return components_.size(); }
+  const symbolic::SymbolicSystem& component(std::size_t i) const {
+    return components_.at(i);
+  }
+
+  /// The full composition M₁ ∘ … ∘ Mₙ (built lazily, cached).
+  const symbolic::SymbolicSystem& composed();
+
+  /// Verify `spec` on the composition compositionally where the classifier
+  /// allows; returns the verdict and records every step in `proof`.
+  bool verify(const ctl::Spec& spec, ProofTree& proof,
+              bool allowGlobalFallback = true);
+
+  /// Discharge guarantee `g`: verify every lhs spec (compositionally when
+  /// possible), then record the rhs as conclusions.  Returns true iff the
+  /// lhs was fully discharged; the concluded rhs specs are appended to
+  /// `*conclusions` when non-null.
+  bool discharge(const Guarantee& g, ProofTree& proof,
+                 std::vector<ctl::Spec>* conclusions = nullptr,
+                 bool allowGlobalFallback = true);
+
+  /// The invariance argument the paper uses for (Afs1) and (Afs1')
+  /// (§4.2.3, §4.3.4): given propositional init, inv, and target with
+  ///   (a) init ⇒ inv            (propositional validity),
+  ///   (b) inv ⇒ AX inv          (universal — checked per component),
+  ///   (c) inv ⇒ target          (propositional validity),
+  /// conclude  composition ⊨_(init,{true}) AG target.
+  bool verifyInvariance(const ctl::FormulaPtr& init,
+                        const ctl::FormulaPtr& inv,
+                        const ctl::FormulaPtr& target, ProofTree& proof,
+                        const std::string& name);
+
+ private:
+  /// Expansion of component i over the union alphabet (cached).
+  const symbolic::SymbolicSystem& expansion(std::size_t i);
+  std::vector<symbolic::VarId> unionVars() const;
+
+  symbolic::Context& ctx_;
+  std::vector<symbolic::SymbolicSystem> components_;
+  std::vector<symbolic::SymbolicSystem> expansions_;  ///< lazy, parallel to components_
+  std::vector<bool> expansionBuilt_;
+  std::optional<symbolic::SymbolicSystem> composed_;
+};
+
+// ---- Parallel obligation runner --------------------------------------------
+
+/// One independent proof obligation.  `run` must be self-contained: it
+/// builds its own Context/Manager (BDD managers are not shared across
+/// threads) and returns the verdict.  Exceptions are captured as failures.
+struct Obligation {
+  std::string name;
+  std::function<bool()> run;
+};
+
+struct ObligationResult {
+  std::string name;
+  bool ok = false;
+  double seconds = 0.0;
+  std::string error;  ///< non-empty if run() threw
+};
+
+struct ParallelReport {
+  bool allOk = false;
+  double wallSeconds = 0.0;
+  std::vector<ObligationResult> results;
+
+  std::string summary() const;
+};
+
+/// Run all obligations on `threads` workers (0 = hardware concurrency).
+ParallelReport runObligations(std::vector<Obligation> obligations,
+                              unsigned threads = 0);
+
+}  // namespace cmc::comp

@@ -1,0 +1,201 @@
+#include "ctl/parser.hpp"
+
+#include <cctype>
+
+#include "util/common.hpp"
+
+namespace cmc::ctl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  FormulaPtr parseAll() {
+    FormulaPtr f = parseIff();
+    skipSpace();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing input");
+    }
+    return f;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    int line = 1;
+    int col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw ParseError(what, line, col);
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eat(std::string_view token) {
+    skipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  static bool isIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool isIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+  }
+
+  std::string ident() {
+    skipSpace();
+    if (pos_ >= text_.size() || !isIdentStart(text_[pos_])) {
+      fail("expected identifier");
+    }
+    std::size_t begin = pos_;
+    while (pos_ < text_.size() && isIdentChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(begin, pos_ - begin));
+  }
+
+  std::string identOrNumber() {
+    skipSpace();
+    if (pos_ < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      std::size_t begin = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return std::string(text_.substr(begin, pos_ - begin));
+    }
+    return ident();
+  }
+
+  FormulaPtr parseIff() {
+    FormulaPtr lhs = parseImplies();
+    while (eat("<->")) {
+      lhs = mkIff(lhs, parseImplies());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parseImplies() {
+    FormulaPtr lhs = parseOr();
+    if (eat("->")) {
+      return mkImplies(lhs, parseImplies());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parseOr() {
+    FormulaPtr lhs = parseAnd();
+    for (;;) {
+      skipSpace();
+      // '|' but not part of '||' (we accept both spellings).
+      if (eat("||") || eat("|")) {
+        lhs = mkOr(lhs, parseAnd());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  FormulaPtr parseAnd() {
+    FormulaPtr lhs = parseUnary();
+    for (;;) {
+      if (eat("&&") || eat("&")) {
+        lhs = mkAnd(lhs, parseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  /// True when the identifier at pos_ is exactly `kw` (not a prefix of a
+  /// longer identifier).
+  bool eatKeyword(std::string_view kw) {
+    skipSpace();
+    if (text_.substr(pos_, kw.size()) != kw) return false;
+    const std::size_t after = pos_ + kw.size();
+    if (after < text_.size() && isIdentChar(text_[after])) return false;
+    pos_ = after;
+    return true;
+  }
+
+  FormulaPtr parseUnary() {
+    skipSpace();
+    if (eat("!")) return mkNot(parseUnary());
+    if (eatKeyword("AX")) return AX(parseUnary());
+    if (eatKeyword("EX")) return EX(parseUnary());
+    if (eatKeyword("AF")) return AF(parseUnary());
+    if (eatKeyword("EF")) return EF(parseUnary());
+    if (eatKeyword("AG")) return AG(parseUnary());
+    if (eatKeyword("EG")) return EG(parseUnary());
+    if (eatKeyword("A")) return parseUntil(/*universal=*/true);
+    if (eatKeyword("E")) return parseUntil(/*universal=*/false);
+    if (eatKeyword("TRUE") || eatKeyword("true")) return mkTrue();
+    if (eatKeyword("FALSE") || eatKeyword("false")) return mkFalse();
+    if (eat("(")) {
+      FormulaPtr f = parseIff();
+      if (!eat(")")) fail("expected ')'");
+      return f;
+    }
+    if (peek() == '1' || peek() == '0') {
+      const char c = text_[pos_];
+      // A bare 0/1 literal only; "0..3" style tokens never reach CTL.
+      ++pos_;
+      return c == '1' ? mkTrue() : mkFalse();
+    }
+    return parseAtom();
+  }
+
+  FormulaPtr parseUntil(bool universal) {
+    if (!eat("[")) fail("expected '[' after path quantifier");
+    FormulaPtr lhs = parseIff();
+    if (!eatKeyword("U")) fail("expected 'U' in until formula");
+    FormulaPtr rhs = parseIff();
+    if (!eat("]")) fail("expected ']'");
+    return universal ? AU(lhs, rhs) : EU(lhs, rhs);
+  }
+
+  FormulaPtr parseAtom() {
+    std::string name = ident();
+    skipSpace();
+    if (eat("!=")) {
+      return neq(name, identOrNumber());
+    }
+    if (peek() == '=') {
+      // '=' but not '=>' (not in grammar, defensive).
+      ++pos_;
+      return eq(name, identOrNumber());
+    }
+    return atom(name);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FormulaPtr parse(std::string_view text) { return Parser(text).parseAll(); }
+
+}  // namespace cmc::ctl

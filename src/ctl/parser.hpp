@@ -1,0 +1,28 @@
+// Recursive-descent parser for CTL formulas in SMV surface syntax.
+//
+// Grammar (lowest to highest precedence):
+//   iff     := implies ('<->' implies)*
+//   implies := or ('->' implies)?                (right associative)
+//   or      := and ('|' and)*
+//   and     := unary ('&' unary)*
+//   unary   := '!' unary
+//            | ('AX'|'EX'|'AF'|'EF'|'AG'|'EG') unary
+//            | 'A' '[' iff 'U' iff ']' | 'E' '[' iff 'U' iff ']'
+//            | '(' iff ')' | literal | atom
+//   atom    := ident (('='|'!=') (ident | number))?
+//   literal := 'TRUE' | 'FALSE' | '1' | '0'
+//
+// Throws cmc::ParseError with line/column on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "ctl/formula.hpp"
+#include "util/common.hpp"  // ParseError
+
+namespace cmc::ctl {
+
+/// Parse a single CTL formula; the whole input must be consumed.
+FormulaPtr parse(std::string_view text);
+
+}  // namespace cmc::ctl

@@ -1,0 +1,70 @@
+#include "kripke/composition.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cmc::kripke {
+
+namespace {
+
+/// Lift every transition of `part` into `whole`, letting the atoms of
+/// `whole` outside `part`'s alphabet take any (fixed) value: the frame
+/// condition of the composition definition.
+void liftTransitions(const ExplicitSystem& part, ExplicitSystem& whole) {
+  // Map part-bit -> whole-bit.
+  std::vector<std::size_t> map(part.atomCount());
+  for (std::size_t i = 0; i < part.atomCount(); ++i) {
+    map[i] = whole.atomIndex(part.atoms()[i]);
+  }
+  // Bits of `whole` not covered by `part` (the frame).
+  std::vector<std::size_t> frame;
+  std::vector<bool> covered(whole.atomCount(), false);
+  for (std::size_t b : map) covered[b] = true;
+  for (std::size_t b = 0; b < whole.atomCount(); ++b) {
+    if (!covered[b]) frame.push_back(b);
+  }
+  const std::uint64_t frameCombos = std::uint64_t{1} << frame.size();
+
+  auto lift = [&](State s) {
+    State t = 0;
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      if ((s >> i) & 1u) t |= State{1} << map[i];
+    }
+    return t;
+  };
+
+  part.forEachTransition([&](State from, State to) {
+    const State lf = lift(from);
+    const State lt = lift(to);
+    for (std::uint64_t combo = 0; combo < frameCombos; ++combo) {
+      State r = 0;
+      for (std::size_t i = 0; i < frame.size(); ++i) {
+        if ((combo >> i) & 1u) r |= State{1} << frame[i];
+      }
+      whole.addTransition(lf | r, lt | r);
+    }
+  });
+}
+
+}  // namespace
+
+ExplicitSystem compose(const ExplicitSystem& m, const ExplicitSystem& mp) {
+  std::set<std::string> unionAtoms(m.atoms().begin(), m.atoms().end());
+  unionAtoms.insert(mp.atoms().begin(), mp.atoms().end());
+  if (unionAtoms.size() > kMaxExplicitAtoms) {
+    throw ModelError("composition alphabet too large for explicit systems");
+  }
+  ExplicitSystem whole(
+      std::vector<std::string>(unionAtoms.begin(), unionAtoms.end()));
+  liftTransitions(m, whole);
+  liftTransitions(mp, whole);
+  whole.makeReflexive();  // "smallest *reflexive* relation"
+  return whole;
+}
+
+ExplicitSystem expand(const ExplicitSystem& m,
+                      const std::vector<std::string>& extraAtoms) {
+  return compose(m, identitySystem(extraAtoms));
+}
+
+}  // namespace cmc::kripke

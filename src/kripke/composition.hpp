@@ -1,0 +1,24 @@
+// Interleaving parallel composition of explicit systems (paper §3.1).
+//
+// M ∘ M' = (Σ ∪ Σ', R*) where R* is the smallest reflexive relation with
+//   1. (s,t) ∈ R  and r ⊆ Σ*−Σ   ⟹ (s∪r, t∪r) ∈ R*
+//   2. (s',t') ∈ R' and r' ⊆ Σ*−Σ' ⟹ (s'∪r', t'∪r') ∈ R*
+// i.e. each component moves alone while the other's private atoms stay put,
+// and stuttering is always allowed.
+#pragma once
+
+#include "kripke/explicit_system.hpp"
+
+namespace cmc::kripke {
+
+/// The composition M ∘ M'.  The resulting alphabet is the sorted union of
+/// the two alphabets, making the operator commutative and associative up to
+/// ExplicitSystem::sameBehavior (Lemma 1).
+ExplicitSystem compose(const ExplicitSystem& m, const ExplicitSystem& mp);
+
+/// The expansion of M over extra atoms Σ' (paper §3.2): M ∘ (Σ', I), a
+/// system over Σ ∪ Σ' that never modifies atoms in Σ' − Σ.
+ExplicitSystem expand(const ExplicitSystem& m,
+                      const std::vector<std::string>& extraAtoms);
+
+}  // namespace cmc::kripke

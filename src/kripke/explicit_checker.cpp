@@ -1,0 +1,300 @@
+#include "kripke/explicit_checker.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace cmc::kripke {
+
+using ctl::FormulaPtr;
+using ctl::Op;
+
+// ---- Dense state-set helpers ------------------------------------------------
+
+StateSet setAnd(const StateSet& a, const StateSet& b) {
+  CMC_ASSERT(a.size() == b.size());
+  StateSet out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] && b[i];
+  return out;
+}
+
+StateSet setOr(const StateSet& a, const StateSet& b) {
+  CMC_ASSERT(a.size() == b.size());
+  StateSet out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] || b[i];
+  return out;
+}
+
+StateSet setNot(const StateSet& a) {
+  StateSet out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = !a[i];
+  return out;
+}
+
+bool setSubset(const StateSet& a, const StateSet& b) {
+  CMC_ASSERT(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] && !b[i]) return false;
+  }
+  return true;
+}
+
+bool setEmpty(const StateSet& a) {
+  return std::none_of(a.begin(), a.end(), [](bool b) { return b; });
+}
+
+std::size_t setCount(const StateSet& a) {
+  return static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+}
+
+// ---- Checker ----------------------------------------------------------------
+
+ExplicitChecker::ExplicitChecker(const ExplicitSystem& sys,
+                                 AtomSemantics semantics)
+    : sys_(sys), semantics_(std::move(semantics)) {
+  predecessors_.assign(sys_.stateCount(), {});
+  sys_.forEachTransition(
+      [&](State from, State to) { predecessors_[to].push_back(from); });
+}
+
+StateSet ExplicitChecker::satAtom(const std::string& text) const {
+  if (semantics_) {
+    if (std::optional<StateSet> custom = semantics_(text)) {
+      CMC_ASSERT(custom->size() == sys_.stateCount());
+      return *std::move(custom);
+    }
+  }
+  const std::uint64_t n = sys_.stateCount();
+  // "var=value": accept boolean comparisons against 0/1/TRUE/FALSE.
+  const std::size_t pos = text.find('=');
+  std::string name = pos == std::string::npos ? text : text.substr(0, pos);
+  bool expect = true;
+  if (pos != std::string::npos) {
+    const std::string value = text.substr(pos + 1);
+    if (value == "1" || value == "TRUE" || value == "true") {
+      expect = true;
+    } else if (value == "0" || value == "FALSE" || value == "false") {
+      expect = false;
+    } else {
+      throw ModelError("explicit checker cannot resolve atom '" + text +
+                       "' (no atom semantics installed)");
+    }
+  }
+  const std::size_t bit = sys_.atomIndex(name);
+  StateSet out(n);
+  for (std::uint64_t s = 0; s < n; ++s) {
+    out[s] = (((s >> bit) & 1u) != 0) == expect;
+  }
+  return out;
+}
+
+StateSet ExplicitChecker::preE(const StateSet& target) const {
+  StateSet out(sys_.stateCount(), false);
+  for (State t = 0; t < sys_.stateCount(); ++t) {
+    if (!target[t]) continue;
+    for (State p : predecessors_[t]) out[p] = true;
+  }
+  return out;
+}
+
+StateSet ExplicitChecker::untilE(const StateSet& f, const StateSet& g) const {
+  // Backward reachability from g through f-states.
+  StateSet result = g;
+  std::deque<State> work;
+  for (State s = 0; s < sys_.stateCount(); ++s) {
+    if (g[s]) work.push_back(s);
+  }
+  while (!work.empty()) {
+    const State t = work.front();
+    work.pop_front();
+    for (State p : predecessors_[t]) {
+      if (!result[p] && f[p]) {
+        result[p] = true;
+        work.push_back(p);
+      }
+    }
+  }
+  return result;
+}
+
+StateSet ExplicitChecker::fairEG(const StateSet& region,
+                                 const std::vector<StateSet>& fairSetsIn) const {
+  // νZ. region ∧ ⋀_F EX E[region U (Z ∧ F)]
+  // With no constraints this degenerates to νZ. region ∧ EX E[region U Z],
+  // i.e. plain EG, by using the single constraint {true}.
+  std::vector<StateSet> fairSets = fairSetsIn;
+  if (fairSets.empty()) {
+    fairSets.emplace_back(region.size(), true);
+  }
+  StateSet z = region;
+  for (;;) {
+    StateSet next = z;
+    for (const StateSet& fc : fairSets) {
+      const StateSet target = setAnd(next, fc);
+      const StateSet reach = untilE(region, target);
+      next = setAnd(next, setAnd(region, preE(reach)));
+    }
+    if (next == z) return z;
+    z = std::move(next);
+  }
+}
+
+StateSet ExplicitChecker::fairStates(
+    const std::vector<ctl::FormulaPtr>& fairness) {
+  std::vector<StateSet> fairSets;
+  StateSet all(sys_.stateCount(), true);
+  for (const FormulaPtr& f : fairness) {
+    fairSets.push_back(satRec(f, {}, all));
+  }
+  if (fairSets.empty()) return all;
+  return fairEG(all, fairSets);
+}
+
+StateSet ExplicitChecker::sat(const ctl::FormulaPtr& f,
+                              const std::vector<ctl::FormulaPtr>& fairness) {
+  std::vector<StateSet> fairSets;
+  StateSet all(sys_.stateCount(), true);
+  for (const FormulaPtr& fc : fairness) {
+    fairSets.push_back(satRec(fc, {}, all));
+  }
+  const StateSet fair =
+      fairSets.empty() ? all : fairEG(all, fairSets);
+  return satRec(f, fairSets, fair);
+}
+
+StateSet ExplicitChecker::satRec(const ctl::FormulaPtr& f,
+                                 const std::vector<StateSet>& fairSets,
+                                 const StateSet& fair) {
+  CMC_ASSERT(f != nullptr);
+  const std::uint64_t n = sys_.stateCount();
+  switch (f->op()) {
+    case Op::True:
+      return StateSet(n, true);
+    case Op::False:
+      return StateSet(n, false);
+    case Op::Atom:
+      return satAtom(f->atom());
+    case Op::Not:
+      return setNot(satRec(f->lhs(), fairSets, fair));
+    case Op::And:
+      return setAnd(satRec(f->lhs(), fairSets, fair),
+                    satRec(f->rhs(), fairSets, fair));
+    case Op::Or:
+      return setOr(satRec(f->lhs(), fairSets, fair),
+                   satRec(f->rhs(), fairSets, fair));
+    case Op::Implies:
+      return setOr(setNot(satRec(f->lhs(), fairSets, fair)),
+                   satRec(f->rhs(), fairSets, fair));
+    case Op::Iff: {
+      const StateSet a = satRec(f->lhs(), fairSets, fair);
+      const StateSet b = satRec(f->rhs(), fairSets, fair);
+      StateSet out(n);
+      for (std::uint64_t i = 0; i < n; ++i) out[i] = a[i] == b[i];
+      return out;
+    }
+    case Op::EX:
+      // EX over fair paths: some successor starts a fair path satisfying f.
+      return preE(setAnd(satRec(f->lhs(), fairSets, fair), fair));
+    case Op::AX:
+      // AX f = !EX !f (fair duals).
+      return setNot(
+          preE(setAnd(setNot(satRec(f->lhs(), fairSets, fair)), fair)));
+    case Op::EU:
+      return untilE(satRec(f->lhs(), fairSets, fair),
+                    setAnd(satRec(f->rhs(), fairSets, fair), fair));
+    case Op::EF:
+      return untilE(StateSet(n, true),
+                    setAnd(satRec(f->lhs(), fairSets, fair), fair));
+    case Op::EG:
+      return fairEG(satRec(f->lhs(), fairSets, fair), fairSets);
+    case Op::AF:
+      // AF f = !EG !f.
+      return setNot(
+          fairEG(setNot(satRec(f->lhs(), fairSets, fair)), fairSets));
+    case Op::AG:
+      // AG f = !EF !f.
+      return setNot(untilE(
+          StateSet(n, true),
+          setAnd(setNot(satRec(f->lhs(), fairSets, fair)), fair)));
+    case Op::AU: {
+      // A[f U g] = !(E[!g U (!f & !g)] | EG !g).
+      const StateSet sf = satRec(f->lhs(), fairSets, fair);
+      const StateSet sg = satRec(f->rhs(), fairSets, fair);
+      const StateSet ng = setNot(sg);
+      const StateSet part1 =
+          untilE(ng, setAnd(setAnd(setNot(sf), ng), fair));
+      const StateSet part2 = fairEG(ng, fairSets);
+      return setNot(setOr(part1, part2));
+    }
+  }
+  throw Error("satRec: unreachable");
+}
+
+bool ExplicitChecker::holds(const ctl::Spec& spec) {
+  return holds(spec.r, spec.f);
+}
+
+bool ExplicitChecker::holds(const ctl::Restriction& r,
+                            const ctl::FormulaPtr& f) {
+  return !findViolation(r, f).has_value();
+}
+
+bool ExplicitChecker::holdsInState(State s, const ctl::Restriction& r,
+                                   const ctl::FormulaPtr& f) {
+  const StateSet satF = sat(f, r.fairness);
+  return satF[s];
+}
+
+std::optional<std::vector<State>> ExplicitChecker::findPath(
+    const StateSet& from, const StateSet& target) const {
+  CMC_ASSERT(from.size() == sys_.stateCount());
+  std::vector<State> parent(sys_.stateCount(), 0);
+  std::vector<bool> seen(sys_.stateCount(), false);
+  std::deque<State> queue;
+  for (State s = 0; s < sys_.stateCount(); ++s) {
+    if (from[s]) {
+      if (target[s]) return std::vector<State>{s};
+      seen[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop_front();
+    for (State t : sys_.successors(s)) {
+      if (seen[t]) continue;
+      seen[t] = true;
+      parent[t] = s;
+      if (target[t]) {
+        std::vector<State> path{t};
+        State cur = t;
+        while (!from[cur]) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        return std::vector<State>(path.rbegin(), path.rend());
+      }
+      queue.push_back(t);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<State>> ExplicitChecker::agCounterexamplePath(
+    const ctl::Restriction& r, const ctl::FormulaPtr& good) {
+  const FormulaPtr init = r.init != nullptr ? r.init : ctl::mkTrue();
+  return findPath(sat(init, r.fairness),
+                  setNot(sat(good, r.fairness)));
+}
+
+std::optional<State> ExplicitChecker::findViolation(
+    const ctl::Restriction& r, const ctl::FormulaPtr& f) {
+  const FormulaPtr init = r.init != nullptr ? r.init : ctl::mkTrue();
+  const StateSet satInit = sat(init, r.fairness);
+  const StateSet satF = sat(f, r.fairness);
+  for (State s = 0; s < sys_.stateCount(); ++s) {
+    if (satInit[s] && !satF[s]) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cmc::kripke

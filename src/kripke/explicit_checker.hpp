@@ -1,0 +1,98 @@
+// Explicit-state fair-CTL model checker over ExplicitSystem.
+//
+// This is the library's independent oracle: it implements the paper's
+// satisfaction relation (§2.1-2.2) directly on enumerated state sets, with
+// fair path quantification via the Emerson-Lei characterization
+//   EG_fair S = νZ. S ∧ ⋀_{F∈fairness} EX E[S U (Z ∧ F)].
+// The symbolic checker must agree with it on every model and formula; the
+// property-based tests enforce exactly that.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ctl/formula.hpp"
+#include "kripke/explicit_system.hpp"
+
+namespace cmc::kripke {
+
+/// Dense state set (index = State).
+using StateSet = std::vector<bool>;
+
+/// Optional hook resolving an atom text to its satisfying states; return
+/// nullopt to fall back to the default resolution (bare atoms are bits of
+/// the state; "a=1"/"a=0"/"a=TRUE"/"a=FALSE" test a bit).  SMV-elaborated
+/// explicit systems install a hook that decodes enum encodings.
+using AtomSemantics =
+    std::function<std::optional<StateSet>(const std::string& atomText)>;
+
+class ExplicitChecker {
+ public:
+  explicit ExplicitChecker(const ExplicitSystem& sys,
+                           AtomSemantics semantics = nullptr);
+  /// Keeps a reference to the system; temporaries would dangle.
+  explicit ExplicitChecker(ExplicitSystem&&, AtomSemantics = nullptr) = delete;
+
+  /// Satisfying states of f, quantifying path operators over `fairness`-fair
+  /// paths only.  Pass an empty vector (or {true}) for plain CTL.
+  StateSet sat(const ctl::FormulaPtr& f,
+               const std::vector<ctl::FormulaPtr>& fairness);
+
+  /// States from which a fair path exists (EG_fair true).
+  StateSet fairStates(const std::vector<ctl::FormulaPtr>& fairness);
+
+  /// The paper's M ⊨_r f: every state satisfying r.init satisfies f over
+  /// r.fairness-fair paths.
+  bool holds(const ctl::Spec& spec);
+  bool holds(const ctl::Restriction& r, const ctl::FormulaPtr& f);
+
+  /// M, s ⊨_r f for one state.
+  bool holdsInState(State s, const ctl::Restriction& r,
+                    const ctl::FormulaPtr& f);
+
+  /// One state satisfying r.init but violating f, if any (counterexample
+  /// seed for diagnostics).
+  std::optional<State> findViolation(const ctl::Restriction& r,
+                                     const ctl::FormulaPtr& f);
+
+  /// Shortest transition path (forward BFS) from a state in `from` to a
+  /// state in `target`; nullopt when unreachable.
+  std::optional<std::vector<State>> findPath(const StateSet& from,
+                                             const StateSet& target) const;
+
+  /// For a spec AG good (good arbitrary CTL): shortest path from an
+  /// r.init-state to a ¬good state; nullopt when AG good holds on the
+  /// reachable fragment.
+  std::optional<std::vector<State>> agCounterexamplePath(
+      const ctl::Restriction& r, const ctl::FormulaPtr& good);
+
+  const ExplicitSystem& system() const noexcept { return sys_; }
+
+ private:
+  StateSet satAtom(const std::string& text) const;
+  StateSet preE(const StateSet& target) const;
+  /// E[f U g] without fairness (fairness is folded into g by callers).
+  StateSet untilE(const StateSet& f, const StateSet& g) const;
+  /// Emerson-Lei greatest fixpoint.
+  StateSet fairEG(const StateSet& region,
+                  const std::vector<StateSet>& fairSets) const;
+  StateSet satRec(const ctl::FormulaPtr& f,
+                  const std::vector<StateSet>& fairSets,
+                  const StateSet& fair);
+
+  const ExplicitSystem& sys_;
+  AtomSemantics semantics_;
+  std::vector<std::vector<State>> predecessors_;  ///< reverse adjacency
+};
+
+// ---- Dense state-set helpers (shared with tests) ---------------------------
+
+StateSet setAnd(const StateSet& a, const StateSet& b);
+StateSet setOr(const StateSet& a, const StateSet& b);
+StateSet setNot(const StateSet& a);
+bool setSubset(const StateSet& a, const StateSet& b);
+bool setEmpty(const StateSet& a);
+std::size_t setCount(const StateSet& a);
+
+}  // namespace cmc::kripke

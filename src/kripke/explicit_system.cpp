@@ -1,0 +1,132 @@
+#include "kripke/explicit_system.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace cmc::kripke {
+
+ExplicitSystem::ExplicitSystem(std::vector<std::string> atoms)
+    : atoms_(std::move(atoms)) {
+  if (atoms_.size() > kMaxExplicitAtoms) {
+    throw ModelError("explicit system limited to " +
+                     std::to_string(kMaxExplicitAtoms) + " atoms, got " +
+                     std::to_string(atoms_.size()));
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& a : atoms_) {
+    if (!seen.insert(a).second) {
+      throw ModelError("duplicate atom name: " + a);
+    }
+  }
+}
+
+std::size_t ExplicitSystem::atomIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i] == name) return i;
+  }
+  throw ModelError("unknown atom: " + name);
+}
+
+bool ExplicitSystem::hasAtom(const std::string& name) const {
+  return std::find(atoms_.begin(), atoms_.end(), name) != atoms_.end();
+}
+
+State ExplicitSystem::stateOf(const std::vector<std::string>& trueAtoms) const {
+  State s = 0;
+  for (const std::string& a : trueAtoms) {
+    s |= State{1} << atomIndex(a);
+  }
+  return s;
+}
+
+std::string ExplicitSystem::stateToString(State s) const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if ((s >> i) & 1u) {
+      if (!first) out << ", ";
+      first = false;
+      out << atoms_[i];
+    }
+  }
+  out << '}';
+  return out.str();
+}
+
+void ExplicitSystem::addTransition(State from, State to) {
+  CMC_ASSERT(from < stateCount() && to < stateCount());
+  trans_.insert(pack(from, to));
+  invalidateAdjacency();
+}
+
+bool ExplicitSystem::hasTransition(State from, State to) const {
+  return trans_.count(pack(from, to)) != 0;
+}
+
+void ExplicitSystem::makeReflexive() {
+  for (State s = 0; s < stateCount(); ++s) {
+    trans_.insert(pack(s, s));
+  }
+  invalidateAdjacency();
+}
+
+bool ExplicitSystem::isReflexive() const {
+  for (State s = 0; s < stateCount(); ++s) {
+    if (trans_.count(pack(s, s)) == 0) return false;
+  }
+  return true;
+}
+
+bool ExplicitSystem::isTotal() const {
+  std::vector<bool> hasSucc(stateCount(), false);
+  forEachTransition([&](State from, State) { hasSucc[from] = true; });
+  return std::all_of(hasSucc.begin(), hasSucc.end(), [](bool b) { return b; });
+}
+
+void ExplicitSystem::buildAdjacency() const {
+  adjacency_.assign(stateCount(), {});
+  forEachTransition(
+      [&](State from, State to) { adjacency_[from].push_back(to); });
+  for (std::vector<State>& succ : adjacency_) {
+    std::sort(succ.begin(), succ.end());
+  }
+  adjacencyValid_ = true;
+}
+
+const std::vector<State>& ExplicitSystem::successors(State s) const {
+  if (!adjacencyValid_) buildAdjacency();
+  return adjacency_[s];
+}
+
+bool ExplicitSystem::sameBehavior(const ExplicitSystem& other) const {
+  if (atoms_.size() != other.atoms_.size()) return false;
+  // Build the bit permutation induced by matching atom names.
+  std::vector<int> map(atoms_.size(), -1);  // our bit -> their bit
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (!other.hasAtom(atoms_[i])) return false;
+    map[i] = static_cast<int>(other.atomIndex(atoms_[i]));
+  }
+  auto remap = [&](State s) {
+    State t = 0;
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      if ((s >> i) & 1u) t |= State{1} << map[i];
+    }
+    return t;
+  };
+  if (trans_.size() != other.trans_.size()) return false;
+  bool ok = true;
+  forEachTransition([&](State from, State to) {
+    if (!other.hasTransition(remap(from), remap(to))) ok = false;
+  });
+  return ok;
+}
+
+ExplicitSystem identitySystem(std::vector<std::string> atoms) {
+  ExplicitSystem sys(std::move(atoms));
+  sys.makeReflexive();
+  return sys;
+}
+
+}  // namespace cmc::kripke

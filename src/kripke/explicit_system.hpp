@@ -1,0 +1,99 @@
+// Explicit finite-state systems exactly as in the paper (§2.1): a system is
+// M = (Σ, R) where Σ is a finite set of atomic propositions, a state is the
+// subset of Σ true in it, and R is a reflexive total transition relation
+// over 2^Σ.
+//
+// States are bitmasks over the system's atom list (at most 32 atoms — the
+// explicit representation is the oracle and the composition playground, not
+// the scalable engine; that is the symbolic substrate's job).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace cmc::kripke {
+
+/// A state: bit i set means atom i (in the owning system's order) is true.
+using State = std::uint32_t;
+
+/// Maximum alphabet size for explicit systems (2^20 states, 2^40 potential
+/// transitions — far beyond anything the tests enumerate, but a hard guard).
+inline constexpr std::size_t kMaxExplicitAtoms = 20;
+
+class ExplicitSystem {
+ public:
+  /// Create a system over the given atomic propositions with an empty
+  /// relation.  Atom names must be unique.
+  explicit ExplicitSystem(std::vector<std::string> atoms);
+
+  // ---- Alphabet -----------------------------------------------------------
+
+  const std::vector<std::string>& atoms() const noexcept { return atoms_; }
+  std::size_t atomCount() const noexcept { return atoms_.size(); }
+  /// Index of `name` in the atom list; throws ModelError if absent.
+  std::size_t atomIndex(const std::string& name) const;
+  bool hasAtom(const std::string& name) const;
+  /// Number of states, 2^|Σ|.
+  std::uint64_t stateCount() const noexcept {
+    return std::uint64_t{1} << atoms_.size();
+  }
+  /// Build a state from the set of atoms true in it.
+  State stateOf(const std::vector<std::string>& trueAtoms) const;
+  /// Render a state as "{a, c}" in atom order.
+  std::string stateToString(State s) const;
+
+  // ---- Relation -----------------------------------------------------------
+
+  void addTransition(State from, State to);
+  bool hasTransition(State from, State to) const;
+  std::size_t transitionCount() const noexcept { return trans_.size(); }
+
+  /// All transitions as packed (from << 20 | to)-style pairs; iterate via
+  /// forEachTransition for decoded access.
+  template <typename Fn>
+  void forEachTransition(Fn&& fn) const {
+    for (std::uint64_t packed : trans_) {
+      fn(static_cast<State>(packed >> 32),
+         static_cast<State>(packed & 0xffffffffu));
+    }
+  }
+
+  /// Add (s, s) for every state (the paper assumes R reflexive).
+  void makeReflexive();
+  bool isReflexive() const;
+  /// Every state has at least one successor.  Reflexive implies total.
+  bool isTotal() const;
+
+  /// Successor list of `s` (built on demand, cached until the relation
+  /// changes).
+  const std::vector<State>& successors(State s) const;
+
+  // ---- Comparison ---------------------------------------------------------
+
+  /// Semantic equality: same atom *set* (order-independent) and the same
+  /// transition relation modulo the induced state renaming.  This is the
+  /// equality used by the Lemma 1-5 validators.
+  bool sameBehavior(const ExplicitSystem& other) const;
+
+ private:
+  static std::uint64_t pack(State from, State to) {
+    return (std::uint64_t{from} << 32) | to;
+  }
+  void invalidateAdjacency() { adjacencyValid_ = false; }
+  void buildAdjacency() const;
+
+  std::vector<std::string> atoms_;
+  std::unordered_set<std::uint64_t> trans_;
+
+  mutable std::vector<std::vector<State>> adjacency_;
+  mutable bool adjacencyValid_ = false;
+};
+
+/// The identity system (Σ, I) of Lemma 3: only stuttering transitions.
+ExplicitSystem identitySystem(std::vector<std::string> atoms);
+
+}  // namespace cmc::kripke

@@ -1,0 +1,242 @@
+#include "ring/token_ring.hpp"
+
+#include <sstream>
+
+#include "comp/leadsto.hpp"
+#include "comp/rules.hpp"
+#include "comp/verifier.hpp"
+#include "symbolic/checker.hpp"
+
+namespace cmc::ring {
+
+using ctl::FormulaPtr;
+
+namespace {
+
+std::string tok(int i) { return "tok" + std::to_string(i); }
+std::string st(int i) { return "st" + std::to_string(i); }
+
+}  // namespace
+
+std::string stationSmv(int i, int n) {
+  CMC_ASSERT(n >= 2 && i >= 0 && i < n);
+  const int next = (i + 1) % n;
+  std::ostringstream out;
+  out << "MODULE station" << i << "\n";
+  out << "VAR " << st(i) << " : {idle, want, cs};\n";
+  out << "    " << tok(i) << " : boolean;\n";
+  out << "    " << tok(next) << " : boolean;\n";
+  out << "ASSIGN\n";
+  out << "  next(" << st(i) << ") :=\n    case\n";
+  out << "      " << st(i) << " = idle : {idle, want};\n";
+  out << "      " << st(i) << " = want & " << tok(i) << " : cs;\n";
+  out << "      " << st(i) << " = cs : idle;\n";
+  out << "      1 : " << st(i) << ";\n    esac;\n";
+  out << "  next(" << tok(i) << ") :=\n    case\n";
+  out << "      " << st(i) << " = idle & " << tok(i) << " : 0;\n";
+  out << "      " << st(i) << " = cs & " << tok(i) << " : 0;\n";
+  out << "      1 : " << tok(i) << ";\n    esac;\n";
+  out << "  next(" << tok(next) << ") :=\n    case\n";
+  out << "      " << st(i) << " = idle & " << tok(i) << " : 1;\n";
+  out << "      " << st(i) << " = cs & " << tok(i) << " : 1;\n";
+  out << "      1 : " << tok(next) << ";\n    esac;\n";
+  return out.str();
+}
+
+RingComponents buildRing(symbolic::Context& ctx, int n) {
+  if (n < 2) {
+    throw ModelError("token ring needs at least two stations");
+  }
+  RingComponents out;
+  out.n = n;
+  for (int i = 0; i < n; ++i) {
+    out.stations.push_back(smv::elaborateText(ctx, stationSmv(i, n)));
+    symbolic::addReflexive(out.stations.back().sys);
+  }
+  return out;
+}
+
+FormulaPtr tokenExactlyAt(int j, int n) {
+  std::vector<FormulaPtr> parts;
+  for (int k = 0; k < n; ++k) {
+    parts.push_back(k == j ? ctl::atom(tok(k))
+                           : ctl::mkNot(ctl::atom(tok(k))));
+  }
+  return ctl::conj(parts);
+}
+
+FormulaPtr atMostOneToken(int n) {
+  std::vector<FormulaPtr> parts;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      parts.push_back(ctl::mkNot(
+          ctl::mkAnd(ctl::atom(tok(a)), ctl::atom(tok(b)))));
+    }
+  }
+  return ctl::conj(parts);
+}
+
+FormulaPtr ringInvariant(int n) {
+  std::vector<FormulaPtr> parts{atMostOneToken(n)};
+  for (int i = 0; i < n; ++i) {
+    parts.push_back(
+        ctl::mkImplies(ctl::eq(st(i), "cs"), ctl::atom(tok(i))));
+  }
+  return ctl::conj(parts);
+}
+
+FormulaPtr mutualExclusion(int n) {
+  std::vector<FormulaPtr> parts;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      parts.push_back(ctl::mkNot(
+          ctl::mkAnd(ctl::eq(st(a), "cs"), ctl::eq(st(b), "cs"))));
+    }
+  }
+  return ctl::conj(parts);
+}
+
+FormulaPtr ringInit(int n) {
+  std::vector<FormulaPtr> parts{tokenExactlyAt(0, n)};
+  for (int i = 0; i < n; ++i) {
+    parts.push_back(ctl::eq(st(i), "idle"));
+  }
+  return ctl::conj(parts);
+}
+
+RingReport verifyTokenRing(int n, bool liveness, bool crossCheck) {
+  RingReport report;
+  report.n = n;
+
+  symbolic::Context ctx(1 << 14);
+  RingComponents comps = buildRing(ctx, n);
+
+  comp::CompositionalVerifier verifier(ctx);
+  for (const smv::ElaboratedModule& station : comps.stations) {
+    verifier.addComponent(station.sys);
+  }
+
+  // ---- Safety: mutual exclusion by invariance -------------------------------
+  report.safety = verifier.verifyInvariance(
+      ringInit(n), ringInvariant(n), mutualExclusion(n), report.proof,
+      "ring.mutex");
+
+  // ---- Liveness: want0 => AF cs0 --------------------------------------------
+  // The wanting station is 0; the chain starts wherever the token is and
+  // walks the ring back to it.  W = "st0 = want" is threaded through every
+  // hop region; T_j pins the token position exactly (the universal AX
+  // obligations quantify over all states, so multi-token corner states
+  // must be excluded by the region itself).
+  ctl::Spec livenessSpec{"ring.liveness", ctl::Restriction::trivial(),
+                         ctl::mkTrue()};
+  if (liveness) {
+    const FormulaPtr want0 = ctl::eq(st(0), "want");
+    const FormulaPtr cs0 = ctl::eq(st(0), "cs");
+    comp::LeadsToLedger ledger(ctx, verifier.composed().vars, report.proof);
+    bool ok = true;
+
+    // Expansion checkers per station (premises are checked on expansions,
+    // as licensed by Lemma 8).
+    std::vector<symbolic::SymbolicSystem> expansions;
+    std::vector<symbolic::VarId> allVars = verifier.composed().vars;
+    for (int i = 0; i < n; ++i) {
+      expansions.push_back(
+          symbolic::expand(comps.stations[i].sys, allVars));
+      expansions.back().name = "station" + std::to_string(i) + " (expanded)";
+    }
+
+    auto rule4 = [&](int station, const FormulaPtr& p, const FormulaPtr& q,
+                     const std::string& name)
+        -> std::optional<comp::LeadsToLedger::FactId> {
+      symbolic::Checker checker(expansions[station]);
+      std::optional<comp::Guarantee> g =
+          comp::deriveRule4(checker, p, q, report.proof, name);
+      if (!g.has_value()) return std::nullopt;
+      std::vector<ctl::Spec> conclusions;
+      if (!verifier.discharge(*g, report.proof, &conclusions)) {
+        return std::nullopt;
+      }
+      return ledger.fromAU(conclusions.at(0));
+    };
+
+    // Per-position fact: (T_j ∧ want0) ~> cs0, built backwards from j = 0.
+    std::vector<std::optional<comp::LeadsToLedger::FactId>> toGoal(n);
+    // Entry at station 0: (T_0 ∧ want0) ~> cs0.
+    toGoal[0] = rule4(0, ctl::mkAnd(tokenExactlyAt(0, n), want0), cs0,
+                      "ring.enter0");
+    ok = ok && toGoal[0].has_value();
+    for (int hop = n - 1; ok && hop >= 1; --hop) {
+      const int j = hop;
+      const int nextPos = (j + 1) % n;
+      const FormulaPtr Tj = tokenExactlyAt(j, n);
+      const FormulaPtr Tnext = tokenExactlyAt(nextPos, n);
+      const FormulaPtr arrive = ctl::mkAnd(Tnext, want0);
+      const std::string tag = "ring.hop" + std::to_string(j);
+
+      // A: pass while idle.
+      auto a = rule4(j, ctl::conj({Tj, ctl::eq(st(j), "idle"), want0}),
+                     arrive, tag + ".idle");
+      // B: enter cs while wanting, C: leave cs and pass.
+      auto b = rule4(j, ctl::conj({Tj, ctl::eq(st(j), "want"), want0}),
+                     ctl::conj({Tj, ctl::eq(st(j), "cs"), want0}),
+                     tag + ".enter");
+      auto c = rule4(j, ctl::conj({Tj, ctl::eq(st(j), "cs"), want0}),
+                     arrive, tag + ".exit");
+      if (!a || !b || !c || !toGoal[nextPos]) {
+        ok = false;
+        break;
+      }
+      // The hop: (T_j ∧ want0) ~> (T_next ∧ want0) ~> cs0, case split over
+      // st_j ∈ {idle, want, cs} (station j may already be in its critical
+      // section when the chain starts).
+      const auto bc = ledger.chain(*b, *c);
+      const auto arriveToGoal = *toGoal[nextPos];
+      const auto viaA = ledger.chain(*a, arriveToGoal);
+      const auto viaBC = ledger.chain(bc, arriveToGoal);
+      const auto viaC = ledger.chain(*c, arriveToGoal);
+      toGoal[j] = ledger.caseSplit(ctl::mkAnd(Tj, want0), cs0,
+                                   {viaA, viaBC, viaC});
+    }
+
+    if (ok) {
+      // Any single-token position leads to cs0 when station 0 wants.
+      std::vector<comp::LeadsToLedger::FactId> cases;
+      std::vector<FormulaPtr> positions;
+      for (int j = 0; j < n; ++j) {
+        cases.push_back(*toGoal[j]);
+        positions.push_back(tokenExactlyAt(j, n));
+      }
+      const auto final = ledger.caseSplit(
+          ctl::mkAnd(ctl::disj(positions), want0), cs0, cases);
+      livenessSpec = ledger.concludeAF(
+          final, ctl::mkAnd(ctl::disj(positions), want0), "ring.liveness");
+      ok = ledger.valid();
+    }
+    report.liveness = ok;
+  }
+  report.componentChecks = report.proof.modelCheckCount();
+
+  // ---- Cross-checks ----------------------------------------------------------
+  if (crossCheck) {
+    symbolic::Checker composed(verifier.composed());
+    ctl::Restriction r;
+    r.init = ringInit(n);
+    r.fairness = {ctl::mkTrue()};
+    report.safetyCrossCheck =
+        composed.holds(r, ctl::AG(mutualExclusion(n)));
+    report.proof.add(comp::ProofNode::Kind::ModelCheck,
+                     "cross-check: composed ring |= AG mutex",
+                     report.safetyCrossCheck);
+    if (liveness && report.liveness) {
+      report.livenessCrossCheck =
+          composed.holds(livenessSpec.r, livenessSpec.f);
+      report.proof.add(comp::ProofNode::Kind::ModelCheck,
+                       "cross-check: composed ring |= liveness under the "
+                       "derived fairness",
+                       report.livenessCrossCheck);
+    }
+  }
+  return report;
+}
+
+}  // namespace cmc::ring

@@ -1,0 +1,66 @@
+// Token-ring mutual exclusion: a second case study exercising the
+// compositional theory on the domain the paper's discussion names
+// ("especially network protocols", §5).
+//
+// n stations (n ≥ 2) pass a single token around a ring.  Station i owns
+//   st<i>  ∈ {idle, want, cs}   its local state,
+//   tok<i>                      "token is at station i" (shared with the
+//                               predecessor station, which sets it),
+// and writes tok<(i+1) mod n> when passing.  A station may enter its
+// critical section only while holding the token and passes the token on
+// when idle or when leaving the critical section.
+//
+// Verified compositionally:
+//  - safety (mutual exclusion) via the invariance rule with
+//      Inv = at-most-one-token ∧ (csᵢ ⇒ tokᵢ);
+//  - liveness (wantᵢ ⇒ AF csᵢ) via 3 Rule-4 guarantees per ring hop —
+//    pass-while-idle, enter-cs, exit-and-pass — chained around the ring
+//    with the leads-to ledger and case-split over the token position.
+#pragma once
+
+#include "comp/proof.hpp"
+#include "smv/elaborate.hpp"
+
+namespace cmc::ring {
+
+/// SMV text of station `i` in an n-station ring.
+std::string stationSmv(int i, int n);
+
+struct RingComponents {
+  std::vector<smv::ElaboratedModule> stations;
+  int n = 0;
+};
+
+/// Elaborate all n stations into `ctx` (reflexive closure applied).
+RingComponents buildRing(symbolic::Context& ctx, int n);
+
+/// "The token is exactly at station j."
+ctl::FormulaPtr tokenExactlyAt(int j, int n);
+/// At most one token anywhere.
+ctl::FormulaPtr atMostOneToken(int n);
+/// The safety invariant Inv (≤1 token ∧ ⋀ csᵢ ⇒ tokᵢ).
+ctl::FormulaPtr ringInvariant(int n);
+/// Mutual exclusion: no two stations in cs.
+ctl::FormulaPtr mutualExclusion(int n);
+/// Initial condition: token at station 0, everyone idle.
+ctl::FormulaPtr ringInit(int n);
+
+struct RingReport {
+  comp::ProofTree proof;
+  int n = 0;
+  bool safety = false;
+  bool liveness = false;
+  bool safetyCrossCheck = false;
+  bool livenessCrossCheck = false;
+  std::size_t componentChecks = 0;
+
+  bool allOk() const { return safety && liveness && proof.valid(); }
+};
+
+/// Verify mutual exclusion (invariance rule) and, when `liveness` is set,
+/// want₀ ⇒ AF cs₀ for station 0 (Rule 4 chain around the ring).
+/// `crossCheck` re-checks both conclusions on the composed system.
+RingReport verifyTokenRing(int n, bool liveness = true,
+                           bool crossCheck = false);
+
+}  // namespace cmc::ring

@@ -1,0 +1,141 @@
+#include "smv/lexer.hpp"
+
+#include <cctype>
+
+#include "util/common.hpp"
+
+namespace cmc::smv {
+
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < text.size() && text[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  std::size_t tokOffset = 0;
+  auto push = [&](TokenKind kind, std::string tokText, int tokLine,
+                  int tokCol) {
+    out.push_back(Token{kind, std::move(tokText), tokLine, tokCol, tokOffset});
+  };
+
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comment: -- to end of line.
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') advance(1);
+      continue;
+    }
+    const int tokLine = line;
+    const int tokCol = column;
+    tokOffset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t begin = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_' || text[i] == '.')) {
+        // ".." belongs to range syntax, not identifiers.
+        if (text[i] == '.' && i + 1 < text.size() && text[i + 1] == '.') {
+          break;
+        }
+        advance(1);
+      }
+      push(TokenKind::Ident, std::string(text.substr(begin, i - begin)),
+           tokLine, tokCol);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t begin = i;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        advance(1);
+      }
+      push(TokenKind::Number, std::string(text.substr(begin, i - begin)),
+           tokLine, tokCol);
+      continue;
+    }
+    auto two = text.substr(i, 2);
+    auto three = text.substr(i, 3);
+    if (three == "<->") {
+      advance(3);
+      push(TokenKind::Iff, "<->", tokLine, tokCol);
+    } else if (two == ":=") {
+      advance(2);
+      push(TokenKind::Assign, ":=", tokLine, tokCol);
+    } else if (two == "!=") {
+      advance(2);
+      push(TokenKind::Neq, "!=", tokLine, tokCol);
+    } else if (two == "->") {
+      advance(2);
+      push(TokenKind::Implies, "->", tokLine, tokCol);
+    } else if (two == "..") {
+      advance(2);
+      push(TokenKind::DotDot, "..", tokLine, tokCol);
+    } else {
+      switch (c) {
+        case ':': push(TokenKind::Colon, ":", tokLine, tokCol); break;
+        case ';': push(TokenKind::Semicolon, ";", tokLine, tokCol); break;
+        case ',': push(TokenKind::Comma, ",", tokLine, tokCol); break;
+        case '{': push(TokenKind::LBrace, "{", tokLine, tokCol); break;
+        case '}': push(TokenKind::RBrace, "}", tokLine, tokCol); break;
+        case '(': push(TokenKind::LParen, "(", tokLine, tokCol); break;
+        case ')': push(TokenKind::RParen, ")", tokLine, tokCol); break;
+        case '[': push(TokenKind::LBracket, "[", tokLine, tokCol); break;
+        case ']': push(TokenKind::RBracket, "]", tokLine, tokCol); break;
+        case '=': push(TokenKind::Eq, "=", tokLine, tokCol); break;
+        case '&': push(TokenKind::And, "&", tokLine, tokCol); break;
+        case '|': push(TokenKind::Or, "|", tokLine, tokCol); break;
+        case '!': push(TokenKind::Not, "!", tokLine, tokCol); break;
+        default:
+          throw ParseError(std::string("illegal character '") + c + "'",
+                           tokLine, tokCol);
+      }
+      advance(1);
+    }
+  }
+  out.push_back(Token{TokenKind::End, "", line, column, text.size()});
+  return out;
+}
+
+std::string tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::Assign: return "':='";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Eq: return "'='";
+    case TokenKind::Neq: return "'!='";
+    case TokenKind::And: return "'&'";
+    case TokenKind::Or: return "'|'";
+    case TokenKind::Not: return "'!'";
+    case TokenKind::Implies: return "'->'";
+    case TokenKind::Iff: return "'<->'";
+    case TokenKind::DotDot: return "'..'";
+    case TokenKind::End: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace cmc::smv

@@ -1,0 +1,24 @@
+// Parser for the SMV subset: builds an smv::Module from source text.
+// SPEC and FAIRNESS bodies are delegated to the CTL parser (ctl::parse)
+// over the raw source span up to the next top-level section keyword.
+#pragma once
+
+#include <string_view>
+
+#include "smv/ast.hpp"
+
+namespace cmc::smv {
+
+/// Parse a single "MODULE main" program.  Throws cmc::ParseError on
+/// malformed input.  If the text contains several modules, only the first
+/// is returned — use parseProgram for component files.
+Module parseModule(std::string_view text);
+
+/// Parse a file with one or more MODULEs (the components of a composed
+/// system, communicating through shared variables).
+std::vector<Module> parseProgram(std::string_view text);
+
+/// Parse a bare SMV value/boolean expression (mainly for tests).
+ExprPtr parseExpr(std::string_view text);
+
+}  // namespace cmc::smv

@@ -1,0 +1,189 @@
+#include "symbolic/checker.hpp"
+
+#include "bdd/io.hpp"
+#include "symbolic/trace.hpp"
+#include "util/timer.hpp"
+
+namespace cmc::symbolic {
+
+using ctl::FormulaPtr;
+using ctl::Op;
+
+Checker::Checker(const SymbolicSystem& sys)
+    : sys_(sys),
+      domain_(sys.stateDomain()),
+      nextVars_(sys.ctx->nextCube(sys.vars)),
+      swapPerm_(sys.ctx->swapPermutation()) {
+  CMC_ASSERT(sys.ctx != nullptr);
+}
+
+bdd::Bdd Checker::preE(const bdd::Bdd& target) {
+  bdd::Manager& mgr = sys_.ctx->mgr();
+  const bdd::Bdd primed = mgr.permute(target, swapPerm_);
+  return mgr.andExists(sys_.trans, primed, nextVars_);
+}
+
+bdd::Bdd Checker::untilE(const bdd::Bdd& f, const bdd::Bdd& g) {
+  // lfp Q. g ∨ (f ∧ EX Q)
+  bdd::Bdd q = g;
+  for (;;) {
+    bdd::Bdd next = q | (f & preE(q));
+    if (next == q) return q;
+    q = std::move(next);
+  }
+}
+
+bdd::Bdd Checker::fairEG(const bdd::Bdd& region,
+                         const std::vector<bdd::Bdd>& fairIn) {
+  // νZ. region ∧ ⋀_F EX E[region U (Z ∧ F)]; no constraints degenerates to
+  // plain EG via the single constraint {true}.
+  std::vector<bdd::Bdd> fair = fairIn;
+  if (fair.empty()) fair.push_back(sys_.ctx->mgr().bddTrue());
+  bdd::Bdd z = region;
+  for (;;) {
+    bdd::Bdd next = z;
+    for (const bdd::Bdd& fc : fair) {
+      next &= region & preE(untilE(region, next & fc));
+    }
+    if (next == z) return z;
+    z = std::move(next);
+  }
+}
+
+bdd::Bdd Checker::fairStates(const std::vector<ctl::FormulaPtr>& fairness) {
+  std::vector<bdd::Bdd> fairSets;
+  const bdd::Bdd all = sys_.ctx->mgr().bddTrue();
+  for (const FormulaPtr& f : fairness) {
+    fairSets.push_back(satRec(f, {}, all));
+  }
+  if (fairSets.empty()) return all;
+  return fairEG(all, fairSets);
+}
+
+bdd::Bdd Checker::sat(const ctl::FormulaPtr& f,
+                      const std::vector<ctl::FormulaPtr>& fairness) {
+  std::vector<bdd::Bdd> fairSets;
+  const bdd::Bdd all = sys_.ctx->mgr().bddTrue();
+  for (const FormulaPtr& fc : fairness) {
+    fairSets.push_back(satRec(fc, {}, all));
+  }
+  const bdd::Bdd fair = fairSets.empty() ? all : fairEG(all, fairSets);
+  return satRec(f, fairSets, fair);
+}
+
+bdd::Bdd Checker::satRec(const ctl::FormulaPtr& f,
+                         const std::vector<bdd::Bdd>& fairSets,
+                         const bdd::Bdd& fair) {
+  CMC_ASSERT(f != nullptr);
+  bdd::Manager& mgr = sys_.ctx->mgr();
+  switch (f->op()) {
+    case Op::True:
+      return mgr.bddTrue();
+    case Op::False:
+      return mgr.bddFalse();
+    case Op::Atom:
+      return sys_.ctx->atomBdd(f->atom());
+    case Op::Not:
+      return !satRec(f->lhs(), fairSets, fair);
+    case Op::And:
+      return satRec(f->lhs(), fairSets, fair) &
+             satRec(f->rhs(), fairSets, fair);
+    case Op::Or:
+      return satRec(f->lhs(), fairSets, fair) |
+             satRec(f->rhs(), fairSets, fair);
+    case Op::Implies:
+      return satRec(f->lhs(), fairSets, fair)
+          .implies(satRec(f->rhs(), fairSets, fair));
+    case Op::Iff:
+      return satRec(f->lhs(), fairSets, fair)
+          .iff(satRec(f->rhs(), fairSets, fair));
+    case Op::EX:
+      return preE(satRec(f->lhs(), fairSets, fair) & fair);
+    case Op::AX:
+      return !preE((!satRec(f->lhs(), fairSets, fair)) & fair);
+    case Op::EU:
+      return untilE(satRec(f->lhs(), fairSets, fair),
+                    satRec(f->rhs(), fairSets, fair) & fair);
+    case Op::EF:
+      return untilE(mgr.bddTrue(),
+                    satRec(f->lhs(), fairSets, fair) & fair);
+    case Op::EG:
+      return fairEG(satRec(f->lhs(), fairSets, fair), fairSets);
+    case Op::AF:
+      return !fairEG(!satRec(f->lhs(), fairSets, fair), fairSets);
+    case Op::AG:
+      return !untilE(mgr.bddTrue(),
+                     (!satRec(f->lhs(), fairSets, fair)) & fair);
+    case Op::AU: {
+      // A[f U g] = !(E[!g U (!f & !g)] | EG !g), fair throughout.
+      const bdd::Bdd sf = satRec(f->lhs(), fairSets, fair);
+      const bdd::Bdd sg = satRec(f->rhs(), fairSets, fair);
+      const bdd::Bdd ng = !sg;
+      const bdd::Bdd part1 = untilE(ng, ((!sf) & ng) & fair);
+      const bdd::Bdd part2 = fairEG(ng, fairSets);
+      return !(part1 | part2);
+    }
+  }
+  throw Error("satRec: unreachable");
+}
+
+bdd::Bdd Checker::violations(const ctl::Restriction& r,
+                             const ctl::FormulaPtr& f) {
+  const FormulaPtr init = r.init != nullptr ? r.init : ctl::mkTrue();
+  const bdd::Bdd satInit = sat(init, r.fairness);
+  const bdd::Bdd satF = sat(f, r.fairness);
+  return domain_ & satInit & !satF;
+}
+
+bool Checker::holds(const ctl::Restriction& r, const ctl::FormulaPtr& f) {
+  return violations(r, f).isFalse();
+}
+
+bool Checker::holds(const ctl::Spec& spec) { return holds(spec.r, spec.f); }
+
+CheckResult Checker::check(const ctl::Spec& spec) {
+  WallTimer timer;
+  CheckResult result;
+  result.holds = holds(spec.r, spec.f);
+  result.seconds = timer.seconds();
+  result.bddNodesAllocated = sys_.ctx->mgr().stats().nodesAllocatedTotal;
+  result.transNodes = sys_.transNodeCount();
+  result.specText = ctl::toString(spec.f);
+  result.specName = spec.name;
+  return result;
+}
+
+bool Checker::holdsReachable(const ctl::Restriction& r,
+                             const ctl::FormulaPtr& f) {
+  const FormulaPtr init = r.init != nullptr ? r.init : ctl::mkTrue();
+  TraceBuilder builder(sys_);
+  const bdd::Bdd reach =
+      builder.reachable(sat(init, r.fairness) & domain_);
+  const bdd::Bdd satF = sat(f, r.fairness);
+  return (reach & sat(init, r.fairness) & !satF).isFalse();
+}
+
+std::optional<std::string> Checker::counterexampleTrace(
+    const ctl::Restriction& r, const ctl::FormulaPtr& f) {
+  if (f->op() != ctl::Op::AG || !ctl::isPropositional(f->lhs())) {
+    return std::nullopt;
+  }
+  const FormulaPtr init = r.init != nullptr ? r.init : ctl::mkTrue();
+  TraceBuilder builder(sys_);
+  const bdd::Bdd good = sat(f->lhs(), r.fairness);
+  const std::optional<Trace> trace =
+      builder.agCounterexample(sat(init, r.fairness) & domain_, good);
+  if (!trace.has_value()) return std::nullopt;
+  return trace->toString();
+}
+
+std::optional<std::string> Checker::violationWitness(
+    const ctl::Restriction& r, const ctl::FormulaPtr& f) {
+  const bdd::Bdd bad = violations(r, f);
+  if (bad.isFalse()) return std::nullopt;
+  bdd::Manager& mgr = sys_.ctx->mgr();
+  const std::vector<std::int8_t> cube = mgr.pickCube(bad);
+  return bdd::cubeToString(cube, sys_.ctx->bddVarNames());
+}
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,71 @@
+#include "symbolic/composition.hpp"
+
+#include <algorithm>
+
+namespace cmc::symbolic {
+
+namespace {
+
+/// Variables in `all` but not in `some` (both sorted).
+std::vector<VarId> varsMinus(const std::vector<VarId>& all,
+                             const std::vector<VarId>& some) {
+  std::vector<VarId> out;
+  std::set_difference(all.begin(), all.end(), some.begin(), some.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+SymbolicSystem compose(const SymbolicSystem& m, const SymbolicSystem& mp) {
+  if (m.ctx != mp.ctx || m.ctx == nullptr) {
+    throw ModelError("compose: systems must share a symbolic context");
+  }
+  Context& ctx = *m.ctx;
+
+  std::vector<VarId> unionVars;
+  std::set_union(m.vars.begin(), m.vars.end(), mp.vars.begin(), mp.vars.end(),
+                 std::back_inserter(unionVars));
+
+  const bdd::Bdd frameM = ctx.frameAll(varsMinus(unionVars, m.vars));
+  const bdd::Bdd frameMp = ctx.frameAll(varsMinus(unionVars, mp.vars));
+  const bdd::Bdd domains = ctx.domainAll(unionVars, false) &
+                           ctx.domainAll(unionVars, true);
+
+  bdd::Bdd trans = ((m.trans & frameM) | (mp.trans & frameMp) |
+                    ctx.frameAll(unionVars)) &
+                   domains;
+
+  SymbolicSystem sys;
+  sys.ctx = &ctx;
+  sys.name = m.name + " o " + mp.name;
+  sys.vars = std::move(unionVars);
+  sys.trans = std::move(trans);
+  return sys;
+}
+
+SymbolicSystem expand(const SymbolicSystem& m,
+                      const std::vector<VarId>& extraVars) {
+  CMC_ASSERT(m.ctx != nullptr);
+  SymbolicSystem id = identitySystem(*m.ctx, extraVars);
+  SymbolicSystem out = compose(m, id);
+  out.name = m.name + " (expanded)";
+  return out;
+}
+
+SymbolicSystem composeAll(const std::vector<SymbolicSystem>& systems) {
+  if (systems.empty()) {
+    throw ModelError("composeAll: need at least one system");
+  }
+  SymbolicSystem acc = systems.front();
+  for (std::size_t i = 1; i < systems.size(); ++i) {
+    acc = compose(acc, systems[i]);
+  }
+  return acc;
+}
+
+bool sameBehavior(const SymbolicSystem& a, const SymbolicSystem& b) {
+  return a.ctx == b.ctx && a.vars == b.vars && a.trans == b.trans;
+}
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,41 @@
+// Bridges between the explicit and symbolic worlds.
+//
+//  - symbolicFromExplicit: one boolean variable per atomic proposition, the
+//    relation as a disjunction of state-pair cubes.  This is the paper's
+//    native view (§2.1) lifted into BDDs.
+//  - explicitFromSymbolic: enumerate the (small) state space of a symbolic
+//    system, producing an ExplicitSystem over the model's boolean bits plus
+//    an AtomSemantics that decodes "var=value" atoms.  Used by the oracle
+//    tests to cross-validate the two checkers.
+#pragma once
+
+#include "kripke/explicit_checker.hpp"
+#include "kripke/explicit_system.hpp"
+#include "symbolic/system.hpp"
+
+namespace cmc::symbolic {
+
+/// Lift an explicit system into `ctx`.  Atom names become boolean variables
+/// (reused if already declared as booleans in the context — required when
+/// several components share atoms).
+SymbolicSystem symbolicFromExplicit(Context& ctx,
+                                    const kripke::ExplicitSystem& es,
+                                    std::string name);
+
+/// An explicit image of a symbolic system: the system over the model's
+/// boolean bits plus the semantics hook for enum atoms.  `valid` marks the
+/// states whose bit pattern encodes a real value tuple; patterns outside
+/// every variable's domain exist in the explicit state space but carry no
+/// transitions (the symbolic checker excludes them via the domain
+/// constraint — do the same when comparing results).
+struct ExplicitImage {
+  kripke::ExplicitSystem sys;
+  kripke::AtomSemantics semantics;
+  kripke::StateSet valid;
+};
+
+/// Enumerate the state space of `s` (guarded: at most 2^kMaxExplicitAtoms
+/// encoded states) and build its explicit image.
+ExplicitImage explicitFromSymbolic(const SymbolicSystem& s);
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,40 @@
+#include "symbolic/prop.hpp"
+
+namespace cmc::symbolic {
+
+bdd::Bdd propositionalBdd(Context& ctx, const ctl::FormulaPtr& f) {
+  CMC_ASSERT(f != nullptr);
+  switch (f->op()) {
+    case ctl::Op::True:
+      return ctx.mgr().bddTrue();
+    case ctl::Op::False:
+      return ctx.mgr().bddFalse();
+    case ctl::Op::Atom:
+      return ctx.atomBdd(f->atom());
+    case ctl::Op::Not:
+      return !propositionalBdd(ctx, f->lhs());
+    case ctl::Op::And:
+      return propositionalBdd(ctx, f->lhs()) &
+             propositionalBdd(ctx, f->rhs());
+    case ctl::Op::Or:
+      return propositionalBdd(ctx, f->lhs()) |
+             propositionalBdd(ctx, f->rhs());
+    case ctl::Op::Implies:
+      return propositionalBdd(ctx, f->lhs())
+          .implies(propositionalBdd(ctx, f->rhs()));
+    case ctl::Op::Iff:
+      return propositionalBdd(ctx, f->lhs())
+          .iff(propositionalBdd(ctx, f->rhs()));
+    default:
+      throw ModelError("propositionalBdd: temporal operator in " +
+                       ctl::toString(f));
+  }
+}
+
+bool propositionallyValid(Context& ctx, const std::vector<VarId>& vars,
+                          const ctl::FormulaPtr& f) {
+  const bdd::Bdd domain = ctx.domainAll(vars, false);
+  return (domain & !propositionalBdd(ctx, f)).isFalse();
+}
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,19 @@
+// Propositional formulas as BDDs over a context's variable encodings, and
+// validity checking over the declared domains.  Shared by the verifier's
+// invariance rule and the leads-to ledger.
+#pragma once
+
+#include "ctl/formula.hpp"
+#include "symbolic/var_table.hpp"
+
+namespace cmc::symbolic {
+
+/// Build the BDD of a propositional formula (throws ModelError on temporal
+/// operators or unknown atoms).
+bdd::Bdd propositionalBdd(Context& ctx, const ctl::FormulaPtr& f);
+
+/// True iff f holds in every valid assignment of `vars`' domains.
+bool propositionallyValid(Context& ctx, const std::vector<VarId>& vars,
+                          const ctl::FormulaPtr& f);
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,89 @@
+#include "symbolic/system.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cmc::symbolic {
+
+bdd::Bdd SymbolicSystem::stateDomain() const {
+  CMC_ASSERT(ctx != nullptr);
+  return ctx->domainAll(vars, /*next=*/false);
+}
+
+bdd::Bdd SymbolicSystem::nextDomain() const {
+  CMC_ASSERT(ctx != nullptr);
+  return ctx->domainAll(vars, /*next=*/true);
+}
+
+bool SymbolicSystem::isReflexive() const {
+  CMC_ASSERT(ctx != nullptr);
+  bdd::Bdd stutter =
+      ctx->frameAll(vars) & stateDomain() & nextDomain();
+  return stutter.subsetOf(trans);
+}
+
+bool SymbolicSystem::isTotal() const {
+  CMC_ASSERT(ctx != nullptr);
+  bdd::Bdd hasSucc =
+      ctx->mgr().exists(trans, ctx->nextCube(vars));
+  return stateDomain().subsetOf(hasSucc);
+}
+
+std::uint64_t SymbolicSystem::transNodeCount() const {
+  CMC_ASSERT(ctx != nullptr);
+  return ctx->mgr().dagSize(trans);
+}
+
+double SymbolicSystem::stateCount() const {
+  CMC_ASSERT(ctx != nullptr);
+  double count = 1.0;
+  for (VarId v : vars) {
+    count *= static_cast<double>(ctx->variable(v).values.size());
+  }
+  return count;
+}
+
+SymbolicSystem makeSystem(Context& ctx, std::string name,
+                          std::vector<VarId> vars, bdd::Bdd trans) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+  // The relation must only mention bits of the declared alphabet.
+  std::unordered_set<std::uint32_t> allowed;
+  for (VarId v : vars) {
+    for (std::uint32_t bit : ctx.variable(v).bits) {
+      allowed.insert(Context::bddVarOf(bit, false));
+      allowed.insert(Context::bddVarOf(bit, true));
+    }
+  }
+  for (std::uint32_t bv : ctx.mgr().support(trans)) {
+    if (allowed.count(bv) == 0) {
+      throw ModelError("system '" + name +
+                       "': transition relation mentions a variable outside "
+                       "its alphabet (BDD var " +
+                       std::to_string(bv) + ")");
+    }
+  }
+
+  SymbolicSystem sys;
+  sys.ctx = &ctx;
+  sys.name = std::move(name);
+  sys.vars = std::move(vars);
+  sys.trans = trans & ctx.domainAll(sys.vars, false) &
+              ctx.domainAll(sys.vars, true);
+  return sys;
+}
+
+SymbolicSystem identitySystem(Context& ctx, std::vector<VarId> vars,
+                              std::string name) {
+  bdd::Bdd frame = ctx.frameAll(vars);
+  return makeSystem(ctx, std::move(name), std::move(vars), std::move(frame));
+}
+
+void addReflexive(SymbolicSystem& sys) {
+  CMC_ASSERT(sys.ctx != nullptr);
+  sys.trans |= sys.ctx->frameAll(sys.vars) & sys.stateDomain() &
+               sys.nextDomain();
+}
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,54 @@
+// Symbolic transition systems: the BDD-encoded counterpart of
+// kripke::ExplicitSystem.  A system owns a subset of the context's
+// variables (its alphabet Σ) and a transition-relation BDD T(x, x') over
+// the current/next bits of those variables.
+//
+// Invariant: `trans` is conjoined with the domain constraints of the
+// system's variables in both columns, so T never relates invalid encodings
+// (paper §3.4's automatic mapping).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "symbolic/var_table.hpp"
+
+namespace cmc::symbolic {
+
+struct SymbolicSystem {
+  Context* ctx = nullptr;
+  std::string name;
+  /// The alphabet Σ: ids of the variables this system is over (sorted).
+  std::vector<VarId> vars;
+  /// T(x, x') over current/next bits of `vars`.
+  bdd::Bdd trans;
+
+  /// Valid current-state encodings of this system's variables.
+  bdd::Bdd stateDomain() const;
+  /// Valid next-state encodings.
+  bdd::Bdd nextDomain() const;
+  /// True iff every valid state can stutter (frame ⊆ T).
+  bool isReflexive() const;
+  /// True iff every valid state has at least one successor.
+  bool isTotal() const;
+  /// DAG size of the transition-relation BDD — the "BDD nodes representing
+  /// transition relation" counter of the paper's Figures 7/10/15/17.
+  std::uint64_t transNodeCount() const;
+  /// Number of valid states, |values(v₁)| · |values(v₂)| · …
+  double stateCount() const;
+};
+
+/// Build a system; sorts/dedups `vars`, validates that `trans`'s support is
+/// within their bits, and conjoins the domain constraints.
+SymbolicSystem makeSystem(Context& ctx, std::string name,
+                          std::vector<VarId> vars, bdd::Bdd trans);
+
+/// The identity system (Σ, I): stuttering only (Lemma 3's unit element).
+SymbolicSystem identitySystem(Context& ctx, std::vector<VarId> vars,
+                              std::string name = "identity");
+
+/// Add the stuttering transitions to `sys` (reflexive closure).
+void addReflexive(SymbolicSystem& sys);
+
+}  // namespace cmc::symbolic

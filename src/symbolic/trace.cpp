@@ -1,0 +1,213 @@
+#include "symbolic/trace.hpp"
+
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace cmc::symbolic {
+
+std::string TraceState::toString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) out << ", ";
+    first = false;
+    out << name << " = " << value;
+  }
+  return out.str();
+}
+
+std::string Trace::toString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (loopIndex.has_value() && *loopIndex == i) {
+      out << "-- loop starts here --\n";
+    }
+    out << "state " << i << ": " << states[i].toString() << "\n";
+  }
+  return out.str();
+}
+
+TraceBuilder::TraceBuilder(const SymbolicSystem& sys)
+    : sys_(sys),
+      domain_(sys.stateDomain()),
+      currentCube_(sys.ctx->currentCube(sys.vars)),
+      nextCube_(sys.ctx->nextCube(sys.vars)),
+      swapPerm_(sys.ctx->swapPermutation()) {
+  CMC_ASSERT(sys.ctx != nullptr);
+}
+
+TraceState TraceBuilder::pickState(const bdd::Bdd& set) const {
+  Context& ctx = *sys_.ctx;
+  bdd::Manager& mgr = ctx.mgr();
+  const bdd::Bdd valid = set & domain_;
+  if (valid.isFalse()) {
+    throw ModelError("pickState: empty state set");
+  }
+  const std::vector<std::int8_t> cube = mgr.pickCube(valid);
+  TraceState state;
+  for (VarId v : sys_.vars) {
+    const Variable& var = ctx.variable(v);
+    // Find the first domain value consistent with the cube's fixed bits.
+    for (std::size_t idx = 0; idx < var.values.size(); ++idx) {
+      bool consistent = true;
+      for (std::size_t b = 0; b < var.bits.size(); ++b) {
+        const std::uint32_t bddVar = Context::bddVarOf(var.bits[b], false);
+        const std::int8_t want = cube.size() > bddVar ? cube[bddVar] : -1;
+        if (want >= 0 && static_cast<std::size_t>(want) != ((idx >> b) & 1u)) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent) {
+        state.values[var.name] = var.values[idx];
+        break;
+      }
+    }
+    CMC_ASSERT(state.values.count(var.name) == 1);
+  }
+  return state;
+}
+
+bdd::Bdd TraceBuilder::stateBdd(const TraceState& state) const {
+  Context& ctx = *sys_.ctx;
+  bdd::Bdd acc = ctx.mgr().bddTrue();
+  for (VarId v : sys_.vars) {
+    const Variable& var = ctx.variable(v);
+    const auto it = state.values.find(var.name);
+    if (it == state.values.end()) {
+      throw ModelError("stateBdd: missing value for variable " + var.name);
+    }
+    acc &= ctx.varEq(v, it->second, /*next=*/false);
+  }
+  return acc;
+}
+
+bdd::Bdd TraceBuilder::image(const bdd::Bdd& states) {
+  bdd::Manager& mgr = sys_.ctx->mgr();
+  const bdd::Bdd primed =
+      mgr.andExists(sys_.trans, states, currentCube_);
+  return mgr.permute(primed, swapPerm_);
+}
+
+bdd::Bdd TraceBuilder::preimage(const bdd::Bdd& states) {
+  bdd::Manager& mgr = sys_.ctx->mgr();
+  const bdd::Bdd primed = mgr.permute(states, swapPerm_);
+  return mgr.andExists(sys_.trans, primed, nextCube_);
+}
+
+bdd::Bdd TraceBuilder::reachable(const bdd::Bdd& from) {
+  bdd::Bdd acc = from & domain_;
+  for (;;) {
+    const bdd::Bdd next = acc | image(acc);
+    if (next == acc) return acc;
+    acc = next;
+  }
+}
+
+std::optional<Trace> TraceBuilder::path(const bdd::Bdd& from,
+                                        const bdd::Bdd& target,
+                                        const bdd::Bdd& within) {
+  // Forward BFS layers; stop when the frontier meets the target.
+  std::vector<bdd::Bdd> layers;
+  bdd::Bdd seen = from & within & domain_;
+  if (seen.isFalse()) return std::nullopt;
+  layers.push_back(seen);
+  std::size_t hitLayer = 0;
+  bool found = !(seen & target).isFalse();
+  while (!found) {
+    const bdd::Bdd frontier = (image(layers.back()) & within).diff(seen);
+    if (frontier.isFalse()) return std::nullopt;
+    seen |= frontier;
+    layers.push_back(frontier);
+    found = !(frontier & target).isFalse();
+    hitLayer = layers.size() - 1;
+  }
+  if (found && layers.size() == 1) hitLayer = 0;
+
+  // Walk backwards, picking one concrete state per layer.
+  Trace trace;
+  trace.states.resize(hitLayer + 1);
+  bdd::Bdd cursorSet = layers[hitLayer] & target;
+  trace.states[hitLayer] = pickState(cursorSet);
+  bdd::Bdd cursor = stateBdd(trace.states[hitLayer]);
+  for (std::size_t i = hitLayer; i-- > 0;) {
+    cursorSet = layers[i] & preimage(cursor);
+    CMC_ASSERT(!cursorSet.isFalse());
+    trace.states[i] = pickState(cursorSet);
+    cursor = stateBdd(trace.states[i]);
+  }
+  return trace;
+}
+
+std::optional<Trace> TraceBuilder::agCounterexample(const bdd::Bdd& init,
+                                                    const bdd::Bdd& good) {
+  return path(init, (!good) & domain_, sys_.ctx->mgr().bddTrue());
+}
+
+std::optional<Trace> TraceBuilder::euWitness(const bdd::Bdd& from,
+                                             const bdd::Bdd& f,
+                                             const bdd::Bdd& g) {
+  // Path through f-states ending in a g-state: search within f ∪ g but
+  // require the endpoint in g.
+  return path(from, g & domain_, (f | g) & domain_);
+}
+
+std::optional<Trace> TraceBuilder::egWitness(const bdd::Bdd& from,
+                                             const bdd::Bdd& f) {
+  // States with an infinite f-path: νZ. f ∧ EX Z.
+  bdd::Bdd z = f & domain_;
+  for (;;) {
+    const bdd::Bdd next = z & preimage(z);
+    if (next == z) break;
+    z = next;
+  }
+  if ((from & z).isFalse()) return std::nullopt;
+
+  // Stem: we are already inside z (every state of z stays in z forever).
+  // Build the cycle by stepping within z until a state repeats.
+  Trace trace;
+  TraceState current = pickState(from & z);
+  std::vector<TraceState> visited;
+  for (;;) {
+    for (std::size_t i = 0; i < visited.size(); ++i) {
+      if (visited[i] == current) {
+        trace.states = std::move(visited);
+        trace.loopIndex = i;
+        return trace;
+      }
+    }
+    visited.push_back(current);
+    const bdd::Bdd succ = image(stateBdd(current)) & z;
+    CMC_ASSERT(!succ.isFalse());
+    current = pickState(succ);
+  }
+}
+
+Trace TraceBuilder::simulate(const bdd::Bdd& init, std::size_t steps,
+                             std::uint64_t seed) {
+  Trace trace;
+  TraceState current = pickState(init);
+  trace.states.push_back(current);
+  std::uint64_t rng = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (std::size_t i = 0; i < steps; ++i) {
+    bdd::Bdd succ = image(stateBdd(current)) & domain_;
+    if (succ.isFalse()) break;  // deadlock (non-total relation)
+    // Randomize the choice a little: flip a random variable preference by
+    // intersecting with a random value cube when possible.
+    rng = mix64(rng + i);
+    if (!sys_.vars.empty()) {
+      const VarId v = sys_.vars[rng % sys_.vars.size()];
+      const Variable& var = sys_.ctx->variable(v);
+      const std::size_t idx = (rng >> 8) % var.values.size();
+      const bdd::Bdd preferred =
+          succ & sys_.ctx->varEqIndex(v, idx, false);
+      if (!preferred.isFalse()) succ = preferred;
+    }
+    current = pickState(succ);
+    trace.states.push_back(current);
+  }
+  return trace;
+}
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,92 @@
+// Concrete execution traces over symbolic systems: witness and
+// counterexample generation (what SMV prints when a SPEC fails) and a
+// random-walk simulator.
+//
+// Traces are sequences of fully decoded states (variable -> value).  Path
+// search runs on BDD frontiers (breadth-first image computation), so the
+// returned paths are shortest.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbolic/system.hpp"
+
+namespace cmc::symbolic {
+
+/// One fully decoded state of a symbolic system.
+struct TraceState {
+  std::map<std::string, std::string> values;
+
+  bool operator==(const TraceState& other) const {
+    return values == other.values;
+  }
+  std::string toString() const;
+};
+
+/// A finite execution; if `loopIndex` is set the suffix from that index
+/// repeats forever (lasso).
+struct Trace {
+  std::vector<TraceState> states;
+  std::optional<std::size_t> loopIndex;
+
+  std::string toString() const;
+};
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(const SymbolicSystem& sys);
+  /// Keeps a reference to the system; temporaries would dangle.
+  explicit TraceBuilder(SymbolicSystem&&) = delete;
+
+  /// Decode one concrete state from a non-empty set (intersected with the
+  /// domain).  Throws ModelError when the set has no valid state.
+  TraceState pickState(const bdd::Bdd& set) const;
+
+  /// Encode a concrete state back into its BDD cube.
+  bdd::Bdd stateBdd(const TraceState& state) const;
+
+  /// Successors of a set: Img(S) = (∃x. T ∧ S)[x'→x].
+  bdd::Bdd image(const bdd::Bdd& states);
+  /// Predecessors of a set (the checker's preimage).
+  bdd::Bdd preimage(const bdd::Bdd& states);
+
+  /// All states reachable from `from` (forward fixpoint).
+  bdd::Bdd reachable(const bdd::Bdd& from);
+
+  /// Shortest path from a state in `from` to a state in `target`, moving
+  /// only through `within` (pass true for no constraint).  Empty optional
+  /// if unreachable.
+  std::optional<Trace> path(const bdd::Bdd& from, const bdd::Bdd& target,
+                            const bdd::Bdd& within);
+
+  /// Counterexample to AG good from `init`: a shortest path from an initial
+  /// state to a ¬good state.  Empty optional when AG good holds.
+  std::optional<Trace> agCounterexample(const bdd::Bdd& init,
+                                        const bdd::Bdd& good);
+
+  /// Witness for E[f U g] from `from`: a path through f-states to a
+  /// g-state.
+  std::optional<Trace> euWitness(const bdd::Bdd& from, const bdd::Bdd& f,
+                                 const bdd::Bdd& g);
+
+  /// A lasso witnessing EG f from `from`: a path into a cycle lying
+  /// entirely in f-states.  Empty optional if no such path exists.
+  std::optional<Trace> egWitness(const bdd::Bdd& from, const bdd::Bdd& f);
+
+  /// Random simulation: `steps` successive states starting from a state in
+  /// `init` (uniformly arbitrary successor choice via cube picking).
+  Trace simulate(const bdd::Bdd& init, std::size_t steps,
+                 std::uint64_t seed = 0);
+
+ private:
+  const SymbolicSystem& sys_;
+  bdd::Bdd domain_;
+  bdd::Bdd currentCube_;
+  bdd::Bdd nextCube_;
+  std::uint32_t swapPerm_;
+};
+
+}  // namespace cmc::symbolic

@@ -1,0 +1,40 @@
+// Hashing helpers used by the BDD unique table and computed cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace cmc {
+
+/// 64-bit finalizer (splitmix64); good avalanche for table indices.
+inline constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine three 32-bit keys into one table index.
+inline constexpr std::uint64_t hash3(std::uint32_t a, std::uint32_t b,
+                                     std::uint32_t c) noexcept {
+  return mix64((std::uint64_t{a} << 32) ^ (std::uint64_t{b} << 11) ^ c);
+}
+
+/// Incremental combine in the boost::hash_combine style.
+inline void hashCombine(std::size_t& seed, std::size_t value) noexcept {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash for std::pair, usable as an unordered_map hasher.
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const noexcept {
+    std::size_t seed = std::hash<A>{}(p.first);
+    hashCombine(seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+}  // namespace cmc

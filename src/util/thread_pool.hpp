@@ -1,0 +1,59 @@
+// Fixed-size thread pool used by comp::ParallelVerifier to discharge
+// independent per-component proof obligations concurrently.  This is the
+// mechanism behind the paper's "linear behavior in terms of the number of
+// components" (§5): obligations never share state, so they scale with cores.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cmc {
+
+/// A minimal work-stealing-free thread pool.  Tasks are arbitrary
+/// `void()` callables; submit() returns a future for the callable's result.
+/// The pool joins its workers on destruction after draining the queue.
+class ThreadPool {
+ public:
+  /// Create `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Schedule `fn(args...)`; the returned future yields its result.
+  template <typename Fn, typename... Args>
+  auto submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using Result = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::bind(std::forward<Fn>(fn), std::forward<Args>(args)...));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace cmc

@@ -1,0 +1,160 @@
+// Tests for the CTL AST, parser, printer, desugaring, and restrictions.
+#include <gtest/gtest.h>
+
+#include "ctl/formula.hpp"
+#include "ctl/parser.hpp"
+
+namespace cmc::ctl {
+namespace {
+
+TEST(CtlAst, Constructors) {
+  const FormulaPtr f = mkAnd(atom("p"), EX(atom("q")));
+  EXPECT_EQ(f->op(), Op::And);
+  EXPECT_EQ(f->lhs()->op(), Op::Atom);
+  EXPECT_EQ(f->lhs()->atom(), "p");
+  EXPECT_EQ(f->rhs()->op(), Op::EX);
+}
+
+TEST(CtlAst, EqAtomFormatting) {
+  EXPECT_EQ(eq("belief", "valid")->atom(), "belief=valid");
+  EXPECT_EQ(toString(neq("r", "val")), "!r=val");
+}
+
+TEST(CtlAst, ConjDisj) {
+  EXPECT_EQ(conj({})->op(), Op::True);
+  EXPECT_EQ(disj({})->op(), Op::False);
+  EXPECT_EQ(toString(conj({atom("a"), atom("b"), atom("c")})), "a & b & c");
+  EXPECT_EQ(toString(disj({atom("a"), atom("b")})), "a | b");
+}
+
+TEST(CtlAst, IsPropositional) {
+  EXPECT_TRUE(isPropositional(mkAnd(atom("p"), mkNot(atom("q")))));
+  EXPECT_TRUE(isPropositional(mkImplies(mkTrue(), mkFalse())));
+  EXPECT_FALSE(isPropositional(EX(atom("p"))));
+  EXPECT_FALSE(isPropositional(mkAnd(atom("p"), AG(atom("q")))));
+}
+
+TEST(CtlAst, StructuralEquality) {
+  EXPECT_TRUE(equal(mkAnd(atom("p"), atom("q")), mkAnd(atom("p"), atom("q"))));
+  EXPECT_FALSE(equal(mkAnd(atom("p"), atom("q")), mkAnd(atom("q"), atom("p"))));
+  EXPECT_TRUE(equal(AU(atom("p"), atom("q")), AU(atom("p"), atom("q"))));
+  EXPECT_FALSE(equal(EX(atom("p")), AX(atom("p"))));
+}
+
+TEST(CtlAst, CollectAtomsAndVariables) {
+  const FormulaPtr f =
+      mkAnd(eq("belief", "valid"), mkOr(atom("x"), EX(eq("r", "null"))));
+  const std::set<std::string> atoms = collectAtoms(f);
+  EXPECT_EQ(atoms, (std::set<std::string>{"belief=valid", "x", "r=null"}));
+  const std::set<std::string> vars = collectVariables(f);
+  EXPECT_EQ(vars, (std::set<std::string>{"belief", "x", "r"}));
+}
+
+TEST(CtlParser, AtomsAndComparisons) {
+  EXPECT_TRUE(equal(parse("p"), atom("p")));
+  EXPECT_TRUE(equal(parse("belief = valid"), eq("belief", "valid")));
+  EXPECT_TRUE(equal(parse("r != val"), neq("r", "val")));
+  EXPECT_TRUE(equal(parse("x = 1"), eq("x", "1")));
+}
+
+TEST(CtlParser, Precedence) {
+  // & binds tighter than |, | tighter than ->, -> right-assoc.
+  EXPECT_TRUE(equal(parse("a & b | c"), mkOr(mkAnd(atom("a"), atom("b")),
+                                             atom("c"))));
+  EXPECT_TRUE(equal(parse("a -> b -> c"),
+                    mkImplies(atom("a"), mkImplies(atom("b"), atom("c")))));
+  EXPECT_TRUE(equal(parse("!a & b"), mkAnd(mkNot(atom("a")), atom("b"))));
+  EXPECT_TRUE(
+      equal(parse("a <-> b | c"), mkIff(atom("a"), mkOr(atom("b"), atom("c")))));
+}
+
+TEST(CtlParser, TemporalOperators) {
+  EXPECT_TRUE(equal(parse("AX p"), AX(atom("p"))));
+  EXPECT_TRUE(equal(parse("EX p & q"), mkAnd(EX(atom("p")), atom("q"))));
+  EXPECT_TRUE(equal(parse("AG (p -> AX p)"),
+                    AG(mkImplies(atom("p"), AX(atom("p"))))));
+  EXPECT_TRUE(equal(parse("E[p U q]"), EU(atom("p"), atom("q"))));
+  EXPECT_TRUE(equal(parse("A[ p U q & r ]"),
+                    AU(atom("p"), mkAnd(atom("q"), atom("r")))));
+  EXPECT_TRUE(equal(parse("EF AG p"), EF(AG(atom("p")))));
+}
+
+TEST(CtlParser, Literals) {
+  EXPECT_EQ(parse("TRUE")->op(), Op::True);
+  EXPECT_EQ(parse("FALSE")->op(), Op::False);
+  EXPECT_EQ(parse("1")->op(), Op::True);
+  EXPECT_EQ(parse("0")->op(), Op::False);
+}
+
+TEST(CtlParser, KeywordPrefixesAreNotStolen) {
+  // "AXel" is an atom, not AX applied to "el".
+  EXPECT_TRUE(equal(parse("AXel"), atom("AXel")));
+  EXPECT_TRUE(equal(parse("EFfort = high"), eq("EFfort", "high")));
+}
+
+TEST(CtlParser, DottedIdentifiers) {
+  EXPECT_TRUE(equal(parse("Server.belief = valid"),
+                    eq("Server.belief", "valid")));
+}
+
+TEST(CtlParser, ErrorsCarryPosition) {
+  try {
+    parse("p & (q");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.column(), 1);
+  }
+  EXPECT_THROW(parse("p q"), ParseError);
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("E[p U"), ParseError);
+  EXPECT_THROW(parse("A p U q]"), ParseError);
+}
+
+TEST(CtlPrinter, RoundTrips) {
+  const char* cases[] = {
+      "p & q | r",
+      "p -> q -> r",
+      "AG (p -> AX (p | q))",
+      "E[p U q & r]",
+      "A[TRUE U p]",
+      "!(p & q)",
+      "belief=valid -> AX belief=valid",
+      "(p <-> q) & r",
+      "EF (p & EG q)",
+  };
+  for (const char* text : cases) {
+    const FormulaPtr f = parse(text);
+    const FormulaPtr reparsed = parse(toString(f));
+    EXPECT_TRUE(equal(f, reparsed)) << text << "  ->  " << toString(f);
+  }
+}
+
+TEST(CtlDesugar, DerivedOperatorsPerPaperRules) {
+  // AFg = A(true U g)
+  EXPECT_TRUE(equal(desugar(AF(atom("g"))), AU(mkTrue(), atom("g"))));
+  // EFg = E(true U g)
+  EXPECT_TRUE(equal(desugar(EF(atom("g"))), EU(mkTrue(), atom("g"))));
+  // AGf = !E(true U !f)
+  EXPECT_TRUE(equal(desugar(AG(atom("f"))),
+                    mkNot(EU(mkTrue(), mkNot(atom("f"))))));
+  // EGf = !A(true U !f)
+  EXPECT_TRUE(equal(desugar(EG(atom("f"))),
+                    mkNot(AU(mkTrue(), mkNot(atom("f"))))));
+  // f | g = !(!f & !g)
+  EXPECT_TRUE(equal(desugar(mkOr(atom("f"), atom("g"))),
+                    mkNot(mkAnd(mkNot(atom("f")), mkNot(atom("g"))))));
+}
+
+TEST(CtlRestriction, TrivialAndExtensions) {
+  const Restriction r = Restriction::trivial();
+  EXPECT_TRUE(r.isTrivial());
+  const Restriction r2 = r.withFairness(atom("p"));
+  EXPECT_FALSE(r2.isTrivial());
+  EXPECT_EQ(r2.fairness.size(), 2u);
+  const Restriction r3 = r.withInit(atom("q"));
+  EXPECT_FALSE(r3.isTrivial());
+  EXPECT_NE(r3.toString().find("q"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmc::ctl

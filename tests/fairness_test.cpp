@@ -1,0 +1,140 @@
+// Fairness semantics tests, including the paper's Figure 2: a system that
+// needs *strong* fairness (Rule 5) — weak fairness (Rule 4) is not enough
+// because the helpful transition is not continuously enabled.
+#include <gtest/gtest.h>
+
+#include "comp/rules.hpp"
+#include "comp/verifier.hpp"
+#include "ctl/parser.hpp"
+#include "smv/elaborate.hpp"
+#include "symbolic/checker.hpp"
+
+namespace cmc::afs {
+namespace {
+
+using ctl::parse;
+
+// Figure 2 (abstracted): a ring of regions p1..p6 with q reachable only
+// from p1; the system cycles through the regions, so the p1 ⇒ EX q
+// transition is enabled only intermittently.  We model it as a counter:
+//   s ∈ {p1..p6, q};  pi -> p(i+1 mod 6);  additionally p1 -> q; q -> q.
+const char* kFigure2Smv = R"(
+MODULE figure2
+VAR s : {p1, p2, p3, p4, p5, p6, q};
+ASSIGN
+  next(s) :=
+    case
+      s = p1 : {p2, q};
+      s = p2 : p3;
+      s = p3 : p4;
+      s = p4 : p5;
+      s = p5 : p6;
+      s = p6 : p1;
+      1 : s;
+    esac;
+)";
+
+ctl::FormulaPtr pRegion() {
+  return parse("s=p1 | s=p2 | s=p3 | s=p4 | s=p5 | s=p6");
+}
+
+TEST(Figure2, WeakFairnessIsNotEnough) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kFigure2Smv);
+  symbolic::Checker checker(mod.sys);
+  // Weak-fairness restriction r = (true, {¬p ∨ q}): the ring p2..p6 cycle
+  // satisfies the constraint..? No: every ring state satisfies p, so
+  // ¬p ∨ q is false throughout — the pure cycle is unfair under r, BUT the
+  // paper's point is about rule applicability: Rule 4's lhs
+  // p ⇒ AX(p ∨ q) holds, yet p ⇒ EX q fails (only p1 has the exit), so
+  // Rule 4's premise is not satisfiable with p as a whole.
+  comp::ProofTree proof;
+  const auto g =
+      comp::deriveRule4(checker, pRegion(), parse("s=q"), proof);
+  EXPECT_FALSE(g.has_value());  // premise p ⇒ EX q fails (p2..p6)
+}
+
+TEST(Figure2, Rule5WithStrongFairnessSucceeds) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kFigure2Smv);
+  symbolic::Checker checker(mod.sys);
+  comp::ProofTree proof;
+  const std::vector<ctl::FormulaPtr> ps = {
+      parse("s=p1"), parse("s=p2"), parse("s=p3"),
+      parse("s=p4"), parse("s=p5"), parse("s=p6")};
+  const auto g = comp::deriveRule5(checker, ps, /*helpful=*/0,
+                                   parse("s=q"), proof);
+  ASSERT_TRUE(g.has_value());
+  // Discharge the lhs on the (single-component) system: the AX step plus
+  // every pj ⇒ EF p1 obligation.
+  comp::CompositionalVerifier verifier(ctx);
+  verifier.addComponent(mod.sys);
+  std::vector<ctl::Spec> conclusions;
+  EXPECT_TRUE(verifier.discharge(*g, proof, &conclusions));
+  ASSERT_EQ(conclusions.size(), 2u);
+  // The conclusion holds under the strong-fairness restriction...
+  symbolic::Checker composed(verifier.composed());
+  EXPECT_TRUE(composed.holds(conclusions[0]));
+  EXPECT_TRUE(composed.holds(conclusions[1]));
+}
+
+TEST(Figure2, ProgressFailsWithoutFairness) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kFigure2Smv);
+  symbolic::Checker checker(mod.sys);
+  const ctl::FormulaPtr prop =
+      ctl::mkImplies(pRegion(), ctl::AU(pRegion(), parse("s=q")));
+  EXPECT_FALSE(checker.holds(ctl::Restriction::trivial(), prop));
+  // With the Rule 5 fairness constraint it holds.
+  const ctl::Restriction r =
+      comp::progressRestriction(pRegion(), parse("s=q"));
+  EXPECT_TRUE(checker.holds(r, prop));
+}
+
+TEST(FairCtl, EmersonLeiMultipleConstraints) {
+  // Two fairness constraints: infinitely often a, infinitely often b.
+  // System: free boolean a, b (all transitions allowed).
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, R"(
+MODULE free
+VAR a : boolean;
+    b : boolean;
+)");
+  symbolic::Checker checker(mod.sys);
+  ctl::Restriction r;
+  r.init = parse("TRUE");
+  r.fairness = {parse("a"), parse("b")};
+  // Along fair paths both a and b recur, so AF a and AF b hold everywhere.
+  EXPECT_TRUE(checker.holds(r, parse("AF a")));
+  EXPECT_TRUE(checker.holds(r, parse("AF b")));
+  EXPECT_TRUE(checker.holds(r, parse("AF (a & AF b)")));
+  // AG AF under fairness.
+  EXPECT_TRUE(checker.holds(r, parse("AG AF a")));
+  // But AF (a & b) can fail: a and b may never hold simultaneously.
+  EXPECT_FALSE(checker.holds(r, parse("AF (a & b)")));
+}
+
+TEST(FairCtl, ContradictoryFairnessMakesAllPathsUnfair) {
+  // Fairness {a, !a} is satisfiable (alternate), but fairness {FALSE} is
+  // not: no fair paths exist, so AF FALSE holds vacuously and EX TRUE
+  // fails everywhere.
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, R"(
+MODULE free2
+VAR a : boolean;
+)");
+  symbolic::Checker checker(mod.sys);
+  ctl::Restriction contradictory;
+  contradictory.init = parse("TRUE");
+  contradictory.fairness = {parse("FALSE")};
+  EXPECT_TRUE(checker.holds(contradictory, parse("AF FALSE")));
+  EXPECT_FALSE(checker.holds(contradictory, parse("EX TRUE")));
+
+  ctl::Restriction alternating;
+  alternating.init = parse("TRUE");
+  alternating.fairness = {parse("a"), parse("!a")};
+  EXPECT_TRUE(checker.holds(alternating, parse("AF a & AF !a")));
+}
+
+}  // namespace
+}  // namespace cmc::afs

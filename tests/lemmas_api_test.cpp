@@ -1,0 +1,75 @@
+// Tests for the library-level lemma validators (comp/lemmas.hpp): they must
+// confirm the lemmas on well-formed systems AND report violations when fed
+// systems breaking the paper's standing assumptions.
+#include <gtest/gtest.h>
+
+#include "comp/lemmas.hpp"
+
+namespace cmc::comp {
+namespace {
+
+using kripke::ExplicitSystem;
+
+ExplicitSystem smallSystem(unsigned seed, std::vector<std::string> atoms) {
+  std::mt19937 rng(seed);
+  ExplicitSystem sys(std::move(atoms));
+  std::uniform_int_distribution<std::uint64_t> state(0, sys.stateCount() - 1);
+  for (kripke::State s = 0; s < sys.stateCount(); ++s) {
+    sys.addTransition(s, static_cast<kripke::State>(state(rng)));
+  }
+  sys.makeReflexive();
+  return sys;
+}
+
+TEST(LemmaApi, AllLemmasHoldOnManySeeds) {
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    for (const LemmaResult& result : checkAllLemmas(seed)) {
+      EXPECT_TRUE(result.holds)
+          << result.lemma << " (seed " << seed << "): " << result.detail;
+    }
+  }
+}
+
+TEST(LemmaApi, Lemma2RejectsDifferentAlphabets) {
+  const ExplicitSystem a = smallSystem(1, {"a", "b"});
+  const ExplicitSystem b = smallSystem(2, {"b", "c"});
+  const LemmaResult result = checkLemma2(a, b);
+  EXPECT_FALSE(result.holds);
+  EXPECT_NE(result.detail.find("alphabet"), std::string::npos);
+}
+
+TEST(LemmaApi, Lemma3FlagsNonReflexiveSystems) {
+  // A system violating the standing reflexivity assumption.
+  ExplicitSystem loopless({"a"});
+  loopless.addTransition(0, 1);
+  loopless.addTransition(1, 0);
+  const LemmaResult result = checkLemma3(loopless);
+  EXPECT_FALSE(result.holds);
+  EXPECT_NE(result.detail.find("reflexive"), std::string::npos);
+}
+
+TEST(LemmaApi, Lemma10RequiresAlphabetExtension) {
+  const ExplicitSystem small = smallSystem(3, {"a", "b"});
+  const ExplicitSystem wrong = smallSystem(4, {"x", "y", "z"});
+  std::mt19937 rng(5);
+  const LemmaResult result = checkLemma10(small, wrong, rng);
+  EXPECT_FALSE(result.holds);
+}
+
+TEST(LemmaApi, IndividualLemmasOnHandBuiltSystems) {
+  std::mt19937 rng(7);
+  const ExplicitSystem a = smallSystem(11, {"a", "b"});
+  const ExplicitSystem b = smallSystem(12, {"b", "c"});
+  const ExplicitSystem c = smallSystem(13, {"c"});
+  EXPECT_TRUE(checkLemma1(a, b, c).holds);
+  EXPECT_TRUE(checkLemma4(a, b).holds);
+  EXPECT_TRUE(checkLemma5(a, {"z"}, rng).holds);
+  EXPECT_TRUE(checkLemma6(a, rng).holds);
+  EXPECT_TRUE(checkLemma7(a, rng).holds);
+  EXPECT_TRUE(checkLemma8(a, {"u"}, rng).holds);
+  EXPECT_TRUE(checkLemma9(a, {"u"}, rng).holds);
+  EXPECT_TRUE(checkLemma11(a, rng).holds);
+}
+
+}  // namespace
+}  // namespace cmc::comp

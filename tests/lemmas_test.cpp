@@ -1,0 +1,211 @@
+// Property-based validation of the paper's Lemmas 1-11 (§3.2) on random
+// systems.  These are the foundations the compositional rules stand on, so
+// each lemma is exercised exactly as stated.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace cmc::kripke {
+namespace {
+
+using cmc::test::atomNames;
+using cmc::test::randomFormula;
+using cmc::test::randomPropositional;
+using cmc::test::randomSystem;
+
+class LemmaProperty : public ::testing::TestWithParam<int> {
+ protected:
+  std::mt19937 rng{static_cast<unsigned>(GetParam())};
+};
+
+// Lemma 1: ∘ is commutative and associative.
+TEST_P(LemmaProperty, Lemma1CommutativeAssociative) {
+  ExplicitSystem a = randomSystem(rng, 2);
+  ExplicitSystem b = randomSystem(rng, 2);
+  // Give b a partially overlapping alphabet.
+  ExplicitSystem b2({"b", "c"});
+  b.forEachTransition([&](State s, State t) { b2.addTransition(s, t); });
+  ExplicitSystem c = randomSystem(rng, 1);
+
+  EXPECT_TRUE(compose(a, b2).sameBehavior(compose(b2, a)));
+  EXPECT_TRUE(compose(compose(a, b2), c).sameBehavior(
+      compose(a, compose(b2, c))));
+}
+
+// Lemma 2: same-alphabet composition is the union of the relations.
+TEST_P(LemmaProperty, Lemma2SameAlphabetUnion) {
+  ExplicitSystem a = randomSystem(rng, 2);
+  ExplicitSystem b = randomSystem(rng, 2);
+  const ExplicitSystem composed = compose(a, b);
+  // Union (both already reflexive, so reflexive closure adds nothing new).
+  ExplicitSystem expected(atomNames(2));
+  a.forEachTransition([&](State s, State t) { expected.addTransition(s, t); });
+  b.forEachTransition([&](State s, State t) { expected.addTransition(s, t); });
+  EXPECT_TRUE(composed.sameBehavior(expected));
+}
+
+// Lemma 3: (Σ, I) is the identity element.
+TEST_P(LemmaProperty, Lemma3Identity) {
+  ExplicitSystem a = randomSystem(rng, 3);  // reflexive by construction
+  const ExplicitSystem composed = compose(a, identitySystem(a.atoms()));
+  EXPECT_TRUE(composed.sameBehavior(a));
+}
+
+// Lemma 4: M ∘ M' equals the composition of the expansions over each
+// other's alphabets.
+TEST_P(LemmaProperty, Lemma4ExpansionComposition) {
+  ExplicitSystem a = randomSystem(rng, 2);
+  ExplicitSystem bRaw = randomSystem(rng, 2);
+  ExplicitSystem b({"b", "c"});
+  bRaw.forEachTransition([&](State s, State t) { b.addTransition(s, t); });
+
+  const ExplicitSystem direct = compose(a, b);
+  const ExplicitSystem viaExpansions =
+      compose(expand(a, b.atoms()), expand(b, a.atoms()));
+  EXPECT_TRUE(direct.sameBehavior(viaExpansions));
+}
+
+// Lemma 5: expansion preserves all CTL properties over the original
+// alphabet: M ⊨ f  ⟺  M ∘ (Σ', I) ⊨ f for f ∈ C(Σ).
+TEST_P(LemmaProperty, Lemma5ExpansionPreservesProperties) {
+  ExplicitSystem m = randomSystem(rng, 2);
+  const ExplicitSystem expanded = expand(m, {"z"});
+  ExplicitChecker cm(m);
+  ExplicitChecker ce(expanded);
+  const ctl::Restriction trivial = ctl::Restriction::trivial();
+  for (int i = 0; i < 8; ++i) {
+    const ctl::FormulaPtr f = randomFormula(rng, m.atoms(), 3);
+    EXPECT_EQ(cm.holds(trivial, f), ce.holds(trivial, f))
+        << ctl::toString(f);
+  }
+}
+
+// Lemma 6: M ⊨ (f ⇒ AXg)  ⟺  every transition from an f-state lands in a
+// g-state (f, g propositional).
+TEST_P(LemmaProperty, Lemma6AXCharacterization) {
+  ExplicitSystem m = randomSystem(rng, 3);
+  ExplicitChecker checker(m);
+  for (int i = 0; i < 6; ++i) {
+    const ctl::FormulaPtr f = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr g = randomPropositional(rng, m.atoms(), 2);
+    const bool lhs = checker.holds(ctl::Restriction::trivial(),
+                                   ctl::mkImplies(f, ctl::AX(g)));
+    const StateSet satF = checker.sat(f, {});
+    const StateSet satG = checker.sat(g, {});
+    bool rhs = true;
+    m.forEachTransition([&](State s, State t) {
+      if (satF[s] && !satG[t]) rhs = false;
+    });
+    EXPECT_EQ(lhs, rhs) << ctl::toString(f) << " => AX " << ctl::toString(g);
+  }
+}
+
+// Lemma 7: M ⊨ (f ⇒ EXg)  ⟺  every f-state has some g-successor.
+TEST_P(LemmaProperty, Lemma7EXCharacterization) {
+  ExplicitSystem m = randomSystem(rng, 3);
+  ExplicitChecker checker(m);
+  for (int i = 0; i < 6; ++i) {
+    const ctl::FormulaPtr f = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr g = randomPropositional(rng, m.atoms(), 2);
+    const bool lhs = checker.holds(ctl::Restriction::trivial(),
+                                   ctl::mkImplies(f, ctl::EX(g)));
+    const StateSet satF = checker.sat(f, {});
+    const StateSet satG = checker.sat(g, {});
+    bool rhs = true;
+    for (State s = 0; s < m.stateCount(); ++s) {
+      if (!satF[s]) continue;
+      bool some = false;
+      for (State t : m.successors(s)) some = some || satG[t];
+      if (!some) rhs = false;
+    }
+    EXPECT_EQ(lhs, rhs) << ctl::toString(f) << " => EX " << ctl::toString(g);
+  }
+}
+
+// Lemma 8: the expansion preserves p ⇒ AXq / p ⇒ EXq strengthened with a
+// propositional p' over the new (nonlocal) atoms.
+TEST_P(LemmaProperty, Lemma8ExpansionWithFrameFormula) {
+  ExplicitSystem m = randomSystem(rng, 2);
+  const std::vector<std::string> extra = {"u", "v"};
+  const ExplicitSystem expanded = expand(m, extra);
+  ExplicitChecker cm(m);
+  ExplicitChecker ce(expanded);
+  const ctl::Restriction trivial = ctl::Restriction::trivial();
+  for (int i = 0; i < 5; ++i) {
+    const ctl::FormulaPtr p = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr q = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr pp = randomPropositional(rng, extra, 2);
+    if (cm.holds(trivial, ctl::mkImplies(p, ctl::AX(q)))) {
+      EXPECT_TRUE(ce.holds(
+          trivial, ctl::mkImplies(ctl::mkAnd(p, pp),
+                                  ctl::AX(ctl::mkAnd(q, pp)))));
+    }
+    if (cm.holds(trivial, ctl::mkImplies(p, ctl::EX(q)))) {
+      EXPECT_TRUE(ce.holds(
+          trivial, ctl::mkImplies(ctl::mkAnd(p, pp),
+                                  ctl::EX(ctl::mkAnd(q, pp)))));
+    }
+  }
+}
+
+// Lemma 9: same with disjunction: (p ∨ p') ⇒ AX(q ∨ p').
+TEST_P(LemmaProperty, Lemma9ExpansionWithDisjunction) {
+  ExplicitSystem m = randomSystem(rng, 2);
+  const std::vector<std::string> extra = {"u"};
+  const ExplicitSystem expanded = expand(m, extra);
+  ExplicitChecker cm(m);
+  ExplicitChecker ce(expanded);
+  const ctl::Restriction trivial = ctl::Restriction::trivial();
+  for (int i = 0; i < 5; ++i) {
+    const ctl::FormulaPtr p = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr q = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr pp = randomPropositional(rng, extra, 1);
+    if (cm.holds(trivial, ctl::mkImplies(p, ctl::AX(q)))) {
+      EXPECT_TRUE(ce.holds(
+          trivial, ctl::mkImplies(ctl::mkOr(p, pp),
+                                  ctl::AX(ctl::mkOr(q, pp)))));
+    }
+  }
+}
+
+// Lemma 10: propositional formulas project between systems whose alphabets
+// are related by inclusion: M,s ⊨ p ⟺ M',s' ⊨ p when s = s' ∩ Σ.
+TEST_P(LemmaProperty, Lemma10Projection) {
+  ExplicitSystem m = randomSystem(rng, 2);
+  ExplicitSystem mp = randomSystem(rng, 3);  // Σ ⊂ Σ' ({a,b} ⊂ {a,b,c})
+  ExplicitChecker cm(m);
+  ExplicitChecker cp(mp);
+  for (int i = 0; i < 6; ++i) {
+    const ctl::FormulaPtr p = randomPropositional(rng, m.atoms(), 2);
+    const StateSet satM = cm.sat(p, {});
+    const StateSet satP = cp.sat(p, {});
+    for (State sp = 0; sp < mp.stateCount(); ++sp) {
+      const State s = sp & 0b11u;  // project onto {a, b}
+      EXPECT_EQ(satM[s], satP[sp]) << ctl::toString(p);
+    }
+  }
+}
+
+// Lemma 11: strengthening fairness preserves f ⇒ AXg.
+TEST_P(LemmaProperty, Lemma11FairnessStrengthening) {
+  ExplicitSystem m = randomSystem(rng, 3);
+  ExplicitChecker checker(m);
+  for (int i = 0; i < 5; ++i) {
+    const ctl::FormulaPtr f = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr g = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr fc = randomPropositional(rng, m.atoms(), 2);
+    const ctl::FormulaPtr spec = ctl::mkImplies(f, ctl::AX(g));
+    if (checker.holds(ctl::Restriction::trivial(), spec)) {
+      ctl::Restriction r;
+      r.init = ctl::mkTrue();
+      r.fairness = {fc};
+      EXPECT_TRUE(checker.holds(r, spec))
+          << ctl::toString(spec) << " under fairness " << ctl::toString(fc);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LemmaProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace cmc::kripke

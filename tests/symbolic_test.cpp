@@ -1,0 +1,264 @@
+// Tests for the symbolic substrate: variable encodings (paper §3.4,
+// Fig. 3), symbolic systems/composition, and — most importantly — agreement
+// between the symbolic and explicit checkers on random models and formulas.
+#include <gtest/gtest.h>
+
+#include "ctl/parser.hpp"
+#include "symbolic/checker.hpp"
+#include "symbolic/composition.hpp"
+#include "symbolic/encode.hpp"
+#include "symbolic/prop.hpp"
+#include "test_util.hpp"
+
+namespace cmc::symbolic {
+namespace {
+
+using ctl::parse;
+
+TEST(VarTable, BooleanEncoding) {
+  Context ctx;
+  const VarId x = ctx.addBoolVar("x");
+  EXPECT_TRUE(ctx.variable(x).isBool);
+  EXPECT_EQ(ctx.variable(x).bits.size(), 1u);
+  EXPECT_EQ(ctx.bitCount(), 1u);
+  EXPECT_EQ(ctx.varEq(x, "1"), ctx.mgr().bddVar(0));
+  EXPECT_EQ(ctx.varEq(x, "0"), ctx.mgr().bddNVar(0));
+  EXPECT_EQ(ctx.varEq(x, "TRUE"), ctx.mgr().bddVar(0));
+  EXPECT_TRUE(ctx.domain(x).isTrue());
+}
+
+TEST(VarTable, EnumEncodingMatchesFigure3) {
+  // Figure 3: x ∈ {0,1,2,3} maps to two booleans x0, x1.
+  Context ctx;
+  const VarId x = ctx.addEnumVar("x", {"0", "1", "2", "3"});
+  EXPECT_EQ(ctx.variable(x).bits.size(), 2u);
+  // Value 2 = binary 10: bit0 = 0, bit1 = 1.
+  const bdd::Bdd enc = ctx.varEq(x, "2");
+  EXPECT_EQ(enc, ctx.mgr().bddNVar(0) & ctx.mgr().bddVar(2));
+  // Power-of-two domain needs no constraint.
+  EXPECT_TRUE(ctx.domain(x).isTrue());
+  // The propositional formula (x < 2) of §3.4 maps to !x1.
+  const bdd::Bdd lessThan2 = ctx.varEq(x, "0") | ctx.varEq(x, "1");
+  EXPECT_EQ(lessThan2, !ctx.mgr().bddVar(2));
+}
+
+TEST(VarTable, NonPowerOfTwoDomainConstraint) {
+  Context ctx;
+  const VarId b = ctx.addEnumVar("belief", {"none", "invalid", "valid"});
+  EXPECT_EQ(ctx.variable(b).bits.size(), 2u);
+  const bdd::Bdd dom = ctx.domain(b);
+  EXPECT_FALSE(dom.isTrue());
+  // Exactly three of the four encodings are valid.
+  EXPECT_DOUBLE_EQ(ctx.mgr().satCount(dom, 4), 3.0 * 4);  // 2 free next bits
+}
+
+TEST(VarTable, ErrorsAndLookups) {
+  Context ctx;
+  ctx.addBoolVar("x");
+  EXPECT_THROW(ctx.addBoolVar("x"), ModelError);
+  EXPECT_THROW(ctx.varId("nope"), ModelError);
+  EXPECT_THROW(ctx.addEnumVar("e", {}), ModelError);
+  const VarId e = ctx.addEnumVar("e", {"a", "b"});
+  EXPECT_THROW(ctx.varEq(e, "zzz"), ModelError);
+  EXPECT_THROW(ctx.atomBdd("e"), ModelError);  // bare non-boolean atom
+  EXPECT_NO_THROW(ctx.atomBdd("e=a"));
+  EXPECT_NO_THROW(ctx.atomBdd("x"));
+}
+
+TEST(VarTable, FrameAndCubes) {
+  Context ctx;
+  const VarId x = ctx.addBoolVar("x");
+  const VarId y = ctx.addEnumVar("y", {"a", "b", "c"});
+  const bdd::Bdd frame = ctx.frameAll({x, y});
+  // frame keeps each bit equal: evaluate a few assignments.
+  // Bits: x:bit0 (vars 0,1), y:bits1,2 (vars 2,3,4,5).
+  bdd::Manager& mgr = ctx.mgr();
+  std::vector<bool> a(6, false);
+  EXPECT_TRUE(mgr.eval(frame, a));
+  a[0] = true;  // x=1 now, x'=0
+  EXPECT_FALSE(mgr.eval(frame, a));
+  a[1] = true;  // x'=1 too
+  EXPECT_TRUE(mgr.eval(frame, a));
+  const bdd::Bdd cc = ctx.currentCube({x, y});
+  EXPECT_EQ(mgr.support(cc), (std::vector<std::uint32_t>{0, 2, 4}));
+  const bdd::Bdd nc = ctx.nextCube({x, y});
+  EXPECT_EQ(mgr.support(nc), (std::vector<std::uint32_t>{1, 3, 5}));
+}
+
+TEST(SymbolicSystem, MakeSystemValidatesSupport) {
+  Context ctx;
+  const VarId x = ctx.addBoolVar("x");
+  const VarId y = ctx.addBoolVar("y");
+  const bdd::Bdd mentionsY = ctx.varEq(y, "1");
+  EXPECT_THROW(makeSystem(ctx, "bad", {x}, mentionsY), ModelError);
+  EXPECT_NO_THROW(makeSystem(ctx, "ok", {x, y}, mentionsY));
+}
+
+TEST(SymbolicSystem, IdentityAndReflexivity) {
+  Context ctx;
+  const VarId x = ctx.addBoolVar("x");
+  SymbolicSystem id = identitySystem(ctx, {x});
+  EXPECT_TRUE(id.isReflexive());
+  EXPECT_TRUE(id.isTotal());
+  // A system that can only flip x is not reflexive until closed.
+  const bdd::Bdd flip =
+      ctx.varEq(x, "1").iff(!ctx.varEq(x, "1", /*next=*/true));
+  SymbolicSystem flipper = makeSystem(ctx, "flip", {x}, flip);
+  EXPECT_FALSE(flipper.isReflexive());
+  EXPECT_TRUE(flipper.isTotal());
+  addReflexive(flipper);
+  EXPECT_TRUE(flipper.isReflexive());
+}
+
+TEST(SymbolicComposition, MatchesExplicitComposition) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    kripke::ExplicitSystem ea = test::randomSystem(rng, 2);
+    kripke::ExplicitSystem ebRaw = test::randomSystem(rng, 2);
+    kripke::ExplicitSystem eb({"b", "c"});
+    ebRaw.forEachTransition(
+        [&](kripke::State s, kripke::State t) { eb.addTransition(s, t); });
+
+    Context ctx;
+    SymbolicSystem sa = symbolicFromExplicit(ctx, ea, "A");
+    SymbolicSystem sb = symbolicFromExplicit(ctx, eb, "B");
+    const SymbolicSystem sc = compose(sa, sb);
+    const kripke::ExplicitSystem expected = kripke::compose(ea, eb);
+    const ExplicitImage image = explicitFromSymbolic(sc);
+    EXPECT_TRUE(image.sys.sameBehavior(expected)) << "trial " << trial;
+  }
+}
+
+TEST(SymbolicComposition, LemmasHoldSymbolically) {
+  std::mt19937 rng(5);
+  Context ctx;
+  kripke::ExplicitSystem ea = test::randomSystem(rng, 2);
+  kripke::ExplicitSystem ebRaw = test::randomSystem(rng, 2);
+  kripke::ExplicitSystem eb({"b", "c"});
+  ebRaw.forEachTransition(
+      [&](kripke::State s, kripke::State t) { eb.addTransition(s, t); });
+  SymbolicSystem a = symbolicFromExplicit(ctx, ea, "A");
+  SymbolicSystem b = symbolicFromExplicit(ctx, eb, "B");
+
+  // Lemma 1 (canonical BDDs make this pure equality).
+  EXPECT_TRUE(sameBehavior(compose(a, b), compose(b, a)));
+  // Lemma 3.
+  EXPECT_TRUE(sameBehavior(compose(a, identitySystem(ctx, a.vars)), a));
+  // Lemma 4.
+  EXPECT_TRUE(sameBehavior(
+      compose(a, b),
+      compose(expand(a, b.vars), expand(b, a.vars))));
+}
+
+TEST(SymbolicChecker, SimpleTemporalProperties) {
+  // Two-variable handshake: req flips on, then ack follows.
+  Context ctx;
+  const VarId req = ctx.addBoolVar("req");
+  const VarId ack = ctx.addBoolVar("ack");
+  bdd::Manager& mgr = ctx.mgr();
+  const bdd::Bdd reqNow = ctx.varEq(req, "1");
+  const bdd::Bdd reqNext = ctx.varEq(req, "1", true);
+  const bdd::Bdd ackNow = ctx.varEq(ack, "1");
+  const bdd::Bdd ackNext = ctx.varEq(ack, "1", true);
+
+  // Transitions: idle->req, req->req+ack, req+ack->idle, plus stutter.
+  const bdd::Bdd t1 = (!reqNow) & (!ackNow) & reqNext & (!ackNext);
+  const bdd::Bdd t2 = reqNow & (!ackNow) & reqNext & ackNext;
+  const bdd::Bdd t3 = reqNow & ackNow & (!reqNext) & (!ackNext);
+  SymbolicSystem sys =
+      makeSystem(ctx, "handshake", {req, ack}, t1 | t2 | t3);
+  addReflexive(sys);
+  Checker checker(sys);
+
+  EXPECT_TRUE(checker.holds(ctl::Restriction::trivial(),
+                            parse("req & ack -> EX (!req & !ack)")));
+  // The paper's ⊨ quantifies over *all* states, so the unreachable state
+  // (!req & ack) falsifies this even though every run avoids it.
+  EXPECT_FALSE(checker.holds(ctl::Restriction::trivial(),
+                             parse("ack -> req")));
+  EXPECT_FALSE(checker.holds(ctl::Restriction::trivial(),
+                             parse("req -> AX ack")));
+  EXPECT_TRUE(checker.holds(ctl::Restriction::trivial(), parse("EF ack")));
+  // Fairness forces progress out of stuttering.
+  ctl::Restriction r;
+  r.init = parse("!req & !ack");
+  r.fairness = {parse("ack | !req & !ack")};
+  // Under that fairness alone the run may cycle; EF ack still holds.
+  EXPECT_TRUE(checker.holds(r, parse("EF ack")));
+  (void)mgr;
+}
+
+TEST(SymbolicChecker, WitnessForViolation) {
+  Context ctx;
+  const VarId x = ctx.addBoolVar("x");
+  SymbolicSystem sys = identitySystem(ctx, {x});
+  Checker checker(sys);
+  const auto witness =
+      checker.violationWitness(ctl::Restriction::trivial(), parse("x"));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_NE(witness->find("x=0"), std::string::npos);
+  EXPECT_FALSE(checker
+                   .violationWitness(ctl::Restriction::trivial(),
+                                     parse("x | !x"))
+                   .has_value());
+}
+
+TEST(SymbolicChecker, CheckResultCounters) {
+  Context ctx;
+  const VarId x = ctx.addBoolVar("x");
+  SymbolicSystem sys = identitySystem(ctx, {x});
+  Checker checker(sys);
+  const CheckResult result = checker.check(
+      ctl::Spec{"t", ctl::Restriction::trivial(), parse("x -> AX x")});
+  EXPECT_TRUE(result.holds);
+  EXPECT_GT(result.bddNodesAllocated, 0u);
+  EXPECT_GT(result.transNodes, 0u);
+  EXPECT_EQ(result.specName, "t");
+}
+
+TEST(Prop, ValidityOverDomains) {
+  Context ctx;
+  ctx.addEnumVar("belief", {"none", "invalid", "valid"});
+  const VarId b = ctx.varId("belief");
+  // belief takes one of its three values — valid over the domain.
+  EXPECT_TRUE(propositionallyValid(
+      ctx, {b},
+      parse("belief=none | belief=invalid | belief=valid")));
+  EXPECT_FALSE(propositionallyValid(ctx, {b}, parse("belief=none")));
+  EXPECT_THROW(propositionalBdd(ctx, parse("AX belief=none")), ModelError);
+}
+
+// ---- The oracle test: symbolic vs explicit on random models ----------------
+
+class CheckerAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerAgreement, RandomSystemsAndFormulas) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919 + 13);
+  kripke::ExplicitSystem es = test::randomSystem(rng, 3);
+  kripke::ExplicitChecker explicitChecker(es);
+
+  Context ctx;
+  SymbolicSystem ss = symbolicFromExplicit(ctx, es, "random");
+  Checker symbolicChecker(ss);
+
+  for (int i = 0; i < 6; ++i) {
+    const ctl::FormulaPtr f = test::randomFormula(rng, es.atoms(), 3);
+    // Random fairness: none, or one constraint.
+    std::vector<ctl::FormulaPtr> fairness;
+    if (i % 2 == 1) {
+      fairness.push_back(test::randomPropositional(rng, es.atoms(), 2));
+    }
+    const kripke::StateSet expected = explicitChecker.sat(f, fairness);
+    const bdd::Bdd actual = symbolicChecker.sat(f, fairness);
+    for (kripke::State s = 0; s < es.stateCount(); ++s) {
+      EXPECT_EQ(test::symbolicSetHolds(ss, actual, es, s), expected[s])
+          << "state " << es.stateToString(s) << " formula "
+          << ctl::toString(f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerAgreement, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace cmc::symbolic

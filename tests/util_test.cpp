@@ -1,0 +1,116 @@
+// Tests for the utility layer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <unordered_map>
+
+#include "util/common.hpp"
+#include "util/hash.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace cmc {
+namespace {
+
+TEST(StringUtil, JoinAndSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, TrimAndPrefix) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_FALSE(startsWith("he", "hello"));
+}
+
+TEST(StringUtil, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(1234567), "1,234,567");
+}
+
+TEST(Hash, Mix64IsInjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second);
+  }
+}
+
+TEST(Hash, PairHashUsableInMaps) {
+  std::unordered_map<std::pair<int, int>, int, PairHash> map;
+  map[{1, 2}] = 3;
+  map[{2, 1}] = 4;
+  EXPECT_EQ(map[std::make_pair(1, 2)], 3);
+  EXPECT_EQ(map[std::make_pair(2, 1)], 4);
+}
+
+TEST(Common, AssertionThrows) {
+  EXPECT_THROW(assertionFailure("x > 0", "f.cpp", 10), Error);
+  try {
+    assertionFailure("x > 0", "f.cpp", 10);
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("x > 0"), std::string::npos);
+  }
+}
+
+TEST(Common, ParseErrorCarriesPosition) {
+  const ParseError e("bad token", 3, 14);
+  EXPECT_EQ(e.line(), 3);
+  EXPECT_EQ(e.column(), 14);
+  EXPECT_NE(std::string(e.what()).find("3:14"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 1.0);
+  const double a = timer.millis();
+  const double b = timer.millis();
+  EXPECT_LE(a, b);  // monotone, callable repeatedly
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> sum{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 1; i <= 20; ++i) {
+    futures.push_back(pool.submit([&sum, i] {
+      sum += i;
+      return i * i;
+    }));
+  }
+  int squares = 0;
+  for (auto& f : futures) squares += f.get();
+  EXPECT_EQ(sum.load(), 210);
+  EXPECT_EQ(squares, 2870);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw Error("boom"); });
+  EXPECT_THROW(future.get(), Error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+}  // namespace
+}  // namespace cmc
