@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abp.dir/bench_abp.cpp.o"
+  "CMakeFiles/bench_abp.dir/bench_abp.cpp.o.d"
+  "bench_abp"
+  "bench_abp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

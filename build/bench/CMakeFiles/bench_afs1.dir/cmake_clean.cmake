@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_afs1.dir/bench_afs1.cpp.o"
+  "CMakeFiles/bench_afs1.dir/bench_afs1.cpp.o.d"
+  "bench_afs1"
+  "bench_afs1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_afs1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_afs2.dir/bench_afs2.cpp.o"
+  "CMakeFiles/bench_afs2.dir/bench_afs2.cpp.o.d"
+  "bench_afs2"
+  "bench_afs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_afs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

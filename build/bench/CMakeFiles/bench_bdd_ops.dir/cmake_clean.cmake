@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bdd_ops.dir/bench_bdd_ops.cpp.o"
+  "CMakeFiles/bench_bdd_ops.dir/bench_bdd_ops.cpp.o.d"
+  "bench_bdd_ops"
+  "bench_bdd_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bdd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

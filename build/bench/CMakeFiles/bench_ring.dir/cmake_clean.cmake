@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ring.dir/bench_ring.cpp.o"
+  "CMakeFiles/bench_ring.dir/bench_ring.cpp.o.d"
+  "bench_ring"
+  "bench_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

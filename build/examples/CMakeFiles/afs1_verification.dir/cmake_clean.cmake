@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs1_verification.dir/afs1_verification.cpp.o"
+  "CMakeFiles/afs1_verification.dir/afs1_verification.cpp.o.d"
+  "afs1_verification"
+  "afs1_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs1_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

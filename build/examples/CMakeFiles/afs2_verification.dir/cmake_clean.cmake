@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs2_verification.dir/afs2_verification.cpp.o"
+  "CMakeFiles/afs2_verification.dir/afs2_verification.cpp.o.d"
+  "afs2_verification"
+  "afs2_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs2_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/alternating_bit.cpp" "examples/CMakeFiles/alternating_bit.dir/alternating_bit.cpp.o" "gcc" "examples/CMakeFiles/alternating_bit.dir/alternating_bit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_afs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_abp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_smv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_kripke.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

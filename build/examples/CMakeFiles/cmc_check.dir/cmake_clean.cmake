@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_check.dir/cmc_check.cpp.o"
+  "CMakeFiles/cmc_check.dir/cmc_check.cpp.o.d"
+  "cmc_check"
+  "cmc_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

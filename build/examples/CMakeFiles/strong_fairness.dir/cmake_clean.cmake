@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strong_fairness.dir/strong_fairness.cpp.o"
+  "CMakeFiles/strong_fairness.dir/strong_fairness.cpp.o.d"
+  "strong_fairness"
+  "strong_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_tour.dir/theory_tour.cpp.o"
+  "CMakeFiles/theory_tour.dir/theory_tour.cpp.o.d"
+  "theory_tour"
+  "theory_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_ring.dir/token_ring.cpp.o"
+  "CMakeFiles/token_ring.dir/token_ring.cpp.o.d"
+  "token_ring"
+  "token_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_abp.dir/abp/abp.cpp.o"
+  "CMakeFiles/cmc_abp.dir/abp/abp.cpp.o.d"
+  "libcmc_abp.a"
+  "libcmc_abp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_abp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afs/afs1.cpp" "src/CMakeFiles/cmc_afs.dir/afs/afs1.cpp.o" "gcc" "src/CMakeFiles/cmc_afs.dir/afs/afs1.cpp.o.d"
+  "/root/repo/src/afs/afs2.cpp" "src/CMakeFiles/cmc_afs.dir/afs/afs2.cpp.o" "gcc" "src/CMakeFiles/cmc_afs.dir/afs/afs2.cpp.o.d"
+  "/root/repo/src/afs/smv_sources.cpp" "src/CMakeFiles/cmc_afs.dir/afs/smv_sources.cpp.o" "gcc" "src/CMakeFiles/cmc_afs.dir/afs/smv_sources.cpp.o.d"
+  "/root/repo/src/afs/verify_afs1.cpp" "src/CMakeFiles/cmc_afs.dir/afs/verify_afs1.cpp.o" "gcc" "src/CMakeFiles/cmc_afs.dir/afs/verify_afs1.cpp.o.d"
+  "/root/repo/src/afs/verify_afs2.cpp" "src/CMakeFiles/cmc_afs.dir/afs/verify_afs2.cpp.o" "gcc" "src/CMakeFiles/cmc_afs.dir/afs/verify_afs2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_smv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_kripke.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

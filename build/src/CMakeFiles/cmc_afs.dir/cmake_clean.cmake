@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_afs.dir/afs/afs1.cpp.o"
+  "CMakeFiles/cmc_afs.dir/afs/afs1.cpp.o.d"
+  "CMakeFiles/cmc_afs.dir/afs/afs2.cpp.o"
+  "CMakeFiles/cmc_afs.dir/afs/afs2.cpp.o.d"
+  "CMakeFiles/cmc_afs.dir/afs/smv_sources.cpp.o"
+  "CMakeFiles/cmc_afs.dir/afs/smv_sources.cpp.o.d"
+  "CMakeFiles/cmc_afs.dir/afs/verify_afs1.cpp.o"
+  "CMakeFiles/cmc_afs.dir/afs/verify_afs1.cpp.o.d"
+  "CMakeFiles/cmc_afs.dir/afs/verify_afs2.cpp.o"
+  "CMakeFiles/cmc_afs.dir/afs/verify_afs2.cpp.o.d"
+  "libcmc_afs.a"
+  "libcmc_afs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_afs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

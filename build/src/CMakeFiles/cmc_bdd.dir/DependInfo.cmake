@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/io.cpp" "src/CMakeFiles/cmc_bdd.dir/bdd/io.cpp.o" "gcc" "src/CMakeFiles/cmc_bdd.dir/bdd/io.cpp.o.d"
+  "/root/repo/src/bdd/manager.cpp" "src/CMakeFiles/cmc_bdd.dir/bdd/manager.cpp.o" "gcc" "src/CMakeFiles/cmc_bdd.dir/bdd/manager.cpp.o.d"
+  "/root/repo/src/bdd/ops.cpp" "src/CMakeFiles/cmc_bdd.dir/bdd/ops.cpp.o" "gcc" "src/CMakeFiles/cmc_bdd.dir/bdd/ops.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "src/CMakeFiles/cmc_bdd.dir/bdd/reorder.cpp.o" "gcc" "src/CMakeFiles/cmc_bdd.dir/bdd/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_bdd.dir/bdd/io.cpp.o"
+  "CMakeFiles/cmc_bdd.dir/bdd/io.cpp.o.d"
+  "CMakeFiles/cmc_bdd.dir/bdd/manager.cpp.o"
+  "CMakeFiles/cmc_bdd.dir/bdd/manager.cpp.o.d"
+  "CMakeFiles/cmc_bdd.dir/bdd/ops.cpp.o"
+  "CMakeFiles/cmc_bdd.dir/bdd/ops.cpp.o.d"
+  "CMakeFiles/cmc_bdd.dir/bdd/reorder.cpp.o"
+  "CMakeFiles/cmc_bdd.dir/bdd/reorder.cpp.o.d"
+  "libcmc_bdd.a"
+  "libcmc_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comp/classify.cpp" "src/CMakeFiles/cmc_comp.dir/comp/classify.cpp.o" "gcc" "src/CMakeFiles/cmc_comp.dir/comp/classify.cpp.o.d"
+  "/root/repo/src/comp/leadsto.cpp" "src/CMakeFiles/cmc_comp.dir/comp/leadsto.cpp.o" "gcc" "src/CMakeFiles/cmc_comp.dir/comp/leadsto.cpp.o.d"
+  "/root/repo/src/comp/lemmas.cpp" "src/CMakeFiles/cmc_comp.dir/comp/lemmas.cpp.o" "gcc" "src/CMakeFiles/cmc_comp.dir/comp/lemmas.cpp.o.d"
+  "/root/repo/src/comp/proof.cpp" "src/CMakeFiles/cmc_comp.dir/comp/proof.cpp.o" "gcc" "src/CMakeFiles/cmc_comp.dir/comp/proof.cpp.o.d"
+  "/root/repo/src/comp/property.cpp" "src/CMakeFiles/cmc_comp.dir/comp/property.cpp.o" "gcc" "src/CMakeFiles/cmc_comp.dir/comp/property.cpp.o.d"
+  "/root/repo/src/comp/rules.cpp" "src/CMakeFiles/cmc_comp.dir/comp/rules.cpp.o" "gcc" "src/CMakeFiles/cmc_comp.dir/comp/rules.cpp.o.d"
+  "/root/repo/src/comp/verifier.cpp" "src/CMakeFiles/cmc_comp.dir/comp/verifier.cpp.o" "gcc" "src/CMakeFiles/cmc_comp.dir/comp/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_kripke.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_comp.dir/comp/classify.cpp.o"
+  "CMakeFiles/cmc_comp.dir/comp/classify.cpp.o.d"
+  "CMakeFiles/cmc_comp.dir/comp/leadsto.cpp.o"
+  "CMakeFiles/cmc_comp.dir/comp/leadsto.cpp.o.d"
+  "CMakeFiles/cmc_comp.dir/comp/lemmas.cpp.o"
+  "CMakeFiles/cmc_comp.dir/comp/lemmas.cpp.o.d"
+  "CMakeFiles/cmc_comp.dir/comp/proof.cpp.o"
+  "CMakeFiles/cmc_comp.dir/comp/proof.cpp.o.d"
+  "CMakeFiles/cmc_comp.dir/comp/property.cpp.o"
+  "CMakeFiles/cmc_comp.dir/comp/property.cpp.o.d"
+  "CMakeFiles/cmc_comp.dir/comp/rules.cpp.o"
+  "CMakeFiles/cmc_comp.dir/comp/rules.cpp.o.d"
+  "CMakeFiles/cmc_comp.dir/comp/verifier.cpp.o"
+  "CMakeFiles/cmc_comp.dir/comp/verifier.cpp.o.d"
+  "libcmc_comp.a"
+  "libcmc_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_ctl.dir/ctl/formula.cpp.o"
+  "CMakeFiles/cmc_ctl.dir/ctl/formula.cpp.o.d"
+  "CMakeFiles/cmc_ctl.dir/ctl/parser.cpp.o"
+  "CMakeFiles/cmc_ctl.dir/ctl/parser.cpp.o.d"
+  "libcmc_ctl.a"
+  "libcmc_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

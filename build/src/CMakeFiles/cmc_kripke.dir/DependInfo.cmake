@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kripke/composition.cpp" "src/CMakeFiles/cmc_kripke.dir/kripke/composition.cpp.o" "gcc" "src/CMakeFiles/cmc_kripke.dir/kripke/composition.cpp.o.d"
+  "/root/repo/src/kripke/explicit_checker.cpp" "src/CMakeFiles/cmc_kripke.dir/kripke/explicit_checker.cpp.o" "gcc" "src/CMakeFiles/cmc_kripke.dir/kripke/explicit_checker.cpp.o.d"
+  "/root/repo/src/kripke/explicit_system.cpp" "src/CMakeFiles/cmc_kripke.dir/kripke/explicit_system.cpp.o" "gcc" "src/CMakeFiles/cmc_kripke.dir/kripke/explicit_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

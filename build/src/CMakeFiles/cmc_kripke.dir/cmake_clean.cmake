@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_kripke.dir/kripke/composition.cpp.o"
+  "CMakeFiles/cmc_kripke.dir/kripke/composition.cpp.o.d"
+  "CMakeFiles/cmc_kripke.dir/kripke/explicit_checker.cpp.o"
+  "CMakeFiles/cmc_kripke.dir/kripke/explicit_checker.cpp.o.d"
+  "CMakeFiles/cmc_kripke.dir/kripke/explicit_system.cpp.o"
+  "CMakeFiles/cmc_kripke.dir/kripke/explicit_system.cpp.o.d"
+  "libcmc_kripke.a"
+  "libcmc_kripke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_kripke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_ring.dir/ring/token_ring.cpp.o"
+  "CMakeFiles/cmc_ring.dir/ring/token_ring.cpp.o.d"
+  "libcmc_ring.a"
+  "libcmc_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smv/ast.cpp" "src/CMakeFiles/cmc_smv.dir/smv/ast.cpp.o" "gcc" "src/CMakeFiles/cmc_smv.dir/smv/ast.cpp.o.d"
+  "/root/repo/src/smv/elaborate.cpp" "src/CMakeFiles/cmc_smv.dir/smv/elaborate.cpp.o" "gcc" "src/CMakeFiles/cmc_smv.dir/smv/elaborate.cpp.o.d"
+  "/root/repo/src/smv/lexer.cpp" "src/CMakeFiles/cmc_smv.dir/smv/lexer.cpp.o" "gcc" "src/CMakeFiles/cmc_smv.dir/smv/lexer.cpp.o.d"
+  "/root/repo/src/smv/parser.cpp" "src/CMakeFiles/cmc_smv.dir/smv/parser.cpp.o" "gcc" "src/CMakeFiles/cmc_smv.dir/smv/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_kripke.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_smv.dir/smv/ast.cpp.o"
+  "CMakeFiles/cmc_smv.dir/smv/ast.cpp.o.d"
+  "CMakeFiles/cmc_smv.dir/smv/elaborate.cpp.o"
+  "CMakeFiles/cmc_smv.dir/smv/elaborate.cpp.o.d"
+  "CMakeFiles/cmc_smv.dir/smv/lexer.cpp.o"
+  "CMakeFiles/cmc_smv.dir/smv/lexer.cpp.o.d"
+  "CMakeFiles/cmc_smv.dir/smv/parser.cpp.o"
+  "CMakeFiles/cmc_smv.dir/smv/parser.cpp.o.d"
+  "libcmc_smv.a"
+  "libcmc_smv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_smv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/checker.cpp" "src/CMakeFiles/cmc_symbolic.dir/symbolic/checker.cpp.o" "gcc" "src/CMakeFiles/cmc_symbolic.dir/symbolic/checker.cpp.o.d"
+  "/root/repo/src/symbolic/composition.cpp" "src/CMakeFiles/cmc_symbolic.dir/symbolic/composition.cpp.o" "gcc" "src/CMakeFiles/cmc_symbolic.dir/symbolic/composition.cpp.o.d"
+  "/root/repo/src/symbolic/encode.cpp" "src/CMakeFiles/cmc_symbolic.dir/symbolic/encode.cpp.o" "gcc" "src/CMakeFiles/cmc_symbolic.dir/symbolic/encode.cpp.o.d"
+  "/root/repo/src/symbolic/prop.cpp" "src/CMakeFiles/cmc_symbolic.dir/symbolic/prop.cpp.o" "gcc" "src/CMakeFiles/cmc_symbolic.dir/symbolic/prop.cpp.o.d"
+  "/root/repo/src/symbolic/system.cpp" "src/CMakeFiles/cmc_symbolic.dir/symbolic/system.cpp.o" "gcc" "src/CMakeFiles/cmc_symbolic.dir/symbolic/system.cpp.o.d"
+  "/root/repo/src/symbolic/trace.cpp" "src/CMakeFiles/cmc_symbolic.dir/symbolic/trace.cpp.o" "gcc" "src/CMakeFiles/cmc_symbolic.dir/symbolic/trace.cpp.o.d"
+  "/root/repo/src/symbolic/var_table.cpp" "src/CMakeFiles/cmc_symbolic.dir/symbolic/var_table.cpp.o" "gcc" "src/CMakeFiles/cmc_symbolic.dir/symbolic/var_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_kripke.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

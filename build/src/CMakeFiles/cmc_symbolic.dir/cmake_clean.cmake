@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_symbolic.dir/symbolic/checker.cpp.o"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/checker.cpp.o.d"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/composition.cpp.o"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/composition.cpp.o.d"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/encode.cpp.o"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/encode.cpp.o.d"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/prop.cpp.o"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/prop.cpp.o.d"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/system.cpp.o"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/system.cpp.o.d"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/trace.cpp.o"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/trace.cpp.o.d"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/var_table.cpp.o"
+  "CMakeFiles/cmc_symbolic.dir/symbolic/var_table.cpp.o.d"
+  "libcmc_symbolic.a"
+  "libcmc_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

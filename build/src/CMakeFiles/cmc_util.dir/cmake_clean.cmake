@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmc_util.dir/util/string_util.cpp.o"
+  "CMakeFiles/cmc_util.dir/util/string_util.cpp.o.d"
+  "CMakeFiles/cmc_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/cmc_util.dir/util/thread_pool.cpp.o.d"
+  "libcmc_util.a"
+  "libcmc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

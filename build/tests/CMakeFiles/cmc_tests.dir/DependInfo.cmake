@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/abp_test.cpp" "tests/CMakeFiles/cmc_tests.dir/abp_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/abp_test.cpp.o.d"
+  "/root/repo/tests/afs_test.cpp" "tests/CMakeFiles/cmc_tests.dir/afs_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/afs_test.cpp.o.d"
+  "/root/repo/tests/bdd_test.cpp" "tests/CMakeFiles/cmc_tests.dir/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/bdd_test.cpp.o.d"
+  "/root/repo/tests/comp_test.cpp" "tests/CMakeFiles/cmc_tests.dir/comp_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/comp_test.cpp.o.d"
+  "/root/repo/tests/ctl_test.cpp" "tests/CMakeFiles/cmc_tests.dir/ctl_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/ctl_test.cpp.o.d"
+  "/root/repo/tests/fairness_test.cpp" "tests/CMakeFiles/cmc_tests.dir/fairness_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/fairness_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/cmc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/kripke_test.cpp" "tests/CMakeFiles/cmc_tests.dir/kripke_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/kripke_test.cpp.o.d"
+  "/root/repo/tests/lemmas_api_test.cpp" "tests/CMakeFiles/cmc_tests.dir/lemmas_api_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/lemmas_api_test.cpp.o.d"
+  "/root/repo/tests/lemmas_test.cpp" "tests/CMakeFiles/cmc_tests.dir/lemmas_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/lemmas_test.cpp.o.d"
+  "/root/repo/tests/reorder_test.cpp" "tests/CMakeFiles/cmc_tests.dir/reorder_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/reorder_test.cpp.o.d"
+  "/root/repo/tests/ring_test.cpp" "tests/CMakeFiles/cmc_tests.dir/ring_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/ring_test.cpp.o.d"
+  "/root/repo/tests/smv_test.cpp" "tests/CMakeFiles/cmc_tests.dir/smv_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/smv_test.cpp.o.d"
+  "/root/repo/tests/symbolic_test.cpp" "tests/CMakeFiles/cmc_tests.dir/symbolic_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/symbolic_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/cmc_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/cmc_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/cmc_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cmc_afs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_abp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_comp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_smv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_kripke.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_ctl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cmc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
