@@ -57,4 +57,4 @@ BENCHMARK(BM_AbpLivenessUnderFairness)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("abp", report)

@@ -122,4 +122,4 @@ BENCHMARK(BM_Afs1GlobalSafetyCheck);
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("afs1", report)

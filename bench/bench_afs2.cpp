@@ -95,4 +95,4 @@ BENCHMARK(BM_Afs2CompositionalSafety)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("afs2", report)

@@ -201,4 +201,4 @@ BENCHMARK(BM_SiftReorder)->Arg(4)->Arg(8)->Arg(10);
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("bdd_ops", report)

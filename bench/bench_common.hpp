@@ -1,7 +1,10 @@
-// Shared helpers for the benchmark harness: paper-style report printing.
-// Every bench binary first prints its figure/table reproduction (verdicts
-// and resource counters in the format of the paper's Figures 7/10/15/17),
-// then runs the google-benchmark timings.
+// Shared helpers for the benchmark harness: paper-style report printing
+// and machine-readable result emission.  Every bench binary first prints
+// its figure/table reproduction (verdicts and resource counters in the
+// format of the paper's Figures 7/10/15/17), then runs the
+// google-benchmark timings, and finally writes BENCH_<name>.json with the
+// recorded verdicts and counters so the perf trajectory is diffable
+// across PRs.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -14,8 +17,96 @@
 
 namespace cmc::bench {
 
+/// One machine-readable result row of a bench binary's reproduction
+/// report; serialized into BENCH_<name>.json.
+struct JsonEntry {
+  std::string model;
+  std::string spec;
+  bool holds = false;
+  double seconds = 0.0;
+  std::uint64_t nodesAllocated = 0;
+  std::uint64_t transNodes = 0;
+  std::uint64_t peakLiveNodes = 0;
+  double cacheHitRate = 0.0;
+  std::string mode;  ///< e.g. "monolithic" / "partitioned"; may be empty
+};
+
+inline std::vector<JsonEntry>& jsonEntries() {
+  static std::vector<JsonEntry> entries;
+  return entries;
+}
+
+inline void recordResult(JsonEntry entry) {
+  jsonEntries().push_back(std::move(entry));
+}
+
+/// Record one CheckResult (the common case).
+inline void recordCheck(const std::string& model,
+                        const symbolic::CheckResult& r,
+                        const std::string& mode = "") {
+  JsonEntry e;
+  e.model = model;
+  e.spec = r.specName.empty() ? r.specText : r.specName;
+  e.holds = r.holds;
+  e.seconds = r.seconds;
+  e.nodesAllocated = r.bddNodesAllocated;
+  e.transNodes = r.transNodes;
+  e.peakLiveNodes = r.peakLiveNodes;
+  e.cacheHitRate = r.cacheHitRate;
+  e.mode = mode.empty() ? (r.usedPartition ? "partitioned" : "monolithic")
+                        : mode;
+  recordResult(std::move(e));
+}
+
+inline std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Write BENCH_<name>.json into the current directory.
+inline void writeJsonReport(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+               jsonEscape(name).c_str());
+  const std::vector<JsonEntry>& entries = jsonEntries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const JsonEntry& e = entries[i];
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"spec\": \"%s\", \"holds\": %s, "
+        "\"seconds\": %.6f, \"nodes_allocated\": %llu, \"trans_nodes\": "
+        "%llu, \"peak_live_nodes\": %llu, \"cache_hit_rate\": %.4f, "
+        "\"mode\": \"%s\"}%s\n",
+        jsonEscape(e.model).c_str(), jsonEscape(e.spec).c_str(),
+        e.holds ? "true" : "false", e.seconds,
+        static_cast<unsigned long long>(e.nodesAllocated),
+        static_cast<unsigned long long>(e.transNodes),
+        static_cast<unsigned long long>(e.peakLiveNodes), e.cacheHitRate,
+        jsonEscape(e.mode).c_str(), i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu results)\n", path.c_str(), entries.size());
+}
+
 /// Print one Fig.-7-style block: per-spec verdicts then the resource
-/// summary of the context after all checks ran.
+/// summary of the context after all checks ran.  Each spec's verdict and
+/// counters are also recorded for the JSON report.
 inline void printFigureReport(const std::string& title,
                               symbolic::Context& ctx,
                               const symbolic::SymbolicSystem& sys,
@@ -25,12 +116,13 @@ inline void printFigureReport(const std::string& title,
   symbolic::Checker checker(sys);
   bool all = true;
   for (const ctl::Spec& spec : specs) {
-    const bool holds = checker.holds(spec);
-    all = all && holds;
+    const symbolic::CheckResult result = checker.check(spec);
+    all = all && result.holds;
+    recordCheck(sys.name, result);
     std::string text = ctl::toString(spec.f);
     if (text.size() > 56) text = text.substr(0, 53) + "...";
     std::printf("-- spec. %s is %s\n", text.c_str(),
-                holds ? "true" : "false");
+                result.holds ? "true" : "false");
   }
   std::printf("\nresources used:\n");
   std::printf("user time: %g s\n", seconds);
@@ -46,13 +138,15 @@ inline void printFigureReport(const std::string& title,
 
 }  // namespace cmc::bench
 
-/// Standard main: print the reproduction report(s), then run benchmarks.
-#define CMC_BENCH_MAIN(reportFn)                         \
+/// Standard main: print the reproduction report(s), run benchmarks, then
+/// write the machine-readable BENCH_<name>.json.
+#define CMC_BENCH_MAIN(name, reportFn)                   \
   int main(int argc, char** argv) {                      \
     reportFn();                                          \
     benchmark::Initialize(&argc, argv);                  \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     benchmark::RunSpecifiedBenchmarks();                 \
     benchmark::Shutdown();                               \
+    cmc::bench::writeJsonReport(name);                   \
     return 0;                                            \
   }

@@ -116,11 +116,11 @@ void BM_ExpansionLemma4Path(benchmark::State& state) {
   for (auto _ : state) {
     const symbolic::SymbolicSystem ea = symbolic::expand(a, b.vars);
     const symbolic::SymbolicSystem eb = symbolic::expand(b, a.vars);
-    benchmark::DoNotOptimize(symbolic::compose(ea, eb).trans.index());
+    benchmark::DoNotOptimize(symbolic::compose(ea, eb).transBdd().index());
   }
 }
 BENCHMARK(BM_ExpansionLemma4Path)->Arg(2)->Arg(4)->Arg(6);
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("composition", report)

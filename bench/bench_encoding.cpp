@@ -109,4 +109,4 @@ BENCHMARK(BM_EncodeExplicitToSymbolic)->Arg(4)->Arg(8)->Arg(10);
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("encoding", report)

@@ -117,4 +117,4 @@ BENCHMARK(BM_EmersonLeiManyConstraints)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("fairness", report)

@@ -1,0 +1,205 @@
+// Monolithic vs partitioned transition relations (the tentpole comparison):
+// the same composed models checked twice — once forcing the monolithic
+// conjoined BDD (CheckerOptions{usePartitionedTrans=false}), once folding
+// preimages over the disjunctive track partition with clustering and early
+// quantification.  The verdicts are identical by construction (canonical
+// BDDs; asserted by the PartitionCrossValidation tests); what changes is
+// the resource profile: the partitioned path never materializes the full
+// product, so peak live nodes and allocation totals drop on the larger
+// models (AFS-2, the bigger rings).
+#include "abp/abp.hpp"
+#include "afs/afs1.hpp"
+#include "afs/afs2.hpp"
+#include "bench_common.hpp"
+#include "ring/token_ring.hpp"
+#include "symbolic/composition.hpp"
+#include "util/timer.hpp"
+
+using namespace cmc;
+
+namespace {
+
+struct ModelCase {
+  std::string name;
+  /// Build the composed system into a fresh context and return its specs.
+  std::vector<ctl::Spec> (*build)(symbolic::Context& ctx,
+                                  symbolic::SymbolicSystem* out, int arg);
+  int arg = 0;
+};
+
+std::vector<ctl::Spec> buildAbp(symbolic::Context& ctx,
+                                symbolic::SymbolicSystem* out, int) {
+  abp::AbpComponents comps = abp::buildAbp(ctx);
+  *out = symbolic::composeAll({comps.sender.sys, comps.msgChannel.sys,
+                               comps.receiver.sys, comps.ackChannel.sys});
+  ctl::Spec safety;
+  safety.name = "abp.safety";
+  safety.r = ctl::Restriction{abp::abpInit(), {ctl::mkTrue()}};
+  safety.f = ctl::AG(abp::abpTarget());
+  return {safety};
+}
+
+std::vector<ctl::Spec> buildAfs1(symbolic::Context& ctx,
+                                 symbolic::SymbolicSystem* out, int) {
+  afs::Afs1Components comps = afs::buildAfs1(ctx);
+  *out = symbolic::compose(comps.server.sys, comps.client.sys);
+  return {afs::afs1SafetySpec()};
+}
+
+std::vector<ctl::Spec> buildAfs2(symbolic::Context& ctx,
+                                 symbolic::SymbolicSystem* out, int n) {
+  afs::Afs2Components comps = afs::buildAfs2(ctx, n, /*reflexive=*/true);
+  std::vector<symbolic::SymbolicSystem> systems{comps.server.sys};
+  for (const smv::ElaboratedModule& client : comps.clients) {
+    systems.push_back(client.sys);
+  }
+  *out = symbolic::composeAll(systems);
+  return {afs::afs2SafetySpec(n)};
+}
+
+std::vector<ctl::Spec> buildRing(symbolic::Context& ctx,
+                                 symbolic::SymbolicSystem* out, int n) {
+  ring::RingComponents comps = ring::buildRing(ctx, n);
+  std::vector<symbolic::SymbolicSystem> systems;
+  for (const smv::ElaboratedModule& mod : comps.stations) {
+    systems.push_back(mod.sys);
+  }
+  *out = symbolic::composeAll(systems);
+  ctl::Spec mutex;
+  mutex.name = "ring" + std::to_string(n) + ".mutex";
+  mutex.r = ctl::Restriction{ring::ringInit(n), {ctl::mkTrue()}};
+  mutex.f = ctl::AG(ring::mutualExclusion(n));
+  return {mutex};
+}
+
+struct ModeStats {
+  bool allHold = true;
+  double seconds = 0.0;
+  std::uint64_t peakLiveNodes = 0;
+  std::uint64_t transNodes = 0;
+  std::uint64_t nodesAllocated = 0;
+};
+
+ModeStats runMode(const ModelCase& mc, bool partitioned, bool record = false) {
+  symbolic::Context ctx(1 << 16);
+  // Aggressive GC so peak-live measures *reachable* nodes, not cumulative
+  // allocation: dead fixpoint intermediates are swept before they inflate
+  // the high-water mark (the 25% rule still backs the threshold off on
+  // unproductive sweeps).
+  ctx.mgr().setGcThreshold(512);
+  symbolic::SymbolicSystem sys;
+  WallTimer timer;
+  const std::vector<ctl::Spec> specs = mc.build(ctx, &sys, mc.arg);
+
+  symbolic::CheckerOptions opts;
+  opts.usePartitionedTrans = partitioned;
+  if (!partitioned) {
+    (void)sys.transBdd();  // the monolithic baseline pays for the product
+  }
+  symbolic::Checker checker(sys, opts);
+  // Build-phase peak (composition + trans/schedules), before check() takes
+  // over the per-check accounting.
+  ModeStats stats;
+  stats.peakLiveNodes = ctx.mgr().stats().peakNodes;
+
+  const std::string mode = partitioned ? "partitioned" : "monolithic";
+  for (const ctl::Spec& spec : specs) {
+    const symbolic::CheckResult r = checker.check(spec);
+    stats.allHold = stats.allHold && r.holds;
+    stats.peakLiveNodes = std::max(stats.peakLiveNodes, r.peakLiveNodes);
+    if (record) bench::recordCheck(mc.name, r, mode);
+  }
+  stats.seconds = timer.seconds();
+  stats.transNodes = sys.transNodeCount();
+  stats.nodesAllocated = ctx.mgr().stats().nodesAllocatedTotal;
+  if (!record) return stats;  // timing iterations don't pollute the JSON
+
+  bench::JsonEntry summary;
+  summary.model = mc.name;
+  summary.spec = "ALL";
+  summary.holds = stats.allHold;
+  summary.seconds = stats.seconds;
+  summary.nodesAllocated = stats.nodesAllocated;
+  summary.transNodes = stats.transNodes;
+  summary.peakLiveNodes = stats.peakLiveNodes;
+  summary.mode = mode;
+  bench::recordResult(std::move(summary));
+  return stats;
+}
+
+void report() {
+  std::printf("== partitioned vs monolithic transition relations ==\n");
+  std::printf("%-8s  %-12s  %5s  %10s  %12s  %12s  %12s\n", "model", "mode",
+              "holds", "time (s)", "peak live", "trans nodes", "allocated");
+  const std::vector<ModelCase> cases = {
+      {"abp", buildAbp, 0},        {"afs1", buildAfs1, 0},
+      {"afs2-1", buildAfs2, 1},    {"afs2-2", buildAfs2, 2},
+      {"ring-3", buildRing, 3},    {"ring-4", buildRing, 4},
+      {"ring-5", buildRing, 5},    {"ring-6", buildRing, 6},
+      {"ring-7", buildRing, 7},    {"ring-8", buildRing, 8},
+  };
+  for (const ModelCase& mc : cases) {
+    for (const bool partitioned : {false, true}) {
+      const ModeStats s = runMode(mc, partitioned, /*record=*/true);
+      std::printf("%-8s  %-12s  %5s  %10.4f  %12llu  %12llu  %12llu\n",
+                  mc.name.c_str(),
+                  partitioned ? "partitioned" : "monolithic",
+                  s.allHold ? "yes" : "NO", s.seconds,
+                  static_cast<unsigned long long>(s.peakLiveNodes),
+                  static_cast<unsigned long long>(s.transNodes),
+                  static_cast<unsigned long long>(s.nodesAllocated));
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_RingPreimages(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool partitioned = state.range(1) != 0;
+  for (auto _ : state) {
+    ModelCase mc{"ring", buildRing, n};
+    benchmark::DoNotOptimize(runMode(mc, partitioned).allHold);
+  }
+  state.counters["stations"] = n;
+  state.counters["partitioned"] = partitioned ? 1 : 0;
+}
+BENCHMARK(BM_RingPreimages)
+    ->Args({3, 0})->Args({3, 1})->Args({4, 0})->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Afs2Preimages(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool partitioned = state.range(1) != 0;
+  for (auto _ : state) {
+    ModelCase mc{"afs2", buildAfs2, n};
+    benchmark::DoNotOptimize(runMode(mc, partitioned).allHold);
+  }
+  state.counters["clients"] = n;
+  state.counters["partitioned"] = partitioned ? 1 : 0;
+}
+BENCHMARK(BM_Afs2Preimages)
+    ->Args({1, 0})->Args({1, 1})->Args({2, 0})->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ComposeOnly(benchmark::State& state) {
+  // Composition itself is near-free now: it collects conjuncts instead of
+  // conjoining BDDs.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    symbolic::Context ctx(1 << 16);
+    ring::RingComponents comps = ring::buildRing(ctx, n);
+    std::vector<symbolic::SymbolicSystem> systems;
+    for (const smv::ElaboratedModule& mod : comps.stations) {
+      systems.push_back(mod.sys);
+    }
+    benchmark::DoNotOptimize(
+        symbolic::composeAll(systems).partition.conjunctCount());
+  }
+  state.counters["stations"] = n;
+}
+BENCHMARK(BM_ComposeOnly)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CMC_BENCH_MAIN("partition", report)

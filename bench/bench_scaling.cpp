@@ -139,4 +139,4 @@ BENCHMARK(BM_Monolithic)->Arg(1)->Arg(2)->Arg(3)
 
 }  // namespace
 
-CMC_BENCH_MAIN(report)
+CMC_BENCH_MAIN("scaling", report)

@@ -199,8 +199,23 @@ class Manager {
   const ManagerStats& stats() const noexcept { return stats_; }
   std::uint64_t liveNodeCount() const noexcept { return stats_.liveNodes; }
 
+  /// Restart the peak-live-nodes high-water mark from the current live
+  /// count, making `stats().peakNodes` a per-phase measurement (used by
+  /// Checker::check for its per-check accounting).
+  void resetPeakNodes() noexcept { stats_.peakNodes = stats_.liveNodes; }
+
   /// Force a garbage collection now (normally automatic).
   void collectGarbage();
+
+  /// Override the live-node count at which automatic GC triggers.  Low
+  /// values make `stats().peakNodes` track genuinely *reachable* nodes —
+  /// dead intermediates are swept before they inflate the high-water mark —
+  /// at the cost of frequent collections (the 25% rule still raises the
+  /// threshold when a sweep is unproductive).  Meant for measurement runs;
+  /// the default is sized for speed.
+  void setGcThreshold(std::uint64_t threshold) noexcept {
+    gcThreshold_ = threshold < 64 ? 64 : threshold;
+  }
 
   // ---- Internal node access (io.cpp and ops.cpp) --------------------------
 

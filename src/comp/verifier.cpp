@@ -69,7 +69,7 @@ bool CompositionalVerifier::verify(const ctl::Spec& spec, ProofTree& proof,
       std::vector<std::size_t> checks{clsNode};
       bool all = true;
       for (std::size_t i = 0; i < components_.size(); ++i) {
-        symbolic::Checker checker(expansion(i));
+        symbolic::Checker checker(expansion(i), checkerOpts_);
         const bool ok = checker.holds(spec.r, spec.f);
         checks.push_back(proof.add(
             ProofNode::Kind::ModelCheck,
@@ -84,7 +84,7 @@ bool CompositionalVerifier::verify(const ctl::Spec& spec, ProofTree& proof,
     case PropertyClass::Existential: {
       // Find one component whose expansion satisfies the spec.
       for (std::size_t i = 0; i < components_.size(); ++i) {
-        symbolic::Checker checker(expansion(i));
+        symbolic::Checker checker(expansion(i), checkerOpts_);
         if (checker.holds(spec.r, spec.f)) {
           const std::size_t check = proof.add(
               ProofNode::Kind::ModelCheck,
@@ -109,7 +109,7 @@ bool CompositionalVerifier::verify(const ctl::Spec& spec, ProofTree& proof,
                   false, {clsNode});
         return false;
       }
-      symbolic::Checker checker(composed());
+      symbolic::Checker checker(composed(), checkerOpts_);
       const bool ok = checker.holds(spec.r, spec.f);
       const std::size_t check =
           proof.add(ProofNode::Kind::ModelCheck,

@@ -30,7 +30,18 @@ namespace cmc::comp {
 
 class CompositionalVerifier {
  public:
-  explicit CompositionalVerifier(symbolic::Context& ctx) : ctx_(ctx) {}
+  explicit CompositionalVerifier(symbolic::Context& ctx,
+                                 symbolic::CheckerOptions opts = {})
+      : ctx_(ctx), checkerOpts_(opts) {}
+
+  /// Preimage-engine options used for every obligation this verifier
+  /// discharges (partitioned vs monolithic, clustering threshold).
+  void setCheckerOptions(symbolic::CheckerOptions opts) {
+    checkerOpts_ = opts;
+  }
+  const symbolic::CheckerOptions& checkerOptions() const noexcept {
+    return checkerOpts_;
+  }
 
   /// Register a component (copied; cheap — BDD handles).
   void addComponent(symbolic::SymbolicSystem sys);
@@ -73,6 +84,7 @@ class CompositionalVerifier {
   std::vector<symbolic::VarId> unionVars() const;
 
   symbolic::Context& ctx_;
+  symbolic::CheckerOptions checkerOpts_;
   std::vector<symbolic::SymbolicSystem> components_;
   std::vector<symbolic::SymbolicSystem> expansions_;  ///< lazy, parallel to components_
   std::vector<bool> expansionBuilt_;

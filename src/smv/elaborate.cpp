@@ -28,10 +28,11 @@ class Elaborator {
   ElaboratedModule run() {
     declareVariables();
 
-    bdd::Manager& mgr = ctx_.mgr();
-    bdd::Bdd trans = mgr.bddTrue();
-
-    // One relation conjunct per variable: its next() assignment, or free.
+    // One relation conjunct per variable (its next() assignment) plus one
+    // per TRANS constraint, kept as a list: makeSystem stores them as a
+    // conjunctively partitioned track, so the checker's early-quantification
+    // schedule sees per-variable structure instead of one conjoined BDD.
+    std::vector<bdd::Bdd> conjuncts;
     std::set<std::string> nextAssigned;
     std::set<std::string> initAssigned;
     for (const Assign& a : mod_.assigns) {
@@ -44,17 +45,18 @@ class Elaborator {
         throw ModelError("duplicate assignment to " + a.var);
       }
       if (a.kind == Assign::Kind::Next) {
-        trans &= assignRelation(ctx_.varId(a.var), /*targetNext=*/true,
-                                a.expr);
+        conjuncts.push_back(
+            assignRelation(ctx_.varId(a.var), /*targetNext=*/true, a.expr));
       }
     }
     // TRANS constraints (may mention next()).
     for (const ExprPtr& t : mod_.transConstraints) {
-      trans &= boolBdd(t, /*allowNext=*/true);
+      conjuncts.push_back(boolBdd(t, /*allowNext=*/true));
     }
 
     ElaboratedModule out;
-    out.sys = symbolic::makeSystem(ctx_, mod_.name, varIds_, std::move(trans));
+    out.sys = symbolic::makeSystem(ctx_, mod_.name, varIds_,
+                                   std::move(conjuncts));
 
     // Initial condition as a formula (restriction index, paper §2.2).
     std::vector<ctl::FormulaPtr> initParts;

@@ -1,5 +1,8 @@
 #include "symbolic/checker.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 #include "bdd/io.hpp"
 #include "symbolic/trace.hpp"
 #include "util/timer.hpp"
@@ -9,18 +12,85 @@ namespace cmc::symbolic {
 using ctl::FormulaPtr;
 using ctl::Op;
 
-Checker::Checker(const SymbolicSystem& sys)
+Checker::Checker(const SymbolicSystem& sys, CheckerOptions opts)
     : sys_(sys),
+      opts_(opts),
       domain_(sys.stateDomain()),
       nextVars_(sys.ctx->nextCube(sys.vars)),
       swapPerm_(sys.ctx->swapPermutation()) {
   CMC_ASSERT(sys.ctx != nullptr);
+  if (!opts_.usePartitionedTrans || sys.partition.empty()) return;
+  partitioned_ = true;
+  Context& ctx = *sys.ctx;
+  bdd::Manager& mgr = ctx.mgr();
+
+  // Generic fold: every next-state bit of the alphabet is quantified.
+  std::vector<std::uint32_t> quantVars;
+  for (VarId v : sys.vars) {
+    for (std::uint32_t bit : ctx.variable(v).bits) {
+      quantVars.push_back(Context::bddVarOf(bit, /*next=*/true));
+    }
+  }
+  std::sort(quantVars.begin(), quantVars.end());
+
+  // When the system's alphabet covers the whole context (every composed
+  // system) and a track's frame conjuncts are tagged, the frames are
+  // handled by *substitution* instead of by folding: each frame conjunct
+  // satisfies ∃v'. (v'=v ∧ dom) ∧ X' = dom(v) ∧ X[v'↦v], so the track's
+  // preimage is  dom(framed) ∧ ∃V'_owned (core ∧ partial-swap(X))  and the
+  // frame BDDs never enter the fold.  The stutter track degenerates to
+  // dom(Σ) ∧ X — core empty, nothing owned.  A component checker in a
+  // shared context keeps the generic fold: its targets may mention foreign
+  // context bits the substitution would wrongly leave unprimed.
+  const bool coversContext = sys.vars.size() == ctx.varCount();
+  tracks_.reserve(sys.partition.tracks.size());
+  for (const PartitionedRelation& t : sys.partition.tracks) {
+    if (coversContext && t.framesTagged()) {
+      std::vector<VarId> framed = t.frameVars();
+      std::sort(framed.begin(), framed.end());
+      std::vector<VarId> owned;
+      std::set_difference(sys.vars.begin(), sys.vars.end(), framed.begin(),
+                          framed.end(), std::back_inserter(owned));
+      std::vector<std::uint32_t> quant;
+      for (VarId v : owned) {
+        for (std::uint32_t bit : ctx.variable(v).bits) {
+          quant.push_back(Context::bddVarOf(bit, /*next=*/true));
+        }
+      }
+      std::sort(quant.begin(), quant.end());
+      PartitionedRelation core = t.core();
+      core.clusterGreedy(opts_.clusterThreshold);
+      tracks_.push_back(TrackPre{ctx.swapPermutation(owned), /*local=*/true,
+                                 PreimageSchedule(mgr, std::move(core), quant)});
+    } else {
+      PartitionedRelation track = t;
+      track.clusterGreedy(opts_.clusterThreshold);
+      tracks_.push_back(
+          TrackPre{swapPerm_, /*local=*/false,
+                   PreimageSchedule(mgr, std::move(track), quantVars)});
+    }
+  }
 }
 
 bdd::Bdd Checker::preE(const bdd::Bdd& target) {
   bdd::Manager& mgr = sys_.ctx->mgr();
-  const bdd::Bdd primed = mgr.permute(target, swapPerm_);
-  return mgr.andExists(sys_.trans, primed, nextVars_);
+  if (!partitioned_) {
+    const bdd::Bdd primed = mgr.permute(target, swapPerm_);
+    return mgr.andExists(sys_.transBdd(), primed, nextVars_);
+  }
+  // Preimage distributes over the disjunctive tracks; each track folds
+  // its core clusters with early quantification over a partially swapped
+  // target and never materializes the monolithic relation.  Local
+  // contributions are disjoined first and restricted to the state domain
+  // once (see TrackPre).
+  bdd::Bdd out = mgr.bddFalse();
+  bdd::Bdd localAcc = mgr.bddFalse();
+  for (const TrackPre& t : tracks_) {
+    const bdd::Bdd pre = t.schedule.relProduct(mgr.permute(target, t.permId));
+    (t.local ? localAcc : out) |= pre;
+  }
+  if (!localAcc.isFalse()) out |= localAcc & domain_;
+  return out;
 }
 
 bdd::Bdd Checker::untilE(const bdd::Bdd& f, const bdd::Bdd& g) {
@@ -142,12 +212,24 @@ bool Checker::holds(const ctl::Restriction& r, const ctl::FormulaPtr& f) {
 bool Checker::holds(const ctl::Spec& spec) { return holds(spec.r, spec.f); }
 
 CheckResult Checker::check(const ctl::Spec& spec) {
+  bdd::Manager& mgr = sys_.ctx->mgr();
+  mgr.resetPeakNodes();
+  const std::uint64_t lookupsBefore = mgr.stats().cacheLookups;
+  const std::uint64_t hitsBefore = mgr.stats().cacheHits;
   WallTimer timer;
   CheckResult result;
   result.holds = holds(spec.r, spec.f);
   result.seconds = timer.seconds();
-  result.bddNodesAllocated = sys_.ctx->mgr().stats().nodesAllocatedTotal;
+  const bdd::ManagerStats& stats = mgr.stats();
+  result.bddNodesAllocated = stats.nodesAllocatedTotal;
   result.transNodes = sys_.transNodeCount();
+  result.peakLiveNodes = stats.peakNodes;
+  const std::uint64_t lookups = stats.cacheLookups - lookupsBefore;
+  result.cacheHitRate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.cacheHits - hitsBefore) /
+                         static_cast<double>(lookups);
+  result.usedPartition = usesPartition();
   result.specText = ctl::toString(spec.f);
   result.specName = spec.name;
   return result;

@@ -1,10 +1,18 @@
 // BDD-based fair-CTL model checker — the library's SMV substitute.
 //
 // Path quantifiers are computed with preimage fixpoints over the
-// transition-relation BDD; fairness uses the Emerson-Lei greatest fixpoint
+// transition relation; fairness uses the Emerson-Lei greatest fixpoint
 //   EG_fair S = νZ. S ∧ ⋀_{F∈fairness} EX E[S U (Z ∧ F)]
 // exactly mirroring the explicit checker (the two are cross-validated by
 // the property-based tests).
+//
+// Preimages run, by default, over the system's *partitioned* transition
+// relation (symbolic/partition.hpp): each interleaving track is clustered
+// up to a node threshold and folded with an early-quantification schedule,
+// and the per-track preimages are disjoined.  The monolithic relation is
+// never materialized on this path.  CheckerOptions selects the path and
+// the clustering threshold; results are BDD-identical either way (asserted
+// by the cross-validation tests).
 #pragma once
 
 #include <optional>
@@ -16,20 +24,33 @@
 
 namespace cmc::symbolic {
 
+/// Tuning knobs for the checker's preimage engine.
+struct CheckerOptions {
+  /// Fold preimages over the partitioned relation (early quantification)
+  /// instead of one andExists against the monolithic BDD.
+  bool usePartitionedTrans = true;
+  /// Greedy clustering threshold in BDD nodes; conjuncts are merged while
+  /// the cluster stays within it.  0 collapses each track to one cluster.
+  std::uint64_t clusterThreshold = 1024;
+};
+
 /// Result of one ⊨_r check with the resource data the paper's figures
 /// report (verdict, wall time, BDD counters).
 struct CheckResult {
   bool holds = false;
   double seconds = 0.0;
   std::uint64_t bddNodesAllocated = 0;  ///< manager total at end of check
-  std::uint64_t transNodes = 0;         ///< DAG size of the transition BDD
+  std::uint64_t transNodes = 0;         ///< node count of the transition rel.
+  std::uint64_t peakLiveNodes = 0;      ///< high-water live nodes this check
+  double cacheHitRate = 0.0;            ///< computed-table hits/lookups
+  bool usedPartition = false;           ///< preimages ran partitioned
   std::string specText;
   std::string specName;
 };
 
 class Checker {
  public:
-  explicit Checker(const SymbolicSystem& sys);
+  explicit Checker(const SymbolicSystem& sys, CheckerOptions opts = {});
   /// The checker keeps a reference to the system; binding a temporary
   /// would dangle, so it is rejected at compile time.
   explicit Checker(SymbolicSystem&&) = delete;
@@ -47,7 +68,8 @@ class Checker {
   bool holds(const ctl::Spec& spec);
 
   /// Like holds() but with resource accounting (for the Fig. 7/10/15/17
-  /// reproduction).
+  /// reproduction): per-check peak live nodes and computed-table hit rate
+  /// on top of the allocation totals.
   CheckResult check(const ctl::Spec& spec);
 
   /// A human-readable description of one violating state, if any.
@@ -66,10 +88,16 @@ class Checker {
   std::optional<std::string> counterexampleTrace(const ctl::Restriction& r,
                                                  const ctl::FormulaPtr& f);
 
+  /// States with at least one successor under the partitioned (or
+  /// monolithic) relation — exposed for the partition tests.
+  bdd::Bdd preE(const bdd::Bdd& target);
+
   const SymbolicSystem& system() const noexcept { return sys_; }
+  const CheckerOptions& options() const noexcept { return opts_; }
+  /// True iff preimages fold over the partition schedules.
+  bool usesPartition() const noexcept { return partitioned_; }
 
  private:
-  bdd::Bdd preE(const bdd::Bdd& target);
   bdd::Bdd untilE(const bdd::Bdd& f, const bdd::Bdd& g);
   bdd::Bdd fairEG(const bdd::Bdd& region, const std::vector<bdd::Bdd>& fair);
   bdd::Bdd satRec(const ctl::FormulaPtr& f,
@@ -78,9 +106,28 @@ class Checker {
   bdd::Bdd violations(const ctl::Restriction& r, const ctl::FormulaPtr& f);
 
   const SymbolicSystem& sys_;
+  CheckerOptions opts_;
   bdd::Bdd domain_;     ///< valid current-state encodings
   bdd::Bdd nextVars_;   ///< quantification cube for preimages
   std::uint32_t swapPerm_;
+
+  /// One preimage operator per partition track.  When the track's frame
+  /// conjuncts are tagged with their variables and the system covers the
+  /// context (`local`), the frames are never folded: the schedule holds
+  /// only the *core* conjuncts and permId is the partial swap over the
+  /// track's owned variables (∃v'. v'=v ∧ dom ∧ X' is the substitution
+  /// v'↦v).  The framed variables' domain constraint is NOT applied per
+  /// track: every track carries its component's domain conjuncts (the
+  /// system invariant), so the local contributions can be disjoined first
+  /// and restricted to `domain_` once.  A non-local track uses the full
+  /// swap and folds the whole track, frames included.
+  struct TrackPre {
+    std::uint32_t permId;
+    bool local;
+    PreimageSchedule schedule;
+  };
+  std::vector<TrackPre> tracks_;  ///< empty on the monolithic path
+  bool partitioned_ = false;
 };
 
 }  // namespace cmc::symbolic

@@ -15,6 +15,24 @@ std::vector<VarId> varsMinus(const std::vector<VarId>& all,
   return out;
 }
 
+/// Extend every non-stutter track of `sys` to the union alphabet by
+/// appending one frame conjunct per missing variable (frame conditions stay
+/// per-component instead of being conjoined), and push the results onto
+/// `out`.  Stutter tracks are dropped: extended with frames they would
+/// equal the union stutter Id(Σ*), which compose() adds exactly once.
+void extendTracks(Context& ctx, const SymbolicSystem& sys,
+                  const std::vector<VarId>& extra,
+                  std::vector<PartitionedRelation>* out) {
+  for (const PartitionedRelation& t : sys.partition.tracks) {
+    if (t.frameOnly()) continue;
+    PartitionedRelation extended = t;
+    for (VarId v : extra) {
+      extended.appendFrame(frameConjunct(ctx, v), v);
+    }
+    out->push_back(std::move(extended));
+  }
+}
+
 }  // namespace
 
 SymbolicSystem compose(const SymbolicSystem& m, const SymbolicSystem& mp) {
@@ -27,20 +45,15 @@ SymbolicSystem compose(const SymbolicSystem& m, const SymbolicSystem& mp) {
   std::set_union(m.vars.begin(), m.vars.end(), mp.vars.begin(), mp.vars.end(),
                  std::back_inserter(unionVars));
 
-  const bdd::Bdd frameM = ctx.frameAll(varsMinus(unionVars, m.vars));
-  const bdd::Bdd frameMp = ctx.frameAll(varsMinus(unionVars, mp.vars));
-  const bdd::Bdd domains = ctx.domainAll(unionVars, false) &
-                           ctx.domainAll(unionVars, true);
-
-  bdd::Bdd trans = ((m.trans & frameM) | (mp.trans & frameMp) |
-                    ctx.frameAll(unionVars)) &
-                   domains;
-
+  // T* = (T_M ∧ frame(Σ*−Σ_M)) ∨ (T_M' ∧ frame(Σ*−Σ_M')) ∨ Id(Σ*),
+  // kept as tracks of conjuncts; the monolithic BDD stays lazy.
   SymbolicSystem sys;
   sys.ctx = &ctx;
   sys.name = m.name + " o " + mp.name;
+  extendTracks(ctx, m, varsMinus(unionVars, m.vars), &sys.partition.tracks);
+  extendTracks(ctx, mp, varsMinus(unionVars, mp.vars), &sys.partition.tracks);
+  sys.partition.tracks.push_back(stutterTrack(ctx, unionVars));
   sys.vars = std::move(unionVars);
-  sys.trans = std::move(trans);
   return sys;
 }
 
@@ -65,7 +78,7 @@ SymbolicSystem composeAll(const std::vector<SymbolicSystem>& systems) {
 }
 
 bool sameBehavior(const SymbolicSystem& a, const SymbolicSystem& b) {
-  return a.ctx == b.ctx && a.vars == b.vars && a.trans == b.trans;
+  return a.ctx == b.ctx && a.vars == b.vars && a.transBdd() == b.transBdd();
 }
 
 }  // namespace cmc::symbolic

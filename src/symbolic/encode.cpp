@@ -109,7 +109,7 @@ ExplicitImage explicitFromSymbolic(const SymbolicSystem& s) {
         assignment[Context::bddVarOf(bits[i].modelBit, true)] =
             ((to >> i) & 1u) != 0;
       }
-      if (mgr.eval(s.trans, assignment)) {
+      if (mgr.eval(s.transBdd(), assignment)) {
         es.addTransition(from, to);
       }
     }

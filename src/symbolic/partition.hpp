@@ -1,0 +1,145 @@
+// Partitioned transition relations (Burch/Clarke/Long-style) for the
+// interleaving composition of paper §3.1.
+//
+// The composed relation has the shape
+//   T* = ⋁_i (T_i ∧ frame(Σ*−Σ_i))  ∨  Id(Σ*)
+// — a *disjunction* of interleaving tracks, where each track is itself a
+// *conjunction* of small relations: the component's own T_i plus one frame
+// conjunct (v' = v, within domain) per variable the component does not own.
+// Conjoining all of this into one monolithic BDD is exactly the blow-up the
+// compositional story is meant to avoid, so we keep the structure:
+//
+//  - PartitionedRelation: one track as an ordered list of conjunct BDDs,
+//    each tagged with its support, with a greedy clustering pass that merges
+//    conjuncts up to a node-count threshold (NuSMV-style);
+//  - PreimageSchedule: an early-quantification schedule over a track — each
+//    quantified variable is existentially eliminated at the *last* cluster
+//    whose support contains it, so intermediate products never carry
+//    variables longer than needed (IWLS95 heuristic);
+//  - TransitionPartition: the disjunction of tracks.  Preimages distribute
+//    over ∨, so each track is processed independently and the results are
+//    disjoined — the full product is never materialized.
+//
+// BDDs are canonical per manager, so a partitioned preimage is *identical*
+// (same node) to the monolithic one; the tests assert this equality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "symbolic/var_table.hpp"
+
+namespace cmc::symbolic {
+
+/// One conjunct (after clustering: one cluster) of a conjunctively
+/// partitioned relation, tagged with its support.
+struct Conjunct {
+  bdd::Bdd rel;
+  /// BDD variables `rel` depends on, ascending.
+  std::vector<std::uint32_t> support;
+  /// True iff this conjunct is a frame condition v' = v (∧ domains) for a
+  /// variable recorded in the owning track's frameVars().
+  bool isFrame = false;
+};
+
+/// An ordered list of conjunct BDDs whose conjunction is one interleaving
+/// track of the transition relation.
+class PartitionedRelation {
+ public:
+  PartitionedRelation() = default;
+
+  /// Wrap existing conjuncts (supports are computed).  `frameOnly` marks a
+  /// track made purely of frame conjuncts — the global stutter Id(Σ); the
+  /// composition uses the flag to avoid duplicating the stutter track.
+  static PartitionedRelation of(std::vector<bdd::Bdd> conjuncts,
+                                bool frameOnly = false);
+
+  bool frameOnly() const noexcept { return frameOnly_; }
+  bool empty() const noexcept { return conjuncts_.empty(); }
+  std::size_t size() const noexcept { return conjuncts_.size(); }
+  const std::vector<Conjunct>& conjuncts() const noexcept {
+    return conjuncts_;
+  }
+
+  /// Append one conjunct (its support is computed).  Appending a non-frame
+  /// conjunct clears the frameOnly flag.
+  void append(bdd::Bdd conjunct, bool isFrame = false);
+
+  /// Append the frame conjunct for variable `v` and record it in
+  /// frameVars().  Tagged frames let the checker skip the conjunct entirely:
+  /// ∃v'. (v'=v ∧ dom ∧ X') is the substitution v'↦v, so a track's preimage
+  /// only needs its *core* conjuncts, a partial swap of the target over the
+  /// non-frame variables, and the frame variables' domain constraint.
+  void appendFrame(bdd::Bdd conjunct, VarId v);
+
+  /// Variables covered by tagged frame conjuncts (in append order).
+  const std::vector<VarId>& frameVars() const noexcept { return frameVars_; }
+
+  /// The non-frame conjuncts as a fresh track (frame bookkeeping dropped).
+  PartitionedRelation core() const;
+
+  /// True iff every frame conjunct was recorded via appendFrame — the
+  /// precondition for the checker's substitution-based track preimage.
+  bool framesTagged() const noexcept;
+
+  /// Greedy clustering: process conjuncts smallest-first and conjoin each
+  /// into the current cluster while the merged DAG stays within
+  /// `nodeThreshold` nodes; otherwise start a new cluster.  A threshold of 0
+  /// collapses the track into a single cluster (the monolithic product).
+  void clusterGreedy(std::uint64_t nodeThreshold);
+
+  /// The full conjunction ⋀ conjuncts (true for an empty track).
+  bdd::Bdd product(bdd::Manager& mgr) const;
+
+  /// Combined DAG size of the conjuncts, shared nodes counted once.
+  std::uint64_t nodeCount() const;
+
+ private:
+  std::vector<Conjunct> conjuncts_;
+  std::vector<VarId> frameVars_;
+  bool frameOnly_ = false;
+};
+
+/// The disjunctively partitioned transition relation: T = ⋁ track products.
+struct TransitionPartition {
+  std::vector<PartitionedRelation> tracks;
+
+  bool empty() const noexcept { return tracks.empty(); }
+  /// True iff some track is the pure stutter Id(Σ).
+  bool hasStutterTrack() const noexcept;
+  /// Materialize the monolithic relation ⋁ products.
+  bdd::Bdd monolithic(bdd::Manager& mgr) const;
+  /// Combined DAG size over every conjunct of every track (shared nodes
+  /// counted once) — the partitioned counterpart of the paper's "BDD nodes
+  /// representing transition relation" counter.
+  std::uint64_t nodeCount(const bdd::Manager& mgr) const;
+  std::size_t conjunctCount() const noexcept;
+};
+
+/// Early-quantification schedule for exists(quantVars, track ∧ target):
+/// clusters are folded in order and each quantified variable is eliminated
+/// with andExists at the last cluster whose support contains it.  Variables
+/// of `quantVars` that no cluster mentions are quantified out of the target
+/// before the fold starts.
+class PreimageSchedule {
+ public:
+  PreimageSchedule(bdd::Manager& mgr, PartitionedRelation track,
+                   const std::vector<std::uint32_t>& quantVars);
+
+  /// exists(quantVars, product(track) ∧ target), never building the product.
+  bdd::Bdd relProduct(const bdd::Bdd& target) const;
+
+  std::size_t clusterCount() const noexcept { return steps_.size(); }
+
+ private:
+  struct Step {
+    bdd::Bdd rel;
+    bdd::Bdd cube;  ///< quantVars eliminated at this step (may be true)
+  };
+  bdd::Manager* mgr_ = nullptr;
+  bdd::Bdd leadingCube_;  ///< quantVars in no cluster support
+  std::vector<Step> steps_;
+};
+
+}  // namespace cmc::symbolic

@@ -5,6 +5,15 @@
 
 namespace cmc::symbolic {
 
+const bdd::Bdd& SymbolicSystem::transBdd() const {
+  if (monolithic_.isNull()) {
+    CMC_ASSERT(ctx != nullptr);
+    CMC_ASSERT(!partition.empty());
+    monolithic_ = partition.monolithic(ctx->mgr());
+  }
+  return monolithic_;
+}
+
 bdd::Bdd SymbolicSystem::stateDomain() const {
   CMC_ASSERT(ctx != nullptr);
   return ctx->domainAll(vars, /*next=*/false);
@@ -19,19 +28,20 @@ bool SymbolicSystem::isReflexive() const {
   CMC_ASSERT(ctx != nullptr);
   bdd::Bdd stutter =
       ctx->frameAll(vars) & stateDomain() & nextDomain();
-  return stutter.subsetOf(trans);
+  return stutter.subsetOf(transBdd());
 }
 
 bool SymbolicSystem::isTotal() const {
   CMC_ASSERT(ctx != nullptr);
   bdd::Bdd hasSucc =
-      ctx->mgr().exists(trans, ctx->nextCube(vars));
+      ctx->mgr().exists(transBdd(), ctx->nextCube(vars));
   return stateDomain().subsetOf(hasSucc);
 }
 
 std::uint64_t SymbolicSystem::transNodeCount() const {
   CMC_ASSERT(ctx != nullptr);
-  return ctx->mgr().dagSize(trans);
+  if (transMaterialized()) return ctx->mgr().dagSize(monolithic_);
+  return partition.nodeCount(ctx->mgr());
 }
 
 double SymbolicSystem::stateCount() const {
@@ -43,12 +53,12 @@ double SymbolicSystem::stateCount() const {
   return count;
 }
 
-SymbolicSystem makeSystem(Context& ctx, std::string name,
-                          std::vector<VarId> vars, bdd::Bdd trans) {
-  std::sort(vars.begin(), vars.end());
-  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+namespace {
 
-  // The relation must only mention bits of the declared alphabet.
+/// Throw unless `rel`'s support stays within the current/next bits of
+/// `vars`.
+void checkAlphabet(Context& ctx, const std::string& name,
+                   const std::vector<VarId>& vars, const bdd::Bdd& rel) {
   std::unordered_set<std::uint32_t> allowed;
   for (VarId v : vars) {
     for (std::uint32_t bit : ctx.variable(v).bits) {
@@ -56,7 +66,7 @@ SymbolicSystem makeSystem(Context& ctx, std::string name,
       allowed.insert(Context::bddVarOf(bit, true));
     }
   }
-  for (std::uint32_t bv : ctx.mgr().support(trans)) {
+  for (std::uint32_t bv : ctx.mgr().support(rel)) {
     if (allowed.count(bv) == 0) {
       throw ModelError("system '" + name +
                        "': transition relation mentions a variable outside "
@@ -64,26 +74,89 @@ SymbolicSystem makeSystem(Context& ctx, std::string name,
                        std::to_string(bv) + ")");
     }
   }
+}
+
+}  // namespace
+
+SymbolicSystem makeSystem(Context& ctx, std::string name,
+                          std::vector<VarId> vars, bdd::Bdd trans) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  checkAlphabet(ctx, name, vars, trans);
 
   SymbolicSystem sys;
   sys.ctx = &ctx;
   sys.name = std::move(name);
   sys.vars = std::move(vars);
-  sys.trans = trans & ctx.domainAll(sys.vars, false) &
-              ctx.domainAll(sys.vars, true);
+  sys.monolithic_ = trans & ctx.domainAll(sys.vars, false) &
+                    ctx.domainAll(sys.vars, true);
+  sys.partition.tracks.push_back(
+      PartitionedRelation::of({sys.monolithic_}));
   return sys;
+}
+
+SymbolicSystem makeSystem(Context& ctx, std::string name,
+                          std::vector<VarId> vars,
+                          std::vector<bdd::Bdd> conjuncts) {
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+
+  PartitionedRelation track;
+  for (bdd::Bdd& c : conjuncts) {
+    checkAlphabet(ctx, name, vars, c);
+    if (c.isTrue()) continue;  // no constraint, no cluster
+    track.append(std::move(c));
+  }
+  // Per-variable domain constraints (both columns) keep the alphabet
+  // invariant without conjoining anything into the component conjuncts.
+  for (VarId v : vars) {
+    const bdd::Bdd dom = ctx.domain(v, false) & ctx.domain(v, true);
+    if (!dom.isTrue()) track.append(dom);
+  }
+
+  SymbolicSystem sys;
+  sys.ctx = &ctx;
+  sys.name = std::move(name);
+  sys.vars = std::move(vars);
+  sys.partition.tracks.push_back(std::move(track));
+  return sys;  // the monolithic BDD stays lazy
+}
+
+bdd::Bdd frameConjunct(Context& ctx, VarId v) {
+  return ctx.frame(v) & ctx.domain(v, /*next=*/false) &
+         ctx.domain(v, /*next=*/true);
+}
+
+PartitionedRelation stutterTrack(Context& ctx,
+                                 const std::vector<VarId>& vars) {
+  PartitionedRelation track =
+      PartitionedRelation::of({}, /*frameOnly=*/true);
+  for (VarId v : vars) track.appendFrame(frameConjunct(ctx, v), v);
+  return track;
 }
 
 SymbolicSystem identitySystem(Context& ctx, std::vector<VarId> vars,
                               std::string name) {
-  bdd::Bdd frame = ctx.frameAll(vars);
-  return makeSystem(ctx, std::move(name), std::move(vars), std::move(frame));
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  SymbolicSystem sys;
+  sys.ctx = &ctx;
+  sys.name = std::move(name);
+  sys.vars = std::move(vars);
+  sys.partition.tracks.push_back(stutterTrack(ctx, sys.vars));
+  sys.monolithic_ = sys.partition.tracks.front().product(ctx.mgr());
+  return sys;
 }
 
 void addReflexive(SymbolicSystem& sys) {
   CMC_ASSERT(sys.ctx != nullptr);
-  sys.trans |= sys.ctx->frameAll(sys.vars) & sys.stateDomain() &
-               sys.nextDomain();
+  if (sys.transMaterialized()) {
+    sys.monolithic_ |= sys.ctx->frameAll(sys.vars) & sys.stateDomain() &
+                       sys.nextDomain();
+  }
+  if (!sys.partition.hasStutterTrack()) {
+    sys.partition.tracks.push_back(stutterTrack(*sys.ctx, sys.vars));
+  }
 }
 
 }  // namespace cmc::symbolic

@@ -86,14 +86,14 @@ bdd::Bdd TraceBuilder::stateBdd(const TraceState& state) const {
 bdd::Bdd TraceBuilder::image(const bdd::Bdd& states) {
   bdd::Manager& mgr = sys_.ctx->mgr();
   const bdd::Bdd primed =
-      mgr.andExists(sys_.trans, states, currentCube_);
+      mgr.andExists(sys_.transBdd(), states, currentCube_);
   return mgr.permute(primed, swapPerm_);
 }
 
 bdd::Bdd TraceBuilder::preimage(const bdd::Bdd& states) {
   bdd::Manager& mgr = sys_.ctx->mgr();
   const bdd::Bdd primed = mgr.permute(states, swapPerm_);
-  return mgr.andExists(sys_.trans, primed, nextCube_);
+  return mgr.andExists(sys_.transBdd(), primed, nextCube_);
 }
 
 bdd::Bdd TraceBuilder::reachable(const bdd::Bdd& from) {

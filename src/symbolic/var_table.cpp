@@ -145,6 +145,32 @@ bdd::Bdd Context::nextCube(const std::vector<VarId>& ids) {
   return mgr_.cube(bddVars);
 }
 
+std::uint32_t Context::swapPermutation(const std::vector<VarId>& ids) {
+  std::vector<VarId> key(ids);
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+
+  auto it = partialSwapIds_.find(key);
+  if (it != partialSwapIds_.end() && it->second.second == bitCount_) {
+    return it->second.first;
+  }
+  std::vector<std::uint32_t> perm(2 * bitCount_);
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    perm[v] = static_cast<std::uint32_t>(v);
+  }
+  for (VarId id : key) {
+    for (std::uint32_t bit : variable(id).bits) {
+      const std::uint32_t cur = bddVarOf(bit, false);
+      const std::uint32_t nxt = bddVarOf(bit, true);
+      perm[cur] = nxt;
+      perm[nxt] = cur;
+    }
+  }
+  const std::uint32_t permId = mgr_.registerPermutation(std::move(perm));
+  partialSwapIds_[std::move(key)] = {permId, bitCount_};
+  return permId;
+}
+
 std::uint32_t Context::swapPermutation() {
   if (!swapPermValid_ || swapPermBits_ != bitCount_) {
     std::vector<std::uint32_t> perm(2 * bitCount_);

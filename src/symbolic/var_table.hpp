@@ -9,8 +9,10 @@
 // single registered permutation.
 #pragma once
 
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bdd/manager.hpp"
@@ -83,6 +85,12 @@ class Context {
   /// existing at first use; adding variables afterwards refreshes it.
   std::uint32_t swapPermutation();
 
+  /// Permutation swapping current↔next only for the bits of `ids`, leaving
+  /// every other bit in place — the partial swap a disjunctive-track
+  /// preimage applies to its target.  Cached per variable set (and
+  /// refreshed if variables were added since registration).
+  std::uint32_t swapPermutation(const std::vector<VarId>& ids);
+
   /// Resolve a CTL atom text: "name" (boolean) or "name=value".
   /// Throws ModelError for unknown variables or values.
   bdd::Bdd atomBdd(const std::string& atomText, bool next = false);
@@ -101,6 +109,12 @@ class Context {
   std::uint32_t swapPermId_ = 0;
   std::size_t swapPermBits_ = 0;  ///< bit count when the perm was registered
   bool swapPermValid_ = false;
+
+  /// Partial-swap permutation ids keyed by sorted variable set; `.second`
+  /// of each value is the bit count at registration (stale ids are
+  /// re-registered after the context grows).
+  std::map<std::vector<VarId>, std::pair<std::uint32_t, std::size_t>>
+      partialSwapIds_;
 };
 
 }  // namespace cmc::symbolic

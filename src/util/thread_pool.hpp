@@ -10,6 +10,9 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cmc {
@@ -31,12 +34,23 @@ class ThreadPool {
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
   /// Schedule `fn(args...)`; the returned future yields its result.
+  /// The callable and arguments are decay-copied (moved when passed as
+  /// rvalues) into a tuple and invoked with std::apply — unlike std::bind
+  /// this supports move-only callables and move-only arguments, and never
+  /// misreads placeholders or nested bind expressions.
   template <typename Fn, typename... Args>
   auto submit(Fn&& fn, Args&&... args)
-      -> std::future<std::invoke_result_t<Fn, Args...>> {
-    using Result = std::invoke_result_t<Fn, Args...>;
+      -> std::future<std::invoke_result_t<std::decay_t<Fn>&, std::decay_t<Args>...>> {
+    // The callable is invoked as an lvalue (it lives in the closure), the
+    // arguments as rvalues (std::apply over the moved tuple).
+    using Result =
+        std::invoke_result_t<std::decay_t<Fn>&, std::decay_t<Args>...>;
     auto task = std::make_shared<std::packaged_task<Result()>>(
-        std::bind(std::forward<Fn>(fn), std::forward<Args>(args)...));
+        [fn = std::decay_t<Fn>(std::forward<Fn>(fn)),
+         args = std::tuple<std::decay_t<Args>...>(
+             std::forward<Args>(args)...)]() mutable -> Result {
+          return std::apply(fn, std::move(args));
+        });
     std::future<Result> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -3,10 +3,15 @@
 // between the symbolic and explicit checkers on random models and formulas.
 #include <gtest/gtest.h>
 
+#include "abp/abp.hpp"
+#include "afs/afs1.hpp"
+#include "afs/afs2.hpp"
 #include "ctl/parser.hpp"
+#include "ring/token_ring.hpp"
 #include "symbolic/checker.hpp"
 #include "symbolic/composition.hpp"
 #include "symbolic/encode.hpp"
+#include "symbolic/partition.hpp"
 #include "symbolic/prop.hpp"
 #include "test_util.hpp"
 
@@ -226,6 +231,259 @@ TEST(Prop, ValidityOverDomains) {
       parse("belief=none | belief=invalid | belief=valid")));
   EXPECT_FALSE(propositionallyValid(ctx, {b}, parse("belief=none")));
   EXPECT_THROW(propositionalBdd(ctx, parse("AX belief=none")), ModelError);
+}
+
+// ---- Partitioned transition relations --------------------------------------
+
+TEST(Partition, ClusterGreedyPreservesProductAndRespectsThreshold) {
+  Context ctx;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 4; ++i) {
+    vars.push_back(ctx.addEnumVar("v" + std::to_string(i),
+                                  {"a", "b", "c"}));
+  }
+  PartitionedRelation track;
+  for (VarId v : vars) track.append(frameConjunct(ctx, v));
+  const bdd::Bdd product = track.product(ctx.mgr());
+  ASSERT_EQ(track.size(), 4u);
+
+  PartitionedRelation merged = track;
+  merged.clusterGreedy(/*nodeThreshold=*/0);  // collapse to one cluster
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.product(ctx.mgr()), product);
+
+  std::uint64_t maxOriginal = 0;
+  for (const Conjunct& c : track.conjuncts()) {
+    maxOriginal = std::max(maxOriginal, ctx.mgr().dagSize(c.rel));
+  }
+  PartitionedRelation capped = track;
+  capped.clusterGreedy(/*nodeThreshold=*/8);
+  EXPECT_GE(capped.size(), 1u);
+  EXPECT_LE(capped.size(), track.size());
+  EXPECT_EQ(capped.product(ctx.mgr()), product);
+  // A cluster is either an original conjunct or a merge that fit under the
+  // threshold — it never exceeds both bounds at once.
+  for (const Conjunct& c : capped.conjuncts()) {
+    EXPECT_LE(ctx.mgr().dagSize(c.rel), std::max<std::uint64_t>(8, maxOriginal));
+  }
+
+  PartitionedRelation roomy = track;
+  roomy.clusterGreedy(/*nodeThreshold=*/1 << 20);
+  EXPECT_EQ(roomy.size(), 1u);  // everything fits in one cluster
+  EXPECT_EQ(roomy.product(ctx.mgr()), product);
+}
+
+TEST(Partition, ScheduleMatchesAndExists) {
+  // exists(next bits, track ∧ target') computed by the schedule must be the
+  // same BDD as the single-pass andExists against the product.
+  std::mt19937 rng(11);
+  Context ctx;
+  kripke::ExplicitSystem ea = test::randomSystem(rng, 2);
+  kripke::ExplicitSystem ebRaw = test::randomSystem(rng, 2);
+  kripke::ExplicitSystem eb({"b", "c"});
+  ebRaw.forEachTransition(
+      [&](kripke::State s, kripke::State t) { eb.addTransition(s, t); });
+  SymbolicSystem a = symbolicFromExplicit(ctx, ea, "A");
+  SymbolicSystem b = symbolicFromExplicit(ctx, eb, "B");
+  const SymbolicSystem c = compose(a, b);
+
+  bdd::Manager& mgr = ctx.mgr();
+  std::vector<std::uint32_t> quantVars;
+  for (VarId v : c.vars) {
+    for (std::uint32_t bit : ctx.variable(v).bits) {
+      quantVars.push_back(Context::bddVarOf(bit, true));
+    }
+  }
+  const bdd::Bdd nextCube = ctx.nextCube(c.vars);
+  for (const PartitionedRelation& track : c.partition.tracks) {
+    const PreimageSchedule schedule(mgr, track, quantVars);
+    const bdd::Bdd product = track.product(mgr);
+    // A handful of targets, including constants.
+    const bdd::Bdd targets[] = {
+        mgr.bddTrue(), mgr.bddFalse(),
+        mgr.permute(ctx.atomBdd("a"), ctx.swapPermutation()),
+        mgr.permute(ctx.atomBdd("a") | !ctx.atomBdd("c"),
+                    ctx.swapPermutation())};
+    for (const bdd::Bdd& target : targets) {
+      EXPECT_EQ(schedule.relProduct(target),
+                mgr.andExists(product, target, nextCube));
+    }
+  }
+}
+
+TEST(Partition, ComposeKeepsConjunctsAndMonolithicAgrees) {
+  Context ctx;
+  abp::AbpComponents comps = abp::buildAbp(ctx);
+  const SymbolicSystem whole =
+      composeAll({comps.sender.sys, comps.msgChannel.sys,
+                  comps.receiver.sys, comps.ackChannel.sys});
+  // 4 component tracks + the stutter track; composition did not conjoin.
+  EXPECT_EQ(whole.partition.tracks.size(), 5u);
+  EXPECT_TRUE(whole.partition.hasStutterTrack());
+  EXPECT_FALSE(whole.transMaterialized());
+  // Every component track carries per-variable frame conjuncts.
+  for (const PartitionedRelation& t : whole.partition.tracks) {
+    if (!t.frameOnly()) {
+      EXPECT_GT(t.size(), 1u);
+    }
+  }
+  // The lazily materialized monolithic relation equals the eager formula.
+  const bdd::Bdd lazily = whole.transBdd();
+  EXPECT_TRUE(whole.transMaterialized());
+  EXPECT_EQ(lazily, whole.partition.monolithic(ctx.mgr()));
+}
+
+/// Cross-validation: partitioned and monolithic checking must produce
+/// *identical BDDs* (canonicity makes semantic equality node equality) on
+/// every shipped model/spec pair.
+void expectPartitionedMatchesMonolithic(
+    Context& ctx, const SymbolicSystem& sys,
+    const std::vector<ctl::Spec>& specs) {
+  CheckerOptions mono;
+  mono.usePartitionedTrans = false;
+  Checker monolithic(sys, mono);
+  ASSERT_FALSE(monolithic.usesPartition());
+
+  for (const std::uint64_t threshold : {std::uint64_t{0},
+                                        std::uint64_t{64},
+                                        std::uint64_t{1024}}) {
+    CheckerOptions part;
+    part.clusterThreshold = threshold;
+    Checker partitioned(sys, part);
+    ASSERT_TRUE(partitioned.usesPartition());
+
+    // preE agreement on a few non-trivial targets.
+    const bdd::Bdd someTarget = sys.stateDomain();
+    EXPECT_EQ(partitioned.preE(someTarget), monolithic.preE(someTarget));
+    EXPECT_EQ(partitioned.preE(ctx.mgr().bddFalse()),
+              monolithic.preE(ctx.mgr().bddFalse()));
+
+    for (const ctl::Spec& spec : specs) {
+      // sat() agreement (drives untilE/fairEG through both preE paths) for
+      // the spec's own fairness set.
+      EXPECT_EQ(partitioned.sat(spec.f, spec.r.fairness),
+                monolithic.sat(spec.f, spec.r.fairness))
+          << sys.name << " |= " << ctl::toString(spec.f) << " (threshold "
+          << threshold << ")";
+      EXPECT_EQ(partitioned.holds(spec), monolithic.holds(spec));
+      EXPECT_EQ(partitioned.preE(partitioned.sat(spec.f, spec.r.fairness)),
+                monolithic.preE(monolithic.sat(spec.f, spec.r.fairness)));
+    }
+  }
+}
+
+TEST(PartitionCrossValidation, Abp) {
+  Context ctx(1 << 16);
+  abp::AbpComponents comps = abp::buildAbp(ctx);
+  const SymbolicSystem whole =
+      composeAll({comps.sender.sys, comps.msgChannel.sys,
+                  comps.receiver.sys, comps.ackChannel.sys});
+  std::vector<ctl::Spec> specs;
+  ctl::Spec safety;
+  safety.name = "abp.safety";
+  safety.r = ctl::Restriction{abp::abpInit(), {ctl::mkTrue()}};
+  safety.f = ctl::AG(abp::abpTarget());
+  specs.push_back(safety);
+  // A fair spec exercises fairEG through both paths (the liveness setup of
+  // verifyAbp: no perpetual loss, no perpetual starvation).
+  ctl::Spec live;
+  live.name = "abp.live";
+  live.r = ctl::Restriction{
+      abp::abpInit(),
+      {ctl::mkOr(ctl::eq("delivered", "d0"), ctl::eq("msg", "m0")),
+       ctl::mkOr(ctl::eq("delivered", "d0"), ctl::eq("ack", "a0"))}};
+  live.f = ctl::AF(ctl::eq("delivered", "d0"));
+  specs.push_back(live);
+  expectPartitionedMatchesMonolithic(ctx, whole, specs);
+}
+
+TEST(PartitionCrossValidation, Afs1) {
+  Context ctx(1 << 16);
+  afs::Afs1Components comps = afs::buildAfs1(ctx);
+  const SymbolicSystem whole = compose(comps.server.sys, comps.client.sys);
+  std::vector<ctl::Spec> specs{afs::afs1SafetySpec()};
+  // Include the shipped per-component specs (they mention only component
+  // variables but are well-formed over the composition's context).
+  for (const ctl::Spec& s : comps.server.specs) specs.push_back(s);
+  for (const ctl::Spec& s : comps.client.specs) specs.push_back(s);
+  expectPartitionedMatchesMonolithic(ctx, whole, specs);
+}
+
+TEST(PartitionCrossValidation, TokenRing3) {
+  Context ctx(1 << 16);
+  ring::RingComponents comps = ring::buildRing(ctx, 3);
+  std::vector<SymbolicSystem> systems;
+  for (const smv::ElaboratedModule& mod : comps.stations) {
+    systems.push_back(mod.sys);
+  }
+  const SymbolicSystem whole = composeAll(systems);
+  std::vector<ctl::Spec> specs;
+  ctl::Spec mutex;
+  mutex.name = "ring3.mutex";
+  mutex.r = ctl::Restriction{ring::ringInit(3), {ctl::mkTrue()}};
+  mutex.f = ctl::AG(ring::mutualExclusion(3));
+  specs.push_back(mutex);
+  ctl::Spec live;
+  live.name = "ring3.live";
+  live.r = ctl::Restriction{ring::ringInit(3), {ring::tokenExactlyAt(0, 3)}};
+  live.f = ctl::EF(ctl::eq("st0", "cs"));
+  specs.push_back(live);
+  for (const smv::ElaboratedModule& mod : comps.stations) {
+    for (const ctl::Spec& s : mod.specs) specs.push_back(s);
+  }
+  expectPartitionedMatchesMonolithic(ctx, whole, specs);
+}
+
+TEST(PartitionCrossValidation, RandomComposedSystems) {
+  std::mt19937 rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    Context ctx;
+    kripke::ExplicitSystem ea = test::randomSystem(rng, 2);
+    kripke::ExplicitSystem ebRaw = test::randomSystem(rng, 2);
+    kripke::ExplicitSystem eb({"b", "c"});
+    ebRaw.forEachTransition(
+        [&](kripke::State s, kripke::State t) { eb.addTransition(s, t); });
+    SymbolicSystem a = symbolicFromExplicit(ctx, ea, "A");
+    SymbolicSystem b = symbolicFromExplicit(ctx, eb, "B");
+    const SymbolicSystem c = compose(a, b);
+    std::vector<ctl::Spec> specs;
+    for (int i = 0; i < 4; ++i) {
+      ctl::Spec s;
+      s.name = "rand" + std::to_string(i);
+      s.r = ctl::Restriction::trivial();
+      if (i % 2 == 1) {
+        s.r.fairness = {test::randomPropositional(rng, {"a", "b", "c"}, 2)};
+      }
+      s.f = test::randomFormula(rng, {"a", "b", "c"}, 3);
+      specs.push_back(std::move(s));
+    }
+    expectPartitionedMatchesMonolithic(ctx, c, specs);
+  }
+}
+
+TEST(PartitionCrossValidation, CheckResultAccounting) {
+  Context ctx(1 << 16);
+  ring::RingComponents comps = ring::buildRing(ctx, 3);
+  std::vector<SymbolicSystem> systems;
+  for (const smv::ElaboratedModule& mod : comps.stations) {
+    systems.push_back(mod.sys);
+  }
+  const SymbolicSystem whole = composeAll(systems);
+  ctl::Spec mutex;
+  mutex.name = "ring3.mutex";
+  mutex.r = ctl::Restriction{ring::ringInit(3), {ctl::mkTrue()}};
+  mutex.f = ctl::AG(ring::mutualExclusion(3));
+
+  Checker partitioned(whole);
+  const CheckResult result = partitioned.check(mutex);
+  EXPECT_TRUE(result.holds);
+  EXPECT_TRUE(result.usedPartition);
+  EXPECT_GT(result.peakLiveNodes, 0u);
+  EXPECT_GT(result.cacheHitRate, 0.0);
+  EXPECT_LE(result.cacheHitRate, 1.0);
+  EXPECT_GT(result.transNodes, 0u);
+  // The partitioned check never materialized the monolithic relation.
+  EXPECT_FALSE(whole.transMaterialized());
 }
 
 // ---- The oracle test: symbolic vs explicit on random models ----------------

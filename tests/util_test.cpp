@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
@@ -93,6 +94,27 @@ TEST(ThreadPool, ExecutesAllTasks) {
   for (auto& f : futures) squares += f.get();
   EXPECT_EQ(sum.load(), 210);
   EXPECT_EQ(squares, 2870);
+}
+
+TEST(ThreadPool, AcceptsMoveOnlyCallablesAndArguments) {
+  ThreadPool pool(2);
+  // Move-only callable: captures a unique_ptr (std::bind would reject it).
+  auto owned = std::make_unique<int>(41);
+  auto future =
+      pool.submit([p = std::move(owned)] { return *p + 1; });
+  EXPECT_EQ(future.get(), 42);
+
+  // Move-only argument, forwarded into the invocation by std::apply.
+  auto arg = std::make_unique<int>(7);
+  auto future2 = pool.submit(
+      [](std::unique_ptr<int> p) { return *p * 3; }, std::move(arg));
+  EXPECT_EQ(future2.get(), 21);
+  EXPECT_EQ(arg, nullptr);  // ownership moved into the pool
+
+  // Plain function pointer with an argument still works.
+  auto future3 = pool.submit(
+      static_cast<int (*)(int)>([](int x) { return x + 1; }), 9);
+  EXPECT_EQ(future3.get(), 10);
 }
 
 TEST(ThreadPool, PropagatesExceptions) {
