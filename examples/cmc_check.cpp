@@ -2,66 +2,33 @@
 //
 //   $ ./cmc_check model.smv             # check every module's SPECs
 //   $ ./cmc_check --compose model.smv   # also check them on the composition
-//   $ ./cmc_check --reorder model.smv   # sift variables first, report delta
+//   $ ./cmc_check --reorder model.smv   # sift variables before checking
 //
-// A file may contain several MODULEs (components sharing variables by
-// name).  Each module's SPECs are checked on that component under its own
-// INIT/FAIRNESS restriction; with --compose the components are closed
-// under stuttering, composed with the interleaving operator, and every
-// SPEC is re-checked on the composed system.
-//
-// Output follows the reports the paper reproduces in Figures 7/10/15/17:
-// per-spec verdicts, then the resource summary (user time, BDD nodes
-// allocated, transition-relation nodes).  Failing AG specs come with a
-// shortest counterexample trace.
+// Historically this example carried its own elaborate-and-check loop; it is
+// now a thin wrapper over the verification service layer so there is one
+// driver code path.  The service rebuilds the model per obligation, runs
+// obligations on a thread pool, and aggregates verdicts — this wrapper just
+// loads the file and renders the JobReport in the familiar per-spec format.
+// For budgets, retries, traces and JSON reports use the full CLI in
+// tools/cmc.cpp.
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "bdd/io.hpp"
-#include "smv/elaborate.hpp"
-#include "symbolic/checker.hpp"
-#include "symbolic/composition.hpp"
-#include "util/timer.hpp"
+#include "service/scheduler.hpp"
 
 using namespace cmc;
 
-namespace {
-
-bool checkSpecs(symbolic::Checker& checker,
-                const std::vector<ctl::Spec>& specs) {
-  bool allTrue = true;
-  for (const ctl::Spec& spec : specs) {
-    const bool holds = checker.holds(spec);
-    allTrue = allTrue && holds;
-    std::string text = ctl::toString(spec.f);
-    if (text.size() > 60) text = text.substr(0, 57) + "...";
-    std::cout << "-- spec. " << text << " is " << (holds ? "true" : "false")
-              << "\n";
-    if (!holds) {
-      if (const auto trace = checker.counterexampleTrace(spec.r, spec.f)) {
-        std::cout << "-- counterexample:\n" << *trace;
-      } else if (const auto witness =
-                     checker.violationWitness(spec.r, spec.f)) {
-        std::cout << "--   violating state: " << *witness << "\n";
-      }
-    }
-  }
-  return allTrue;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  bool compose = false;
-  bool reorder = false;
+  service::VerificationJob job;
+  job.name = "cmc_check";
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--compose") == 0) {
-      compose = true;
+      job.options.compose = true;
     } else if (std::strcmp(argv[i], "--reorder") == 0) {
-      reorder = true;
+      job.options.reorderBeforeCheck = true;
     } else {
       path = argv[i];
     }
@@ -77,51 +44,41 @@ int main(int argc, char** argv) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
+  job.smvText = buffer.str();
+  job.sourcePath = path;
 
   try {
-    WallTimer timer;
-    symbolic::Context ctx(1 << 14);
-    const std::vector<smv::ElaboratedModule> modules =
-        smv::elaborateProgram(ctx, buffer.str());
+    service::VerificationService svc;
+    const service::JobReport report = svc.run(job);
 
-    if (reorder) {
-      const std::uint64_t before = ctx.mgr().liveNodeCount();
-      const std::uint64_t after = ctx.mgr().reorderSift();
-      std::cout << "-- reordering (sifting): " << before << " -> " << after
-                << " live BDD nodes, " << ctx.mgr().stats().levelSwaps
-                << " level swaps\n\n";
-    }
-
+    std::string target;
     bool allTrue = true;
-    for (const smv::ElaboratedModule& mod : modules) {
-      if (modules.size() > 1) {
-        std::cout << "== module " << mod.sys.name << " ==\n";
+    for (const service::ObligationOutcome& o : report.obligations) {
+      if (o.target != target) {
+        target = o.target;
+        std::cout << "== " << (target == "composed" ? "composed system"
+                                                    : "module " + target)
+                  << " ==\n";
       }
-      symbolic::Checker checker(mod.sys);
-      allTrue = checkSpecs(checker, mod.specs) && allTrue;
-      std::cout << "\n"
-                << bdd::resourceReport(ctx.mgr(), mod.sys.transNodeCount(),
-                                       mod.sys.vars.size(), timer.seconds())
-                << "\n";
+      std::string text = o.specText;
+      if (text.size() > 60) text = text.substr(0, 57) + "...";
+      const bool holds = o.verdict == service::Verdict::Holds;
+      allTrue = allTrue && holds;
+      std::cout << "-- spec. " << text << " is "
+                << (holds ? "true" : "false");
+      if (!holds && o.verdict != service::Verdict::Fails) {
+        std::cout << " (" << service::toString(o.verdict) << ")";
+      }
+      std::cout << "\n";
+      if (!o.error.empty()) std::cout << "--   error: " << o.error << "\n";
+      if (!o.counterexample.empty()) {
+        std::cout << "-- counterexample:\n" << o.counterexample;
+      }
     }
-
-    if (compose && modules.size() > 1) {
-      std::cout << "== composed system ==\n";
-      std::vector<symbolic::SymbolicSystem> components;
-      for (const smv::ElaboratedModule& mod : modules) {
-        components.push_back(mod.sys);
-        symbolic::addReflexive(components.back());
-      }
-      const symbolic::SymbolicSystem whole =
-          symbolic::composeAll(components);
-      symbolic::Checker checker(whole);
-      for (const smv::ElaboratedModule& mod : modules) {
-        allTrue = checkSpecs(checker, mod.specs) && allTrue;
-      }
-      std::cout << "\n"
-                << bdd::resourceReport(ctx.mgr(), whole.transNodeCount(),
-                                       whole.vars.size(), timer.seconds());
-    }
+    std::cout << "\n-- verdict: " << service::toString(report.verdict)
+              << " (" << report.obligations.size() << " obligations, "
+              << service::jsonNumber(report.wallSeconds) << " s wall)\n";
+    if (report.verdict == service::Verdict::Error) return 2;
     return allTrue ? 0 : 1;
   } catch (const Error& e) {
     std::cerr << "cmc_check: " << e.what() << "\n";

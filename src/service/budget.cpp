@@ -1,0 +1,31 @@
+#include "service/budget.hpp"
+
+#include <string>
+
+namespace cmc::service {
+
+void BudgetToken::check() {
+  if (limits_.deadlineSeconds > 0.0) {
+    const double elapsed = timer_.seconds();
+    if (elapsed > limits_.deadlineSeconds) {
+      throw symbolic::CancelledError(
+          symbolic::CancelReason::Deadline,
+          "deadline exceeded: " + std::to_string(elapsed) + " s > " +
+              std::to_string(limits_.deadlineSeconds) + " s");
+    }
+  }
+  if (limits_.nodeBudget > 0 && mgr_->liveNodeCount() > limits_.nodeBudget) {
+    // Live nodes include garbage until the next sweep; only declare
+    // MemoryOut when the *reachable* set is over budget.
+    mgr_->collectGarbage();
+    const std::uint64_t live = mgr_->liveNodeCount();
+    if (live > limits_.nodeBudget) {
+      throw symbolic::CancelledError(
+          symbolic::CancelReason::NodeBudget,
+          "node budget exceeded: " + std::to_string(live) + " live nodes > " +
+              std::to_string(limits_.nodeBudget));
+    }
+  }
+}
+
+}  // namespace cmc::service

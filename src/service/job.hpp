@@ -1,0 +1,135 @@
+// The batch verification service's job model (service layer, layer 1/3).
+//
+// A VerificationJob is a batch of models plus their specs: either an SMV
+// program text (possibly multi-module, as accepted by smv::elaborateProgram)
+// or an in-memory ModelFactory.  The service expands a job into independent
+// *obligations* — one per (module, spec), plus one per spec on the composed
+// system when `compose` is set — and fans them onto a thread pool.  Every
+// obligation rebuilds its models in a fresh symbolic::Context because BDD
+// managers are single-threaded (the same discipline as
+// comp::runObligations).
+//
+// Verdicts extend the paper's two-valued M ⊨_r f with the resource-governed
+// outcomes a production service needs (docs/THEORY.md maps them back to
+// restricted satisfaction):
+//   Holds / Fails    — the checker decided ⊨_r within budget;
+//   Timeout          — the per-attempt wall-clock deadline expired;
+//   MemoryOut        — the BDD live-node budget was exhausted;
+//   Inconclusive     — both engines (partitioned and monolithic) exhausted
+//                      their budget; nothing is known about ⊨_r;
+//   Error            — the obligation threw (parse error, bad model, ...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "smv/elaborate.hpp"
+
+namespace cmc::service {
+
+enum class Verdict {
+  Holds,
+  Fails,
+  Timeout,
+  MemoryOut,
+  Inconclusive,
+  Error,
+};
+
+const char* toString(Verdict v) noexcept;
+
+/// Worst-of aggregation for a job's obligations: a definite Fails dominates
+/// everything, then Error, then the budget verdicts, then Holds.
+Verdict worseVerdict(Verdict a, Verdict b) noexcept;
+
+/// Per-obligation resource budget, enforced cooperatively by BudgetToken
+/// through CheckerOptions::cancelCheck.  Both limits apply *per attempt*:
+/// an engine retry starts with a fresh deadline and a fresh BDD manager.
+struct ObligationLimits {
+  /// Wall-clock deadline in seconds; 0 = unlimited.
+  double deadlineSeconds = 0.0;
+  /// Budget of live BDD nodes in the obligation's manager; 0 = unlimited.
+  /// Exceeding it first forces a garbage collection — only genuinely
+  /// reachable nodes count against the budget.
+  std::uint64_t nodeBudget = 0;
+};
+
+struct JobOptions {
+  ObligationLimits limits;
+  /// Also verify every spec on the composition of all modules (through the
+  /// compositional rules, with a ProofTree certificate in the report).
+  bool compose = false;
+  /// First-attempt preimage engine (CheckerOptions::usePartitionedTrans).
+  bool usePartitionedTrans = true;
+  /// Degradation policy: an obligation that exhausts its budget under one
+  /// engine is retried once under the other before being reported
+  /// Inconclusive.
+  bool retryOtherEngine = true;
+  /// CheckerOptions::clusterThreshold for the partitioned engine.
+  std::uint64_t clusterThreshold = 1024;
+  /// Sift variables (Manager::reorderSift) after elaboration, before
+  /// checking — the service counterpart of `cmc_check --reorder`.
+  bool reorderBeforeCheck = false;
+};
+
+/// Builds a job's modules inside a fresh per-obligation context.  Used for
+/// in-memory systems; called concurrently from worker threads (once per
+/// obligation attempt), so it must be thread-safe and deterministic.
+using ModelFactory =
+    std::function<std::vector<smv::ElaboratedModule>(symbolic::Context&)>;
+
+struct VerificationJob {
+  /// Job name, used in trace events and report paths.
+  std::string name;
+  /// SMV program text; ignored when `factory` is set.
+  std::string smvText;
+  /// In-memory model builder (takes precedence over smvText).
+  ModelFactory factory;
+  /// Provenance recorded in the report (e.g. the .smv path); may be empty.
+  std::string sourcePath;
+  JobOptions options;
+};
+
+/// One engine attempt of one obligation.
+struct AttemptRecord {
+  std::string engine;  ///< "partitioned" or "monolithic"
+  Verdict verdict = Verdict::Error;
+  double seconds = 0.0;
+  std::uint64_t peakLiveNodes = 0;
+  double cacheHitRate = 0.0;
+};
+
+struct ObligationOutcome {
+  std::string id;        ///< "<target>/<spec name>"
+  std::string target;    ///< module name, or "composed"
+  std::string spec;      ///< spec name (module.SPECn)
+  std::string specText;  ///< rendered CTL formula
+  Verdict verdict = Verdict::Error;
+  bool retried = false;
+  /// Proof rule that decided the obligation: "direct" for a plain
+  /// component check; for composed obligations the property class and rule
+  /// ("universal (Rule 2)", "existential (Rules 1/3)", "global fallback").
+  std::string rule;
+  std::vector<AttemptRecord> attempts;
+  double seconds = 0.0;        ///< total across attempts
+  std::string error;           ///< non-empty for Verdict::Error
+  std::string counterexample;  ///< trace for failing AG specs, if derivable
+  std::string proofJson;       ///< ProofTree certificate (composed only)
+};
+
+struct JobReport {
+  std::string job;
+  std::string source;
+  JobOptions options;
+  Verdict verdict = Verdict::Holds;
+  double wallSeconds = 0.0;
+  std::vector<ObligationOutcome> obligations;
+
+  bool allHold() const noexcept { return verdict == Verdict::Holds; }
+  /// The summary JSON written next to the model (schema in README.md).
+  std::string toJson() const;
+};
+
+}  // namespace cmc::service

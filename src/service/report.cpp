@@ -1,0 +1,113 @@
+#include <sstream>
+
+#include "service/job.hpp"
+#include "service/trace_log.hpp"
+
+namespace cmc::service {
+
+const char* toString(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::Holds: return "Holds";
+    case Verdict::Fails: return "Fails";
+    case Verdict::Timeout: return "Timeout";
+    case Verdict::MemoryOut: return "MemoryOut";
+    case Verdict::Inconclusive: return "Inconclusive";
+    case Verdict::Error: return "Error";
+  }
+  return "Unknown";
+}
+
+Verdict worseVerdict(Verdict a, Verdict b) noexcept {
+  // Severity for job aggregation: a definite refutation dominates (the job
+  // answered "no"), then errors, then the not-an-answer verdicts.
+  const auto rank = [](Verdict v) {
+    switch (v) {
+      case Verdict::Holds: return 0;
+      case Verdict::Timeout: return 1;
+      case Verdict::MemoryOut: return 2;
+      case Verdict::Inconclusive: return 3;
+      case Verdict::Error: return 4;
+      case Verdict::Fails: return 5;
+    }
+    return 4;
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+namespace {
+
+std::string attemptJson(const AttemptRecord& a) {
+  return JsonObject()
+      .put("engine", a.engine)
+      .put("verdict", toString(a.verdict))
+      .putDouble("seconds", a.seconds)
+      .putUint("peak_live_nodes", a.peakLiveNodes)
+      .putDouble("cache_hit_rate", a.cacheHitRate)
+      .str();
+}
+
+std::string outcomeJson(const ObligationOutcome& o) {
+  JsonObject obj;
+  obj.put("id", o.id)
+      .put("target", o.target)
+      .put("spec", o.spec)
+      .put("spec_text", o.specText)
+      .put("verdict", toString(o.verdict))
+      .put("rule", o.rule)
+      .putBool("retried", o.retried)
+      .putDouble("seconds", o.seconds);
+  std::ostringstream attempts;
+  attempts << '[';
+  for (std::size_t i = 0; i < o.attempts.size(); ++i) {
+    if (i > 0) attempts << ", ";
+    attempts << attemptJson(o.attempts[i]);
+  }
+  attempts << ']';
+  obj.putRaw("attempts", attempts.str());
+  if (!o.error.empty()) obj.put("error", o.error);
+  if (!o.counterexample.empty()) obj.put("counterexample", o.counterexample);
+  if (!o.proofJson.empty()) obj.putRaw("proof", o.proofJson);
+  return obj.str();
+}
+
+}  // namespace
+
+std::string JobReport::toJson() const {
+  std::uint64_t holds = 0, fails = 0, undecided = 0;
+  for (const ObligationOutcome& o : obligations) {
+    if (o.verdict == Verdict::Holds) ++holds;
+    else if (o.verdict == Verdict::Fails) ++fails;
+    else ++undecided;
+  }
+  JsonObject opts;
+  opts.putDouble("deadline_seconds", options.limits.deadlineSeconds)
+      .putUint("node_budget", options.limits.nodeBudget)
+      .put("engine", options.usePartitionedTrans ? "partitioned"
+                                                 : "monolithic")
+      .putBool("retry_other_engine", options.retryOtherEngine)
+      .putBool("compose", options.compose)
+      .putUint("cluster_threshold", options.clusterThreshold);
+
+  JsonObject root;
+  root.put("job", job)
+      .put("source", source)
+      .put("verdict", toString(verdict))
+      .putDouble("wall_seconds", wallSeconds)
+      .putRaw("options", opts.str())
+      .putUint("obligation_count",
+               static_cast<std::uint64_t>(obligations.size()))
+      .putUint("holds", holds)
+      .putUint("fails", fails)
+      .putUint("undecided", undecided);
+  std::ostringstream arr;
+  arr << '[';
+  for (std::size_t i = 0; i < obligations.size(); ++i) {
+    if (i > 0) arr << ",\n    ";
+    arr << outcomeJson(obligations[i]);
+  }
+  arr << ']';
+  root.putRaw("obligations", arr.str());
+  return root.str();
+}
+
+}  // namespace cmc::service

@@ -1,0 +1,378 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "comp/classify.hpp"
+#include "comp/verifier.hpp"
+#include "service/budget.hpp"
+#include "symbolic/composition.hpp"
+#include "util/timer.hpp"
+
+namespace cmc::service {
+
+namespace {
+
+/// Everything a worker needs to run one obligation; descriptors are copied
+/// into the pool task, so only the job pointer must outlive the batch.
+struct ObligationDesc {
+  const VerificationJob* job = nullptr;
+  std::string jobName;
+  bool composed = false;
+  std::size_t moduleIndex = 0;  ///< target module; spec owner when composed
+  std::size_t specIndex = 0;
+  std::string id;
+  std::string target;
+  std::string specName;
+  std::string specText;
+};
+
+std::vector<smv::ElaboratedModule> materialize(const VerificationJob& job,
+                                               symbolic::Context& ctx) {
+  std::vector<smv::ElaboratedModule> modules =
+      job.factory ? job.factory(ctx) : smv::elaborateProgram(ctx, job.smvText);
+  if (modules.empty()) {
+    throw ModelError("job '" + job.name + "' has no modules");
+  }
+  return modules;
+}
+
+const char* engineName(bool partitioned) {
+  return partitioned ? "partitioned" : "monolithic";
+}
+
+Verdict cancelVerdict(symbolic::CancelReason reason) {
+  return reason == symbolic::CancelReason::Deadline ? Verdict::Timeout
+                                                    : Verdict::MemoryOut;
+}
+
+std::string ruleName(comp::PropertyClass cls) {
+  switch (cls) {
+    case comp::PropertyClass::Universal: return "universal (Rule 2)";
+    case comp::PropertyClass::Existential: return "existential (Rules 1/3)";
+    default: return "global fallback";
+  }
+}
+
+/// Best-effort counterexample for a failing spec; the verdict is already
+/// decided, so a budget expiry during trace search just drops the trace.
+std::string extractCounterexample(symbolic::Checker& checker,
+                                  const ctl::Spec& spec) {
+  try {
+    if (const auto trace = checker.counterexampleTrace(spec.r, spec.f)) {
+      return *trace;
+    }
+    if (const auto witness = checker.violationWitness(spec.r, spec.f)) {
+      return "violating state: " + *witness;
+    }
+  } catch (const symbolic::CancelledError&) {
+  }
+  return "";
+}
+
+struct AttemptOutput {
+  AttemptRecord record;
+  bool decided = false;  ///< verdict is Holds/Fails (not budget/error)
+  std::string rule;
+  std::string counterexample;
+  std::string proofJson;
+  std::string error;
+};
+
+/// One engine attempt: fresh context, fresh budget, full rebuild.
+AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned) {
+  AttemptOutput out;
+  out.record.engine = engineName(partitioned);
+  const JobOptions& jopts = d.job->options;
+  WallTimer timer;
+  try {
+    symbolic::Context ctx(1 << 14);
+    bdd::Manager& mgr = ctx.mgr();
+    const std::vector<smv::ElaboratedModule> modules =
+        materialize(*d.job, ctx);
+    if (jopts.reorderBeforeCheck) mgr.reorderSift();
+
+    BudgetToken token(mgr, jopts.limits);
+    symbolic::CheckerOptions copts;
+    copts.usePartitionedTrans = partitioned;
+    copts.clusterThreshold = jopts.clusterThreshold;
+    copts.cancelCheck = [&token] { token.check(); };
+
+    const std::uint64_t lookups0 = mgr.stats().cacheLookups;
+    const std::uint64_t hits0 = mgr.stats().cacheHits;
+    mgr.resetPeakNodes();
+
+    try {
+      const ctl::Spec& spec = modules.at(d.moduleIndex).specs.at(d.specIndex);
+      if (!d.composed) {
+        out.rule = "direct";
+        symbolic::Checker checker(modules.at(d.moduleIndex).sys, copts);
+        const bool holds = checker.holds(spec);
+        out.record.verdict = holds ? Verdict::Holds : Verdict::Fails;
+        out.decided = true;
+        if (!holds) out.counterexample = extractCounterexample(checker, spec);
+      } else {
+        const comp::PropertyClass cls = comp::classify(spec);
+        out.rule = ruleName(cls);
+        comp::CompositionalVerifier verifier(ctx, copts);
+        for (const smv::ElaboratedModule& mod : modules) {
+          symbolic::SymbolicSystem sys = mod.sys;
+          symbolic::addReflexive(sys);
+          verifier.addComponent(std::move(sys));
+        }
+        comp::ProofTree proof;
+        bool ok = verifier.verify(spec, proof, /*allowGlobalFallback=*/true);
+        if (!ok && cls != comp::PropertyClass::Unknown) {
+          // The rules not establishing the spec is not a refutation (a
+          // failing component premise says nothing about the composition);
+          // decide with a direct check and record it in the certificate.
+          symbolic::Checker direct(verifier.composed(), copts);
+          ok = direct.holds(spec);
+          proof.add(comp::ProofNode::Kind::ModelCheck,
+                    "composed system |= " + ctl::toString(spec.f) +
+                        "  (direct fallback)",
+                    ok);
+          out.rule += " + global fallback";
+        }
+        out.record.verdict = ok ? Verdict::Holds : Verdict::Fails;
+        out.decided = true;
+        out.proofJson = proof.toJson();
+        if (!ok) {
+          symbolic::Checker direct(verifier.composed(), copts);
+          out.counterexample = extractCounterexample(direct, spec);
+        }
+      }
+    } catch (const symbolic::CancelledError& e) {
+      out.record.verdict = cancelVerdict(e.reason());
+    }
+    out.record.seconds = timer.seconds();
+    out.record.peakLiveNodes = mgr.stats().peakNodes;
+    const std::uint64_t lookups = mgr.stats().cacheLookups - lookups0;
+    out.record.cacheHitRate =
+        lookups == 0
+            ? 0.0
+            : static_cast<double>(mgr.stats().cacheHits - hits0) /
+                  static_cast<double>(lookups);
+  } catch (const std::exception& e) {
+    out.record.verdict = Verdict::Error;
+    out.error = e.what();
+    out.record.seconds = timer.seconds();
+  }
+  return out;
+}
+
+ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
+                                ThreadPool& pool) {
+  ObligationOutcome out;
+  out.id = d.id;
+  out.target = d.target;
+  out.spec = d.specName;
+  out.specText = d.specText;
+  const JobOptions& jopts = d.job->options;
+  bool partitioned = jopts.usePartitionedTrans;
+
+  trace.emit(JsonObject()
+                 .put("event", "obligation_start")
+                 .putDouble("t", trace.elapsedSeconds())
+                 .put("job", d.jobName)
+                 .put("obligation", d.id)
+                 .put("target", d.target)
+                 .put("spec", d.specName)
+                 .put("engine", engineName(partitioned))
+                 .putUint("queue_depth", pool.pendingTasks()));
+
+  const int maxAttempts = jopts.retryOtherEngine ? 2 : 1;
+  for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+    const AttemptOutput a = runAttempt(d, partitioned);
+    out.attempts.push_back(a.record);
+    out.seconds += a.record.seconds;
+    if (!a.rule.empty()) out.rule = a.rule;
+    trace.emit(JsonObject()
+                   .put("event", "attempt")
+                   .putDouble("t", trace.elapsedSeconds())
+                   .put("job", d.jobName)
+                   .put("obligation", d.id)
+                   .putUint("attempt", static_cast<std::uint64_t>(attempt))
+                   .put("engine", a.record.engine)
+                   .put("verdict", toString(a.record.verdict))
+                   .putDouble("seconds", a.record.seconds)
+                   .putUint("peak_live_nodes", a.record.peakLiveNodes)
+                   .putDouble("cache_hit_rate", a.record.cacheHitRate));
+    if (a.record.verdict == Verdict::Error) {
+      out.verdict = Verdict::Error;
+      out.error = a.error;
+      break;
+    }
+    if (a.decided) {
+      out.verdict = a.record.verdict;
+      out.counterexample = a.counterexample;
+      out.proofJson = a.proofJson;
+      break;
+    }
+    // Budget exhausted: degrade to the other engine, once.
+    if (attempt < maxAttempts) {
+      out.retried = true;
+      trace.emit(JsonObject()
+                     .put("event", "retry")
+                     .putDouble("t", trace.elapsedSeconds())
+                     .put("job", d.jobName)
+                     .put("obligation", d.id)
+                     .put("reason", toString(a.record.verdict))
+                     .put("from_engine", engineName(partitioned))
+                     .put("to_engine", engineName(!partitioned)));
+      partitioned = !partitioned;
+    } else {
+      // Both engines exhausted their budget (or retry is disabled, in
+      // which case the single attempt's Timeout/MemoryOut stands).
+      out.verdict = out.attempts.size() > 1 ? Verdict::Inconclusive
+                                            : a.record.verdict;
+    }
+  }
+
+  std::uint64_t peak = 0;
+  for (const AttemptRecord& a : out.attempts) {
+    peak = std::max(peak, a.peakLiveNodes);
+  }
+  trace.emit(JsonObject()
+                 .put("event", "obligation_end")
+                 .putDouble("t", trace.elapsedSeconds())
+                 .put("job", d.jobName)
+                 .put("obligation", d.id)
+                 .put("verdict", toString(out.verdict))
+                 .put("rule", out.rule)
+                 .putBool("retried", out.retried)
+                 .putUint("attempts",
+                          static_cast<std::uint64_t>(out.attempts.size()))
+                 .putDouble("seconds", out.seconds)
+                 .putUint("peak_live_nodes", peak)
+                 .putDouble("cache_hit_rate", out.attempts.empty()
+                                                  ? 0.0
+                                                  : out.attempts.back()
+                                                        .cacheHitRate));
+  return out;
+}
+
+}  // namespace
+
+JobReport VerificationService::run(const VerificationJob& job,
+                                   RunTrace* trace) {
+  const std::vector<VerificationJob> one{job};
+  return runBatch(one, trace).front();
+}
+
+std::vector<JobReport> VerificationService::runBatch(
+    const std::vector<VerificationJob>& jobs, RunTrace* trace) {
+  RunTrace localTrace;
+  RunTrace& tr = trace != nullptr ? *trace : localTrace;
+
+  struct JobState {
+    WallTimer timer;
+    std::vector<ObligationDesc> descs;
+    std::vector<std::future<ObligationOutcome>> futures;
+    std::string scoutError;
+  };
+  std::vector<JobState> states(jobs.size());
+
+  // Scout phase (caller thread): enumerate each job's obligations by
+  // elaborating once into a scratch context.  Workers re-elaborate in
+  // their own contexts; the scratch context only provides names.
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const VerificationJob& job = jobs[k];
+    JobState& state = states[k];
+    try {
+      symbolic::Context scratch(1 << 14);
+      const std::vector<smv::ElaboratedModule> modules =
+          materialize(job, scratch);
+      for (std::size_t i = 0; i < modules.size(); ++i) {
+        for (std::size_t j = 0; j < modules[i].specs.size(); ++j) {
+          ObligationDesc d;
+          d.job = &job;
+          d.jobName = job.name;
+          d.moduleIndex = i;
+          d.specIndex = j;
+          d.target = modules[i].sys.name;
+          d.specName = modules[i].specs[j].name;
+          d.specText = ctl::toString(modules[i].specs[j].f);
+          d.id = d.target + "/" + d.specName;
+          state.descs.push_back(std::move(d));
+        }
+      }
+      if (job.options.compose && modules.size() > 1) {
+        for (std::size_t i = 0; i < modules.size(); ++i) {
+          for (std::size_t j = 0; j < modules[i].specs.size(); ++j) {
+            ObligationDesc d;
+            d.job = &job;
+            d.jobName = job.name;
+            d.composed = true;
+            d.moduleIndex = i;
+            d.specIndex = j;
+            d.target = "composed";
+            d.specName = modules[i].specs[j].name;
+            d.specText = ctl::toString(modules[i].specs[j].f);
+            d.id = d.target + "/" + d.specName;
+            state.descs.push_back(std::move(d));
+          }
+        }
+      }
+    } catch (const std::exception& e) {
+      state.scoutError = e.what();
+    }
+    tr.emit(JsonObject()
+                .put("event", "job_start")
+                .putDouble("t", tr.elapsedSeconds())
+                .put("job", job.name)
+                .put("source", job.sourcePath)
+                .putUint("obligations",
+                         static_cast<std::uint64_t>(state.descs.size()))
+                .putUint("workers", threads()));
+  }
+
+  // Submit everything up front so obligations of different jobs interleave
+  // on the pool.
+  for (JobState& state : states) {
+    for (const ObligationDesc& d : state.descs) {
+      state.futures.push_back(pool_.submit(
+          [d, &tr, this] { return runObligation(d, tr, pool_); }));
+    }
+  }
+
+  std::vector<JobReport> reports;
+  reports.reserve(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const VerificationJob& job = jobs[k];
+    JobState& state = states[k];
+    JobReport report;
+    report.job = job.name;
+    report.source = job.sourcePath;
+    report.options = job.options;
+    if (!state.scoutError.empty()) {
+      ObligationOutcome bad;
+      bad.id = job.name + "/<elaboration>";
+      bad.target = job.name;
+      bad.verdict = Verdict::Error;
+      bad.error = state.scoutError;
+      report.obligations.push_back(std::move(bad));
+      report.verdict = Verdict::Error;
+    }
+    for (std::future<ObligationOutcome>& f : state.futures) {
+      report.obligations.push_back(f.get());
+      report.verdict =
+          worseVerdict(report.verdict, report.obligations.back().verdict);
+    }
+    report.wallSeconds = state.timer.seconds();
+    tr.emit(JsonObject()
+                .put("event", "job_end")
+                .putDouble("t", tr.elapsedSeconds())
+                .put("job", job.name)
+                .put("verdict", toString(report.verdict))
+                .putDouble("wall_seconds", report.wallSeconds)
+                .putUint("obligations",
+                         static_cast<std::uint64_t>(
+                             report.obligations.size())));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace cmc::service

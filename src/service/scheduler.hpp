@@ -1,0 +1,58 @@
+// The batch job scheduler (service layer): accepts VerificationJobs, fans
+// their obligations onto a ThreadPool, enforces per-obligation resource
+// budgets, applies the engine degradation/retry policy, and emits the
+// structured JSONL run trace plus a summary JobReport per job.
+//
+// Scheduling model
+//  - A job is expanded (on the caller's thread, in a scratch context) into
+//    one obligation per (module, spec); with JobOptions::compose also one
+//    per spec on the composition, discharged through the compositional
+//    rules with a ProofTree certificate.
+//  - Obligations are independent: each attempt rebuilds its models in a
+//    fresh symbolic::Context on the worker thread (BDD managers are
+//    single-threaded; same discipline as comp::runObligations).  This also
+//    makes an engine retry meaningful after MemoryOut — the retry starts
+//    with an empty manager.
+//  - Budgets are enforced cooperatively: BudgetToken is installed as the
+//    checker's CheckerOptions::cancelCheck hook, so a blown-up fixpoint
+//    aborts with Timeout/MemoryOut instead of hanging the worker.
+//  - Degradation policy: a budget-exhausted attempt under the partitioned
+//    engine is retried once under the monolithic engine (and vice versa);
+//    only when both exhaust their budget is the obligation Inconclusive.
+#pragma once
+
+#include "service/job.hpp"
+#include "service/trace_log.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cmc::service {
+
+struct ServiceOptions {
+  /// Worker threads for the obligation pool (0 = hardware concurrency).
+  unsigned threads = 0;
+};
+
+class VerificationService {
+ public:
+  explicit VerificationService(ServiceOptions opts = {})
+      : pool_(opts.threads) {}
+
+  /// Run one job to completion; events go to `trace` when non-null.
+  JobReport run(const VerificationJob& job, RunTrace* trace = nullptr);
+
+  /// Run a batch: all obligations of all jobs share the pool, so a wide
+  /// job cannot starve a narrow one queued behind it (obligations
+  /// interleave at task granularity).  Reports are returned in job order.
+  std::vector<JobReport> runBatch(const std::vector<VerificationJob>& jobs,
+                                  RunTrace* trace = nullptr);
+
+  unsigned threads() const noexcept { return pool_.size(); }
+  /// Obligations submitted but not yet picked up by a worker (the
+  /// queue-depth metric recorded in obligation_start events).
+  std::size_t queuedObligations() const { return pool_.pendingTasks(); }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace cmc::service

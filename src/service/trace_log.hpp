@@ -1,0 +1,80 @@
+// Structured run tracing (service layer): a thread-safe JSONL event stream.
+//
+// Every job emits a sequence of single-line JSON events (job_start,
+// obligation_start, attempt, retry, obligation_end, job_end — see
+// scheduler.cpp) through a RunTrace.  The trace buffers events in memory
+// (so tests can assert on them) and optionally appends each line to an
+// ostream sink as it happens, which is how `cmc` streams
+// <model>.trace.jsonl while the batch is still running.
+//
+// JsonObject is the deliberately tiny JSON builder used for both events and
+// the summary report: insertion-ordered keys, no nesting except through
+// putRaw(), everything serialized eagerly.  The repo has no JSON
+// dependency, and the service's output is flat enough not to want one.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace cmc::service {
+
+/// Escape a string for inclusion in a JSON string literal.
+std::string jsonEscape(std::string_view s);
+
+/// Serialize a double the way JSON wants it (no inf/nan, %g precision).
+std::string jsonNumber(double value);
+
+class JsonObject {
+ public:
+  JsonObject& put(const std::string& key, std::string_view value);
+  JsonObject& put(const std::string& key, const char* value) {
+    return put(key, std::string_view(value));
+  }
+  JsonObject& putBool(const std::string& key, bool value);
+  JsonObject& putUint(const std::string& key, std::uint64_t value);
+  JsonObject& putDouble(const std::string& key, double value);
+  /// Insert a pre-serialized JSON value (object, array, ...) verbatim.
+  JsonObject& putRaw(const std::string& key, std::string_view json);
+
+  /// The serialized object, e.g. {"event": "job_start", "t": 0.01}.
+  std::string str() const;
+
+ private:
+  JsonObject& putSerialized(const std::string& key, std::string value);
+
+  std::string body_;  ///< comma-joined "key": value pairs
+};
+
+class RunTrace {
+ public:
+  RunTrace() = default;
+  /// Events are additionally appended (and flushed) to `sink`; the sink
+  /// must outlive the trace.  Pass nullptr for in-memory only.
+  explicit RunTrace(std::ostream* sink) : sink_(sink) {}
+
+  /// Append one event line.  Thread-safe; called from pool workers.
+  void emit(const JsonObject& event);
+
+  /// Snapshot of all emitted lines.
+  std::vector<std::string> lines() const;
+
+  /// Number of emitted lines containing `needle` (test/assertion helper).
+  std::size_t countContaining(std::string_view needle) const;
+
+  /// Seconds since construction; the "t" field of every event.
+  double elapsedSeconds() const { return timer_.seconds(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::ostream* sink_ = nullptr;
+  std::vector<std::string> lines_;
+  WallTimer timer_;
+};
+
+}  // namespace cmc::service

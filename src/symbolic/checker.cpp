@@ -12,6 +12,15 @@ namespace cmc::symbolic {
 using ctl::FormulaPtr;
 using ctl::Op;
 
+const char* toString(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::Deadline: return "deadline";
+    case CancelReason::NodeBudget: return "node-budget";
+    case CancelReason::External: return "external";
+  }
+  return "unknown";
+}
+
 Checker::Checker(const SymbolicSystem& sys, CheckerOptions opts)
     : sys_(sys),
       opts_(opts),
@@ -73,6 +82,7 @@ Checker::Checker(const SymbolicSystem& sys, CheckerOptions opts)
 }
 
 bdd::Bdd Checker::preE(const bdd::Bdd& target) {
+  pollCancel();
   bdd::Manager& mgr = sys_.ctx->mgr();
   if (!partitioned_) {
     const bdd::Bdd primed = mgr.permute(target, swapPerm_);
@@ -97,6 +107,7 @@ bdd::Bdd Checker::untilE(const bdd::Bdd& f, const bdd::Bdd& g) {
   // lfp Q. g ∨ (f ∧ EX Q)
   bdd::Bdd q = g;
   for (;;) {
+    pollCancel();
     bdd::Bdd next = q | (f & preE(q));
     if (next == q) return q;
     q = std::move(next);
@@ -111,6 +122,7 @@ bdd::Bdd Checker::fairEG(const bdd::Bdd& region,
   if (fair.empty()) fair.push_back(sys_.ctx->mgr().bddTrue());
   bdd::Bdd z = region;
   for (;;) {
+    pollCancel();
     bdd::Bdd next = z;
     for (const bdd::Bdd& fc : fair) {
       next &= region & preE(untilE(region, next & fc));
@@ -253,10 +265,42 @@ std::optional<std::string> Checker::counterexampleTrace(
   const FormulaPtr init = r.init != nullptr ? r.init : ctl::mkTrue();
   TraceBuilder builder(sys_);
   const bdd::Bdd good = sat(f->lhs(), r.fairness);
-  const std::optional<Trace> trace =
-      builder.agCounterexample(sat(init, r.fairness) & domain_, good);
-  if (!trace.has_value()) return std::nullopt;
-  return trace->toString();
+  const bdd::Bdd initSet = sat(init, r.fairness) & domain_;
+
+  bool trivialFairness = true;
+  for (const FormulaPtr& fc : r.fairness) {
+    trivialFairness = trivialFairness && fc->op() == ctl::Op::True;
+  }
+  if (trivialFairness) {
+    const std::optional<Trace> trace = builder.agCounterexample(initSet, good);
+    if (!trace.has_value()) return std::nullopt;
+    return trace->toString();
+  }
+
+  // Under a nontrivial fairness restriction a violation of AG good is a
+  // *fair* path reaching ¬good, so the bad state must admit a fair
+  // continuation (lie in the Emerson-Lei fixpoint) and the trace is a
+  // lasso whose cycle visits every fairness constraint.
+  std::vector<bdd::Bdd> fairSets;
+  const bdd::Bdd all = sys_.ctx->mgr().bddTrue();
+  for (const FormulaPtr& fc : r.fairness) {
+    fairSets.push_back(satRec(fc, {}, all));
+  }
+  const bdd::Bdd fair = fairEG(domain_, fairSets);
+  const bdd::Bdd bad = (!good) & fair;
+  const std::optional<Trace> prefix = builder.path(initSet, bad, all);
+  if (!prefix.has_value()) return std::nullopt;
+  const std::optional<Trace> lasso =
+      builder.fairLasso(builder.stateBdd(prefix->states.back()), fair,
+                        fairSets);
+  if (!lasso.has_value()) return std::nullopt;
+  Trace full = *prefix;
+  // lasso->states[0] re-picks the prefix endpoint (a singleton set).
+  for (std::size_t i = 1; i < lasso->states.size(); ++i) {
+    full.states.push_back(lasso->states[i]);
+  }
+  full.loopIndex = prefix->states.size() - 1 + *lasso->loopIndex;
+  return full.toString();
 }
 
 std::optional<std::string> Checker::violationWitness(

@@ -15,6 +15,7 @@
 // by the cross-validation tests).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +25,28 @@
 
 namespace cmc::symbolic {
 
+/// Why a cooperative cancellation fired (service layer verdict mapping:
+/// Deadline → Timeout, NodeBudget → MemoryOut).
+enum class CancelReason { Deadline, NodeBudget, External };
+
+const char* toString(CancelReason reason) noexcept;
+
+/// Thrown out of the checker's fixpoint loops by
+/// CheckerOptions::cancelCheck when an obligation exhausts its resource
+/// budget.  The checker itself never constructs one; it only guarantees the
+/// hook is polled often enough (every preimage and every fixpoint
+/// iteration) that a blown-up check aborts promptly instead of hanging.
+class CancelledError : public Error {
+ public:
+  CancelledError(CancelReason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+
+  CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
 /// Tuning knobs for the checker's preimage engine.
 struct CheckerOptions {
   /// Fold preimages over the partitioned relation (early quantification)
@@ -32,6 +55,12 @@ struct CheckerOptions {
   /// Greedy clustering threshold in BDD nodes; conjuncts are merged while
   /// the cluster stays within it.  0 collapses each track to one cluster.
   std::uint64_t clusterThreshold = 1024;
+  /// Cooperative cancellation hook.  When set, it is polled before every
+  /// preimage and on every untilE/fairEG fixpoint iteration; throwing
+  /// (conventionally CancelledError) aborts the check.  The hook runs on
+  /// the checking thread, so it may inspect the system's BDD manager
+  /// (e.g. liveNodeCount() against a budget) without synchronization.
+  std::function<void()> cancelCheck;
 };
 
 /// Result of one ⊨_r check with the resource data the paper's figures
@@ -84,7 +113,11 @@ class Checker {
 
   /// For a failing spec of shape AG good (good propositional) return a
   /// shortest concrete trace from an init-state to a violation; nullopt if
-  /// the spec holds or has a different shape.
+  /// the spec holds or has a different shape.  Under a nontrivial fairness
+  /// restriction the violation must lie on a fair path, so the trace is a
+  /// *fair lasso*: a finite prefix to the violating state followed by a
+  /// cycle that visits every fairness constraint (rendered with the
+  /// "-- loop starts here --" marker).
   std::optional<std::string> counterexampleTrace(const ctl::Restriction& r,
                                                  const ctl::FormulaPtr& f);
 
@@ -98,6 +131,11 @@ class Checker {
   bool usesPartition() const noexcept { return partitioned_; }
 
  private:
+  /// Invoke opts_.cancelCheck if set (see CheckerOptions::cancelCheck).
+  void pollCancel() {
+    if (opts_.cancelCheck) opts_.cancelCheck();
+  }
+
   bdd::Bdd untilE(const bdd::Bdd& f, const bdd::Bdd& g);
   bdd::Bdd fairEG(const bdd::Bdd& region, const std::vector<bdd::Bdd>& fair);
   bdd::Bdd satRec(const ctl::FormulaPtr& f,

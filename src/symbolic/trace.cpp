@@ -184,6 +184,61 @@ std::optional<Trace> TraceBuilder::egWitness(const bdd::Bdd& from,
   }
 }
 
+std::optional<Trace> TraceBuilder::fairLasso(
+    const bdd::Bdd& from, const bdd::Bdd& region,
+    const std::vector<bdd::Bdd>& fairSets) {
+  const bdd::Bdd start = from & region & domain_;
+  if (start.isFalse()) return std::nullopt;
+
+  Trace trace;
+  trace.states.push_back(pickState(start));
+  bdd::Bdd cur = stateBdd(trace.states.back());
+  std::size_t loopStart = 0;
+
+  // McMillan's sweep: walk to each fair set in turn, then try to close the
+  // cycle back to the sweep's start.  A failed closure means the sweep
+  // crossed into a strictly later SCC of the region, so the sweep restarts
+  // from the current state; the SCC dag is finite, so the restarts
+  // terminate.  When a sweep makes no progress (the current state already
+  // satisfies every fair set) and still cannot close, one arbitrary
+  // region-step forces progress — a state whose deterministic successor
+  // chain returned to it would have closed, so the chain never revisits.
+  for (std::size_t guard = 0; guard < 1000000; ++guard) {
+    for (const bdd::Bdd& f : fairSets) {
+      if (!(cur & f).isFalse()) continue;  // this constraint already holds
+      const std::optional<Trace> leg = path(cur, f & region, region);
+      if (!leg.has_value()) return std::nullopt;  // region not a fairEG region
+      for (std::size_t i = 1; i < leg->states.size(); ++i) {
+        trace.states.push_back(leg->states[i]);
+      }
+      cur = stateBdd(trace.states.back());
+    }
+    // Close with at least one transition: successor set of cur, then a
+    // shortest path back to the sweep start (possibly of length 0 when a
+    // successor *is* the start state).
+    const bdd::Bdd succ = image(cur) & region;
+    if (succ.isFalse()) return std::nullopt;  // region not a fairEG region
+    const bdd::Bdd loopBdd = stateBdd(trace.states[loopStart]);
+    if (const std::optional<Trace> close = path(succ, loopBdd, region)) {
+      // The closure ends at the loop-start state; drop that duplicate (the
+      // lasso convention: the last state has an edge back to
+      // states[loopIndex]).
+      for (std::size_t i = 0; i + 1 < close->states.size(); ++i) {
+        trace.states.push_back(close->states[i]);
+      }
+      trace.loopIndex = loopStart;
+      return trace;
+    }
+    const bool sweepMoved = trace.states.size() - 1 > loopStart;
+    if (!sweepMoved) {
+      trace.states.push_back(pickState(succ));
+      cur = stateBdd(trace.states.back());
+    }
+    loopStart = trace.states.size() - 1;
+  }
+  throw Error("fairLasso: sweep failed to converge");
+}
+
 Trace TraceBuilder::simulate(const bdd::Bdd& init, std::size_t steps,
                              std::uint64_t seed) {
   Trace trace;

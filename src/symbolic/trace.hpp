@@ -76,6 +76,17 @@ class TraceBuilder {
   /// entirely in f-states.  Empty optional if no such path exists.
   std::optional<Trace> egWitness(const bdd::Bdd& from, const bdd::Bdd& f);
 
+  /// A *fair* lasso from a state in `from`: a (possibly empty) prefix inside
+  /// `region` leading to a cycle inside `region` that visits every set of
+  /// `fairSets` at least once, so the infinite unrolling satisfies all
+  /// fairness constraints.  `region` must be a fairEG fixpoint (every state
+  /// has a region-successor and can reach every fair set within the
+  /// region); the standard SMV counterexample sweep is used: visit each
+  /// fair set in turn, try to close the cycle, and restart from the
+  /// current state when the sweep crossed into a later SCC.
+  std::optional<Trace> fairLasso(const bdd::Bdd& from, const bdd::Bdd& region,
+                                 const std::vector<bdd::Bdd>& fairSets);
+
   /// Random simulation: `steps` successive states starting from a state in
   /// `init` (uniformly arbitrary successor choice via cube picking).
   Trace simulate(const bdd::Bdd& init, std::size_t steps,

@@ -33,11 +33,23 @@ class ThreadPool {
   /// Number of worker threads.
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  /// Number of submitted tasks not yet picked up by a worker (tasks in
+  /// flight on a worker are not counted).  This is the service layer's
+  /// queue-depth metric; like any concurrent gauge it is stale the moment
+  /// it returns.
+  std::size_t pendingTasks() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// Schedule `fn(args...)`; the returned future yields its result.
   /// The callable and arguments are decay-copied (moved when passed as
   /// rvalues) into a tuple and invoked with std::apply — unlike std::bind
   /// this supports move-only callables and move-only arguments, and never
   /// misreads placeholders or nested bind expressions.
+  /// An exception escaping the task is captured by the packaged_task and
+  /// rethrown from the future's get() — it never reaches workerLoop(), so
+  /// a throwing task cannot take a worker down or stall later tasks.
   template <typename Fn, typename... Args>
   auto submit(Fn&& fn, Args&&... args)
       -> std::future<std::invoke_result_t<std::decay_t<Fn>&, std::decay_t<Args>...>> {
@@ -65,7 +77,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

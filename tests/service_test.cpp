@@ -1,0 +1,247 @@
+// Tests for the verification service layer: job expansion, resource
+// budgets (deadline and node budget), the engine degradation/retry policy,
+// and the structured run trace / report.
+#include <gtest/gtest.h>
+
+#include "afs/smv_sources.hpp"
+#include "service/scheduler.hpp"
+
+namespace cmc::service {
+namespace {
+
+/// Three-phase protocol with one trivially true safety spec.
+const char* kChainSmv = R"(
+MODULE chain
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;
+SPEC AG (s = a | s = b | s = c)
+)";
+
+/// Two modules sharing x, both keeping it constant: the universal spec is
+/// discharged on the composition by Rule 2 (every expansion satisfies it).
+const char* kTwoModuleSmv = R"(
+MODULE mA
+VAR x : {on, off};
+ASSIGN next(x) := x;
+SPEC (x = on) -> AX (x = on)
+MODULE mB
+VAR
+  x : {on, off};
+  y : {p, q};
+ASSIGN
+  next(x) := x;
+  next(y) := case y = p : q; 1 : p; esac;
+SPEC (x = on) -> AX (x = on)
+)";
+
+VerificationJob chainJob() {
+  VerificationJob job;
+  job.name = "chain";
+  job.smvText = kChainSmv;
+  return job;
+}
+
+TEST(Service, VerdictAggregationIsWorstOf) {
+  EXPECT_EQ(worseVerdict(Verdict::Holds, Verdict::Timeout), Verdict::Timeout);
+  EXPECT_EQ(worseVerdict(Verdict::Timeout, Verdict::MemoryOut),
+            Verdict::MemoryOut);
+  EXPECT_EQ(worseVerdict(Verdict::Inconclusive, Verdict::Fails),
+            Verdict::Fails);
+  EXPECT_EQ(worseVerdict(Verdict::Fails, Verdict::Error), Verdict::Fails);
+  EXPECT_STREQ(toString(Verdict::MemoryOut), "MemoryOut");
+}
+
+TEST(Service, HoldingJobProducesReportAndTrace) {
+  VerificationService svc(ServiceOptions{2});
+  RunTrace trace;
+  const JobReport report = svc.run(chainJob(), &trace);
+
+  EXPECT_TRUE(report.allHold());
+  ASSERT_EQ(report.obligations.size(), 1u);
+  const ObligationOutcome& o = report.obligations.front();
+  EXPECT_EQ(o.verdict, Verdict::Holds);
+  EXPECT_EQ(o.rule, "direct");
+  EXPECT_EQ(o.target, "chain");
+  EXPECT_FALSE(o.retried);
+  ASSERT_EQ(o.attempts.size(), 1u);
+  EXPECT_EQ(o.attempts.front().engine, "partitioned");
+
+  EXPECT_EQ(trace.countContaining("\"event\": \"job_start\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"obligation_start\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"obligation_end\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"retry\""), 0u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"job_end\""), 1u);
+
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"verdict\": \"Holds\""), std::string::npos);
+  EXPECT_NE(json.find("\"obligation_count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"engine\": \"partitioned\""), std::string::npos);
+}
+
+TEST(Service, DeadlineExpiryYieldsTimeoutThenInconclusive) {
+  VerificationJob job = chainJob();
+  job.options.limits.deadlineSeconds = 1e-9;
+
+  VerificationService svc(ServiceOptions{1});
+  RunTrace trace;
+  const JobReport report = svc.run(job, &trace);
+
+  ASSERT_EQ(report.obligations.size(), 1u);
+  const ObligationOutcome& o = report.obligations.front();
+  // Both engines ran out of time, so the obligation is Inconclusive and
+  // the report records one attempt per engine.
+  EXPECT_EQ(o.verdict, Verdict::Inconclusive);
+  EXPECT_TRUE(o.retried);
+  ASSERT_EQ(o.attempts.size(), 2u);
+  EXPECT_EQ(o.attempts[0].engine, "partitioned");
+  EXPECT_EQ(o.attempts[0].verdict, Verdict::Timeout);
+  EXPECT_EQ(o.attempts[1].engine, "monolithic");
+  EXPECT_EQ(o.attempts[1].verdict, Verdict::Timeout);
+
+  EXPECT_GE(trace.countContaining("\"verdict\": \"Timeout\""), 2u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"retry\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"reason\": \"Timeout\""), 1u);
+}
+
+TEST(Service, TinyNodeBudgetOnAfs2YieldsMemoryOutNotAHang) {
+  // The ISSUE's acceptance scenario: a deliberately impossible node budget
+  // on an AFS-2 model must surface as MemoryOut attempts plus a retry
+  // event in the trace — never a crash or hang.
+  VerificationJob job;
+  job.name = "afs2";
+  job.factory = [](symbolic::Context& ctx) {
+    return std::vector<smv::ElaboratedModule>{
+        smv::elaborateText(ctx, afs::afs2ServerSmv(2))};
+  };
+  job.options.limits.nodeBudget = 1;
+
+  VerificationService svc(ServiceOptions{2});
+  RunTrace trace;
+  const JobReport report = svc.run(job, &trace);
+
+  EXPECT_EQ(report.verdict, Verdict::Inconclusive);
+  ASSERT_FALSE(report.obligations.empty());
+  for (const ObligationOutcome& o : report.obligations) {
+    EXPECT_EQ(o.verdict, Verdict::Inconclusive) << o.id;
+    EXPECT_TRUE(o.retried) << o.id;
+    ASSERT_EQ(o.attempts.size(), 2u) << o.id;
+    EXPECT_EQ(o.attempts[0].verdict, Verdict::MemoryOut) << o.id;
+    EXPECT_EQ(o.attempts[1].verdict, Verdict::MemoryOut) << o.id;
+  }
+  EXPECT_GE(trace.countContaining("\"verdict\": \"MemoryOut\""), 2u);
+  EXPECT_GE(trace.countContaining("\"event\": \"retry\""), 1u);
+  EXPECT_GE(trace.countContaining("\"reason\": \"MemoryOut\""), 1u);
+  // The degradation policy goes partitioned -> monolithic by default.
+  EXPECT_GE(trace.countContaining("\"from_engine\": \"partitioned\""), 1u);
+  EXPECT_GE(trace.countContaining("\"to_engine\": \"monolithic\""), 1u);
+}
+
+TEST(Service, RetryDegradesMonolithicToPartitionedToo) {
+  VerificationJob job = chainJob();
+  job.options.usePartitionedTrans = false;
+  job.options.limits.nodeBudget = 1;
+
+  VerificationService svc(ServiceOptions{1});
+  RunTrace trace;
+  const JobReport report = svc.run(job, &trace);
+
+  ASSERT_EQ(report.obligations.size(), 1u);
+  const ObligationOutcome& o = report.obligations.front();
+  EXPECT_EQ(o.verdict, Verdict::Inconclusive);
+  ASSERT_EQ(o.attempts.size(), 2u);
+  EXPECT_EQ(o.attempts[0].engine, "monolithic");
+  EXPECT_EQ(o.attempts[1].engine, "partitioned");
+  EXPECT_GE(trace.countContaining("\"from_engine\": \"monolithic\""), 1u);
+  EXPECT_GE(trace.countContaining("\"to_engine\": \"partitioned\""), 1u);
+}
+
+TEST(Service, NoRetryKeepsTheSingleAttemptVerdict) {
+  VerificationJob job = chainJob();
+  job.options.limits.deadlineSeconds = 1e-9;
+  job.options.retryOtherEngine = false;
+
+  VerificationService svc(ServiceOptions{1});
+  RunTrace trace;
+  const JobReport report = svc.run(job, &trace);
+
+  ASSERT_EQ(report.obligations.size(), 1u);
+  const ObligationOutcome& o = report.obligations.front();
+  // Without the degradation retry the budget verdict itself stands.
+  EXPECT_EQ(o.verdict, Verdict::Timeout);
+  EXPECT_FALSE(o.retried);
+  EXPECT_EQ(o.attempts.size(), 1u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"retry\""), 0u);
+}
+
+TEST(Service, ComposedObligationsCarryRuleAndCertificate) {
+  VerificationJob job;
+  job.name = "twomod";
+  job.smvText = kTwoModuleSmv;
+  job.options.compose = true;
+
+  VerificationService svc(ServiceOptions{2});
+  const JobReport report = svc.run(job);
+
+  EXPECT_TRUE(report.allHold());
+  // 2 component obligations + 2 composed ones.
+  ASSERT_EQ(report.obligations.size(), 4u);
+  std::size_t composed = 0;
+  for (const ObligationOutcome& o : report.obligations) {
+    EXPECT_EQ(o.verdict, Verdict::Holds) << o.id;
+    if (o.target == "composed") {
+      ++composed;
+      EXPECT_NE(o.rule.find("Rule 2"), std::string::npos) << o.rule;
+      EXPECT_FALSE(o.proofJson.empty()) << o.id;
+    } else {
+      EXPECT_EQ(o.rule, "direct");
+      EXPECT_TRUE(o.proofJson.empty());
+    }
+  }
+  EXPECT_EQ(composed, 2u);
+  EXPECT_NE(report.toJson().find("\"proof\": ["), std::string::npos);
+}
+
+TEST(Service, ElaborationFailureIsAnErrorOutcomeNotACrash) {
+  VerificationJob job;
+  job.name = "broken";
+  job.smvText = "MODULE nonsense\nVAR !!!";
+
+  VerificationService svc(ServiceOptions{1});
+  RunTrace trace;
+  const JobReport report = svc.run(job, &trace);
+
+  EXPECT_EQ(report.verdict, Verdict::Error);
+  ASSERT_EQ(report.obligations.size(), 1u);
+  EXPECT_NE(report.obligations.front().id.find("<elaboration>"),
+            std::string::npos);
+  EXPECT_FALSE(report.obligations.front().error.empty());
+}
+
+TEST(Service, BatchInterleavesJobsAndReportsInOrder) {
+  VerificationJob a = chainJob();
+  a.name = "first";
+  VerificationJob b = chainJob();
+  b.name = "second";
+
+  VerificationService svc(ServiceOptions{2});
+  RunTrace trace;
+  const std::vector<JobReport> reports = svc.runBatch({a, b}, &trace);
+
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].job, "first");
+  EXPECT_EQ(reports[1].job, "second");
+  EXPECT_TRUE(reports[0].allHold());
+  EXPECT_TRUE(reports[1].allHold());
+  EXPECT_EQ(trace.countContaining("\"event\": \"job_end\""), 2u);
+}
+
+TEST(Service, JsonEscapingHandlesControlCharacters) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  const std::string obj =
+      JsonObject().put("k", "v\t").putUint("n", 3).str();
+  EXPECT_EQ(obj, "{\"k\": \"v\\t\", \"n\": 3}");
+}
+
+}  // namespace
+}  // namespace cmc::service

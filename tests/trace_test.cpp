@@ -129,6 +129,61 @@ TEST(TraceBuilder, EgWitnessFindsLasso) {
       fx.builder.egWitness(fx.at("a"), fx.at("a") | fx.at("b")).has_value());
 }
 
+/// Pure cycle a -> b -> c -> a: every state lies on the single fair cycle.
+const char* kCycleSmv = R"(
+MODULE cycle
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : b; s = b : c; 1 : a; esac;
+)";
+
+TEST(TraceBuilder, FairLassoVisitsEveryFairSetAndCloses) {
+  Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kCycleSmv);
+  TraceBuilder builder(mod.sys);
+  auto at = [&](const char* v) { return ctx.varEq(ctx.varId("s"), v); };
+  const bdd::Bdd all = at("a") | at("b") | at("c");
+
+  const auto lasso = builder.fairLasso(at("a"), all, {at("b"), at("c")});
+  ASSERT_TRUE(lasso.has_value());
+  ASSERT_TRUE(lasso->loopIndex.has_value());
+  const std::size_t loop = *lasso->loopIndex;
+  ASSERT_LT(loop, lasso->states.size());
+  // The loop itself visits both fair sets...
+  bool sawB = false;
+  bool sawC = false;
+  for (std::size_t i = loop; i < lasso->states.size(); ++i) {
+    sawB = sawB || lasso->states[i].values.at("s") == "b";
+    sawC = sawC || lasso->states[i].values.at("s") == "c";
+  }
+  EXPECT_TRUE(sawB);
+  EXPECT_TRUE(sawC);
+  // ...and closes: the last state has an edge back to states[loopIndex].
+  const bdd::Bdd last = builder.stateBdd(lasso->states.back());
+  const bdd::Bdd head = builder.stateBdd(lasso->states[loop]);
+  EXPECT_NE(builder.image(last) & head, ctx.mgr().bddFalse());
+  // Rendering marks where the repeating suffix begins.
+  EXPECT_NE(lasso->toString().find("loop starts here"), std::string::npos);
+}
+
+TEST(CheckerTraces, FairCounterexampleIsAFairLasso) {
+  // Under FAIRNESS s=c, AG !(s=b) fails from s=a; the counterexample must
+  // be a lasso whose loop visits the fair set, not just a finite prefix.
+  Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kCycleSmv);
+  Checker checker(mod.sys);
+  ctl::Restriction r;
+  r.init = ctl::parse("s=a");
+  r.fairness = {ctl::parse("s=c")};
+  const ctl::FormulaPtr spec = ctl::parse("AG !(s=b)");
+  EXPECT_FALSE(checker.holds(r, spec));
+
+  const auto trace = checker.counterexampleTrace(r, spec);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_NE(trace->find("loop starts here"), std::string::npos);
+  EXPECT_NE(trace->find("s = b"), std::string::npos);  // the violation
+  EXPECT_NE(trace->find("s = c"), std::string::npos);  // the fair state
+}
+
 TEST(TraceBuilder, SimulateFollowsTransitions) {
   ChainFixture fx;
   const Trace run = fx.builder.simulate(fx.at("a"), 5, 7);

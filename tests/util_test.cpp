@@ -123,6 +123,48 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_THROW(future.get(), Error);
 }
 
+TEST(ThreadPool, ThrowingTaskLeavesPoolUsable) {
+  // Regression: an exception must land in the task's own future (with its
+  // message intact) and must not take the worker down — tasks submitted
+  // after the throw still run to completion.
+  ThreadPool pool(1);  // single worker: the same thread sees the throw
+  auto bad = pool.submit([]() -> int { throw Error("task exploded"); });
+  auto good = pool.submit([] { return 7; });
+  try {
+    bad.get();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "task exploded");
+  }
+  EXPECT_EQ(good.get(), 7);
+  // Every one of a burst of throwing tasks reports independently.
+  std::vector<std::future<void>> bursts;
+  for (int i = 0; i < 8; ++i) {
+    bursts.push_back(pool.submit([] { throw Error("again"); }));
+  }
+  for (auto& f : bursts) EXPECT_THROW(f.get(), Error);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, PendingTasksReportsQueueDepth) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // Occupy the single worker, then pile up queued tasks behind it.
+  auto blocker = pool.submit([gate] { gate.wait(); });
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 5; ++i) {
+    queued.push_back(pool.submit([gate] { gate.wait(); }));
+  }
+  // The blocker may or may not have been dequeued yet; the 5 behind it
+  // cannot have been.
+  EXPECT_GE(pool.pendingTasks(), 5u);
+  release.set_value();
+  blocker.get();
+  for (auto& f : queued) f.get();
+  EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
 TEST(ThreadPool, DrainsQueueOnDestruction) {
   std::atomic<int> ran{0};
   {

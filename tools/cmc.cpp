@@ -1,0 +1,300 @@
+// cmc — the production command-line front end of the verification service.
+//
+//   cmc check [options] <model.smv> [more.smv ...]
+//   cmc version | help
+//
+// Each model file becomes one VerificationJob; all jobs run as one batch on
+// the service's thread pool, so obligations of different models interleave.
+// Every job writes a JSONL event trace and a summary JSON report (schema in
+// README.md) next to its model — override the destinations with --trace and
+// --report.
+//
+//   cmc check --compose --deadline-ms 5000 --node-budget 2000000
+//             --report out.json models/*.smv          (one command line)
+//
+// Exit codes follow the SMV-family convention: verdicts are data, not exit
+// status.  0 = verification ran to completion (per-spec verdicts are in the
+// output and the report); 2 = usage, I/O or elaboration error.  With
+// --strict the verdict is mapped onto the exit code for CI gating:
+// 1 = some spec fails, 3 = undecided within budget (Timeout / MemoryOut /
+// Inconclusive).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/scheduler.hpp"
+
+using namespace cmc;
+
+namespace {
+
+constexpr const char* kVersion = "cmc 0.2.0 (compositional model checker)";
+
+constexpr const char* kUsage = R"(usage: cmc <command> [options] <model.smv> [more.smv ...]
+
+commands:
+  check       parse, elaborate and verify every SPEC of the given models
+  version     print the version string
+  help        print this help
+
+cmc check options:
+  --compose          also verify each spec on the composition of all modules
+                     (compositional rules first, certificate in the report)
+  --monolithic       first-attempt engine: monolithic transition relation
+                     (default: partitioned with early quantification)
+  --no-retry         disable the budget-exhaustion retry on the other engine
+  --deadline-ms N    per-attempt wall-clock deadline in milliseconds
+  --node-budget N    per-attempt budget of live BDD nodes
+  --cluster N        partition clustering threshold in nodes (default 1024)
+  --reorder          sift variables after elaboration, before checking
+  --threads N        worker threads (default: hardware concurrency)
+  --report PATH      write one combined summary JSON to PATH
+                     (default: <model>.report.json next to each model)
+  --trace PATH       write one combined JSONL event trace to PATH
+                     (default: <model>.trace.jsonl next to each model)
+  --strict           map the aggregate verdict onto the exit code
+                     (1 = some spec fails, 3 = undecided within budget);
+                     the default, as in the SMV family, is to exit 0
+                     whenever verification ran to completion
+  --quiet            only print the final per-job verdicts
+)";
+
+struct CliOptions {
+  service::JobOptions job;
+  unsigned threads = 0;
+  std::string reportPath;
+  std::string tracePath;
+  bool strict = false;
+  bool quiet = false;
+  std::vector<std::string> models;
+};
+
+std::string basenameStem(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  if (name.size() > 4 && name.ends_with(".smv")) {
+    name.resize(name.size() - 4);
+  }
+  return name;
+}
+
+std::string siblingPath(const std::string& modelPath, const char* suffix) {
+  std::string base = modelPath;
+  if (base.size() > 4 && base.ends_with(".smv")) {
+    base.resize(base.size() - 4);
+  }
+  return base + suffix;
+}
+
+bool parseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+int parseArgs(int argc, char** argv, CliOptions* cli) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "cmc: " << arg << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--compose") {
+      cli->job.compose = true;
+    } else if (arg == "--monolithic") {
+      cli->job.usePartitionedTrans = false;
+    } else if (arg == "--no-retry") {
+      cli->job.retryOtherEngine = false;
+    } else if (arg == "--reorder") {
+      cli->job.reorderBeforeCheck = true;
+    } else if (arg == "--strict") {
+      cli->strict = true;
+    } else if (arg == "--quiet") {
+      cli->quiet = true;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      std::uint64_t ms = 0;
+      if (v == nullptr || !parseUint(v, &ms)) return 2;
+      cli->job.limits.deadlineSeconds = static_cast<double>(ms) / 1e3;
+    } else if (arg == "--node-budget") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &cli->job.limits.nodeBudget)) return 2;
+    } else if (arg == "--cluster") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &cli->job.clusterThreshold)) return 2;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parseUint(v, &n)) return 2;
+      cli->threads = static_cast<unsigned>(n);
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cli->reportPath = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cli->tracePath = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cmc: unknown option " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      cli->models.push_back(arg);
+    }
+  }
+  if (cli->models.empty()) {
+    std::cerr << "cmc: no model files given\n" << kUsage;
+    return 2;
+  }
+  return 0;
+}
+
+bool writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cmc: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+void printReport(const service::JobReport& report, bool quiet) {
+  std::cout << "== job " << report.job << " ==\n";
+  if (!quiet) {
+    for (const service::ObligationOutcome& o : report.obligations) {
+      std::string text = o.specText;
+      if (text.size() > 56) text = text.substr(0, 53) + "...";
+      std::cout << "-- [" << o.target << "] " << o.spec << "  " << text
+                << "  : " << service::toString(o.verdict) << " (" << o.rule
+                << (o.retried ? ", retried" : "") << ", "
+                << service::jsonNumber(o.seconds) << " s)\n";
+      if (!o.error.empty()) std::cout << "--   error: " << o.error << "\n";
+      if (!o.counterexample.empty()) {
+        std::cout << "-- counterexample:\n" << o.counterexample;
+      }
+    }
+  }
+  std::cout << "-- verdict: " << service::toString(report.verdict) << " ("
+            << report.obligations.size() << " obligations, "
+            << service::jsonNumber(report.wallSeconds) << " s wall)\n\n";
+}
+
+int runCheck(const CliOptions& cli) {
+  std::vector<service::VerificationJob> jobs;
+  for (const std::string& path : cli.models) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cmc: cannot open " << path << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    service::VerificationJob job;
+    job.name = basenameStem(path);
+    job.smvText = buffer.str();
+    job.sourcePath = path;
+    job.options = cli.job;
+    jobs.push_back(std::move(job));
+  }
+
+  service::VerificationService svc(service::ServiceOptions{cli.threads});
+  std::ofstream traceFile;
+  if (!cli.tracePath.empty()) {
+    traceFile.open(cli.tracePath);
+    if (!traceFile) {
+      std::cerr << "cmc: cannot write " << cli.tracePath << "\n";
+      return 2;
+    }
+  }
+  service::RunTrace trace(traceFile.is_open() ? &traceFile : nullptr);
+  const std::vector<service::JobReport> reports = svc.runBatch(jobs, &trace);
+
+  // Default trace destination: <model>.trace.jsonl next to each model
+  // (events carry their job name, so the combined stream splits cleanly).
+  if (cli.tracePath.empty()) {
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      const std::string needle = "\"job\": \"" + jobs[k].name + "\"";
+      std::string lines;
+      for (const std::string& line : trace.lines()) {
+        if (line.find(needle) != std::string::npos) lines += line + "\n";
+      }
+      writeFile(siblingPath(cli.models[k], ".trace.jsonl"), lines);
+    }
+  }
+
+  // Summary reports: one combined file with --report, else one per model.
+  if (!cli.reportPath.empty()) {
+    std::string combined;
+    if (reports.size() == 1) {
+      combined = reports.front().toJson() + "\n";
+    } else {
+      combined = "{\"reports\": [\n";
+      for (std::size_t k = 0; k < reports.size(); ++k) {
+        combined += reports[k].toJson();
+        combined += k + 1 < reports.size() ? ",\n" : "\n";
+      }
+      combined += "]}\n";
+    }
+    if (!writeFile(cli.reportPath, combined)) return 2;
+  } else {
+    for (std::size_t k = 0; k < reports.size(); ++k) {
+      writeFile(siblingPath(cli.models[k], ".report.json"),
+                reports[k].toJson() + "\n");
+    }
+  }
+
+  service::Verdict verdict = service::Verdict::Holds;
+  for (const service::JobReport& report : reports) {
+    printReport(report, cli.quiet);
+    verdict = service::worseVerdict(verdict, report.verdict);
+  }
+  // A job whose model failed to elaborate is an operational error even in
+  // the default (non-strict) mode.
+  if (verdict == service::Verdict::Error) return 2;
+  if (!cli.strict) return 0;
+  switch (verdict) {
+    case service::Verdict::Holds: return 0;
+    case service::Verdict::Fails: return 1;
+    default: return 3;  // Timeout / MemoryOut / Inconclusive
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "version" || command == "--version") {
+    std::cout << kVersion << "\n";
+    return 0;
+  }
+  if (command == "help" || command == "--help") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (command != "check") {
+    std::cerr << "cmc: unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  }
+  CliOptions cli;
+  if (const int rc = parseArgs(argc, argv, &cli); rc != 0) return rc;
+  try {
+    return runCheck(cli);
+  } catch (const Error& e) {
+    std::cerr << "cmc: " << e.what() << "\n";
+    return 2;
+  }
+}
