@@ -29,6 +29,10 @@ struct JsonEntry {
   std::uint64_t peakLiveNodes = 0;
   double cacheHitRate = 0.0;
   std::string mode;  ///< e.g. "monolithic" / "partitioned"; may be empty
+  /// Engine configuration the row ran under, so results are comparable
+  /// across PRs without guessing the defaults of the day.
+  std::uint64_t clusterThreshold = 0;
+  bool reorder = false;  ///< variables were sifted before checking
 };
 
 inline std::vector<JsonEntry>& jsonEntries() {
@@ -43,7 +47,8 @@ inline void recordResult(JsonEntry entry) {
 /// Record one CheckResult (the common case).
 inline void recordCheck(const std::string& model,
                         const symbolic::CheckResult& r,
-                        const std::string& mode = "") {
+                        const std::string& mode = "",
+                        bool reorder = false) {
   JsonEntry e;
   e.model = model;
   e.spec = r.specName.empty() ? r.specText : r.specName;
@@ -55,6 +60,8 @@ inline void recordCheck(const std::string& model,
   e.cacheHitRate = r.cacheHitRate;
   e.mode = mode.empty() ? (r.usedPartition ? "partitioned" : "monolithic")
                         : mode;
+  e.clusterThreshold = r.clusterThreshold;
+  e.reorder = reorder;
   recordResult(std::move(e));
 }
 
@@ -91,13 +98,16 @@ inline void writeJsonReport(const std::string& name) {
         "    {\"model\": \"%s\", \"spec\": \"%s\", \"holds\": %s, "
         "\"seconds\": %.6f, \"nodes_allocated\": %llu, \"trans_nodes\": "
         "%llu, \"peak_live_nodes\": %llu, \"cache_hit_rate\": %.4f, "
-        "\"mode\": \"%s\"}%s\n",
+        "\"mode\": \"%s\", \"cluster_threshold\": %llu, "
+        "\"reorder\": %s}%s\n",
         jsonEscape(e.model).c_str(), jsonEscape(e.spec).c_str(),
         e.holds ? "true" : "false", e.seconds,
         static_cast<unsigned long long>(e.nodesAllocated),
         static_cast<unsigned long long>(e.transNodes),
         static_cast<unsigned long long>(e.peakLiveNodes), e.cacheHitRate,
-        jsonEscape(e.mode).c_str(), i + 1 < entries.size() ? "," : "");
+        jsonEscape(e.mode).c_str(),
+        static_cast<unsigned long long>(e.clusterThreshold),
+        e.reorder ? "true" : "false", i + 1 < entries.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -123,6 +123,7 @@ ModeStats runMode(const ModelCase& mc, bool partitioned, bool record = false) {
   summary.transNodes = stats.transNodes;
   summary.peakLiveNodes = stats.peakLiveNodes;
   summary.mode = mode;
+  summary.clusterThreshold = opts.clusterThreshold;
   bench::recordResult(std::move(summary));
   return stats;
 }

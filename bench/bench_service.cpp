@@ -52,7 +52,9 @@ bool runSerial(const std::vector<service::VerificationJob>& jobs) {
 
 bool runPooled(const std::vector<service::VerificationJob>& jobs,
                unsigned threads) {
-  service::VerificationService svc(service::ServiceOptions{threads});
+  service::ServiceOptions opts;
+  opts.threads = threads;
+  service::VerificationService svc(opts);
   bool all = true;
   for (const service::JobReport& r : svc.runBatch(jobs)) {
     all = all && r.allHold();
@@ -82,6 +84,7 @@ void report() {
     serialEntry.holds = serialOk;
     serialEntry.seconds = serialSeconds;
     serialEntry.mode = "serial";
+    serialEntry.clusterThreshold = symbolic::CheckerOptions{}.clusterThreshold;
     bench::recordResult(std::move(serialEntry));
     bench::JsonEntry poolEntry;
     poolEntry.model = batch;
@@ -89,6 +92,7 @@ void report() {
     poolEntry.holds = poolOk;
     poolEntry.seconds = poolSeconds;
     poolEntry.mode = "service-pool";
+    poolEntry.clusterThreshold = service::JobOptions{}.clusterThreshold;
     bench::recordResult(std::move(poolEntry));
   }
   std::printf("\n");

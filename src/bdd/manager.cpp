@@ -177,29 +177,16 @@ NodeIndex Manager::allocateNode() {
 void Manager::rehashUniqueTable(std::size_t buckets) {
   uniqueBuckets_.assign(buckets, kNilNode);
   const std::size_t mask = buckets - 1;
-  // Re-chain every live internal node.  Dead nodes are on the free list and
-  // are distinguished by var == kTerminalLevel with index >= 2.
-  std::vector<bool> dead(nodes_.size(), false);
-  for (NodeIndex i = freeList_; i != kNilNode; i = nodes_[i].next) {
-    dead[i] = true;
-  }
-  // Rebuilding invalidates the free-list links that share `next`; collect
-  // the free list first, then restore it after rebuilding chains.
-  std::vector<NodeIndex> freeNodes;
-  for (NodeIndex i = freeList_; i != kNilNode; i = nodes_[i].next) {
-    freeNodes.push_back(i);
-  }
+  // Re-chain every live internal node.  Free-list nodes carry the poisoned
+  // label var == kTerminalLevel (with index >= 2), so the label test alone
+  // skips them — and because only live nodes are re-chained, the free-list
+  // links (which share `next`) survive the rebuild untouched.
   for (NodeIndex i = 2; i < nodes_.size(); ++i) {
-    if (dead[i]) continue;
     Node& n = nodes_[i];
+    if (n.var == kTerminalLevel) continue;
     const std::size_t bucket = hash3(n.var, n.low, n.high) & mask;
     n.next = uniqueBuckets_[bucket];
     uniqueBuckets_[bucket] = i;
-  }
-  freeList_ = kNilNode;
-  for (NodeIndex i : freeNodes) {
-    nodes_[i].next = freeList_;
-    freeList_ = i;
   }
 }
 
@@ -245,14 +232,11 @@ void Manager::collectGarbage() {
     }
   }
 
-  // Sweep: everything unmarked (and not already free) joins the free list.
-  std::vector<bool> wasFree(nodes_.size(), false);
-  for (NodeIndex i = freeList_; i != kNilNode; i = nodes_[i].next) {
-    wasFree[i] = true;
-  }
+  // Sweep: everything unmarked (and not already free, i.e. not already
+  // poisoned) joins the free list.
   std::uint64_t reclaimed = 0;
   for (NodeIndex i = 2; i < nodes_.size(); ++i) {
-    if (!marks_[i] && !wasFree[i]) {
+    if (!marks_[i] && nodes_[i].var != kTerminalLevel) {
       nodes_[i].var = kTerminalLevel;  // poison
       nodes_[i].next = freeList_;
       freeList_ = i;

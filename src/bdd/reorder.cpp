@@ -28,18 +28,14 @@ void Manager::swapAdjacentLevels(std::uint32_t level) {
   const std::uint32_t x = levelToVar_[level];
   const std::uint32_t y = levelToVar_[level + 1];
 
-  // Free-list nodes carry poisoned labels; identify them up front so the
-  // sweep below does not touch them.
-  std::vector<bool> isFree(nodes_.size(), false);
-  for (NodeIndex i = freeList_; i != kNilNode; i = nodes_[i].next) {
-    isFree[i] = true;
-  }
-
-  // Collect the x-nodes that actually test y below.
+  // Collect the x-nodes that actually test y below.  Free-list nodes carry
+  // the poisoned label kTerminalLevel (collectGarbage sets it on free, mk
+  // overwrites it on reuse), which never equals a real variable — so the
+  // label test alone excludes them and no per-swap free bitmap is needed.
   std::vector<NodeIndex> affected;
   for (NodeIndex i = 2; i < nodes_.size(); ++i) {
-    if (isFree[i] || nodes_[i].var != x) continue;
     const Node& n = nodes_[i];
+    if (n.var != x) continue;
     if (nodes_[n.low].var == y || nodes_[n.high].var == y) {
       affected.push_back(i);
     }
@@ -119,13 +115,10 @@ std::uint64_t Manager::reorderSift() {
   ++stats_.reorderings;
   // Sift variables in decreasing order of population (nodes labelled with
   // the variable), the classic heuristic.
+  // Free-list nodes are excluded by their poisoned label alone.
   std::vector<std::uint64_t> population(numVars_, 0);
-  std::vector<bool> isFree(nodes_.size(), false);
-  for (NodeIndex i = freeList_; i != kNilNode; i = nodes_[i].next) {
-    isFree[i] = true;
-  }
   for (NodeIndex i = 2; i < nodes_.size(); ++i) {
-    if (!isFree[i] && nodes_[i].var != kTerminalLevel) {
+    if (nodes_[i].var != kTerminalLevel) {
       ++population[nodes_[i].var];
     }
   }

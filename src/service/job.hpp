@@ -107,6 +107,14 @@ struct ObligationOutcome {
   std::string spec;      ///< spec name (module.SPECn)
   std::string specText;  ///< rendered CTL formula
   Verdict verdict = Verdict::Error;
+  /// "checked" when the verdict came from running the checker, "cache"
+  /// when it was served by the obligation cache (zero attempts).
+  std::string verdictSource = "checked";
+  /// Content fingerprint used to address the obligation cache; empty when
+  /// fingerprinting failed or the cache is disabled.
+  std::string fingerprint;
+  /// True when this obligation's decided verdict became a new cache entry.
+  bool cacheInserted = false;
   bool retried = false;
   /// Proof rule that decided the obligation: "direct" for a plain
   /// component check; for composed obligations the property class and rule
@@ -126,6 +134,11 @@ struct JobReport {
   Verdict verdict = Verdict::Holds;
   double wallSeconds = 0.0;
   std::vector<ObligationOutcome> obligations;
+  /// Obligation-cache traffic of this job: verdicts served from the cache,
+  /// consults that missed, and newly decided verdicts offered to it.
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheInserts = 0;
 
   bool allHold() const noexcept { return verdict == Verdict::Holds; }
   /// The summary JSON written next to the model (schema in README.md).

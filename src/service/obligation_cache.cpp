@@ -1,0 +1,320 @@
+#include "service/obligation_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "service/trace_log.hpp"
+#include "util/hash.hpp"
+
+namespace cmc::service {
+
+namespace {
+
+/// Bumped whenever checker semantics or the canonical serialization
+/// change, so a persisted store from an older build can never serve a
+/// verdict computed under different semantics.
+constexpr const char* kCacheVersion = "cmc-obligation-cache-v1";
+
+constexpr const char* kStoreFile = "obligations.jsonl";
+
+/// Parse the JSON string literal starting at s[i] (which must be '"').
+/// Returns false on malformed or truncated input (the corruption-tolerant
+/// loader's failure path).
+bool parseJsonString(const std::string& s, std::size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  out->clear();
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      if (*i + 1 >= s.size()) return false;
+      const char esc = s[*i + 1];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          // jsonEscape only emits \u00XX for control characters.
+          if (*i + 5 >= s.size()) return false;
+          unsigned code = 0;
+          for (int k = 2; k <= 5; ++k) {
+            const char h = s[*i + k];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          out->push_back(static_cast<char>(code & 0xff));
+          *i += 4;
+          break;
+        }
+        default: return false;
+      }
+      *i += 2;
+      continue;
+    }
+    out->push_back(c);
+    ++*i;
+  }
+  return false;  // unterminated literal (truncated line)
+}
+
+/// Find `"key": ` in the flat object and return the start index of its
+/// value, or npos.  Keys are matched as whole quoted tokens, so a key name
+/// occurring inside a string value cannot confuse the scan — all our keys
+/// are written by JsonObject in a fixed order before any free-text value.
+std::size_t findValue(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+bool extractString(const std::string& line, const std::string& key,
+                   std::string* out) {
+  std::size_t i = findValue(line, key);
+  if (i == std::string::npos) return false;
+  return parseJsonString(line, &i, out);
+}
+
+bool extractDouble(const std::string& line, const std::string& key,
+                   double* out) {
+  const std::size_t i = findValue(line, key);
+  if (i == std::string::npos) return false;
+  try {
+    *out = std::stod(line.substr(i));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+/// One store line.  The proof certificate is stored as a JSON *string*
+/// (escaped), not a nested object, so the tolerant loader never needs to
+/// balance braces.
+std::string storeLine(const std::string& fingerprint, const CachedVerdict& v) {
+  JsonObject obj;
+  obj.put("fp", fingerprint)
+      .put("verdict", toString(v.verdict))
+      .put("rule", v.rule)
+      .put("engine", v.engine)
+      .putDouble("seconds", v.seconds);
+  if (!v.counterexample.empty()) obj.put("counterexample", v.counterexample);
+  if (!v.proofJson.empty()) obj.put("proof", v.proofJson);
+  return obj.str();
+}
+
+/// Strict inverse of storeLine; any deviation marks the line corrupt.
+bool parseStoreLine(const std::string& line, std::string* fingerprint,
+                    CachedVerdict* v) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+  std::string verdict;
+  if (!extractString(line, "fp", fingerprint) ||
+      !extractString(line, "verdict", &verdict)) {
+    return false;
+  }
+  if (fingerprint->empty()) return false;
+  if (verdict == "Holds") v->verdict = Verdict::Holds;
+  else if (verdict == "Fails") v->verdict = Verdict::Fails;
+  else return false;  // only decided verdicts belong in the store
+  if (!extractString(line, "rule", &v->rule) ||
+      !extractString(line, "engine", &v->engine) ||
+      !extractDouble(line, "seconds", &v->seconds)) {
+    return false;
+  }
+  extractString(line, "counterexample", &v->counterexample);
+  extractString(line, "proof", &v->proofJson);
+  return true;
+}
+
+}  // namespace
+
+ObligationCache::ObligationCache() : ObligationCache(Options{}) {}
+
+ObligationCache::ObligationCache(Options opts) : dir_(std::move(opts.dir)) {
+  const std::size_t capacity = opts.capacity < 1 ? 1 : opts.capacity;
+  perShardCapacity_ = (capacity + kShards - 1) / kShards;
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "obligation cache: cannot create %s (%s); "
+                   "running in-memory only\n",
+                   dir_.c_str(), ec.message().c_str());
+      dir_.clear();
+    } else {
+      diskPath_ = (std::filesystem::path(dir_) / kStoreFile).string();
+      loadDisk();
+    }
+  }
+}
+
+ObligationCache::Shard& ObligationCache::shardFor(
+    const std::string& fingerprint) {
+  std::size_t seed = 0;
+  for (char c : fingerprint) {
+    hashCombine(seed, static_cast<unsigned char>(c));
+  }
+  return shards_[mix64(seed) % kShards];
+}
+
+std::optional<CachedVerdict> ObligationCache::lookup(
+    const std::string& fingerprint) {
+  Shard& shard = shardFor(fingerprint);
+  std::optional<CachedVerdict> result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      result = it->second->second;
+    }
+  }
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  if (result.has_value()) ++stats_.hits;
+  else ++stats_.misses;
+  return result;
+}
+
+bool ObligationCache::insertMemory(const std::string& fingerprint,
+                                   const CachedVerdict& v) {
+  Shard& shard = shardFor(fingerprint);
+  bool isNew = false;
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      it->second->second = v;
+    } else {
+      shard.order.emplace_front(fingerprint, v);
+      shard.index.emplace(fingerprint, shard.order.begin());
+      isNew = true;
+      while (shard.order.size() > perShardCapacity_) {
+        shard.index.erase(shard.order.back().first);
+        shard.order.pop_back();
+        ++evicted;
+      }
+    }
+  }
+  if (isNew || evicted > 0) {
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (isNew) ++stats_.inserts;
+    stats_.evictions += evicted;
+  }
+  return isNew;
+}
+
+bool ObligationCache::insert(const std::string& fingerprint,
+                             const CachedVerdict& v) {
+  if (fingerprint.empty() || !cacheable(v.verdict)) return false;
+  const bool isNew = insertMemory(fingerprint, v);
+  if (isNew && !diskPath_.empty()) appendDisk(fingerprint, v);
+  return isNew;
+}
+
+void ObligationCache::loadDisk() {
+  std::ifstream in(diskPath_);
+  if (!in) return;  // no store yet — first run in this directory
+  std::string line;
+  std::uint64_t loaded = 0, corrupt = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string fingerprint;
+    CachedVerdict v;
+    if (parseStoreLine(line, &fingerprint, &v)) {
+      insertMemory(fingerprint, v);
+      ++loaded;
+    } else {
+      ++corrupt;
+    }
+  }
+  if (corrupt > 0) {
+    std::fprintf(stderr,
+                 "obligation cache: skipped %llu corrupt line(s) in %s\n",
+                 static_cast<unsigned long long>(corrupt), diskPath_.c_str());
+  }
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  stats_.loaded += loaded;
+  stats_.corruptLines += corrupt;
+  // Loading is not inserting: report only what the run itself adds.
+  stats_.inserts = 0;
+  stats_.evictions = 0;
+}
+
+void ObligationCache::appendDisk(const std::string& fingerprint,
+                                 const CachedVerdict& v) {
+  const std::string line = storeLine(fingerprint, v) + "\n";
+  std::lock_guard<std::mutex> lock(diskMutex_);
+  // One buffered append + flush per entry: the line lands in the file with
+  // a single write, so a reader (or a crash) sees whole lines plus at most
+  // one truncated tail, which the loader skips.
+  std::ofstream out(diskPath_, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "obligation cache: cannot append to %s\n",
+                 diskPath_.c_str());
+    return;
+  }
+  out << line;
+  out.flush();
+}
+
+ObligationCacheStats ObligationCache::stats() const {
+  std::lock_guard<std::mutex> lock(statsMutex_);
+  return stats_;
+}
+
+std::size_t ObligationCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.order.size();
+  }
+  return total;
+}
+
+std::string obligationFingerprint(const std::vector<std::string>& moduleCanon,
+                                  std::size_t moduleIndex, bool composed,
+                                  const ctl::Spec& spec,
+                                  const JobOptions& options) {
+  StableHash128 h;
+  h.update(kCacheVersion).sep();
+  if (composed) {
+    // The composed verdict depends on every component (and on their
+    // interleaving order, which fixes the composition's variable set).
+    h.update("composed").sep();
+    for (const std::string& canon : moduleCanon) {
+      h.update(canon).sep();
+    }
+  } else {
+    h.update("component").sep();
+    h.update(moduleCanon.at(moduleIndex)).sep();
+  }
+  // The restriction index r = (I, F): ⊨_r verdicts are not transferable
+  // across restrictions, so r must be part of the address (THEORY.md).
+  h.update(spec.r.toString()).sep();
+  h.update(ctl::toString(spec.f)).sep();
+  // Verdict-relevant options.  Engine and clustering do not change Holds /
+  // Fails (results are BDD-identical), but keeping them in the key makes
+  // every cached verdict attributable to one exact configuration — and a
+  // future engine whose semantics drift cannot alias an old entry.
+  h.update(options.usePartitionedTrans ? "partitioned" : "monolithic").sep();
+  h.update(std::to_string(options.clusterThreshold)).sep();
+  h.update(options.reorderBeforeCheck ? "reorder" : "noreorder").sep();
+  return h.hex();
+}
+
+}  // namespace cmc::service

@@ -53,9 +53,11 @@ std::string outcomeJson(const ObligationOutcome& o) {
       .put("spec", o.spec)
       .put("spec_text", o.specText)
       .put("verdict", toString(o.verdict))
+      .put("verdict_source", o.verdictSource)
       .put("rule", o.rule)
       .putBool("retried", o.retried)
       .putDouble("seconds", o.seconds);
+  if (!o.fingerprint.empty()) obj.put("fingerprint", o.fingerprint);
   std::ostringstream attempts;
   attempts << '[';
   for (std::size_t i = 0; i < o.attempts.size(); ++i) {
@@ -99,6 +101,11 @@ std::string JobReport::toJson() const {
       .putUint("holds", holds)
       .putUint("fails", fails)
       .putUint("undecided", undecided);
+  JsonObject cache;
+  cache.putUint("hits", cacheHits)
+      .putUint("misses", cacheMisses)
+      .putUint("inserts", cacheInserts);
+  root.putRaw("cache", cache.str());
   std::ostringstream arr;
   arr << '[';
   for (std::size_t i = 0; i < obligations.size(); ++i) {

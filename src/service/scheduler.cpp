@@ -7,6 +7,7 @@
 #include "comp/classify.hpp"
 #include "comp/verifier.hpp"
 #include "service/budget.hpp"
+#include "smv/fingerprint.hpp"
 #include "symbolic/composition.hpp"
 #include "util/timer.hpp"
 
@@ -26,6 +27,9 @@ struct ObligationDesc {
   std::string target;
   std::string specName;
   std::string specText;
+  /// Obligation-cache address; empty when the cache is disabled or the
+  /// scout could not fingerprint the job.
+  std::string fingerprint;
 };
 
 std::vector<smv::ElaboratedModule> materialize(const VerificationJob& job,
@@ -163,12 +167,13 @@ AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned) {
 }
 
 ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
-                                ThreadPool& pool) {
+                                ThreadPool& pool, ObligationCache* cache) {
   ObligationOutcome out;
   out.id = d.id;
   out.target = d.target;
   out.spec = d.specName;
   out.specText = d.specText;
+  out.fingerprint = d.fingerprint;
   const JobOptions& jopts = d.job->options;
   bool partitioned = jopts.usePartitionedTrans;
 
@@ -181,6 +186,40 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
                  .put("spec", d.specName)
                  .put("engine", engineName(partitioned))
                  .putUint("queue_depth", pool.pendingTasks()));
+
+  // Consult the obligation cache before any checker dispatch: a hit serves
+  // the memoized verdict (and its report artifacts) with zero attempts.
+  if (cache != nullptr && !d.fingerprint.empty()) {
+    WallTimer cacheTimer;
+    if (const std::optional<CachedVerdict> hit = cache->lookup(d.fingerprint)) {
+      out.verdict = hit->verdict;
+      out.verdictSource = "cache";
+      out.rule = hit->rule;
+      out.counterexample = hit->counterexample;
+      out.proofJson = hit->proofJson;
+      out.seconds = cacheTimer.seconds();
+      trace.emit(JsonObject()
+                     .put("event", "cache_hit")
+                     .putDouble("t", trace.elapsedSeconds())
+                     .put("job", d.jobName)
+                     .put("obligation", d.id)
+                     .put("fingerprint", d.fingerprint)
+                     .put("verdict", toString(out.verdict))
+                     .putDouble("original_seconds", hit->seconds));
+      trace.emit(JsonObject()
+                     .put("event", "obligation_end")
+                     .putDouble("t", trace.elapsedSeconds())
+                     .put("job", d.jobName)
+                     .put("obligation", d.id)
+                     .put("verdict", toString(out.verdict))
+                     .put("verdict_source", "cache")
+                     .put("rule", out.rule)
+                     .putBool("retried", false)
+                     .putUint("attempts", 0)
+                     .putDouble("seconds", out.seconds));
+      return out;
+    }
+  }
 
   const int maxAttempts = jopts.retryOtherEngine ? 2 : 1;
   for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
@@ -208,6 +247,19 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
       out.verdict = a.record.verdict;
       out.counterexample = a.counterexample;
       out.proofJson = a.proofJson;
+      // Memoize the decided verdict.  Budget verdicts and errors are never
+      // inserted: they say nothing about ⊨_r and must be re-attempted.
+      if (cache != nullptr && !d.fingerprint.empty() &&
+          ObligationCache::cacheable(out.verdict)) {
+        CachedVerdict entry;
+        entry.verdict = out.verdict;
+        entry.rule = out.rule;
+        entry.engine = a.record.engine;
+        entry.seconds = a.record.seconds;
+        entry.counterexample = out.counterexample;
+        entry.proofJson = out.proofJson;
+        if (cache->insert(d.fingerprint, entry)) out.cacheInserted = true;
+      }
       break;
     }
     // Budget exhausted: degrade to the other engine, once.
@@ -240,6 +292,7 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
                  .put("job", d.jobName)
                  .put("obligation", d.id)
                  .put("verdict", toString(out.verdict))
+                 .put("verdict_source", out.verdictSource)
                  .put("rule", out.rule)
                  .putBool("retried", out.retried)
                  .putUint("attempts",
@@ -284,6 +337,25 @@ std::vector<JobReport> VerificationService::runBatch(
       symbolic::Context scratch(1 << 14);
       const std::vector<smv::ElaboratedModule> modules =
           materialize(job, scratch);
+      // Canonical serializations for the obligation cache, one per module.
+      // Fingerprinting is best-effort: a failure leaves the job uncached.
+      std::vector<std::string> canon;
+      if (cache_ != nullptr) {
+        try {
+          canon.reserve(modules.size());
+          for (const smv::ElaboratedModule& mod : modules) {
+            canon.push_back(smv::canonicalModule(scratch, mod));
+          }
+        } catch (const std::exception&) {
+          canon.clear();
+        }
+      }
+      const auto fingerprintFor = [&](std::size_t i, std::size_t j,
+                                      bool composed) -> std::string {
+        if (canon.empty()) return "";
+        return obligationFingerprint(canon, i, composed,
+                                     modules[i].specs[j], job.options);
+      };
       for (std::size_t i = 0; i < modules.size(); ++i) {
         for (std::size_t j = 0; j < modules[i].specs.size(); ++j) {
           ObligationDesc d;
@@ -295,6 +367,7 @@ std::vector<JobReport> VerificationService::runBatch(
           d.specName = modules[i].specs[j].name;
           d.specText = ctl::toString(modules[i].specs[j].f);
           d.id = d.target + "/" + d.specName;
+          d.fingerprint = fingerprintFor(i, j, /*composed=*/false);
           state.descs.push_back(std::move(d));
         }
       }
@@ -311,6 +384,7 @@ std::vector<JobReport> VerificationService::runBatch(
             d.specName = modules[i].specs[j].name;
             d.specText = ctl::toString(modules[i].specs[j].f);
             d.id = d.target + "/" + d.specName;
+            d.fingerprint = fingerprintFor(i, j, /*composed=*/true);
             state.descs.push_back(std::move(d));
           }
         }
@@ -332,8 +406,9 @@ std::vector<JobReport> VerificationService::runBatch(
   // on the pool.
   for (JobState& state : states) {
     for (const ObligationDesc& d : state.descs) {
-      state.futures.push_back(pool_.submit(
-          [d, &tr, this] { return runObligation(d, tr, pool_); }));
+      state.futures.push_back(pool_.submit([d, &tr, this] {
+        return runObligation(d, tr, pool_, cache_.get());
+      }));
     }
   }
 
@@ -357,8 +432,13 @@ std::vector<JobReport> VerificationService::runBatch(
     }
     for (std::future<ObligationOutcome>& f : state.futures) {
       report.obligations.push_back(f.get());
-      report.verdict =
-          worseVerdict(report.verdict, report.obligations.back().verdict);
+      const ObligationOutcome& o = report.obligations.back();
+      report.verdict = worseVerdict(report.verdict, o.verdict);
+      if (!o.fingerprint.empty()) {
+        if (o.verdictSource == "cache") ++report.cacheHits;
+        else ++report.cacheMisses;
+        if (o.cacheInserted) ++report.cacheInserts;
+      }
     }
     report.wallSeconds = state.timer.seconds();
     tr.emit(JsonObject()
@@ -369,8 +449,26 @@ std::vector<JobReport> VerificationService::runBatch(
                 .putDouble("wall_seconds", report.wallSeconds)
                 .putUint("obligations",
                          static_cast<std::uint64_t>(
-                             report.obligations.size())));
+                             report.obligations.size()))
+                .putUint("cache_hits", report.cacheHits)
+                .putUint("cache_misses", report.cacheMisses)
+                .putUint("cache_inserts", report.cacheInserts));
     reports.push_back(std::move(report));
+  }
+  if (cache_ != nullptr) {
+    // Service-lifetime cache counters (all batches so far), for operators
+    // tailing the trace.
+    const ObligationCacheStats cs = cache_->stats();
+    tr.emit(JsonObject()
+                .put("event", "cache_stats")
+                .putDouble("t", tr.elapsedSeconds())
+                .putUint("hits", cs.hits)
+                .putUint("misses", cs.misses)
+                .putUint("inserts", cs.inserts)
+                .putUint("evictions", cs.evictions)
+                .putUint("loaded", cs.loaded)
+                .putUint("corrupt_lines", cs.corruptLines)
+                .putUint("entries", cache_->size()));
   }
   return reports;
 }

@@ -1,7 +1,8 @@
 // The batch job scheduler (service layer): accepts VerificationJobs, fans
 // their obligations onto a ThreadPool, enforces per-obligation resource
-// budgets, applies the engine degradation/retry policy, and emits the
-// structured JSONL run trace plus a summary JobReport per job.
+// budgets, applies the engine degradation/retry policy, consults the
+// content-addressed obligation cache before dispatching the checker, and
+// emits the structured JSONL run trace plus a summary JobReport per job.
 //
 // Scheduling model
 //  - A job is expanded (on the caller's thread, in a scratch context) into
@@ -19,9 +20,17 @@
 //  - Degradation policy: a budget-exhausted attempt under the partitioned
 //    engine is retried once under the monolithic engine (and vice versa);
 //    only when both exhaust their budget is the obligation Inconclusive.
+//  - Caching: the scout phase fingerprints every obligation
+//    (smv::canonicalModule + spec + restriction + options); a worker first
+//    consults the service's ObligationCache and serves a hit without any
+//    checker attempt (verdict_source "cache" in trace and report).  Only
+//    decided verdicts (Holds/Fails) are inserted.
 #pragma once
 
+#include <memory>
+
 #include "service/job.hpp"
+#include "service/obligation_cache.hpp"
 #include "service/trace_log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,12 +39,28 @@ namespace cmc::service {
 struct ServiceOptions {
   /// Worker threads for the obligation pool (0 = hardware concurrency).
   unsigned threads = 0;
+  /// Consult/maintain the content-addressed obligation cache: identical
+  /// (module, spec, restriction, options) obligations are verified once
+  /// per service and served from memory afterwards.
+  bool cacheEnabled = true;
+  /// In-memory cache capacity (entries across shards).
+  std::size_t cacheCapacity = 1 << 16;
+  /// Directory of the persistent JSONL verdict store (cmc --cache-dir);
+  /// empty = in-memory only.
+  std::string cacheDir;
 };
 
 class VerificationService {
  public:
   explicit VerificationService(ServiceOptions opts = {})
-      : pool_(opts.threads) {}
+      : pool_(opts.threads) {
+    if (opts.cacheEnabled) {
+      ObligationCache::Options copts;
+      copts.capacity = opts.cacheCapacity;
+      copts.dir = opts.cacheDir;
+      cache_ = std::make_unique<ObligationCache>(std::move(copts));
+    }
+  }
 
   /// Run one job to completion; events go to `trace` when non-null.
   JobReport run(const VerificationJob& job, RunTrace* trace = nullptr);
@@ -51,8 +76,13 @@ class VerificationService {
   /// queue-depth metric recorded in obligation_start events).
   std::size_t queuedObligations() const { return pool_.pendingTasks(); }
 
+  /// The obligation cache, or nullptr when disabled.
+  ObligationCache* cache() noexcept { return cache_.get(); }
+  const ObligationCache* cache() const noexcept { return cache_.get(); }
+
  private:
   ThreadPool pool_;
+  std::unique_ptr<ObligationCache> cache_;
 };
 
 }  // namespace cmc::service

@@ -1,0 +1,107 @@
+#include "smv/fingerprint.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "ctl/formula.hpp"
+
+namespace cmc::smv {
+
+namespace {
+
+/// Serialize f's DAG into `out`.  Nodes are numbered in first-visit order
+/// (shared across all conjuncts of one module serialization, so shared
+/// subgraphs are emitted once); a first visit appends the definition
+/// "(<label> <low> <high>)", a revisit appends "#<id>".  Terminals are "0"
+/// and "1".  The numbering is deterministic because the conjunct order and
+/// each node's child order are.
+class BddSerializer {
+ public:
+  BddSerializer(const bdd::Manager& mgr, std::vector<std::string> names)
+      : mgr_(mgr), names_(std::move(names)) {}
+
+  void serialize(const bdd::Bdd& f, std::ostream& out) {
+    if (f.isNull()) {
+      out << "null";
+      return;
+    }
+    rec(f.index(), out);
+  }
+
+ private:
+  void rec(bdd::NodeIndex i, std::ostream& out) {
+    if (i == bdd::kFalseNode || i == bdd::kTrueNode) {
+      out << (i == bdd::kTrueNode ? '1' : '0');
+      return;
+    }
+    const auto it = ids_.find(i);
+    if (it != ids_.end()) {
+      out << '#' << it->second;
+      return;
+    }
+    const int id = static_cast<int>(ids_.size());
+    ids_.emplace(i, id);
+    const bdd::Manager::Node& n = mgr_.node(i);
+    out << '(';
+    if (n.var < names_.size() && !names_[n.var].empty()) {
+      out << names_[n.var];
+    } else {
+      out << 'x' << n.var;
+    }
+    out << ' ';
+    rec(n.low, out);
+    out << ' ';
+    rec(n.high, out);
+    out << ')';
+  }
+
+  const bdd::Manager& mgr_;
+  std::vector<std::string> names_;
+  std::unordered_map<bdd::NodeIndex, int> ids_;
+};
+
+}  // namespace
+
+std::string canonicalModule(const symbolic::Context& ctx,
+                            const ElaboratedModule& m) {
+  std::ostringstream out;
+
+  out << "vars{";
+  for (symbolic::VarId id : m.sys.vars) {
+    const symbolic::Variable& v = ctx.variable(id);
+    out << v.name << ':';
+    for (std::size_t k = 0; k < v.values.size(); ++k) {
+      out << (k == 0 ? '{' : ',') << v.values[k];
+    }
+    out << "};";
+  }
+  out << "}\n";
+
+  out << "init{"
+      << (m.initFormula != nullptr ? ctl::toString(m.initFormula) : "TRUE")
+      << "}\n";
+
+  out << "fair{";
+  for (const ctl::FormulaPtr& f : m.fairness) {
+    out << ctl::toString(f) << ';';
+  }
+  out << "}\n";
+
+  // Transition relation: every track, every conjunct, in order, with the
+  // frame tagging that decides the checker's substitution-based preimage.
+  BddSerializer ser(ctx.mgr(), ctx.bddVarNames());
+  out << "trans{";
+  for (const symbolic::PartitionedRelation& track : m.sys.partition.tracks) {
+    out << "track" << (track.frameOnly() ? "[stutter]" : "") << '{';
+    for (const symbolic::Conjunct& c : track.conjuncts()) {
+      out << (c.isFrame ? "frame:" : "rel:");
+      ser.serialize(c.rel, out);
+      out << ';';
+    }
+    out << '}';
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace cmc::smv

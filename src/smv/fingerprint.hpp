@@ -1,0 +1,42 @@
+// Canonical fingerprinting of elaborated modules, the addressing scheme of
+// the service's content-addressed obligation cache (service/
+// obligation_cache.hpp).
+//
+// canonicalModule() serializes everything verdict-relevant about a module —
+// variable declarations (names and value lists), the initial-condition
+// formula, the fairness constraints, and the transition relation's
+// partitioned conjuncts — into one deterministic string.  Conjunct BDDs are
+// rendered as labeled DAGs: nodes are numbered in first-visit order and
+// emitted as (<bit-name> low high), with bit names taken from the context
+// ("var.bit" / "var.bit'").
+//
+// The guarantee is deliberately one-sided (docs/THEORY.md, "Obligation
+// cache soundness"):
+//  - Equal strings ⟹ equal semantics.  Every node spells out its named
+//    label and both children, so the serialization determines the boolean
+//    function regardless of which context produced it — a fingerprint can
+//    never alias two semantically different obligations (no false hits).
+//  - Unequal strings do NOT imply different semantics.  A ROBDD's *shape*
+//    depends on the context's bit order, so the same module elaborated
+//    after unrelated variables, or serialized after sifting, may produce a
+//    different string.  That only costs a spurious cache miss, never a
+//    wrong verdict.  Cache hits rely on elaboration being deterministic:
+//    resubmitting the same program text into a fresh scout context
+//    reproduces the same DAGs and hence the same fingerprint.
+//
+// The string is meant to be hashed (util/hash.hpp StableHash128), not
+// stored; it is linear in the DAG sizes of the transition conjuncts.
+#pragma once
+
+#include <string>
+
+#include "smv/elaborate.hpp"
+
+namespace cmc::smv {
+
+/// Deterministic serialization of the module's vars / init / fairness /
+/// transition conjuncts (equal strings imply equal semantics; see above).
+std::string canonicalModule(const symbolic::Context& ctx,
+                            const ElaboratedModule& m);
+
+}  // namespace cmc::smv

@@ -242,6 +242,7 @@ CheckResult Checker::check(const ctl::Spec& spec) {
                    : static_cast<double>(stats.cacheHits - hitsBefore) /
                          static_cast<double>(lookups);
   result.usedPartition = usesPartition();
+  result.clusterThreshold = opts_.clusterThreshold;
   result.specText = ctl::toString(spec.f);
   result.specName = spec.name;
   return result;

@@ -73,6 +73,9 @@ struct CheckResult {
   std::uint64_t peakLiveNodes = 0;      ///< high-water live nodes this check
   double cacheHitRate = 0.0;            ///< computed-table hits/lookups
   bool usedPartition = false;           ///< preimages ran partitioned
+  /// CheckerOptions::clusterThreshold the check ran under (also recorded
+  /// for monolithic runs, where it has no effect).
+  std::uint64_t clusterThreshold = 0;
   std::string specText;
   std::string specName;
 };

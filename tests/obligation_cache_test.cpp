@@ -1,0 +1,356 @@
+// Tests for the content-addressed obligation cache: fingerprint
+// sensitivity (the restriction index r and the verdict-relevant options
+// MUST be part of the key), LRU/tier mechanics, corruption-tolerant disk
+// loading, and the service-level plumbing (hits served without checker
+// attempts, only decided verdicts inserted, disk round-trips across
+// service instances, shared cache under a concurrent batch).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "service/obligation_cache.hpp"
+#include "service/scheduler.hpp"
+#include "smv/fingerprint.hpp"
+
+namespace cmc::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kChainSmv = R"(
+MODULE chain
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;
+SPEC AG (s = a | s = b | s = c)
+)";
+
+VerificationJob chainJob() {
+  VerificationJob job;
+  job.name = "chain";
+  job.smvText = kChainSmv;
+  return job;
+}
+
+ServiceOptions withThreads(unsigned n) {
+  ServiceOptions opts;
+  opts.threads = n;
+  return opts;
+}
+
+/// A scratch directory under the system temp dir, wiped on entry.
+fs::path scratchDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(ObligationFingerprint, DeterministicAcrossFreshContexts) {
+  // The property cache hits rely on: elaboration is deterministic, so the
+  // same program text in a fresh context reproduces the same DAGs and the
+  // same canonical string.  (Stability across *differently pre-populated*
+  // contexts is deliberately not promised — a shifted bit order changes
+  // ROBDD shapes and costs only a spurious miss, never a false hit.)
+  symbolic::Context a;
+  const smv::ElaboratedModule ma = smv::elaborateText(a, kChainSmv);
+  const std::string canonA = smv::canonicalModule(a, ma);
+  EXPECT_FALSE(canonA.empty());
+
+  symbolic::Context b;
+  const smv::ElaboratedModule mb = smv::elaborateText(b, kChainSmv);
+  EXPECT_EQ(smv::canonicalModule(b, mb), canonA);
+
+  // Serializing twice from the same context is stable too.
+  EXPECT_EQ(smv::canonicalModule(a, ma), canonA);
+
+  // A semantically different module (one transition rewired) must differ.
+  symbolic::Context c;
+  const smv::ElaboratedModule mc = smv::elaborateText(c, R"(
+MODULE chain
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : c; s = b : c; 1 : s; esac;
+SPEC AG (s = a | s = b | s = c)
+)");
+  EXPECT_NE(smv::canonicalModule(c, mc), canonA);
+}
+
+TEST(ObligationFingerprint, RestrictionAndOptionsArePartOfTheKey) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kChainSmv);
+  const std::vector<std::string> canon{smv::canonicalModule(ctx, mod)};
+  const ctl::Spec& spec = mod.specs.front();
+  const JobOptions opts;
+
+  const std::string base =
+      obligationFingerprint(canon, 0, /*composed=*/false, spec, opts);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(obligationFingerprint(canon, 0, false, spec, opts), base);
+
+  // ⊨_r verdicts are not transferable across restrictions: a different
+  // initial condition or fairness set must change the address.
+  ctl::Spec otherInit = spec;
+  otherInit.r.init = ctl::eq("s", "b");
+  EXPECT_NE(obligationFingerprint(canon, 0, false, otherInit, opts), base);
+  ctl::Spec otherFair = spec;
+  otherFair.r.fairness.push_back(ctl::eq("s", "a"));
+  EXPECT_NE(obligationFingerprint(canon, 0, false, otherFair, opts), base);
+
+  // Verdict-relevant options.
+  JobOptions threshold = opts;
+  threshold.clusterThreshold = 7;
+  EXPECT_NE(obligationFingerprint(canon, 0, false, spec, threshold), base);
+  JobOptions engine = opts;
+  engine.usePartitionedTrans = !opts.usePartitionedTrans;
+  EXPECT_NE(obligationFingerprint(canon, 0, false, spec, engine), base);
+  JobOptions reorder = opts;
+  reorder.reorderBeforeCheck = !opts.reorderBeforeCheck;
+  EXPECT_NE(obligationFingerprint(canon, 0, false, spec, reorder), base);
+
+  // A composed obligation never aliases a component one.
+  EXPECT_NE(obligationFingerprint(canon, 0, /*composed=*/true, spec, opts),
+            base);
+}
+
+// ---------------------------------------------------------------------------
+// Cache mechanics
+// ---------------------------------------------------------------------------
+
+TEST(ObligationCacheUnit, OnlyDecidedVerdictsAreCacheable) {
+  EXPECT_TRUE(ObligationCache::cacheable(Verdict::Holds));
+  EXPECT_TRUE(ObligationCache::cacheable(Verdict::Fails));
+  EXPECT_FALSE(ObligationCache::cacheable(Verdict::Timeout));
+  EXPECT_FALSE(ObligationCache::cacheable(Verdict::MemoryOut));
+  EXPECT_FALSE(ObligationCache::cacheable(Verdict::Inconclusive));
+  EXPECT_FALSE(ObligationCache::cacheable(Verdict::Error));
+
+  ObligationCache cache;
+  CachedVerdict v;
+  v.verdict = Verdict::Inconclusive;
+  EXPECT_FALSE(cache.insert("fp", v));
+  v.verdict = Verdict::Holds;
+  EXPECT_FALSE(cache.insert("", v));  // empty fingerprint = not addressable
+  EXPECT_TRUE(cache.insert("fp", v));
+  EXPECT_FALSE(cache.insert("fp", v));  // re-insert refreshes, not new
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ObligationCacheUnit, LruEvictsBeyondCapacity) {
+  ObligationCache::Options opts;
+  opts.capacity = 16;  // one entry per shard
+  ObligationCache cache(opts);
+  CachedVerdict v;
+  v.verdict = Verdict::Holds;
+  for (int i = 0; i < 256; ++i) {
+    cache.insert("fingerprint-" + std::to_string(i), v);
+  }
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().inserts, 256u);
+}
+
+TEST(ObligationCacheUnit, CorruptAndTruncatedDiskLinesAreSkipped) {
+  const fs::path dir = scratchDir("cmc_obligation_cache_corrupt");
+  {
+    ObligationCache::Options opts;
+    opts.dir = dir.string();
+    ObligationCache cache(opts);
+    CachedVerdict v;
+    v.verdict = Verdict::Fails;
+    v.rule = "direct";
+    v.engine = "partitioned";
+    v.seconds = 0.25;
+    v.counterexample = "violating state: s=1 \"quoted\"\n";
+    EXPECT_TRUE(cache.insert("aaaa", v));
+    v.verdict = Verdict::Holds;
+    v.counterexample.clear();
+    EXPECT_TRUE(cache.insert("bbbb", v));
+  }
+  {
+    // Sabotage the store: garbage, a truncated append, and a verdict that
+    // must never be persisted.
+    std::ofstream out(dir / "obligations.jsonl", std::ios::app);
+    out << "not json at all\n";
+    out << "{\"fp\": \"cccc\", \"verdict\": \"Holds\", \"rule\": \"dir";
+    out << "\n";
+    out << "{\"fp\": \"dddd\", \"verdict\": \"Timeout\", \"rule\": \"x\", "
+           "\"engine\": \"y\", \"seconds\": 1}\n";
+  }
+  ObligationCache::Options opts;
+  opts.dir = dir.string();
+  ObligationCache reloaded(opts);
+  EXPECT_EQ(reloaded.stats().loaded, 2u);
+  EXPECT_EQ(reloaded.stats().corruptLines, 3u);
+  const auto hit = reloaded.lookup("aaaa");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->verdict, Verdict::Fails);
+  EXPECT_EQ(hit->rule, "direct");
+  EXPECT_EQ(hit->engine, "partitioned");
+  EXPECT_EQ(hit->counterexample, "violating state: s=1 \"quoted\"\n");
+  EXPECT_TRUE(reloaded.lookup("bbbb").has_value());
+  EXPECT_FALSE(reloaded.lookup("cccc").has_value());
+  EXPECT_FALSE(reloaded.lookup("dddd").has_value());
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Service integration
+// ---------------------------------------------------------------------------
+
+TEST(ObligationCacheService, IdenticalResubmissionIsServedFromCache) {
+  VerificationService svc(withThreads(2));
+  const JobReport cold = svc.run(chainJob());
+  EXPECT_TRUE(cold.allHold());
+  EXPECT_EQ(cold.cacheHits, 0u);
+  EXPECT_EQ(cold.cacheMisses, 1u);
+  EXPECT_EQ(cold.cacheInserts, 1u);
+  ASSERT_EQ(cold.obligations.size(), 1u);
+  EXPECT_EQ(cold.obligations.front().verdictSource, "checked");
+  EXPECT_TRUE(cold.obligations.front().cacheInserted);
+  EXPECT_FALSE(cold.obligations.front().fingerprint.empty());
+
+  RunTrace trace;
+  const JobReport warm = svc.run(chainJob(), &trace);
+  EXPECT_TRUE(warm.allHold());
+  EXPECT_EQ(warm.cacheHits, 1u);
+  EXPECT_EQ(warm.cacheMisses, 0u);
+  ASSERT_EQ(warm.obligations.size(), 1u);
+  const ObligationOutcome& o = warm.obligations.front();
+  EXPECT_EQ(o.verdictSource, "cache");
+  EXPECT_EQ(o.verdict, cold.obligations.front().verdict);
+  EXPECT_EQ(o.rule, cold.obligations.front().rule);
+  EXPECT_TRUE(o.attempts.empty());  // zero checker invocations
+  EXPECT_EQ(o.fingerprint, cold.obligations.front().fingerprint);
+  EXPECT_EQ(trace.countContaining("\"event\": \"cache_hit\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"verdict_source\": \"cache\""), 1u);
+  EXPECT_NE(warm.toJson().find("\"verdict_source\": \"cache\""),
+            std::string::npos);
+}
+
+TEST(ObligationCacheService, RestrictionIndexIsPartOfTheKey) {
+  // Same module, same formula — only r = (I, F) differs.  The cache must
+  // miss: ⊨_r verdicts are not transferable across restrictions.
+  VerificationService svc(withThreads(1));
+  const auto jobWithInit = [](const std::string& value) {
+    VerificationJob job;
+    job.name = "chain-init-" + value;
+    job.factory = [value](symbolic::Context& ctx) {
+      smv::ElaboratedModule mod = smv::elaborateText(ctx, kChainSmv);
+      for (ctl::Spec& spec : mod.specs) {
+        spec.r.init = ctl::eq("s", value);
+      }
+      return std::vector<smv::ElaboratedModule>{std::move(mod)};
+    };
+    return job;
+  };
+  const JobReport first = svc.run(jobWithInit("a"));
+  EXPECT_EQ(first.cacheMisses, 1u);
+  const JobReport other = svc.run(jobWithInit("b"));
+  EXPECT_EQ(other.cacheHits, 0u);
+  EXPECT_EQ(other.cacheMisses, 1u);
+  const JobReport again = svc.run(jobWithInit("a"));
+  EXPECT_EQ(again.cacheHits, 1u);
+  EXPECT_EQ(again.cacheMisses, 0u);
+}
+
+TEST(ObligationCacheService, ClusterThresholdIsPartOfTheKey) {
+  VerificationService svc(withThreads(1));
+  EXPECT_EQ(svc.run(chainJob()).cacheInserts, 1u);
+  VerificationJob tuned = chainJob();
+  tuned.options.clusterThreshold = 3;
+  const JobReport report = svc.run(tuned);
+  EXPECT_EQ(report.cacheHits, 0u);
+  EXPECT_EQ(report.cacheMisses, 1u);
+  EXPECT_EQ(report.cacheInserts, 1u);
+  EXPECT_EQ(svc.cache()->size(), 2u);
+}
+
+TEST(ObligationCacheService, InconclusiveIsNeverCached) {
+  VerificationService svc(withThreads(1));
+  VerificationJob job = chainJob();
+  job.options.limits.deadlineSeconds = 1e-9;
+  const JobReport first = svc.run(job);
+  ASSERT_EQ(first.obligations.size(), 1u);
+  EXPECT_EQ(first.obligations.front().verdict, Verdict::Inconclusive);
+  EXPECT_EQ(first.cacheInserts, 0u);
+  EXPECT_EQ(svc.cache()->size(), 0u);
+  // Resubmission must check again, not serve the non-verdict.
+  const JobReport second = svc.run(job);
+  EXPECT_EQ(second.cacheHits, 0u);
+  ASSERT_EQ(second.obligations.size(), 1u);
+  EXPECT_EQ(second.obligations.front().verdictSource, "checked");
+}
+
+TEST(ObligationCacheService, DisabledCacheReportsNothing) {
+  ServiceOptions opts;
+  opts.threads = 1;
+  opts.cacheEnabled = false;
+  VerificationService svc(opts);
+  EXPECT_EQ(svc.cache(), nullptr);
+  const JobReport report = svc.run(chainJob());
+  EXPECT_TRUE(report.allHold());
+  EXPECT_EQ(report.cacheHits + report.cacheMisses + report.cacheInserts, 0u);
+  ASSERT_EQ(report.obligations.size(), 1u);
+  EXPECT_EQ(report.obligations.front().verdictSource, "checked");
+  EXPECT_TRUE(report.obligations.front().fingerprint.empty());
+}
+
+TEST(ObligationCacheService, DiskStoreRoundTripsAcrossServiceInstances) {
+  const fs::path dir = scratchDir("cmc_obligation_cache_service");
+  ServiceOptions opts;
+  opts.threads = 2;
+  opts.cacheDir = dir.string();
+  {
+    VerificationService svc(opts);
+    const JobReport cold = svc.run(chainJob());
+    EXPECT_EQ(cold.cacheInserts, 1u);
+  }
+  {
+    VerificationService svc(opts);
+    ASSERT_NE(svc.cache(), nullptr);
+    EXPECT_EQ(svc.cache()->stats().loaded, 1u);
+    const JobReport warm = svc.run(chainJob());
+    EXPECT_EQ(warm.cacheHits, 1u);
+    ASSERT_EQ(warm.obligations.size(), 1u);
+    EXPECT_EQ(warm.obligations.front().verdictSource, "cache");
+    EXPECT_TRUE(warm.obligations.front().attempts.empty());
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ObligationCacheService, ConcurrentBatchSharesOneCache) {
+  // 16 jobs with identical content race on one fingerprint across 8
+  // workers: exactly one insert may win, every verdict must agree, and the
+  // counters must balance.  (The sanitizer CI job runs this under TSan.)
+  VerificationService svc(withThreads(8));
+  std::vector<VerificationJob> jobs;
+  for (int i = 0; i < 16; ++i) {
+    VerificationJob job = chainJob();
+    job.name = "chain-" + std::to_string(i);
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<JobReport> reports = svc.runBatch(jobs);
+  ASSERT_EQ(reports.size(), jobs.size());
+  std::uint64_t hits = 0, misses = 0, inserts = 0;
+  for (const JobReport& report : reports) {
+    EXPECT_TRUE(report.allHold()) << report.job;
+    hits += report.cacheHits;
+    misses += report.cacheMisses;
+    inserts += report.cacheInserts;
+  }
+  EXPECT_EQ(hits + misses, jobs.size());
+  EXPECT_EQ(inserts, 1u);  // one fingerprint, one winner
+  EXPECT_EQ(svc.cache()->size(), 1u);
+  const ObligationCacheStats stats = svc.cache()->stats();
+  EXPECT_EQ(stats.hits, hits);
+  EXPECT_EQ(stats.misses, misses);
+  EXPECT_EQ(stats.inserts, inserts);
+}
+
+}  // namespace
+}  // namespace cmc::service

@@ -41,6 +41,12 @@ VerificationJob chainJob() {
   return job;
 }
 
+ServiceOptions withThreads(unsigned n) {
+  ServiceOptions opts;
+  opts.threads = n;
+  return opts;
+}
+
 TEST(Service, VerdictAggregationIsWorstOf) {
   EXPECT_EQ(worseVerdict(Verdict::Holds, Verdict::Timeout), Verdict::Timeout);
   EXPECT_EQ(worseVerdict(Verdict::Timeout, Verdict::MemoryOut),
@@ -52,7 +58,7 @@ TEST(Service, VerdictAggregationIsWorstOf) {
 }
 
 TEST(Service, HoldingJobProducesReportAndTrace) {
-  VerificationService svc(ServiceOptions{2});
+  VerificationService svc(withThreads(2));
   RunTrace trace;
   const JobReport report = svc.run(chainJob(), &trace);
 
@@ -82,7 +88,7 @@ TEST(Service, DeadlineExpiryYieldsTimeoutThenInconclusive) {
   VerificationJob job = chainJob();
   job.options.limits.deadlineSeconds = 1e-9;
 
-  VerificationService svc(ServiceOptions{1});
+  VerificationService svc(withThreads(1));
   RunTrace trace;
   const JobReport report = svc.run(job, &trace);
 
@@ -115,7 +121,7 @@ TEST(Service, TinyNodeBudgetOnAfs2YieldsMemoryOutNotAHang) {
   };
   job.options.limits.nodeBudget = 1;
 
-  VerificationService svc(ServiceOptions{2});
+  VerificationService svc(withThreads(2));
   RunTrace trace;
   const JobReport report = svc.run(job, &trace);
 
@@ -141,7 +147,7 @@ TEST(Service, RetryDegradesMonolithicToPartitionedToo) {
   job.options.usePartitionedTrans = false;
   job.options.limits.nodeBudget = 1;
 
-  VerificationService svc(ServiceOptions{1});
+  VerificationService svc(withThreads(1));
   RunTrace trace;
   const JobReport report = svc.run(job, &trace);
 
@@ -160,7 +166,7 @@ TEST(Service, NoRetryKeepsTheSingleAttemptVerdict) {
   job.options.limits.deadlineSeconds = 1e-9;
   job.options.retryOtherEngine = false;
 
-  VerificationService svc(ServiceOptions{1});
+  VerificationService svc(withThreads(1));
   RunTrace trace;
   const JobReport report = svc.run(job, &trace);
 
@@ -179,7 +185,7 @@ TEST(Service, ComposedObligationsCarryRuleAndCertificate) {
   job.smvText = kTwoModuleSmv;
   job.options.compose = true;
 
-  VerificationService svc(ServiceOptions{2});
+  VerificationService svc(withThreads(2));
   const JobReport report = svc.run(job);
 
   EXPECT_TRUE(report.allHold());
@@ -206,7 +212,7 @@ TEST(Service, ElaborationFailureIsAnErrorOutcomeNotACrash) {
   job.name = "broken";
   job.smvText = "MODULE nonsense\nVAR !!!";
 
-  VerificationService svc(ServiceOptions{1});
+  VerificationService svc(withThreads(1));
   RunTrace trace;
   const JobReport report = svc.run(job, &trace);
 
@@ -223,7 +229,7 @@ TEST(Service, BatchInterleavesJobsAndReportsInOrder) {
   VerificationJob b = chainJob();
   b.name = "second";
 
-  VerificationService svc(ServiceOptions{2});
+  VerificationService svc(withThreads(2));
   RunTrace trace;
   const std::vector<JobReport> reports = svc.runBatch({a, b}, &trace);
 

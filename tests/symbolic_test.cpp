@@ -3,11 +3,16 @@
 // between the symbolic and explicit checkers on random models and formulas.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "abp/abp.hpp"
 #include "afs/afs1.hpp"
 #include "afs/afs2.hpp"
 #include "ctl/parser.hpp"
 #include "ring/token_ring.hpp"
+#include "smv/elaborate.hpp"
 #include "symbolic/checker.hpp"
 #include "symbolic/composition.hpp"
 #include "symbolic/encode.hpp"
@@ -458,6 +463,53 @@ TEST(PartitionCrossValidation, RandomComposedSystems) {
       specs.push_back(std::move(s));
     }
     expectPartitionedMatchesMonolithic(ctx, c, specs);
+  }
+}
+
+TEST(PartitionCrossValidation, ReorderThenCheckAgreesOnAllShippedModels) {
+  // For every model under models/: elaborate, sift the variable order
+  // (Manager::reorderSift), then cross-validate partitioned preimages
+  // against the monolithic relation at several cluster thresholds.  Sifting
+  // permutes levels in place, so the PreimageSchedule built afterwards must
+  // quantify by *level*, not by variable id — this sweep pins that down on
+  // every shipped model, per module and on the composition.
+  namespace fs = std::filesystem;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(CMC_MODELS_DIR)) {
+    if (entry.path().extension() == ".smv") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  ASSERT_FALSE(paths.empty()) << "no models in " << CMC_MODELS_DIR;
+
+  for (const fs::path& path : paths) {
+    SCOPED_TRACE(path.filename().string());
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    Context ctx(1 << 16);
+    const std::vector<smv::ElaboratedModule> modules =
+        smv::elaborateProgram(ctx, buffer.str());
+    ASSERT_FALSE(modules.empty());
+    ctx.mgr().reorderSift();
+
+    for (const smv::ElaboratedModule& mod : modules) {
+      if (mod.specs.empty()) continue;
+      expectPartitionedMatchesMonolithic(ctx, mod.sys, mod.specs);
+    }
+    if (modules.size() > 1) {
+      std::vector<SymbolicSystem> systems;
+      for (const smv::ElaboratedModule& mod : modules) {
+        systems.push_back(mod.sys);
+      }
+      const SymbolicSystem whole = composeAll(systems);
+      std::vector<ctl::Spec> specs;
+      for (const smv::ElaboratedModule& mod : modules) {
+        for (const ctl::Spec& s : mod.specs) specs.push_back(s);
+      }
+      expectPartitionedMatchesMonolithic(ctx, whole, specs);
+    }
   }
 }
 

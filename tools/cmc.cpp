@@ -52,6 +52,10 @@ cmc check options:
   --cluster N        partition clustering threshold in nodes (default 1024)
   --reorder          sift variables after elaboration, before checking
   --threads N        worker threads (default: hardware concurrency)
+  --cache-dir DIR    persist decided verdicts to DIR/obligations.jsonl and
+                     reload them on start-up, so a re-run of an unchanged
+                     model serves its verdicts from the cache
+  --no-cache         disable the content-addressed obligation cache
   --report PATH      write one combined summary JSON to PATH
                      (default: <model>.report.json next to each model)
   --trace PATH       write one combined JSONL event trace to PATH
@@ -68,6 +72,8 @@ struct CliOptions {
   unsigned threads = 0;
   std::string reportPath;
   std::string tracePath;
+  std::string cacheDir;
+  bool cacheEnabled = true;
   bool strict = false;
   bool quiet = false;
   std::vector<std::string> models;
@@ -144,6 +150,12 @@ int parseArgs(int argc, char** argv, CliOptions* cli) {
       const char* v = next();
       if (v == nullptr) return 2;
       cli->tracePath = v;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cli->cacheDir = v;
+    } else if (arg == "--no-cache") {
+      cli->cacheEnabled = false;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "cmc: unknown option " << arg << "\n" << kUsage;
       return 2;
@@ -207,7 +219,11 @@ int runCheck(const CliOptions& cli) {
     jobs.push_back(std::move(job));
   }
 
-  service::VerificationService svc(service::ServiceOptions{cli.threads});
+  service::ServiceOptions svcOpts;
+  svcOpts.threads = cli.threads;
+  svcOpts.cacheEnabled = cli.cacheEnabled;
+  svcOpts.cacheDir = cli.cacheDir;
+  service::VerificationService svc(svcOpts);
   std::ofstream traceFile;
   if (!cli.tracePath.empty()) {
     traceFile.open(cli.tracePath);
@@ -257,6 +273,16 @@ int runCheck(const CliOptions& cli) {
   for (const service::JobReport& report : reports) {
     printReport(report, cli.quiet);
     verdict = service::worseVerdict(verdict, report.verdict);
+  }
+  if (const service::ObligationCache* cache = svc.cache()) {
+    const service::ObligationCacheStats stats = cache->stats();
+    std::cout << "== cache: " << stats.hits << " hits, " << stats.misses
+              << " misses, " << stats.inserts << " inserts";
+    if (stats.loaded > 0) std::cout << ", " << stats.loaded << " loaded";
+    if (stats.corruptLines > 0) {
+      std::cout << ", " << stats.corruptLines << " corrupt lines skipped";
+    }
+    std::cout << " (" << cache->size() << " entries) ==\n";
   }
   // A job whose model failed to elaborate is an operational error even in
   // the default (non-strict) mode.
