@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Chaos harness for the failpoint framework and the crash-safe run journal.
+#
+#   scripts/chaos.sh [path/to/cmc]
+#
+# Needs a cmc built with -DCMC_FAILPOINTS=ON (default: build-chaos/tools/cmc).
+# Two phases, both against models/afs2_composed.smv (12 obligations, all of
+# which hold on a healthy run):
+#
+#  1. Sweep: every registered failpoint site is armed with `error` and with
+#     `1in(3)`.  Each run must terminate, produce a report, and never flip
+#     a verdict to Fails.  What else we can demand depends on the site:
+#       - durability/telemetry sites (cache.*, trace.write, journal.*)
+#         degrade: all 12 obligations still Hold and the run exits 0;
+#       - scheduler sites fail per obligation: all 12 are reported, each
+#         either Holds or the injected Error;
+#       - deep sites (bdd.alloc_node, smv.elaborate) can take out the
+#         scout's elaboration, collapsing the job to a single
+#         <elaboration> Error obligation — so only the no-Fails and
+#         termination guarantees apply.
+#
+#  2. Kill-and-resume: a run wedged at the scheduler.dispatch delay
+#     failpoint is SIGKILLed mid-batch; the journal must already hold
+#     decided verdicts, and `cmc check --resume` must serve them
+#     (verdict_source "journal") and finish with a report identical,
+#     verdict for verdict, to a clean run's.
+set -u
+
+CMC=${1:-build-chaos/tools/cmc}
+MODEL=models/afs2_composed.smv
+COMMON="--compose --quiet --threads 2"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/cmc-chaos.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "chaos: FAIL: $*" >&2; exit 1; }
+note() { echo "chaos: $*"; }
+
+[ -x "$CMC" ] || fail "no cmc binary at $CMC"
+"$CMC" failpoints | grep -q "compiled in;" \
+  || fail "$CMC was not built with -DCMC_FAILPOINTS=ON"
+
+# "<id> <verdict>" per obligation, sorted — the report is one JSON line.
+verdicts() {
+  grep -o '"id": "[^"]*", "target": "[^"]*", "spec": "[^"]*", "spec_text": "[^"]*", "verdict": "[^"]*"' "$1" \
+    | sed 's/.*"id": "\([^"]*\)".*"verdict": "\([^"]*\)"$/\1 \2/' | sort
+}
+
+run_cmc() { # name, cache args..., then extra cmc args
+  local name=$1; shift
+  timeout 180 "$CMC" check $COMMON \
+    --journal "$WORK/$name.journal.jsonl" \
+    --report "$WORK/$name.json" \
+    --trace "$WORK/$name.trace.jsonl" \
+    "$@" "$MODEL" > "$WORK/$name.log" 2>&1
+}
+
+# ---------------------------------------------------------------------------
+# Baseline: clean run, cold cache (also warms $WORK/warm.cache for the
+# cache.disk_load sweeps).
+# ---------------------------------------------------------------------------
+run_cmc clean --cache-dir "$WORK/warm.cache" \
+  || fail "clean run exited $? (log: $(cat "$WORK/clean.log"))"
+verdicts "$WORK/clean.json" > "$WORK/clean.verdicts"
+TOTAL=$(wc -l < "$WORK/clean.verdicts")
+[ "$TOTAL" -eq 12 ] || fail "expected 12 obligations in the clean run, got $TOTAL"
+[ "$(awk '$2 != "Holds"' "$WORK/clean.verdicts" | wc -l)" -eq 0 ] \
+  || fail "clean run is not all-Holds"
+[ -s "$WORK/warm.cache/obligations.jsonl" ] || fail "baseline left no cache store"
+note "baseline: $TOTAL obligations, all hold"
+
+# ---------------------------------------------------------------------------
+# Phase 1: sweep every site with `error` and `1in(3)`
+# ---------------------------------------------------------------------------
+SITES=$("$CMC" failpoints | sed -n 's/^  \([a-z_.]*\) .*/\1/p')
+[ -n "$SITES" ] || fail "no failpoint sites listed"
+echo "$SITES" | grep -q "scheduler.dispatch" || fail "site list looks wrong: $SITES"
+
+for site in $SITES; do
+  for action in error '1in(3)'; do
+    name="sweep-$site-$action"
+    case $site in
+      cache.disk_load)
+        # Needs a populated store to load; degradation must not corrupt it
+        # for later iterations, but keep runs independent anyway.
+        cp -r "$WORK/warm.cache" "$WORK/$name.cache"
+        set -- --cache-dir "$WORK/$name.cache" ;;
+      journal.load)
+        # Only fires on --resume: replay a copy of the baseline journal.
+        cp "$WORK/clean.journal.jsonl" "$WORK/$name.journal.jsonl"
+        set -- --no-cache --resume ;;
+      *)
+        set -- --cache-dir "$WORK/$name.cache" ;;
+    esac
+    run_cmc "$name" "$@" --failpoint "$site=$action"
+    rc=$?
+    [ "$rc" -ne 124 ] || fail "$site=$action: run timed out (hang)"
+    [ -s "$WORK/$name.json" ] || fail "$site=$action: no report written"
+    verdicts "$WORK/$name.json" > "$WORK/$name.verdicts"
+    n=$(wc -l < "$WORK/$name.verdicts")
+    [ "$n" -ge 1 ] || fail "$site=$action: empty report"
+    # Injection must never flip a verdict: the model holds, so anything
+    # other than Holds must be the injected Error — never Fails, and never
+    # a bogus budget verdict.
+    bad=$(awk '$2 != "Holds" && $2 != "Error"' "$WORK/$name.verdicts")
+    [ -z "$bad" ] || fail "$site=$action: unexpected verdicts: $bad"
+    case $site in
+      cache.*|trace.*|journal.*)
+        # Durability/telemetry sites degrade; verdicts must be untouched.
+        [ "$n" -eq "$TOTAL" ] \
+          || fail "$site=$action: $n of $TOTAL obligations reported"
+        errs=$(awk '$2 == "Error"' "$WORK/$name.verdicts" | wc -l)
+        [ "$errs" -eq 0 ] \
+          || fail "$site=$action: degradation site produced $errs Error verdict(s)"
+        [ "$rc" -eq 0 ] || fail "$site=$action: degraded run exited $rc"
+        ;;
+      scheduler.*)
+        # Fails per obligation: siblings must all still be reported.
+        [ "$n" -eq "$TOTAL" ] \
+          || fail "$site=$action: $n of $TOTAL obligations reported"
+        ;;
+    esac
+    note "sweep $site=$action: ok (exit $rc, $(awk '$2 == "Holds"' "$WORK/$name.verdicts" | wc -l)/$n hold)"
+  done
+done
+
+# ---------------------------------------------------------------------------
+# Phase 2: SIGKILL mid-batch, then --resume
+# ---------------------------------------------------------------------------
+CMC_FAILPOINTS="scheduler.dispatch=delay(1000)" "$CMC" check $COMMON --no-cache \
+  --journal "$WORK/kr.journal.jsonl" --report "$WORK/kr.json" \
+  --trace "$WORK/kr.trace.jsonl" "$MODEL" > "$WORK/kr.log" 2>&1 &
+pid=$!
+sleep 3
+kill -9 "$pid" 2>/dev/null || fail "run finished before the SIGKILL (delay too short)"
+wait "$pid" 2>/dev/null
+note "SIGKILLed pid $pid mid-batch"
+
+[ -s "$WORK/kr.journal.jsonl" ] || fail "no journal survived the SIGKILL"
+decided=$(grep -c '"verdict": "Holds"' "$WORK/kr.journal.jsonl" || true)
+[ "$decided" -gt 0 ] || fail "journal holds no decided verdicts"
+[ "$decided" -lt "$TOTAL" ] || fail "all obligations decided before the kill"
+note "journal survived with $decided/$TOTAL decided verdicts"
+
+run_cmc resume --no-cache --resume --journal "$WORK/kr.journal.jsonl" \
+  || fail "resume run exited $? (log: $(cat "$WORK/resume.log"))"
+served=$(grep -o '"verdict_source": "journal"' "$WORK/resume.json" | wc -l)
+[ "$served" -gt 0 ] || fail "resume served nothing from the journal"
+verdicts "$WORK/resume.json" > "$WORK/resume.verdicts"
+diff -u "$WORK/clean.verdicts" "$WORK/resume.verdicts" \
+  || fail "resumed report differs from the clean run"
+note "resume served $served journaled verdicts; final report matches clean"
+
+note "PASS"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 
 namespace cmc::bdd {
@@ -154,6 +155,10 @@ NodeIndex Manager::allocateNode() {
   // NOTE: no GC here.  A collection is only safe between operations (nodes
   // created mid-recursion carry no external references yet); maybeGc() is
   // called from the top-level entry points in ops.cpp.
+  // The failpoint fires before any state changes, so an injected
+  // allocation failure leaves the manager fully consistent (the exception
+  // unwinds through the ops recursion like a real allocation error would).
+  CMC_FAILPOINT("bdd.alloc_node");
   ++stats_.nodesAllocatedTotal;
   if (freeList_ != kNilNode) {
     NodeIndex i = freeList_;

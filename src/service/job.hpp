@@ -17,7 +17,10 @@
 //   MemoryOut        — the BDD live-node budget was exhausted;
 //   Inconclusive     — both engines (partitioned and monolithic) exhausted
 //                      their budget; nothing is known about ⊨_r;
-//   Error            — the obligation threw (parse error, bad model, ...).
+//   Cancelled        — the run was interrupted (SIGINT/SIGTERM or an
+//                      embedding's cancel flag) before a decision;
+//   Error            — the obligation threw (parse error, bad model, ...)
+//                      and the quarantine retry threw again.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +38,7 @@ enum class Verdict {
   Timeout,
   MemoryOut,
   Inconclusive,
+  Cancelled,
   Error,
 };
 
@@ -108,7 +112,8 @@ struct ObligationOutcome {
   std::string specText;  ///< rendered CTL formula
   Verdict verdict = Verdict::Error;
   /// "checked" when the verdict came from running the checker, "cache"
-  /// when it was served by the obligation cache (zero attempts).
+  /// when it was served by the obligation cache, "journal" when replayed
+  /// from a prior run's journal on --resume (zero attempts either way).
   std::string verdictSource = "checked";
   /// Content fingerprint used to address the obligation cache; empty when
   /// fingerprinting failed or the cache is disabled.
@@ -139,6 +144,8 @@ struct JobReport {
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
   std::uint64_t cacheInserts = 0;
+  /// Obligations replayed from a prior run's journal (--resume).
+  std::uint64_t journalHits = 0;
 
   bool allHold() const noexcept { return verdict == Verdict::Holds; }
   /// The summary JSON written next to the model (schema in README.md).

@@ -4,7 +4,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "service/journal.hpp"
 #include "service/trace_log.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
 
 namespace cmc::service {
@@ -18,89 +20,9 @@ constexpr const char* kCacheVersion = "cmc-obligation-cache-v1";
 
 constexpr const char* kStoreFile = "obligations.jsonl";
 
-/// Parse the JSON string literal starting at s[i] (which must be '"').
-/// Returns false on malformed or truncated input (the corruption-tolerant
-/// loader's failure path).
-bool parseJsonString(const std::string& s, std::size_t* i, std::string* out) {
-  if (*i >= s.size() || s[*i] != '"') return false;
-  ++*i;
-  out->clear();
-  while (*i < s.size()) {
-    const char c = s[*i];
-    if (c == '"') {
-      ++*i;
-      return true;
-    }
-    if (c == '\\') {
-      if (*i + 1 >= s.size()) return false;
-      const char esc = s[*i + 1];
-      switch (esc) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'n': out->push_back('\n'); break;
-        case 't': out->push_back('\t'); break;
-        case 'r': out->push_back('\r'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'u': {
-          // jsonEscape only emits \u00XX for control characters.
-          if (*i + 5 >= s.size()) return false;
-          unsigned code = 0;
-          for (int k = 2; k <= 5; ++k) {
-            const char h = s[*i + k];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return false;
-          }
-          out->push_back(static_cast<char>(code & 0xff));
-          *i += 4;
-          break;
-        }
-        default: return false;
-      }
-      *i += 2;
-      continue;
-    }
-    out->push_back(c);
-    ++*i;
-  }
-  return false;  // unterminated literal (truncated line)
-}
-
-/// Find `"key": ` in the flat object and return the start index of its
-/// value, or npos.  Keys are matched as whole quoted tokens, so a key name
-/// occurring inside a string value cannot confuse the scan — all our keys
-/// are written by JsonObject in a fixed order before any free-text value.
-std::size_t findValue(const std::string& line, const std::string& key) {
-  const std::string needle = "\"" + key + "\": ";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return std::string::npos;
-  return at + needle.size();
-}
-
-bool extractString(const std::string& line, const std::string& key,
-                   std::string* out) {
-  std::size_t i = findValue(line, key);
-  if (i == std::string::npos) return false;
-  return parseJsonString(line, &i, out);
-}
-
-bool extractDouble(const std::string& line, const std::string& key,
-                   double* out) {
-  const std::size_t i = findValue(line, key);
-  if (i == std::string::npos) return false;
-  try {
-    *out = std::stod(line.substr(i));
-  } catch (...) {
-    return false;
-  }
-  return true;
-}
-
-/// One store line.  The proof certificate is stored as a JSON *string*
+/// One store line: the entry object wrapped in the journal's CRC framing
+/// (frameLine), so a crash mid-append can never yield a silently
+/// half-parsed entry.  The proof certificate is stored as a JSON *string*
 /// (escaped), not a nested object, so the tolerant loader never needs to
 /// balance braces.
 std::string storeLine(const std::string& fingerprint, const CachedVerdict& v) {
@@ -112,30 +34,42 @@ std::string storeLine(const std::string& fingerprint, const CachedVerdict& v) {
       .putDouble("seconds", v.seconds);
   if (!v.counterexample.empty()) obj.put("counterexample", v.counterexample);
   if (!v.proofJson.empty()) obj.put("proof", v.proofJson);
-  return obj.str();
+  return frameLine(obj.str());
 }
 
-/// Strict inverse of storeLine; any deviation marks the line corrupt.
-bool parseStoreLine(const std::string& line, std::string* fingerprint,
-                    CachedVerdict* v) {
+/// Strict inverse of a storeLine payload; any deviation marks the line
+/// corrupt.
+bool parseStorePayload(const std::string& line, std::string* fingerprint,
+                       CachedVerdict* v) {
   if (line.empty() || line.front() != '{' || line.back() != '}') return false;
   std::string verdict;
-  if (!extractString(line, "fp", fingerprint) ||
-      !extractString(line, "verdict", &verdict)) {
+  if (!jsonExtractString(line, "fp", fingerprint) ||
+      !jsonExtractString(line, "verdict", &verdict)) {
     return false;
   }
   if (fingerprint->empty()) return false;
   if (verdict == "Holds") v->verdict = Verdict::Holds;
   else if (verdict == "Fails") v->verdict = Verdict::Fails;
   else return false;  // only decided verdicts belong in the store
-  if (!extractString(line, "rule", &v->rule) ||
-      !extractString(line, "engine", &v->engine) ||
-      !extractDouble(line, "seconds", &v->seconds)) {
+  if (!jsonExtractString(line, "rule", &v->rule) ||
+      !jsonExtractString(line, "engine", &v->engine) ||
+      !jsonExtractDouble(line, "seconds", &v->seconds)) {
     return false;
   }
-  extractString(line, "counterexample", &v->counterexample);
-  extractString(line, "proof", &v->proofJson);
+  jsonExtractString(line, "counterexample", &v->counterexample);
+  jsonExtractString(line, "proof", &v->proofJson);
   return true;
+}
+
+/// Framed lines are checksummed; bare lines (stores written before the
+/// framing existed) fall back to the strict parse alone.
+bool parseStoreLine(const std::string& line, std::string* fingerprint,
+                    CachedVerdict* v) {
+  if (const std::optional<std::string> payload = unframeLine(line)) {
+    return parseStorePayload(*payload, fingerprint, v);
+  }
+  if (line.find("\"crc\": ") != std::string::npos) return false;  // torn
+  return parseStorePayload(line, fingerprint, v);
 }
 
 }  // namespace
@@ -235,10 +169,16 @@ void ObligationCache::loadDisk() {
     if (line.empty()) continue;
     std::string fingerprint;
     CachedVerdict v;
-    if (parseStoreLine(line, &fingerprint, &v)) {
-      insertMemory(fingerprint, v);
-      ++loaded;
-    } else {
+    try {
+      CMC_FAILPOINT("cache.disk_load");
+      if (parseStoreLine(line, &fingerprint, &v)) {
+        insertMemory(fingerprint, v);
+        ++loaded;
+      } else {
+        ++corrupt;
+      }
+    } catch (const std::exception&) {
+      // An I/O or injected failure costs this line, never the store.
       ++corrupt;
     }
   }
@@ -257,19 +197,26 @@ void ObligationCache::loadDisk() {
 
 void ObligationCache::appendDisk(const std::string& fingerprint,
                                  const CachedVerdict& v) {
-  const std::string line = storeLine(fingerprint, v) + "\n";
-  std::lock_guard<std::mutex> lock(diskMutex_);
-  // One buffered append + flush per entry: the line lands in the file with
-  // a single write, so a reader (or a crash) sees whole lines plus at most
-  // one truncated tail, which the loader skips.
-  std::ofstream out(diskPath_, std::ios::app);
-  if (!out) {
-    std::fprintf(stderr, "obligation cache: cannot append to %s\n",
-                 diskPath_.c_str());
-    return;
+  // Disk-tier failures degrade to in-memory caching; they never propagate
+  // into the obligation that produced the verdict.
+  try {
+    const std::string line = storeLine(fingerprint, v) + "\n";
+    std::lock_guard<std::mutex> lock(diskMutex_);
+    CMC_FAILPOINT("cache.disk_append");
+    // One buffered append + flush per entry: the line (with its CRC
+    // framing) lands in the file with a single write, so a reader — or a
+    // crash — sees whole lines plus at most one truncated tail, which the
+    // checksum rejects on load.
+    std::ofstream out(diskPath_, std::ios::app);
+    if (!out) {
+      throw Error("cannot open " + diskPath_);
+    }
+    out << line;
+    out.flush();
+    if (!out) throw Error("write to " + diskPath_ + " failed");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obligation cache: append failed: %s\n", e.what());
   }
-  out << line;
-  out.flush();
 }
 
 ObligationCacheStats ObligationCache::stats() const {

@@ -12,6 +12,7 @@ const char* toString(Verdict v) noexcept {
     case Verdict::Timeout: return "Timeout";
     case Verdict::MemoryOut: return "MemoryOut";
     case Verdict::Inconclusive: return "Inconclusive";
+    case Verdict::Cancelled: return "Cancelled";
     case Verdict::Error: return "Error";
   }
   return "Unknown";
@@ -26,10 +27,11 @@ Verdict worseVerdict(Verdict a, Verdict b) noexcept {
       case Verdict::Timeout: return 1;
       case Verdict::MemoryOut: return 2;
       case Verdict::Inconclusive: return 3;
-      case Verdict::Error: return 4;
-      case Verdict::Fails: return 5;
+      case Verdict::Cancelled: return 4;
+      case Verdict::Error: return 5;
+      case Verdict::Fails: return 6;
     }
-    return 4;
+    return 5;
   };
   return rank(a) >= rank(b) ? a : b;
 }
@@ -106,6 +108,7 @@ std::string JobReport::toJson() const {
       .putUint("misses", cacheMisses)
       .putUint("inserts", cacheInserts);
   root.putRaw("cache", cache.str());
+  root.putUint("journal_hits", journalHits);
   std::ostringstream arr;
   arr << '[';
   for (std::size_t i = 0; i < obligations.size(); ++i) {

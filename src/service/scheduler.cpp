@@ -9,6 +9,7 @@
 #include "service/budget.hpp"
 #include "smv/fingerprint.hpp"
 #include "symbolic/composition.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace cmc::service {
@@ -47,8 +48,12 @@ const char* engineName(bool partitioned) {
 }
 
 Verdict cancelVerdict(symbolic::CancelReason reason) {
-  return reason == symbolic::CancelReason::Deadline ? Verdict::Timeout
-                                                    : Verdict::MemoryOut;
+  switch (reason) {
+    case symbolic::CancelReason::Deadline: return Verdict::Timeout;
+    case symbolic::CancelReason::NodeBudget: return Verdict::MemoryOut;
+    case symbolic::CancelReason::External: return Verdict::Cancelled;
+  }
+  return Verdict::Cancelled;
 }
 
 std::string ruleName(comp::PropertyClass cls) {
@@ -85,7 +90,8 @@ struct AttemptOutput {
 };
 
 /// One engine attempt: fresh context, fresh budget, full rebuild.
-AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned) {
+AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned,
+                         const std::atomic<bool>* cancel) {
   AttemptOutput out;
   out.record.engine = engineName(partitioned);
   const JobOptions& jopts = d.job->options;
@@ -101,7 +107,13 @@ AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned) {
     symbolic::CheckerOptions copts;
     copts.usePartitionedTrans = partitioned;
     copts.clusterThreshold = jopts.clusterThreshold;
-    copts.cancelCheck = [&token] { token.check(); };
+    copts.cancelCheck = [&token, cancel] {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        throw symbolic::CancelledError(symbolic::CancelReason::External,
+                                       "run interrupted");
+      }
+      token.check();
+    };
 
     const std::uint64_t lookups0 = mgr.stats().cacheLookups;
     const std::uint64_t hits0 = mgr.stats().cacheHits;
@@ -166,64 +178,94 @@ AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned) {
   return out;
 }
 
-ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
-                                ThreadPool& pool, ObligationCache* cache) {
-  ObligationOutcome out;
-  out.id = d.id;
-  out.target = d.target;
-  out.spec = d.specName;
-  out.specText = d.specText;
-  out.fingerprint = d.fingerprint;
-  const JobOptions& jopts = d.job->options;
-  bool partitioned = jopts.usePartitionedTrans;
+/// The replay identity of an obligation descriptor (see journalKey).
+std::string replayKeyFor(const ObligationDesc& d) {
+  JournalEntry probe;
+  probe.fingerprint = d.fingerprint;
+  probe.job = d.jobName;
+  probe.id = d.id;
+  probe.specText = d.specText;
+  return journalKey(probe);
+}
 
+JournalEntry journalEntryFor(const ObligationDesc& d,
+                             const ObligationOutcome& out) {
+  JournalEntry e;
+  e.fingerprint = d.fingerprint;
+  e.job = d.jobName;
+  e.id = d.id;
+  e.target = d.target;
+  e.spec = d.specName;
+  e.specText = d.specText;
+  e.verdict = out.verdict;
+  e.rule = out.rule;
+  e.engine = out.attempts.empty() ? "" : out.attempts.back().engine;
+  e.seconds = out.seconds;
+  e.error = out.error;
+  e.counterexample = out.counterexample;
+  e.proofJson = out.proofJson;
+  return e;
+}
+
+/// Serve a previously journaled decision (--resume); zero attempts.
+bool serveFromJournal(const ObligationDesc& d, const JournalReplay* replay,
+                      ObligationOutcome& out, RunTrace& trace) {
+  if (replay == nullptr) return false;
+  const JournalEntry* hit = replay->find(replayKeyFor(d));
+  if (hit == nullptr) return false;
+  out.verdict = hit->verdict;
+  out.verdictSource = "journal";
+  out.rule = hit->rule;
+  out.counterexample = hit->counterexample;
+  out.proofJson = hit->proofJson;
   trace.emit(JsonObject()
-                 .put("event", "obligation_start")
+                 .put("event", "journal_hit")
                  .putDouble("t", trace.elapsedSeconds())
                  .put("job", d.jobName)
                  .put("obligation", d.id)
-                 .put("target", d.target)
-                 .put("spec", d.specName)
-                 .put("engine", engineName(partitioned))
-                 .putUint("queue_depth", pool.pendingTasks()));
+                 .put("verdict", toString(out.verdict))
+                 .putDouble("original_seconds", hit->seconds));
+  return true;
+}
 
-  // Consult the obligation cache before any checker dispatch: a hit serves
-  // the memoized verdict (and its report artifacts) with zero attempts.
-  if (cache != nullptr && !d.fingerprint.empty()) {
-    WallTimer cacheTimer;
-    if (const std::optional<CachedVerdict> hit = cache->lookup(d.fingerprint)) {
-      out.verdict = hit->verdict;
-      out.verdictSource = "cache";
-      out.rule = hit->rule;
-      out.counterexample = hit->counterexample;
-      out.proofJson = hit->proofJson;
-      out.seconds = cacheTimer.seconds();
-      trace.emit(JsonObject()
-                     .put("event", "cache_hit")
-                     .putDouble("t", trace.elapsedSeconds())
-                     .put("job", d.jobName)
-                     .put("obligation", d.id)
-                     .put("fingerprint", d.fingerprint)
-                     .put("verdict", toString(out.verdict))
-                     .putDouble("original_seconds", hit->seconds));
-      trace.emit(JsonObject()
-                     .put("event", "obligation_end")
-                     .putDouble("t", trace.elapsedSeconds())
-                     .put("job", d.jobName)
-                     .put("obligation", d.id)
-                     .put("verdict", toString(out.verdict))
-                     .put("verdict_source", "cache")
-                     .put("rule", out.rule)
-                     .putBool("retried", false)
-                     .putUint("attempts", 0)
-                     .putDouble("seconds", out.seconds));
-      return out;
-    }
-  }
+/// Serve the obligation cache; zero attempts on a hit.
+bool serveFromCache(const ObligationDesc& d, ObligationCache* cache,
+                    ObligationOutcome& out, RunTrace& trace) {
+  if (cache == nullptr || d.fingerprint.empty()) return false;
+  WallTimer cacheTimer;
+  const std::optional<CachedVerdict> hit = cache->lookup(d.fingerprint);
+  if (!hit.has_value()) return false;
+  out.verdict = hit->verdict;
+  out.verdictSource = "cache";
+  out.rule = hit->rule;
+  out.counterexample = hit->counterexample;
+  out.proofJson = hit->proofJson;
+  out.seconds = cacheTimer.seconds();
+  trace.emit(JsonObject()
+                 .put("event", "cache_hit")
+                 .putDouble("t", trace.elapsedSeconds())
+                 .put("job", d.jobName)
+                 .put("obligation", d.id)
+                 .put("fingerprint", d.fingerprint)
+                 .put("verdict", toString(out.verdict))
+                 .putDouble("original_seconds", hit->seconds));
+  return true;
+}
 
-  const int maxAttempts = jopts.retryOtherEngine ? 2 : 1;
-  for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
-    const AttemptOutput a = runAttempt(d, partitioned);
+/// The attempt loop: engine degradation on budget exhaustion, quarantine
+/// on an unexpected exception (one retry on a fresh Context, then Error).
+void runAttempts(const ObligationDesc& d, ObligationOutcome& out,
+                 RunTrace& trace, ObligationCache* cache,
+                 const std::atomic<bool>* cancel) {
+  const JobOptions& jopts = d.job->options;
+  bool partitioned = jopts.usePartitionedTrans;
+  const int maxBudgetAttempts = jopts.retryOtherEngine ? 2 : 1;
+  int budgetAttempts = 0;  ///< attempts that ended in a budget verdict
+  bool quarantined = false;
+  int attemptNo = 0;
+  while (true) {
+    ++attemptNo;
+    const AttemptOutput a = runAttempt(d, partitioned, cancel);
     out.attempts.push_back(a.record);
     out.seconds += a.record.seconds;
     if (!a.rule.empty()) out.rule = a.rule;
@@ -232,16 +274,35 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
                    .putDouble("t", trace.elapsedSeconds())
                    .put("job", d.jobName)
                    .put("obligation", d.id)
-                   .putUint("attempt", static_cast<std::uint64_t>(attempt))
+                   .putUint("attempt", static_cast<std::uint64_t>(attemptNo))
                    .put("engine", a.record.engine)
                    .put("verdict", toString(a.record.verdict))
                    .putDouble("seconds", a.record.seconds)
                    .putUint("peak_live_nodes", a.record.peakLiveNodes)
                    .putDouble("cache_hit_rate", a.record.cacheHitRate));
     if (a.record.verdict == Verdict::Error) {
+      // Quarantine: one more try on a fresh Context (runAttempt always
+      // rebuilds from scratch, so a transient poisoning — a torn model
+      // file, an injected fault, a bad allocation — gets a clean slate).
+      if (!quarantined) {
+        quarantined = true;
+        trace.emit(JsonObject()
+                       .put("event", "quarantine")
+                       .putDouble("t", trace.elapsedSeconds())
+                       .put("job", d.jobName)
+                       .put("obligation", d.id)
+                       .put("engine", a.record.engine)
+                       .put("error", a.error));
+        continue;
+      }
       out.verdict = Verdict::Error;
       out.error = a.error;
-      break;
+      return;
+    }
+    if (a.record.verdict == Verdict::Cancelled) {
+      // The run is winding down; no retry is meaningful.
+      out.verdict = Verdict::Cancelled;
+      return;
     }
     if (a.decided) {
       out.verdict = a.record.verdict;
@@ -260,10 +321,12 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
         entry.proofJson = out.proofJson;
         if (cache->insert(d.fingerprint, entry)) out.cacheInserted = true;
       }
-      break;
+      return;
     }
     // Budget exhausted: degrade to the other engine, once.
-    if (attempt < maxAttempts) {
+    ++budgetAttempts;
+    if (budgetAttempts < maxBudgetAttempts) {
+      CMC_FAILPOINT("scheduler.retry");
       out.retried = true;
       trace.emit(JsonObject()
                      .put("event", "retry")
@@ -274,12 +337,63 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
                      .put("from_engine", engineName(partitioned))
                      .put("to_engine", engineName(!partitioned)));
       partitioned = !partitioned;
-    } else {
-      // Both engines exhausted their budget (or retry is disabled, in
-      // which case the single attempt's Timeout/MemoryOut stands).
-      out.verdict = out.attempts.size() > 1 ? Verdict::Inconclusive
-                                            : a.record.verdict;
+      continue;
     }
+    // Both engines exhausted their budget (or retry is disabled, in
+    // which case the single attempt's Timeout/MemoryOut stands).
+    out.verdict =
+        budgetAttempts > 1 ? Verdict::Inconclusive : a.record.verdict;
+    return;
+  }
+}
+
+ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
+                                ThreadPool& pool, ObligationCache* cache,
+                                RunJournal* journal,
+                                const JournalReplay* replay,
+                                const std::atomic<bool>* cancel) {
+  ObligationOutcome out;
+  out.id = d.id;
+  out.target = d.target;
+  out.spec = d.specName;
+  out.specText = d.specText;
+  out.fingerprint = d.fingerprint;
+
+  trace.emit(JsonObject()
+                 .put("event", "obligation_start")
+                 .putDouble("t", trace.elapsedSeconds())
+                 .put("job", d.jobName)
+                 .put("obligation", d.id)
+                 .put("target", d.target)
+                 .put("spec", d.specName)
+                 .put("engine", engineName(d.job->options.usePartitionedTrans))
+                 .putUint("queue_depth", pool.pendingTasks()));
+
+  // The whole decision path is guarded: whatever a poisoned obligation
+  // throws (including from the dispatch failpoint below), its siblings on
+  // the pool are untouched and the batch completes.
+  try {
+    CMC_FAILPOINT("scheduler.dispatch");
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      // Drain mode: the run is being interrupted — report the queued
+      // obligation as Cancelled without spending an attempt on it.
+      out.verdict = Verdict::Cancelled;
+    } else if (!serveFromJournal(d, replay, out, trace) &&
+               !serveFromCache(d, cache, out, trace)) {
+      runAttempts(d, out, trace, cache, cancel);
+    }
+  } catch (const std::exception& e) {
+    out.verdict = Verdict::Error;
+    out.error = e.what();
+  } catch (...) {
+    out.verdict = Verdict::Error;
+    out.error = "unknown exception";
+  }
+
+  // Journal the outcome the moment it is final (append + flush inside);
+  // replayed outcomes are already in the journal being resumed.
+  if (journal != nullptr && out.verdictSource != "journal") {
+    journal->record(journalEntryFor(d, out));
   }
 
   std::uint64_t peak = 0;
@@ -309,13 +423,15 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
 }  // namespace
 
 JobReport VerificationService::run(const VerificationJob& job,
-                                   RunTrace* trace) {
+                                   RunTrace* trace, RunJournal* journal,
+                                   const JournalReplay* replay) {
   const std::vector<VerificationJob> one{job};
-  return runBatch(one, trace).front();
+  return runBatch(one, trace, journal, replay).front();
 }
 
 std::vector<JobReport> VerificationService::runBatch(
-    const std::vector<VerificationJob>& jobs, RunTrace* trace) {
+    const std::vector<VerificationJob>& jobs, RunTrace* trace,
+    RunJournal* journal, const JournalReplay* replay) {
   RunTrace localTrace;
   RunTrace& tr = trace != nullptr ? *trace : localTrace;
 
@@ -337,10 +453,12 @@ std::vector<JobReport> VerificationService::runBatch(
       symbolic::Context scratch(1 << 14);
       const std::vector<smv::ElaboratedModule> modules =
           materialize(job, scratch);
-      // Canonical serializations for the obligation cache, one per module.
-      // Fingerprinting is best-effort: a failure leaves the job uncached.
+      // Canonical serializations for the obligation cache (and the
+      // journal's content-addressed replay key), one per module.
+      // Fingerprinting is best-effort: a failure leaves the job uncached —
+      // replay then falls back to the identity key (job/id/spec text).
       std::vector<std::string> canon;
-      if (cache_ != nullptr) {
+      if (cache_ != nullptr || journal != nullptr || replay != nullptr) {
         try {
           canon.reserve(modules.size());
           for (const smv::ElaboratedModule& mod : modules) {
@@ -406,8 +524,25 @@ std::vector<JobReport> VerificationService::runBatch(
   // on the pool.
   for (JobState& state : states) {
     for (const ObligationDesc& d : state.descs) {
-      state.futures.push_back(pool_.submit([d, &tr, this] {
-        return runObligation(d, tr, pool_, cache_.get());
+      state.futures.push_back(pool_.submit([d, &tr, journal, replay, this] {
+        // Last line of defence: runObligation already guards its decision
+        // path, but nothing that reaches the pool may ever rethrow through
+        // future.get() — one poisoned obligation must not lose its
+        // siblings' outcomes.
+        try {
+          return runObligation(d, tr, pool_, cache_.get(), journal, replay,
+                               cancel_);
+        } catch (const std::exception& e) {
+          ObligationOutcome out;
+          out.id = d.id;
+          out.target = d.target;
+          out.spec = d.specName;
+          out.specText = d.specText;
+          out.fingerprint = d.fingerprint;
+          out.verdict = Verdict::Error;
+          out.error = e.what();
+          return out;
+        }
       }));
     }
   }
@@ -434,7 +569,8 @@ std::vector<JobReport> VerificationService::runBatch(
       report.obligations.push_back(f.get());
       const ObligationOutcome& o = report.obligations.back();
       report.verdict = worseVerdict(report.verdict, o.verdict);
-      if (!o.fingerprint.empty()) {
+      if (o.verdictSource == "journal") ++report.journalHits;
+      if (!o.fingerprint.empty() && o.verdictSource != "journal") {
         if (o.verdictSource == "cache") ++report.cacheHits;
         else ++report.cacheMisses;
         if (o.cacheInserted) ++report.cacheInserts;
@@ -452,7 +588,8 @@ std::vector<JobReport> VerificationService::runBatch(
                              report.obligations.size()))
                 .putUint("cache_hits", report.cacheHits)
                 .putUint("cache_misses", report.cacheMisses)
-                .putUint("cache_inserts", report.cacheInserts));
+                .putUint("cache_inserts", report.cacheInserts)
+                .putUint("journal_hits", report.journalHits));
     reports.push_back(std::move(report));
   }
   if (cache_ != nullptr) {

@@ -25,11 +25,26 @@
 //    consults the service's ObligationCache and serves a hit without any
 //    checker attempt (verdict_source "cache" in trace and report).  Only
 //    decided verdicts (Holds/Fails) are inserted.
+//  - Quarantine: an attempt that throws an unexpected exception (anything
+//    other than the budget/cancel CancelledError) is retried once on a
+//    fresh Context; a second throw marks the obligation Error with the
+//    exception recorded in the report.  A poisoned obligation can never
+//    take down its siblings — the worker task itself never throws.
+//  - Durability: with a RunJournal attached, every final outcome is
+//    appended (with a per-line checksum, flushed) the moment it is
+//    decided; with a JournalReplay, already-decided obligations are served
+//    from the journal (verdict_source "journal") without any attempt.
+//  - Cancellation: ServiceOptions::cancelFlag is polled at obligation
+//    pickup and inside the checker's cancel hook; once set, running
+//    attempts abort and queued obligations drain as Cancelled, so a batch
+//    winds down in bounded time with everything decided so far flushed.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "service/job.hpp"
+#include "service/journal.hpp"
 #include "service/obligation_cache.hpp"
 #include "service/trace_log.hpp"
 #include "util/thread_pool.hpp"
@@ -48,12 +63,17 @@ struct ServiceOptions {
   /// Directory of the persistent JSONL verdict store (cmc --cache-dir);
   /// empty = in-memory only.
   std::string cacheDir;
+  /// Cooperative cancellation: when non-null and set, workers abort their
+  /// current attempt (verdict Cancelled) and drain queued obligations
+  /// without running them.  The flag is owned by the embedder — cmc points
+  /// it at the flag its SIGINT/SIGTERM handler sets.
+  const std::atomic<bool>* cancelFlag = nullptr;
 };
 
 class VerificationService {
  public:
   explicit VerificationService(ServiceOptions opts = {})
-      : pool_(opts.threads) {
+      : pool_(opts.threads), cancel_(opts.cancelFlag) {
     if (opts.cacheEnabled) {
       ObligationCache::Options copts;
       copts.capacity = opts.cacheCapacity;
@@ -63,13 +83,19 @@ class VerificationService {
   }
 
   /// Run one job to completion; events go to `trace` when non-null.
-  JobReport run(const VerificationJob& job, RunTrace* trace = nullptr);
+  /// Outcomes are journaled to `journal` (when open) as they are decided;
+  /// obligations found decided in `replay` are served without attempts.
+  JobReport run(const VerificationJob& job, RunTrace* trace = nullptr,
+                RunJournal* journal = nullptr,
+                const JournalReplay* replay = nullptr);
 
   /// Run a batch: all obligations of all jobs share the pool, so a wide
   /// job cannot starve a narrow one queued behind it (obligations
   /// interleave at task granularity).  Reports are returned in job order.
   std::vector<JobReport> runBatch(const std::vector<VerificationJob>& jobs,
-                                  RunTrace* trace = nullptr);
+                                  RunTrace* trace = nullptr,
+                                  RunJournal* journal = nullptr,
+                                  const JournalReplay* replay = nullptr);
 
   unsigned threads() const noexcept { return pool_.size(); }
   /// Obligations submitted but not yet picked up by a worker (the
@@ -80,8 +106,14 @@ class VerificationService {
   ObligationCache* cache() noexcept { return cache_.get(); }
   const ObligationCache* cache() const noexcept { return cache_.get(); }
 
+  /// True once the embedder's cancel flag has been raised.
+  bool cancelRequested() const noexcept {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
  private:
   ThreadPool pool_;
+  const std::atomic<bool>* cancel_ = nullptr;
   std::unique_ptr<ObligationCache> cache_;
 };
 

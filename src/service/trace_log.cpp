@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/failpoint.hpp"
+
 namespace cmc::service {
 
 std::string jsonEscape(std::string_view s) {
@@ -73,8 +75,18 @@ void RunTrace::emit(const JsonObject& event) {
   std::lock_guard<std::mutex> lock(mutex_);
   lines_.push_back(line);
   if (sink_ != nullptr) {
-    *sink_ << line << '\n';
-    sink_->flush();
+    // A failing sink degrades the trace to in-memory only (warn once):
+    // telemetry loss must never take down the batch it narrates.
+    try {
+      CMC_FAILPOINT("trace.write");
+      *sink_ << line << '\n';
+      sink_->flush();
+      if (!*sink_) throw Error("trace: sink write failed");
+    } catch (const std::exception& e) {
+      sink_ = nullptr;
+      std::fprintf(stderr, "%s; continuing with in-memory trace only\n",
+                   e.what());
+    }
   }
 }
 

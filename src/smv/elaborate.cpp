@@ -4,6 +4,7 @@
 #include <set>
 
 #include "smv/parser.hpp"
+#include "util/failpoint.hpp"
 
 namespace cmc::smv {
 
@@ -484,6 +485,7 @@ ElaboratedModule elaborateText(Context& ctx, std::string_view text) {
 
 std::vector<ElaboratedModule> elaborateProgram(Context& ctx,
                                                std::string_view text) {
+  CMC_FAILPOINT("smv.elaborate");
   std::vector<ElaboratedModule> out;
   for (const Module& mod : parseProgram(text)) {
     out.push_back(elaborate(ctx, mod));

@@ -1,0 +1,215 @@
+// Tests for the crash-safe run journal: CRC-32 framing, torn/tampered-line
+// rejection, replay keying and last-write-wins semantics, and the
+// RunJournal append/flush writer round-tripping through loadJournal.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "service/journal.hpp"
+
+namespace cmc::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratchFile(const char* name) {
+  const fs::path path = fs::temp_directory_path() / name;
+  fs::remove(path);
+  return path;
+}
+
+JournalEntry entry(const std::string& id, Verdict verdict,
+                   const std::string& fingerprint = "") {
+  JournalEntry e;
+  e.fingerprint = fingerprint;
+  e.job = "job";
+  e.id = id;
+  e.target = "m";
+  e.spec = id;
+  e.specText = "AG p";
+  e.verdict = verdict;
+  e.rule = "direct";
+  e.engine = "partitioned";
+  e.seconds = 0.5;
+  return e;
+}
+
+TEST(JournalFraming, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check vector.
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(JournalFraming, FrameUnframeRoundTrips) {
+  const std::string payload = "{\"k\": \"v\", \"n\": 3}";
+  const std::string framed = frameLine(payload);
+  EXPECT_NE(framed.find("\"crc\": \""), std::string::npos);
+  const std::optional<std::string> back = unframeLine(framed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(JournalFraming, TamperedTruncatedAndBareLinesAreRejected) {
+  const std::string framed = frameLine("{\"k\": \"v\"}");
+  std::string flipped = framed;
+  flipped[7] ^= 1;  // one bit inside the payload
+  EXPECT_FALSE(unframeLine(flipped).has_value());
+  // A torn tail (the crash case: the line was cut mid-write).
+  EXPECT_FALSE(unframeLine(framed.substr(0, framed.size() - 4)).has_value());
+  // Lines with no framing at all.
+  EXPECT_FALSE(unframeLine("{\"k\": \"v\"}").has_value());
+  EXPECT_FALSE(unframeLine("").has_value());
+  // A forged checksum.
+  std::string forged = framed;
+  forged.replace(forged.size() - 10, 8, "deadbeef");
+  EXPECT_FALSE(unframeLine(forged).has_value());
+}
+
+TEST(JournalKeying, FingerprintWhenPresentIdentityOtherwise) {
+  const JournalEntry withFp = entry("m/s1", Verdict::Holds, "abc123");
+  EXPECT_EQ(journalKey(withFp), "fp:abc123");
+  const JournalEntry bare = entry("m/s1", Verdict::Holds);
+  EXPECT_EQ(journalKey(bare).substr(0, 3), "id:");
+  // Different spec text must not collide under the identity fallback.
+  JournalEntry other = bare;
+  other.specText = "AG q";
+  EXPECT_NE(journalKey(bare), journalKey(other));
+}
+
+TEST(JournalRoundTrip, RecordedOutcomesAreReplayable) {
+  const fs::path path = scratchFile("cmc_journal_roundtrip.jsonl");
+  {
+    RunJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.open(path.string(), &err)) << err;
+    EXPECT_TRUE(journal.isOpen());
+    JournalEntry holds = entry("m/s1", Verdict::Holds, "fp1");
+    holds.proofJson = "{\"proof\": []}";
+    journal.record(holds);
+    JournalEntry fails = entry("m/s2", Verdict::Fails, "fp2");
+    fails.counterexample = "state: p=0\nstate: p=1\n";
+    fails.error = "";
+    journal.record(fails);
+    journal.record(entry("m/s3", Verdict::Timeout, "fp3"));
+    journal.record(entry("m/s4", Verdict::Cancelled, "fp4"));
+    EXPECT_EQ(journal.recorded(), 4u);
+  }
+  const JournalReplay replay = loadJournal(path.string());
+  EXPECT_TRUE(replay.found);
+  EXPECT_EQ(replay.lines, 4u);
+  EXPECT_EQ(replay.corrupt, 0u);
+  // Only decided verdicts are served on resume.
+  EXPECT_EQ(replay.undecided, 2u);
+  EXPECT_EQ(replay.decided.size(), 2u);
+  const JournalEntry* holds = replay.find("fp:fp1");
+  ASSERT_NE(holds, nullptr);
+  EXPECT_EQ(holds->verdict, Verdict::Holds);
+  EXPECT_EQ(holds->proofJson, "{\"proof\": []}");
+  const JournalEntry* fails = replay.find("fp:fp2");
+  ASSERT_NE(fails, nullptr);
+  EXPECT_EQ(fails->verdict, Verdict::Fails);
+  EXPECT_EQ(fails->counterexample, "state: p=0\nstate: p=1\n");
+  EXPECT_EQ(replay.find("fp:fp3"), nullptr);
+  EXPECT_EQ(replay.find("fp:fp4"), nullptr);
+  fs::remove(path);
+}
+
+TEST(JournalRoundTrip, TornFinalLineIsDroppedNotParsed) {
+  const fs::path path = scratchFile("cmc_journal_torn.jsonl");
+  {
+    RunJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.open(path.string(), &err)) << err;
+    journal.record(entry("m/s1", Verdict::Holds, "fp1"));
+    journal.record(entry("m/s2", Verdict::Fails, "fp2"));
+  }
+  // Simulate a SIGKILL mid-append: cut the file mid-line, losing the
+  // trailing newline.  The reopen must terminate the torn tail so the
+  // resumed run's first entry starts a fresh line.
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 15);
+  RunJournal again;
+  std::string err;
+  ASSERT_TRUE(again.open(path.string(), &err)) << err;
+  again.record(entry("m/s3", Verdict::Holds, "fp3"));
+
+  const JournalReplay replay = loadJournal(path.string());
+  EXPECT_TRUE(replay.found);
+  EXPECT_EQ(replay.corrupt, 1u);  // the torn line, and only it
+  EXPECT_NE(replay.find("fp:fp1"), nullptr);
+  EXPECT_EQ(replay.find("fp:fp2"), nullptr);  // the torn victim
+  EXPECT_NE(replay.find("fp:fp3"), nullptr);
+  fs::remove(path);
+}
+
+TEST(JournalRoundTrip, LastWriteWinsForTheSameObligation) {
+  const fs::path path = scratchFile("cmc_journal_lastwins.jsonl");
+  {
+    RunJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.open(path.string(), &err)) << err;
+    journal.record(entry("m/s1", Verdict::Fails, "fp1"));
+    journal.record(entry("m/s1", Verdict::Holds, "fp1"));
+  }
+  const JournalReplay replay = loadJournal(path.string());
+  const JournalEntry* hit = replay.find("fp:fp1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->verdict, Verdict::Holds);
+  fs::remove(path);
+}
+
+TEST(JournalRoundTrip, MissingJournalIsAFreshRunNotAnError) {
+  const JournalReplay replay =
+      loadJournal((fs::temp_directory_path() / "cmc_no_such.jsonl").string());
+  EXPECT_FALSE(replay.found);
+  EXPECT_TRUE(replay.decided.empty());
+}
+
+TEST(JournalRoundTrip, ForeignAndFutureFormatLinesCountAsCorrupt) {
+  const fs::path path = scratchFile("cmc_journal_foreign.jsonl");
+  {
+    std::ofstream out(path);
+    out << frameLine("{\"format\": \"cmc-journal-v1\"}") << "\n";
+    out << "not json\n";
+    // Checksummed but not an entry (no id/verdict): foreign, not torn.
+    out << frameLine("{\"something\": \"else\"}") << "\n";
+    // A future format header is not replayable.
+    out << frameLine("{\"format\": \"cmc-journal-v99\"}") << "\n";
+  }
+  const JournalReplay replay = loadJournal(path.string());
+  EXPECT_TRUE(replay.found);
+  EXPECT_EQ(replay.lines, 0u);
+  EXPECT_EQ(replay.corrupt, 3u);
+  fs::remove(path);
+}
+
+TEST(JournalWriter, ReopenAppendsInsteadOfTruncating) {
+  const fs::path path = scratchFile("cmc_journal_reopen.jsonl");
+  {
+    RunJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.open(path.string(), &err)) << err;
+    journal.record(entry("m/s1", Verdict::Holds, "fp1"));
+  }
+  {
+    RunJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.open(path.string(), &err)) << err;
+    journal.record(entry("m/s2", Verdict::Holds, "fp2"));
+  }
+  const JournalReplay replay = loadJournal(path.string());
+  EXPECT_EQ(replay.decided.size(), 2u);
+  // Exactly one header line: the reopen saw a non-empty file.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t headers = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"format\":") != std::string::npos) ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace cmc::service

@@ -154,6 +154,70 @@ TEST(ObligationCacheUnit, LruEvictsBeyondCapacity) {
   EXPECT_EQ(cache.stats().inserts, 256u);
 }
 
+TEST(ObligationCacheUnit, StoreLinesCarryTheJournalFraming) {
+  // Satellite of the durability work: every appended store line is framed
+  // with the journal's CRC helper (and flushed), so torn or bit-flipped
+  // lines are rejected by checksum rather than half-parsed.
+  const fs::path dir = scratchDir("cmc_obligation_cache_framing");
+  {
+    ObligationCache::Options opts;
+    opts.dir = dir.string();
+    ObligationCache cache(opts);
+    CachedVerdict v;
+    v.verdict = Verdict::Holds;
+    v.rule = "direct";
+    v.engine = "partitioned";
+    v.seconds = 0.125;
+    EXPECT_TRUE(cache.insert("aaaa", v));
+    EXPECT_TRUE(cache.insert("bbbb", v));
+  }
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(dir / "obligations.jsonl");
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"crc\": \""), std::string::npos);
+    EXPECT_TRUE(unframeLine(line).has_value()) << line;
+  }
+  {
+    // Flip one byte inside the first entry's payload: the checksum must
+    // reject it on reload while the intact line still loads.
+    std::string tampered = lines[0];
+    tampered[10] ^= 1;
+    std::ofstream out(dir / "obligations.jsonl");
+    out << tampered << "\n" << lines[1] << "\n";
+  }
+  ObligationCache::Options opts;
+  opts.dir = dir.string();
+  ObligationCache reloaded(opts);
+  EXPECT_EQ(reloaded.stats().loaded, 1u);
+  EXPECT_EQ(reloaded.stats().corruptLines, 1u);
+  EXPECT_FALSE(reloaded.lookup("aaaa").has_value());
+  EXPECT_TRUE(reloaded.lookup("bbbb").has_value());
+  fs::remove_all(dir);
+}
+
+TEST(ObligationCacheUnit, LegacyUnframedStoreLinesStillLoad) {
+  const fs::path dir = scratchDir("cmc_obligation_cache_legacy");
+  fs::create_directories(dir);
+  {
+    // A store written before the CRC framing existed: bare JSONL.
+    std::ofstream out(dir / "obligations.jsonl");
+    out << "{\"fp\": \"old1\", \"verdict\": \"Holds\", \"rule\": \"direct\", "
+           "\"engine\": \"partitioned\", \"seconds\": 0.5}\n";
+  }
+  ObligationCache::Options opts;
+  opts.dir = dir.string();
+  ObligationCache cache(opts);
+  EXPECT_EQ(cache.stats().loaded, 1u);
+  EXPECT_EQ(cache.stats().corruptLines, 0u);
+  EXPECT_TRUE(cache.lookup("old1").has_value());
+  fs::remove_all(dir);
+}
+
 TEST(ObligationCacheUnit, CorruptAndTruncatedDiskLinesAreSkipped) {
   const fs::path dir = scratchDir("cmc_obligation_cache_corrupt");
   {

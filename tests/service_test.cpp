@@ -1,9 +1,16 @@
 // Tests for the verification service layer: job expansion, resource
 // budgets (deadline and node budget), the engine degradation/retry policy,
-// and the structured run trace / report.
+// worker quarantine, cooperative cancellation, journal integration, and
+// the structured run trace / report.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
 #include "afs/smv_sources.hpp"
+#include "service/budget.hpp"
 #include "service/scheduler.hpp"
 
 namespace cmc::service {
@@ -247,6 +254,252 @@ TEST(Service, JsonEscapingHandlesControlCharacters) {
   const std::string obj =
       JsonObject().put("k", "v\t").putUint("n", 3).str();
   EXPECT_EQ(obj, "{\"k\": \"v\\t\", \"n\": 3}");
+}
+
+// ---------------------------------------------------------------------------
+// Worker quarantine
+// ---------------------------------------------------------------------------
+
+/// A job whose factory throws a foreign exception on selected calls.  The
+/// scout phase makes the first call; each worker attempt makes one more.
+VerificationJob flakyJob(std::shared_ptr<std::atomic<int>> calls,
+                         int failFrom, int failTo) {
+  VerificationJob job;
+  job.name = "flaky";
+  job.factory = [calls, failFrom, failTo](symbolic::Context& ctx) {
+    const int n = calls->fetch_add(1) + 1;
+    if (n >= failFrom && n <= failTo) {
+      throw std::runtime_error("simulated transient fault (call " +
+                               std::to_string(n) + ")");
+    }
+    return smv::elaborateProgram(ctx, R"(
+MODULE chain
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;
+SPEC AG (s = a | s = b | s = c)
+)");
+  };
+  return job;
+}
+
+TEST(ServiceQuarantine, TransientThrowIsRetriedOnAFreshContext) {
+  // Call 1 = scout, call 2 = first attempt (throws), call 3 = quarantine
+  // retry (succeeds): the obligation must come back Holds.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  VerificationService svc(withThreads(1));
+  RunTrace trace;
+  const JobReport report = svc.run(flakyJob(calls, 2, 2), &trace);
+
+  ASSERT_EQ(report.obligations.size(), 1u);
+  const ObligationOutcome& o = report.obligations.front();
+  EXPECT_EQ(o.verdict, Verdict::Holds);
+  ASSERT_EQ(o.attempts.size(), 2u);
+  EXPECT_EQ(o.attempts[0].verdict, Verdict::Error);
+  EXPECT_EQ(o.attempts[1].verdict, Verdict::Holds);
+  EXPECT_EQ(trace.countContaining("\"event\": \"quarantine\""), 1u);
+  EXPECT_EQ(trace.countContaining("simulated transient fault"), 1u);
+}
+
+TEST(ServiceQuarantine, PersistentThrowBecomesErrorWithoutLosingSiblings) {
+  // One poisoned obligation (factory throws on every worker call) next to
+  // a healthy job in the same batch: the healthy job must be unaffected
+  // and the poisoned one must surface as Error with the exception text.
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  VerificationService svc(withThreads(2));
+  RunTrace trace;
+  const std::vector<JobReport> reports =
+      svc.runBatch({flakyJob(calls, 2, 1000), chainJob()}, &trace);
+
+  ASSERT_EQ(reports.size(), 2u);
+  ASSERT_EQ(reports[0].obligations.size(), 1u);
+  const ObligationOutcome& bad = reports[0].obligations.front();
+  EXPECT_EQ(bad.verdict, Verdict::Error);
+  EXPECT_NE(bad.error.find("simulated transient fault"), std::string::npos);
+  // One original attempt plus exactly one quarantine retry — no loops.
+  EXPECT_EQ(bad.attempts.size(), 2u);
+  EXPECT_EQ(reports[0].verdict, Verdict::Error);
+
+  EXPECT_TRUE(reports[1].allHold());
+  EXPECT_EQ(trace.countContaining("\"event\": \"quarantine\""), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative cancellation
+// ---------------------------------------------------------------------------
+
+TEST(ServiceCancel, RaisedFlagDrainsQueuedObligationsAsCancelled) {
+  std::atomic<bool> cancel{true};  // raised before the batch even starts
+  ServiceOptions opts = withThreads(2);
+  opts.cancelFlag = &cancel;
+  VerificationService svc(opts);
+  EXPECT_TRUE(svc.cancelRequested());
+
+  RunTrace trace;
+  const JobReport report = svc.run(chainJob(), &trace);
+  ASSERT_EQ(report.obligations.size(), 1u);
+  EXPECT_EQ(report.obligations.front().verdict, Verdict::Cancelled);
+  EXPECT_TRUE(report.obligations.front().attempts.empty());
+  EXPECT_EQ(report.verdict, Verdict::Cancelled);
+  EXPECT_EQ(trace.countContaining("\"verdict\": \"Cancelled\""), 2u);
+}
+
+TEST(ServiceCancel, CancelledRanksBelowErrorAndFails) {
+  EXPECT_EQ(worseVerdict(Verdict::Cancelled, Verdict::Error), Verdict::Error);
+  EXPECT_EQ(worseVerdict(Verdict::Cancelled, Verdict::Fails), Verdict::Fails);
+  EXPECT_EQ(worseVerdict(Verdict::Inconclusive, Verdict::Cancelled),
+            Verdict::Cancelled);
+  EXPECT_STREQ(toString(Verdict::Cancelled), "Cancelled");
+}
+
+// ---------------------------------------------------------------------------
+// Journal integration
+// ---------------------------------------------------------------------------
+
+TEST(ServiceJournal, OutcomesAreJournaledAndServedOnResume) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "cmc_service_journal.jsonl";
+  fs::remove(path);
+
+  VerificationJob job;
+  job.name = "twomod";
+  job.smvText = kTwoModuleSmv;
+  job.options.compose = true;
+
+  {
+    VerificationService svc(withThreads(2));
+    RunJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.open(path.string(), &err)) << err;
+    const JobReport report = svc.run(job, nullptr, &journal);
+    EXPECT_TRUE(report.allHold());
+    EXPECT_EQ(journal.recorded(), report.obligations.size());
+    EXPECT_EQ(report.journalHits, 0u);
+  }
+
+  const JournalReplay replay = loadJournal(path.string());
+  ASSERT_TRUE(replay.found);
+  // 4 outcomes, 3 distinct content fingerprints: mA and mB state the same
+  // spec, so their two composed obligations share one address (and one
+  // journal key) — exactly as in the obligation cache.
+  EXPECT_EQ(replay.lines, 4u);
+  EXPECT_EQ(replay.decided.size(), 3u);
+
+  // The resumed service (fresh process: cold cache) serves every
+  // obligation from the journal without a single checker attempt.
+  ServiceOptions opts = withThreads(2);
+  opts.cacheEnabled = false;
+  VerificationService svc(opts);
+  RunTrace trace;
+  const JobReport resumed = svc.run(job, &trace, nullptr, &replay);
+  EXPECT_TRUE(resumed.allHold());
+  EXPECT_EQ(resumed.journalHits, resumed.obligations.size());
+  for (const ObligationOutcome& o : resumed.obligations) {
+    EXPECT_EQ(o.verdictSource, "journal") << o.id;
+    EXPECT_TRUE(o.attempts.empty()) << o.id;
+    if (o.target == "composed") {
+      EXPECT_FALSE(o.proofJson.empty()) << o.id;
+    }
+  }
+  EXPECT_EQ(trace.countContaining("\"event\": \"journal_hit\""), 4u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"attempt\""), 0u);
+  EXPECT_NE(resumed.toJson().find("\"journal_hits\": 4"), std::string::npos);
+  fs::remove(path);
+}
+
+TEST(ServiceJournal, UndecidedJournalEntriesAreReRun) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "cmc_service_rerun.jsonl";
+  fs::remove(path);
+  {
+    // A journal holding only a non-replayable verdict for the obligation.
+    RunJournal journal;
+    std::string err;
+    ASSERT_TRUE(journal.open(path.string(), &err)) << err;
+    JournalEntry e;
+    e.job = "chain";
+    e.id = "chain/chain.SPEC1";
+    e.specText = "AG (s = a | s = b | s = c)";
+    e.verdict = Verdict::Cancelled;
+    journal.record(e);
+  }
+  const JournalReplay replay = loadJournal(path.string());
+  EXPECT_EQ(replay.decided.size(), 0u);
+
+  ServiceOptions opts = withThreads(1);
+  opts.cacheEnabled = false;
+  VerificationService svc(opts);
+  const JobReport report = svc.run(chainJob(), nullptr, nullptr, &replay);
+  EXPECT_TRUE(report.allHold());
+  EXPECT_EQ(report.journalHits, 0u);
+  ASSERT_EQ(report.obligations.size(), 1u);
+  EXPECT_EQ(report.obligations.front().verdictSource, "checked");
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Budget: the forced-GC recheck
+// ---------------------------------------------------------------------------
+
+/// Dead parity-chain prefixes: xor chains over 16 vars allocate hundreds
+/// of distinct nodes, all garbage once the scope closes (the manager's
+/// auto-GC threshold of 4096 never fires at this scale).
+void makeGarbage(bdd::Manager& mgr) {
+  bdd::Bdd f = mgr.bddVar(0);
+  for (std::uint32_t i = 1; i < 16; ++i) f ^= mgr.bddVar(i);
+}
+
+TEST(ServiceBudget, GcRecoveryAvoidsASpuriousMemoryOut) {
+  // Dead intermediates push the live count over budget; the token must
+  // force a collection and, with the reachable set back under budget,
+  // NOT declare MemoryOut.
+  bdd::Manager mgr(64);
+  const bdd::Bdd keep = mgr.bddVar(0) & mgr.bddVar(1);
+  mgr.collectGarbage();
+  const std::uint64_t baseline = mgr.liveNodeCount();
+  makeGarbage(mgr);
+
+  ObligationLimits limits;
+  limits.nodeBudget = baseline + 20;
+  ASSERT_GT(mgr.liveNodeCount(), limits.nodeBudget)
+      << "test setup: garbage did not exceed the budget";
+
+  BudgetToken token(mgr, limits);
+  const std::uint64_t gcBefore = mgr.stats().gcRuns;
+  EXPECT_NO_THROW(token.check());
+  EXPECT_GT(mgr.stats().gcRuns, gcBefore);  // the recheck collected
+  EXPECT_LE(mgr.liveNodeCount(), limits.nodeBudget);
+  // Still under budget on the next poll, and the kept function survived.
+  EXPECT_NO_THROW(token.check());
+  EXPECT_TRUE(mgr.eval(keep, {true, true, false, false, false, false, false,
+                              false, false, false, false, false, false,
+                              false, false, false}));
+}
+
+TEST(ServiceBudget, GenuineExhaustionStillThrowsAfterGc) {
+  // Everything stays referenced, so collection cannot help: the recheck
+  // must throw CancelledError with the NodeBudget reason.
+  bdd::Manager mgr(64);
+  std::vector<bdd::Bdd> pinned;
+  bdd::Bdd f = mgr.bddVar(0);
+  for (std::uint32_t i = 1; i < 16; ++i) {
+    f ^= mgr.bddVar(i);
+    pinned.push_back(f);
+  }
+  ObligationLimits limits;
+  limits.nodeBudget = 8;
+  ASSERT_GT(mgr.liveNodeCount(), limits.nodeBudget);
+
+  BudgetToken token(mgr, limits);
+  const std::uint64_t gcBefore = mgr.stats().gcRuns;
+  try {
+    token.check();
+    FAIL() << "exhausted node budget did not throw";
+  } catch (const symbolic::CancelledError& e) {
+    EXPECT_EQ(e.reason(), symbolic::CancelReason::NodeBudget);
+    EXPECT_NE(std::string(e.what()).find("node budget"), std::string::npos);
+  }
+  // The throw came from the post-collection recheck, not the raw count.
+  EXPECT_GT(mgr.stats().gcRuns, gcBefore);
 }
 
 }  // namespace

@@ -1,24 +1,30 @@
 // cmc — the production command-line front end of the verification service.
 //
 //   cmc check [options] <model.smv> [more.smv ...]
-//   cmc version | help
+//   cmc failpoints | version | help
 //
 // Each model file becomes one VerificationJob; all jobs run as one batch on
 // the service's thread pool, so obligations of different models interleave.
 // Every job writes a JSONL event trace and a summary JSON report (schema in
 // README.md) next to its model — override the destinations with --trace and
-// --report.
+// --report.  A crash-safe run journal records every outcome as it is
+// decided; `cmc check --resume` replays it after a crash or interrupt.
 //
 //   cmc check --compose --deadline-ms 5000 --node-budget 2000000
 //             --report out.json models/*.smv          (one command line)
 //
 // Exit codes follow the SMV-family convention: verdicts are data, not exit
 // status.  0 = verification ran to completion (per-spec verdicts are in the
-// output and the report); 2 = usage, I/O or elaboration error.  With
-// --strict the verdict is mapped onto the exit code for CI gating:
-// 1 = some spec fails, 3 = undecided within budget (Timeout / MemoryOut /
-// Inconclusive).
+// output and the report); 2 = usage, I/O or elaboration error; 5 = some
+// obligation ended in an Error verdict (exception despite quarantine);
+// 128+N = interrupted by signal N after flushing partial results (130 =
+// SIGINT, 143 = SIGTERM).  With --strict the verdict is additionally mapped
+// onto the exit code for CI gating: 1 = some spec fails, 3 = budget
+// exhausted (Timeout / MemoryOut), 4 = Inconclusive on both engines.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "service/scheduler.hpp"
+#include "util/failpoint.hpp"
 
 using namespace cmc;
 
@@ -38,6 +45,7 @@ constexpr const char* kUsage = R"(usage: cmc <command> [options] <model.smv> [mo
 
 commands:
   check       parse, elaborate and verify every SPEC of the given models
+  failpoints  list the fault-injection sites (see docs/OPERATIONS.md)
   version     print the version string
   help        print this help
 
@@ -60,11 +68,27 @@ cmc check options:
                      (default: <model>.report.json next to each model)
   --trace PATH       write one combined JSONL event trace to PATH
                      (default: <model>.trace.jsonl next to each model)
+  --journal PATH     crash-safe run journal: every outcome is appended (and
+                     flushed) the moment it is decided (default: alongside
+                     the report — <report>.journal.jsonl with --report, else
+                     <first model>.journal.jsonl)
+  --no-journal       disable the run journal
+  --resume           load the journal and serve the obligations it already
+                     decided (verdict_source "journal"); re-run the rest
+  --failpoint S=A    arm fault-injection site S with action A (error, throw,
+                     delay(ms), 1in(n)); repeatable; needs a build with
+                     -DCMC_FAILPOINTS=ON (the CMC_FAILPOINTS env var takes
+                     a comma-separated list of the same specs)
   --strict           map the aggregate verdict onto the exit code
-                     (1 = some spec fails, 3 = undecided within budget);
-                     the default, as in the SMV family, is to exit 0
-                     whenever verification ran to completion
+                     (1 = some spec fails, 3 = budget exhausted,
+                     4 = inconclusive); the default, as in the SMV family,
+                     is to exit 0 whenever verification ran to completion
   --quiet            only print the final per-job verdicts
+
+exit codes: 0 completed (all hold under --strict); 1 --strict and a spec
+fails; 2 usage/I-O/model error; 3 --strict and Timeout/MemoryOut;
+4 --strict and Inconclusive; 5 Error verdict; 130/143 interrupted
+(SIGINT/SIGTERM; journal, trace and report hold the partial results)
 )";
 
 struct CliOptions {
@@ -73,11 +97,30 @@ struct CliOptions {
   std::string reportPath;
   std::string tracePath;
   std::string cacheDir;
+  std::string journalPath;
   bool cacheEnabled = true;
+  bool journalEnabled = true;
+  bool resume = false;
   bool strict = false;
   bool quiet = false;
   std::vector<std::string> models;
+  std::vector<std::string> failpoints;
 };
+
+/// Set by the SIGINT/SIGTERM handler; polled by the scheduler (via
+/// ServiceOptions::cancelFlag) and by the checker's cancel hook, so a batch
+/// winds down cooperatively: running attempts abort as Cancelled, queued
+/// obligations drain, and everything decided so far is already journaled.
+std::atomic<bool> gCancelRequested{false};
+std::atomic<int> gSignal{0};
+
+extern "C" void onSignal(int sig) {
+  gCancelRequested.store(true, std::memory_order_relaxed);
+  gSignal.store(sig, std::memory_order_relaxed);
+  // A second signal falls through to the default action (immediate kill)
+  // in case the wind-down itself wedges.
+  std::signal(sig, SIG_DFL);
+}
 
 std::string basenameStem(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
@@ -156,6 +199,18 @@ int parseArgs(int argc, char** argv, CliOptions* cli) {
       cli->cacheDir = v;
     } else if (arg == "--no-cache") {
       cli->cacheEnabled = false;
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cli->journalPath = v;
+    } else if (arg == "--no-journal") {
+      cli->journalEnabled = false;
+    } else if (arg == "--resume") {
+      cli->resume = true;
+    } else if (arg == "--failpoint") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cli->failpoints.push_back(v);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "cmc: unknown option " << arg << "\n" << kUsage;
       return 2;
@@ -167,7 +222,24 @@ int parseArgs(int argc, char** argv, CliOptions* cli) {
     std::cerr << "cmc: no model files given\n" << kUsage;
     return 2;
   }
+  if (cli->resume && !cli->journalEnabled) {
+    std::cerr << "cmc: --resume needs the journal (drop --no-journal)\n";
+    return 2;
+  }
   return 0;
+}
+
+/// The journal lives alongside the report: next to the combined report
+/// when --report is given, else next to the first model.
+std::string defaultJournalPath(const CliOptions& cli) {
+  if (!cli.reportPath.empty()) {
+    std::string base = cli.reportPath;
+    if (base.size() > 5 && base.ends_with(".json")) {
+      base.resize(base.size() - 5);
+    }
+    return base + ".journal.jsonl";
+  }
+  return siblingPath(cli.models.front(), ".journal.jsonl");
 }
 
 bool writeFile(const std::string& path, const std::string& content) {
@@ -188,6 +260,8 @@ void printReport(const service::JobReport& report, bool quiet) {
       if (text.size() > 56) text = text.substr(0, 53) + "...";
       std::cout << "-- [" << o.target << "] " << o.spec << "  " << text
                 << "  : " << service::toString(o.verdict) << " (" << o.rule
+                << (o.verdictSource != "checked" ? ", " + o.verdictSource
+                                                 : "")
                 << (o.retried ? ", retried" : "") << ", "
                 << service::jsonNumber(o.seconds) << " s)\n";
       if (!o.error.empty()) std::cout << "--   error: " << o.error << "\n";
@@ -202,6 +276,28 @@ void printReport(const service::JobReport& report, bool quiet) {
 }
 
 int runCheck(const CliOptions& cli) {
+  if (!util::Failpoint::compiledIn()) {
+    // Refuse rather than silently ignore: an operator arming a failpoint
+    // against an uninstrumented binary would otherwise believe the fault
+    // paths were exercised when nothing fired.
+    const char* env = std::getenv("CMC_FAILPOINTS");
+    if (!cli.failpoints.empty()) {
+      std::cerr << "cmc: --failpoint needs a build with -DCMC_FAILPOINTS=ON "
+                   "(run `cmc failpoints` to see the catalog)\n";
+      return 2;
+    }
+    if (env != nullptr && *env != '\0') {
+      std::cerr << "cmc: the CMC_FAILPOINTS env var is set but this build "
+                   "has no failpoints; rebuild with -DCMC_FAILPOINTS=ON or "
+                   "unset it\n";
+      return 2;
+    }
+  }
+  for (const std::string& spec : cli.failpoints) {
+    util::Failpoint::configure(spec);  // throws cmc::Error on a bad spec
+  }
+  util::Failpoint::configureFromEnv();
+
   std::vector<service::VerificationJob> jobs;
   for (const std::string& path : cli.models) {
     std::ifstream in(path);
@@ -223,6 +319,7 @@ int runCheck(const CliOptions& cli) {
   svcOpts.threads = cli.threads;
   svcOpts.cacheEnabled = cli.cacheEnabled;
   svcOpts.cacheDir = cli.cacheDir;
+  svcOpts.cancelFlag = &gCancelRequested;
   service::VerificationService svc(svcOpts);
   std::ofstream traceFile;
   if (!cli.tracePath.empty()) {
@@ -233,7 +330,45 @@ int runCheck(const CliOptions& cli) {
     }
   }
   service::RunTrace trace(traceFile.is_open() ? &traceFile : nullptr);
-  const std::vector<service::JobReport> reports = svc.runBatch(jobs, &trace);
+
+  // Journal: load the prior run first (--resume), then open the same file
+  // for append — replayed outcomes are not re-recorded, new ones extend it.
+  const std::string journalPath =
+      !cli.journalPath.empty() ? cli.journalPath : defaultJournalPath(cli);
+  service::JournalReplay replay;
+  if (cli.resume) {
+    replay = service::loadJournal(journalPath);
+    if (!replay.found) {
+      std::cerr << "cmc: no journal at " << journalPath
+                << "; nothing to resume, running everything\n";
+    } else {
+      std::cout << "== resume: " << replay.decided.size()
+                << " decided obligation(s) in " << journalPath;
+      if (replay.corrupt > 0) {
+        std::cout << ", " << replay.corrupt << " corrupt line(s) skipped";
+      }
+      std::cout << " ==\n";
+    }
+  }
+  service::RunJournal journal;
+  if (cli.journalEnabled) {
+    std::string jerr;
+    if (!journal.open(journalPath, &jerr)) {
+      std::cerr << "cmc: " << jerr << "; continuing without a journal\n";
+    }
+  }
+
+  // From here on an interrupt must wind the batch down, not kill it: the
+  // handler raises the cancel flag the scheduler and checker poll.
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  const std::vector<service::JobReport> reports = svc.runBatch(
+      jobs, &trace, journal.isOpen() ? &journal : nullptr,
+      cli.resume ? &replay : nullptr);
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 
   // Default trace destination: <model>.trace.jsonl next to each model
   // (events carry their job name, so the combined stream splits cleanly).
@@ -284,15 +419,49 @@ int runCheck(const CliOptions& cli) {
     }
     std::cout << " (" << cache->size() << " entries) ==\n";
   }
-  // A job whose model failed to elaborate is an operational error even in
-  // the default (non-strict) mode.
-  if (verdict == service::Verdict::Error) return 2;
+  if (journal.isOpen()) {
+    std::uint64_t served = 0;
+    for (const service::JobReport& report : reports) {
+      served += report.journalHits;
+    }
+    std::cout << "== journal: " << journal.recorded()
+              << " outcome(s) recorded";
+    if (cli.resume) std::cout << ", " << served << " served from the journal";
+    std::cout << " (" << journal.path() << ") ==\n";
+  }
+
+  if (const int sig = gSignal.load(std::memory_order_relaxed); sig != 0) {
+    std::cerr << "cmc: interrupted by signal " << sig
+              << "; partial results are in the journal, trace and report — "
+                 "re-run with --resume to finish\n";
+    return 128 + sig;
+  }
+  // An Error verdict (failed elaboration, or an exception that survived
+  // quarantine) is an operational failure even in the default mode.
+  if (verdict == service::Verdict::Error) return 5;
   if (!cli.strict) return 0;
   switch (verdict) {
     case service::Verdict::Holds: return 0;
     case service::Verdict::Fails: return 1;
-    default: return 3;  // Timeout / MemoryOut / Inconclusive
+    case service::Verdict::Inconclusive: return 4;
+    default: return 3;  // Timeout / MemoryOut (Cancelled exits above)
   }
+}
+
+int runFailpoints() {
+  if (util::Failpoint::compiledIn()) {
+    std::cout << "failpoint sites (compiled in; arm with --failpoint or the "
+                 "CMC_FAILPOINTS env var):\n";
+  } else {
+    std::cout << "failpoint sites (NOT compiled into this build; configure "
+                 "with -DCMC_FAILPOINTS=ON to arm them):\n";
+  }
+  for (const util::Failpoint::SiteInfo& s : util::Failpoint::sites()) {
+    std::printf("  %-22s %s\n", s.name.c_str(), s.description.c_str());
+  }
+  std::cout << "actions: error | throw | delay(ms) | 1in(n)   "
+               "(see docs/OPERATIONS.md)\n";
+  return 0;
 }
 
 }  // namespace
@@ -310,6 +479,9 @@ int main(int argc, char** argv) {
   if (command == "help" || command == "--help") {
     std::cout << kUsage;
     return 0;
+  }
+  if (command == "failpoints") {
+    return runFailpoints();
   }
   if (command != "check") {
     std::cerr << "cmc: unknown command '" << command << "'\n" << kUsage;
