@@ -24,6 +24,15 @@
 #     decided verdicts, and `cmc check --resume` must serve them
 #     (verdict_source "journal") and finish with a report identical,
 #     verdict for verdict, to a clean run's.
+#
+#  3. Server kill-and-resume: the same crash, but of the daemon.  A
+#     `cmc serve` slowed by the dispatch delay is SIGKILLed mid-CHECK
+#     (the submitting client sees the connection drop); a fresh daemon on
+#     the SAME socket path, journal, and cache dir must come up (stale
+#     socket handling), and resubmitting the model must yield a report
+#     identical, verdict for verdict, to the clean run's — with the
+#     already-decided obligations served from the journal/cache, never
+#     re-checked from scratch.  Then SIGTERM must drain it with exit 0.
 set -u
 
 CMC=${1:-build-chaos/tools/cmc}
@@ -149,5 +158,61 @@ verdicts "$WORK/resume.json" > "$WORK/resume.verdicts"
 diff -u "$WORK/clean.verdicts" "$WORK/resume.verdicts" \
   || fail "resumed report differs from the clean run"
 note "resume served $served journaled verdicts; final report matches clean"
+
+# ---------------------------------------------------------------------------
+# Phase 3: SIGKILL the daemon mid-CHECK, restart on the same state, resubmit
+# ---------------------------------------------------------------------------
+SOCK=$WORK/chaos.sock
+start_daemon() { # extra serve args...
+  "$CMC" serve --socket "$SOCK" --compose --threads 2 \
+    --journal "$WORK/srv.journal.jsonl" --cache-dir "$WORK/srv.cache" \
+    --trace "$WORK/srv.trace.jsonl" "$@" >> "$WORK/srv.log" 2>&1 &
+  SRV=$!
+  # A stale socket file from a SIGKILLed predecessor still exists, so poll
+  # with a real STATUS round-trip, not a file check.
+  for _ in $(seq 100); do
+    "$CMC" submit --socket "$SOCK" --status > /dev/null 2>&1 && return 0
+    kill -0 "$SRV" 2>/dev/null || fail "daemon died on start: $(cat "$WORK/srv.log")"
+    sleep 0.1
+  done
+  fail "daemon never answered on $SOCK: $(cat "$WORK/srv.log")"
+}
+
+start_daemon --failpoint "scheduler.dispatch=delay(1000)"
+"$CMC" submit --socket "$SOCK" --id doomed --report "$WORK/srv-doomed.json" \
+  "$MODEL" > "$WORK/srv-doomed.log" 2>&1 &
+client=$!
+sleep 3
+kill -9 "$SRV" 2>/dev/null || fail "daemon finished before the SIGKILL"
+wait "$SRV" 2>/dev/null
+wait "$client" 2>/dev/null \
+  && fail "client reported success although its daemon was SIGKILLed"
+note "SIGKILLed daemon pid $SRV mid-CHECK"
+
+[ -s "$WORK/srv.journal.jsonl" ] || fail "no server journal survived the SIGKILL"
+decided=$(grep -c '"verdict": "Holds"' "$WORK/srv.journal.jsonl" || true)
+[ "$decided" -gt 0 ] || fail "server journal holds no decided verdicts"
+[ "$decided" -lt "$TOTAL" ] || fail "all obligations decided before the kill"
+note "server journal survived with $decided/$TOTAL decided verdicts"
+
+# Restart on the same socket (now stale), journal, and cache; no failpoint.
+start_daemon --resume
+"$CMC" submit --socket "$SOCK" --id retry --report "$WORK/srv-retry.json" \
+  "$MODEL" > "$WORK/srv-retry.log" 2>&1 \
+  || fail "resubmission failed: $(cat "$WORK/srv-retry.log")"
+verdicts "$WORK/srv-retry.json" > "$WORK/srv-retry.verdicts"
+diff -u "$WORK/clean.verdicts" "$WORK/srv-retry.verdicts" \
+  || fail "post-restart report differs from the clean run"
+replayed=$(grep -o '"verdict_source": "\(journal\|cache\)"' "$WORK/srv-retry.json" | wc -l)
+[ "$replayed" -ge "$decided" ] \
+  || fail "only $replayed of $decided decided obligations were replayed"
+note "restarted daemon replayed $replayed verdicts; report matches clean"
+
+kill -TERM "$SRV"
+rc=0
+wait "$SRV" || rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited $rc on SIGTERM: $(cat "$WORK/srv.log")"
+[ ! -S "$SOCK" ] || fail "socket not unlinked on drain"
+note "daemon drained cleanly after the chaos (exit 0)"
 
 note "PASS"

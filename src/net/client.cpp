@@ -1,0 +1,103 @@
+#include "net/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cmc::net {
+
+namespace {
+
+std::string errnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool Client::connectUnix(const std::string& socketPath, std::string* error) {
+  sockaddr_un addr{};
+  if (socketPath.size() >= sizeof addr.sun_path) {
+    *error = "socket path too long: " + socketPath;
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = errnoMessage("socket(AF_UNIX)");
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    *error = errnoMessage("connect " + socketPath);
+    ::close(fd);
+    return false;
+  }
+  sock_ = std::make_unique<LineSocket>(fd);
+  return true;
+}
+
+bool Client::connectTcp(int port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = errnoMessage("socket(AF_INET)");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    *error = errnoMessage("connect 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return false;
+  }
+  sock_ = std::make_unique<LineSocket>(fd);
+  return true;
+}
+
+bool Client::request(const std::string& line, std::string* response,
+                     std::string* error) {
+  if (!send(line)) {
+    *error = "send failed (server gone?)";
+    return false;
+  }
+  return readResponse(response, error);
+}
+
+bool Client::send(const std::string& line) {
+  return sock_ != nullptr && sock_->writeLine(line);
+}
+
+bool Client::readResponse(std::string* response, std::string* error) {
+  if (sock_ == nullptr) {
+    *error = "not connected";
+    return false;
+  }
+  switch (sock_->readLine(response)) {
+    case LineSocket::ReadResult::Line:
+      return true;
+    case LineSocket::ReadResult::Eof:
+      *error = "server closed the connection before responding";
+      return false;
+    case LineSocket::ReadResult::TooLong:
+      *error = "response line exceeds the protocol limit";
+      return false;
+    case LineSocket::ReadResult::Error:
+      *error = errnoMessage("recv");
+      return false;
+  }
+  *error = "unreachable";
+  return false;
+}
+
+void Client::close() {
+  if (sock_ != nullptr) sock_->close();
+}
+
+}  // namespace cmc::net

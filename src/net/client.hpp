@@ -1,0 +1,48 @@
+// Client side of the cmc wire protocol: connect to a serving daemon over
+// its Unix-domain socket (or loopback TCP) and exchange request/response
+// lines.  Used by `cmc submit` and by the protocol tests; deliberately
+// thin — request construction and response interpretation live with the
+// caller, which knows which fields it wants.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace cmc::net {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connect to a Unix-domain / loopback-TCP server.  False with a message
+  /// on failure (no such socket, connection refused, ...).
+  bool connectUnix(const std::string& socketPath, std::string* error);
+  bool connectTcp(int port, std::string* error);
+
+  bool connected() const noexcept { return sock_ != nullptr && sock_->valid(); }
+
+  /// Send one request line and read the one response line the protocol
+  /// promises.  False when the send fails or the server closes without
+  /// responding (*error says which).
+  bool request(const std::string& line, std::string* response,
+               std::string* error);
+
+  /// Send without waiting for the response (tests that disconnect
+  /// mid-CHECK).  False on a failed send.
+  bool send(const std::string& line);
+
+  /// Read the next response line (blocking).  False on EOF/error.
+  bool readResponse(std::string* response, std::string* error);
+
+  void close();
+
+  /// The underlying socket, for tests that need half-close semantics.
+  LineSocket* socket() noexcept { return sock_.get(); }
+
+ private:
+  std::unique_ptr<LineSocket> sock_;
+};
+
+}  // namespace cmc::net

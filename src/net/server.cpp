@@ -1,0 +1,664 @@
+#include "net/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/failpoint.hpp"
+#include "util/version.hpp"
+
+#ifndef POLLRDHUP
+#define POLLRDHUP 0x2000
+#endif
+
+namespace cmc::net {
+
+namespace {
+
+std::string errnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Job name from a model path: basename without the extension.
+std::string jobNameFromPath(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base.empty() ? "job" : base;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts, service::VerificationService& svc,
+               service::MetricsRegistry& metrics, service::RunTrace& trace,
+               service::RunJournal* journal,
+               const service::JournalReplay* replay)
+    : opts_(std::move(opts)),
+      svc_(svc),
+      metrics_(metrics),
+      trace_(trace),
+      journal_(journal),
+      replay_(replay) {}
+
+Server::~Server() { shutdown(); }
+
+bool Server::start(std::string* error) {
+  maxInFlight_ =
+      opts_.maxInFlight > 0 ? opts_.maxInFlight : std::max(1u, svc_.threads());
+  if (opts_.socketPath.empty() && opts_.tcpPort < 0) {
+    *error = "no listener configured (need a socket path or a TCP port)";
+    return false;
+  }
+
+  if (!opts_.socketPath.empty()) {
+    sockaddr_un addr{};
+    if (opts_.socketPath.size() >= sizeof addr.sun_path) {
+      *error = "socket path too long: " + opts_.socketPath;
+      return false;
+    }
+    unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unixFd_ < 0) {
+      *error = errnoMessage("socket(AF_UNIX)");
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+    // A stale socket file (SIGKILLed predecessor) would make bind fail;
+    // probe it first so we never steal a live server's listener.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) == 0) {
+        ::close(probe);
+        ::close(unixFd_);
+        unixFd_ = -1;
+        *error = "another server is already listening on " + opts_.socketPath;
+        return false;
+      }
+      ::close(probe);
+    }
+    ::unlink(opts_.socketPath.c_str());
+    if (::bind(unixFd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(unixFd_, 64) != 0) {
+      *error = errnoMessage(("bind/listen " + opts_.socketPath).c_str());
+      ::close(unixFd_);
+      unixFd_ = -1;
+      return false;
+    }
+  }
+
+  if (opts_.tcpPort >= 0) {
+    tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcpFd_ < 0) {
+      *error = errnoMessage("socket(AF_INET)");
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never a public iface
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcpPort));
+    if (::bind(tcpFd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(tcpFd_, 64) != 0) {
+      *error = errnoMessage("bind/listen TCP");
+      ::close(tcpFd_);
+      tcpFd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcpFd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      boundTcpPort_ = ntohs(bound.sin_port);
+  }
+
+  uptime_.reset();
+  if (unixFd_ >= 0)
+    acceptThreads_.emplace_back(&Server::acceptLoop, this, unixFd_, "unix");
+  if (tcpFd_ >= 0)
+    acceptThreads_.emplace_back(&Server::acceptLoop, this, tcpFd_, "tcp");
+  watcherThread_ = std::thread(&Server::watcherLoop, this);
+  if (opts_.metricsIntervalSeconds > 0.0)
+    metricsThread_ = std::thread(&Server::metricsLoop, this);
+
+  service::JsonObject ev;
+  ev.put("event", "server_start")
+      .putDouble("t", trace_.elapsedSeconds())
+      .put("cmc_version", util::versionString())
+      .put("socket", opts_.socketPath)
+      .putUint("workers", svc_.threads())
+      .putUint("max_inflight", maxInFlight_)
+      .putUint("queue_depth", opts_.queueDepth);
+  if (boundTcpPort_ >= 0)
+    ev.putUint("tcp_port", static_cast<std::uint64_t>(boundTcpPort_));
+  trace_.emit(ev);
+  return true;
+}
+
+void Server::requestDrain() {
+  if (draining_.exchange(true)) return;
+  metrics_.counter("server_drains").inc();
+  trace_.emit(service::JsonObject()
+                  .put("event", "drain")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .putUint("in_flight", inFlight())
+                  .putUint("queued", queued()));
+  // Waiters re-check their predicate; none are admitted past this point.
+  admitCv_.notify_all();
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> shutdownLock(shutdownMutex_);
+  if (shutdownDone_) return;
+  requestDrain();
+
+  // Every admitted CHECK completes and writes its response first; the
+  // journal already holds each decided obligation.
+  {
+    std::unique_lock<std::mutex> lock(admitMutex_);
+    admitCv_.wait(lock, [&] { return executing_ == 0 && waiting_ == 0; });
+  }
+
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(stopMutex_);
+  }
+  stopCv_.notify_all();
+  for (std::thread& t : acceptThreads_) t.join();
+  acceptThreads_.clear();
+  if (unixFd_ >= 0) {
+    ::close(unixFd_);
+    unixFd_ = -1;
+    ::unlink(opts_.socketPath.c_str());
+  }
+  if (tcpFd_ >= 0) {
+    ::close(tcpFd_);
+    tcpFd_ = -1;
+  }
+
+  // Handler threads may be blocked in readLine on idle connections;
+  // half-close the sockets so they wake and exit.  connMutex_ makes the
+  // fd valid for the duration of ::shutdown (handlers close under it too).
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connThreads_) t.join();
+  connThreads_.clear();
+
+  if (watcherThread_.joinable()) watcherThread_.join();
+  if (metricsThread_.joinable()) metricsThread_.join();
+
+  emitMetricsEvent("shutdown");
+  trace_.emit(service::JsonObject()
+                  .put("event", "server_stop")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .putDouble("uptime_seconds", uptime_.seconds()));
+  shutdownDone_ = true;
+}
+
+unsigned Server::inFlight() const {
+  std::lock_guard<std::mutex> lock(admitMutex_);
+  return executing_;
+}
+
+std::size_t Server::queued() const {
+  std::lock_guard<std::mutex> lock(admitMutex_);
+  return waiting_;
+}
+
+void Server::acceptLoop(int listenFd, const char* transport) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd p{};
+    p.fd = listenFd;
+    p.events = POLLIN;
+    const int ready = ::poll(&p, 1, 200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) continue;
+    try {
+      CMC_FAILPOINT("net.accept");
+    } catch (const std::exception&) {
+      metrics_.counter("net_accept_failures").inc();
+      ::close(fd);
+      continue;
+    }
+    metrics_.counter("connections_accepted").inc();
+    std::lock_guard<std::mutex> lock(connMutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    connFds_.push_back(fd);
+    connThreads_.emplace_back(&Server::handleConnection, this, fd);
+  }
+  (void)transport;
+}
+
+void Server::handleConnection(int fd) {
+  metrics_.gauge("connections_open").inc();
+  LineSocket sock(fd);
+  std::string line;
+  bool closeAfter = false;
+  while (!closeAfter) {
+    LineSocket::ReadResult r;
+    try {
+      CMC_FAILPOINT("net.read");
+      r = sock.readLine(&line);
+    } catch (const std::exception& e) {
+      // Injected/low-level read failure: drop the connection, never the
+      // server.  The peer sees EOF and retries against a healthy socket.
+      metrics_.counter("net_read_failures").inc();
+      break;
+    }
+    if (r == LineSocket::ReadResult::Eof ||
+        r == LineSocket::ReadResult::Error)
+      break;
+    if (r == LineSocket::ReadResult::TooLong) {
+      metrics_.counter("protocol_errors").inc();
+      sock.writeLine(errorResponse(
+          "?", kBadRequest,
+          "request line exceeds " + std::to_string(kMaxLineBytes) +
+              " bytes; closing connection"));
+      break;
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    Request req;
+    std::string perror;
+    if (!parseRequest(line, opts_.defaults, &req, &perror)) {
+      metrics_.counter("protocol_errors").inc();
+      if (!sock.writeLine(errorResponse("?", kBadRequest, perror))) break;
+      continue;
+    }
+    metrics_.counter("requests_received").inc();
+    switch (req.cmd) {
+      case Command::Check:
+        handleCheck(sock, req);
+        closeAfter = !sock.valid();
+        break;
+      case Command::Status:
+        closeAfter = !sock.writeLine(statusResponse());
+        break;
+      case Command::Stats:
+        closeAfter = !sock.writeLine(statsResponse());
+        break;
+      case Command::Cancel:
+        closeAfter = !sock.writeLine(cancelResponse(req));
+        break;
+      case Command::Drain:
+        requestDrain();
+        closeAfter = !sock.writeLine(service::JsonObject()
+                                         .putBool("ok", true)
+                                         .put("cmd", "DRAIN")
+                                         .put("state", "draining")
+                                         .str());
+        break;
+    }
+  }
+  {
+    // Remove-then-close under the lock so shutdown() never half-closes a
+    // recycled fd number.
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto it = connFds_.begin(); it != connFds_.end(); ++it) {
+      if (*it == fd) {
+        connFds_.erase(it);
+        break;
+      }
+    }
+    sock.close();
+  }
+  metrics_.gauge("connections_open").dec();
+}
+
+void Server::handleCheck(LineSocket& sock, const Request& req) {
+  const std::uint64_t serial = ++serial_;
+  auto state = std::make_shared<RequestState>();
+  state->id = req.id.empty() ? "#" + std::to_string(serial) : req.id;
+
+  service::VerificationJob job;
+  job.options = req.options;
+  if (!req.smv.empty()) {
+    job.smvText = req.smv;
+    job.sourcePath = "<inline>";
+    job.name = !req.name.empty() ? req.name
+                                 : "inline-" + std::to_string(serial);
+  } else {
+    std::string path = req.model;
+    if (!opts_.modelRoot.empty() && !path.empty() && path.front() != '/')
+      path = opts_.modelRoot + "/" + path;
+    std::ifstream in(path);
+    if (!in) {
+      metrics_.counter("checks_rejected_bad_model").inc();
+      sock.writeLine(
+          errorResponse("CHECK", kBadRequest, "cannot open model: " + path));
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    job.smvText = buf.str();
+    job.sourcePath = path;
+    job.name = !req.name.empty() ? req.name : jobNameFromPath(path);
+  }
+  state->job = job.name;
+
+  if (!registerRequest(state)) {
+    sock.writeLine(errorResponse(
+        "CHECK", kBadRequest,
+        "request id '" + state->id + "' is already active"));
+    return;
+  }
+
+  double waitSeconds = 0.0;
+  const Admit decision = admit(*state, &waitSeconds);
+  trace_.emit(service::JsonObject()
+                  .put("event", "request")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("id", state->id)
+                  .put("job", job.name)
+                  .put("outcome", decision == Admit::Admitted
+                                      ? "admitted"
+                                      : decision == Admit::Busy ? "busy"
+                                                                : "draining")
+                  .putDouble("queue_wait_seconds", waitSeconds));
+  if (decision == Admit::Busy) {
+    metrics_.counter("checks_rejected_busy").inc();
+    unregisterRequest(state->id);
+    sock.writeLine(service::JsonObject()
+                       .putBool("ok", false)
+                       .put("cmd", "CHECK")
+                       .put("id", state->id)
+                       .put("code", kBusy)
+                       .put("error", "server at capacity; retry with backoff")
+                       .putUint("in_flight", inFlight())
+                       .putUint("queued", queued())
+                       .putUint("capacity", maxInFlight_ + opts_.queueDepth)
+                       .str());
+    return;
+  }
+  if (decision == Admit::Draining) {
+    metrics_.counter("checks_rejected_draining").inc();
+    unregisterRequest(state->id);
+    sock.writeLine(errorResponse("CHECK", kDraining,
+                                 "server is draining; not accepting checks"));
+    return;
+  }
+  if (decision == Admit::CancelledQueued) {
+    // Cancelled while waiting for a slot: answer without ever touching a
+    // worker.  The slot count was never incremented.
+    metrics_.counter("checks_cancelled").inc();
+    unregisterRequest(state->id);
+    sock.writeLine(service::JsonObject()
+                       .putBool("ok", true)
+                       .put("cmd", "CHECK")
+                       .put("id", state->id)
+                       .put("job", job.name)
+                       .put("verdict", "Cancelled")
+                       .putBool("cancelled_in_queue", true)
+                       .putDouble("queue_wait_seconds", waitSeconds)
+                       .str());
+    return;
+  }
+
+  // Counted only for requests that actually reach a worker, so
+  // checks_admitted == checks_completed once the server is idle (the
+  // consistency invariant the CI smoke asserts).
+  metrics_.counter("checks_admitted").inc();
+  metrics_.histogram("admission_wait_seconds").observe(waitSeconds);
+
+  state->running.store(true, std::memory_order_release);
+  state->connFd.store(sock.fd(), std::memory_order_release);
+  WallTimer runTimer;
+  service::JobReport report =
+      svc_.run(job, &trace_, journal_, replay_, &state->cancel);
+  const double runSeconds = runTimer.seconds();
+  state->connFd.store(-1, std::memory_order_release);
+  state->running.store(false, std::memory_order_release);
+
+  std::uint64_t holds = 0, fails = 0, undecided = 0;
+  for (const service::ObligationOutcome& o : report.obligations) {
+    if (o.verdict == service::Verdict::Holds)
+      ++holds;
+    else if (o.verdict == service::Verdict::Fails)
+      ++fails;
+    else
+      ++undecided;
+  }
+  service::JsonObject resp;
+  resp.putBool("ok", true)
+      .put("cmd", "CHECK")
+      .put("id", state->id)
+      .put("job", report.job)
+      .put("verdict", service::toString(report.verdict))
+      .putUint("obligations", report.obligations.size())
+      .putUint("holds", holds)
+      .putUint("fails", fails)
+      .putUint("undecided", undecided)
+      .putUint("cache_hits", report.cacheHits)
+      .putUint("journal_hits", report.journalHits)
+      .putDouble("queue_wait_seconds", waitSeconds)
+      .putDouble("wall_seconds", report.wallSeconds)
+      // Full report as an escaped string, last so flat extraction of the
+      // summary fields above never reads into the nested document.
+      .put("report", report.toJson());
+
+  // Account for the request and free its slot BEFORE writing the response:
+  // a client that has read its verdict and then asks for STATS must see
+  // itself completed and not in flight (the consistency invariant the CI
+  // smoke asserts), and a queued request may start the moment the verdict
+  // is decided, not after this write drains.
+  metrics_.counter("checks_completed").inc();
+  if (report.verdict == service::Verdict::Cancelled)
+    metrics_.counter("checks_cancelled").inc();
+  metrics_.histogram("request_seconds").observe(runSeconds);
+  releaseSlot();
+  unregisterRequest(state->id);
+
+  if (!sock.writeLine(resp.str()))
+    metrics_.counter("responses_dropped").inc();
+}
+
+std::string Server::statusResponse() {
+  std::string active = "[";
+  {
+    std::lock_guard<std::mutex> lock(requestsMutex_);
+    bool first = true;
+    for (const auto& [id, state] : requests_) {
+      if (!first) active += ", ";
+      first = false;
+      active += service::JsonObject()
+                    .put("id", id)
+                    .put("job", state->job)
+                    .put("phase", state->running.load() ? "running" : "queued")
+                    .putDouble("seconds", state->since.seconds())
+                    .str();
+    }
+  }
+  active += "]";
+  return service::JsonObject()
+      .putBool("ok", true)
+      .put("cmd", "STATUS")
+      .put("state", drainRequested() ? "draining" : "serving")
+      .put("cmc_version", util::versionString())
+      .putDouble("uptime_seconds", uptime_.seconds())
+      .putUint("workers", svc_.threads())
+      .putUint("in_flight", inFlight())
+      .putUint("queued", queued())
+      .putUint("max_inflight", maxInFlight_)
+      .putUint("queue_depth", opts_.queueDepth)
+      .putUint("pool_queue", svc_.queuedObligations())
+      .putRaw("active", active)
+      .str();
+}
+
+std::string Server::statsResponse() {
+  service::JsonObject resp;
+  resp.putBool("ok", true)
+      .put("cmd", "STATS")
+      .putDouble("uptime_seconds", uptime_.seconds());
+  if (const service::ObligationCache* cache = svc_.cache()) {
+    const service::ObligationCacheStats s = cache->stats();
+    resp.putUint("cache_entries", cache->size())
+        .putUint("cache_hits", s.hits)
+        .putUint("cache_misses", s.misses)
+        .putUint("cache_inserts", s.inserts)
+        .putUint("cache_evictions", s.evictions)
+        .putUint("cache_loaded", s.loaded);
+  }
+  if (journal_ != nullptr && journal_->isOpen())
+    resp.putUint("journal_recorded", journal_->recorded());
+  // Both renderings as escaped strings (the flat-line convention), so the
+  // response stays one line and the summary fields above extract safely.
+  resp.put("metrics", metrics_.toJson());
+  resp.put("metrics_text", metrics_.toText());
+  return resp.str();
+}
+
+std::string Server::cancelResponse(const Request& req) {
+  std::shared_ptr<RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(requestsMutex_);
+    const auto it = requests_.find(req.id);
+    if (it != requests_.end()) state = it->second;
+  }
+  if (!state) {
+    return errorResponse("CANCEL", kNotFound,
+                         "no active request with id '" + req.id + "'");
+  }
+  const bool wasRunning = state->running.load(std::memory_order_acquire);
+  state->cancel.store(true, std::memory_order_release);
+  metrics_.counter("cancels_delivered").inc();
+  // A queued request waits on the admission cv; wake it so it can answer.
+  admitCv_.notify_all();
+  trace_.emit(service::JsonObject()
+                  .put("event", "cancel")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("id", req.id)
+                  .put("phase", wasRunning ? "running" : "queued"));
+  return service::JsonObject()
+      .putBool("ok", true)
+      .put("cmd", "CANCEL")
+      .put("id", req.id)
+      .putBool("delivered", true)
+      .put("phase", wasRunning ? "running" : "queued")
+      .str();
+}
+
+void Server::watcherLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(stopMutex_);
+      stopCv_.wait_for(lock, std::chrono::milliseconds(100), [&] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    std::vector<std::pair<int, std::shared_ptr<RequestState>>> running;
+    {
+      std::lock_guard<std::mutex> lock(requestsMutex_);
+      for (const auto& [id, state] : requests_) {
+        const int fd = state->connFd.load(std::memory_order_acquire);
+        if (fd >= 0 && state->running.load(std::memory_order_acquire))
+          running.emplace_back(fd, state);
+      }
+    }
+    for (const auto& [fd, state] : running) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = POLLRDHUP;
+      if (::poll(&p, 1, 0) <= 0) continue;
+      if ((p.revents & (POLLRDHUP | POLLHUP | POLLERR | POLLNVAL)) == 0)
+        continue;
+      if (!state->cancel.exchange(true)) {
+        metrics_.counter("checks_client_gone").inc();
+        trace_.emit(service::JsonObject()
+                        .put("event", "client_gone")
+                        .putDouble("t", trace_.elapsedSeconds())
+                        .put("id", state->id)
+                        .put("job", state->job));
+      }
+    }
+  }
+}
+
+void Server::metricsLoop() {
+  const auto interval = std::chrono::duration<double>(
+      opts_.metricsIntervalSeconds);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(stopMutex_);
+      stopCv_.wait_for(lock, interval, [&] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    emitMetricsEvent("interval");
+  }
+}
+
+void Server::emitMetricsEvent(const char* reason) {
+  trace_.emit(service::JsonObject()
+                  .put("event", "metrics")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("reason", reason)
+                  .putDouble("uptime_seconds", uptime_.seconds())
+                  .putRaw("metrics", metrics_.toJson()));
+}
+
+Server::Admit Server::admit(RequestState& state, double* waitSeconds) {
+  WallTimer wait;
+  std::unique_lock<std::mutex> lock(admitMutex_);
+  *waitSeconds = 0.0;
+  if (draining_.load(std::memory_order_relaxed)) return Admit::Draining;
+  if (executing_ >= maxInFlight_ && waiting_ >= opts_.queueDepth)
+    return Admit::Busy;
+  if (executing_ >= maxInFlight_) {
+    ++waiting_;
+    metrics_.gauge("requests_queued").inc();
+    admitCv_.wait(lock, [&] {
+      return executing_ < maxInFlight_ ||
+             state.cancel.load(std::memory_order_relaxed);
+    });
+    --waiting_;
+    metrics_.gauge("requests_queued").dec();
+    *waitSeconds = wait.seconds();
+    if (state.cancel.load(std::memory_order_relaxed))
+      return Admit::CancelledQueued;
+  }
+  ++executing_;
+  metrics_.gauge("requests_in_flight").inc();
+  return Admit::Admitted;
+}
+
+void Server::releaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(admitMutex_);
+    --executing_;
+    metrics_.gauge("requests_in_flight").dec();
+  }
+  admitCv_.notify_all();
+}
+
+bool Server::registerRequest(const std::shared_ptr<RequestState>& state) {
+  std::lock_guard<std::mutex> lock(requestsMutex_);
+  return requests_.emplace(state->id, state).second;
+}
+
+void Server::unregisterRequest(const std::string& id) {
+  std::lock_guard<std::mutex> lock(requestsMutex_);
+  requests_.erase(id);
+}
+
+}  // namespace cmc::net

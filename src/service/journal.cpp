@@ -5,6 +5,7 @@
 
 #include "service/trace_log.hpp"
 #include "util/failpoint.hpp"
+#include "util/version.hpp"
 
 namespace cmc::service {
 
@@ -156,6 +157,34 @@ bool jsonExtractDouble(const std::string& line, const std::string& key,
   return true;
 }
 
+bool jsonExtractUint(const std::string& line, const std::string& key,
+                     std::uint64_t* out) {
+  const std::size_t i = findValue(line, key);
+  if (i == std::string::npos || i >= line.size()) return false;
+  if (line[i] < '0' || line[i] > '9') return false;  // no sign, no quotes
+  try {
+    *out = std::stoull(line.substr(i));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool jsonExtractBool(const std::string& line, const std::string& key,
+                     bool* out) {
+  const std::size_t i = findValue(line, key);
+  if (i == std::string::npos) return false;
+  if (line.compare(i, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (line.compare(i, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
 bool verdictFromString(std::string_view text, Verdict* out) noexcept {
   static constexpr Verdict kAll[] = {
       Verdict::Holds,     Verdict::Fails, Verdict::Timeout,
@@ -292,7 +321,13 @@ bool RunJournal::open(const std::string& path, std::string* error) {
   path_ = path;
   degraded_ = false;
   if (!existed) {
-    out_ << frameLine(JsonObject().put("format", kJournalFormat).str())
+    // The header stamps the writing build: "format" gates replayability,
+    // "cmc_version" diagnoses mixed-version journals (extra keys are
+    // ignored by older loaders).
+    out_ << frameLine(JsonObject()
+                          .put("format", kJournalFormat)
+                          .put("cmc_version", util::versionString())
+                          .str())
          << '\n';
     out_.flush();
   } else if (!endsWithNewline) {

@@ -59,6 +59,10 @@ bool jsonExtractString(const std::string& line, const std::string& key,
                        std::string* out);
 bool jsonExtractDouble(const std::string& line, const std::string& key,
                        double* out);
+bool jsonExtractUint(const std::string& line, const std::string& key,
+                     std::uint64_t* out);
+bool jsonExtractBool(const std::string& line, const std::string& key,
+                     bool* out);
 
 /// Parse a verdict name as written by toString(Verdict).
 bool verdictFromString(std::string_view text, Verdict* out) noexcept;

@@ -1,5 +1,9 @@
 #include "service/obligation_cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +12,7 @@
 #include "service/trace_log.hpp"
 #include "util/failpoint.hpp"
 #include "util/hash.hpp"
+#include "util/version.hpp"
 
 namespace cmc::service {
 
@@ -19,6 +24,31 @@ namespace {
 constexpr const char* kCacheVersion = "cmc-obligation-cache-v1";
 
 constexpr const char* kStoreFile = "obligations.jsonl";
+
+/// The store's header line (framed): "format" gates loading, "cmc_version"
+/// stamps the build that created the store so a mixed-version --cache-dir
+/// is diagnosable.  Written once, by whichever process first appends to an
+/// empty store (under the same flock as the entry append).
+std::string storeHeader() {
+  return frameLine(JsonObject()
+                       .put("format", kCacheVersion)
+                       .put("cmc_version", util::versionString())
+                       .str());
+}
+
+/// Write all of `data`, retrying on short writes and EINTR.
+bool writeAll(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
 
 /// One store line: the entry object wrapped in the journal's CRC framing
 /// (frameLine), so a crash mid-append can never yield a silently
@@ -171,6 +201,21 @@ void ObligationCache::loadDisk() {
     CachedVerdict v;
     try {
       CMC_FAILPOINT("cache.disk_load");
+      if (const std::optional<std::string> payload = unframeLine(line)) {
+        std::string format;
+        if (jsonExtractString(*payload, "format", &format)) {
+          // Header line.  A future-format store must not serve verdicts
+          // computed under different semantics: stop loading entirely.
+          if (format != kCacheVersion) {
+            std::fprintf(stderr,
+                         "obligation cache: %s has format '%s' (this build "
+                         "writes '%s'); ignoring the store\n",
+                         diskPath_.c_str(), format.c_str(), kCacheVersion);
+            return;
+          }
+          continue;
+        }
+      }
       if (parseStoreLine(line, &fingerprint, &v)) {
         insertMemory(fingerprint, v);
         ++loaded;
@@ -200,20 +245,32 @@ void ObligationCache::appendDisk(const std::string& fingerprint,
   // Disk-tier failures degrade to in-memory caching; they never propagate
   // into the obligation that produced the verdict.
   try {
-    const std::string line = storeLine(fingerprint, v) + "\n";
+    std::string data = storeLine(fingerprint, v) + "\n";
     std::lock_guard<std::mutex> lock(diskMutex_);
     CMC_FAILPOINT("cache.disk_append");
-    // One buffered append + flush per entry: the line (with its CRC
-    // framing) lands in the file with a single write, so a reader — or a
-    // crash — sees whole lines plus at most one truncated tail, which the
-    // checksum rejects on load.
-    std::ofstream out(diskPath_, std::ios::app);
-    if (!out) {
-      throw Error("cannot open " + diskPath_);
+    // The diskMutex_ serializes this process's appenders; the flock below
+    // serializes *processes* sharing one --cache-dir, so two cmc instances
+    // can never interleave bytes mid-line.  Each append is a single
+    // write(2) to an O_APPEND descriptor while holding the lock; a reader
+    // — or a crash — sees whole lines plus at most one truncated tail,
+    // which the checksum rejects on load.
+    const int fd = ::open(diskPath_.c_str(), O_CREAT | O_WRONLY | O_APPEND,
+                          0644);
+    if (fd < 0) throw Error("cannot open " + diskPath_);
+    bool ok = false;
+    std::string failure;
+    if (::flock(fd, LOCK_EX) == 0) {
+      // Whichever locked an empty store first prepends the header.
+      const off_t size = ::lseek(fd, 0, SEEK_END);
+      if (size == 0) data.insert(0, storeHeader() + "\n");
+      ok = writeAll(fd, data);
+      if (!ok) failure = "write to " + diskPath_ + " failed";
+      ::flock(fd, LOCK_UN);
+    } else {
+      failure = "flock on " + diskPath_ + " failed";
     }
-    out << line;
-    out.flush();
-    if (!out) throw Error("write to " + diskPath_ + " failed");
+    ::close(fd);
+    if (!ok) throw Error(failure);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "obligation cache: append failed: %s\n", e.what());
   }

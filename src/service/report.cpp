@@ -2,6 +2,7 @@
 
 #include "service/job.hpp"
 #include "service/trace_log.hpp"
+#include "util/version.hpp"
 
 namespace cmc::service {
 
@@ -94,6 +95,7 @@ std::string JobReport::toJson() const {
 
   JsonObject root;
   root.put("job", job)
+      .put("cmc_version", util::versionString())
       .put("source", source)
       .put("verdict", toString(verdict))
       .putDouble("wall_seconds", wallSeconds)

@@ -11,10 +11,39 @@
 #include "symbolic/composition.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
+#include "util/version.hpp"
 
 namespace cmc::service {
 
 namespace {
+
+/// The two cooperative cancellation sources an obligation polls: the
+/// service-wide flag (SIGINT/SIGTERM wind-down of the whole embedder) and
+/// the per-batch flag (one server request's CANCEL).  Either one aborts.
+struct CancelFlags {
+  const std::atomic<bool>* service = nullptr;
+  const std::atomic<bool>* batch = nullptr;
+
+  bool requested() const noexcept {
+    return (service != nullptr &&
+            service->load(std::memory_order_relaxed)) ||
+           (batch != nullptr && batch->load(std::memory_order_relaxed));
+  }
+};
+
+/// Per-verdict counter name in the metrics registry.
+const char* verdictMetric(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::Holds: return "verdict_holds";
+    case Verdict::Fails: return "verdict_fails";
+    case Verdict::Timeout: return "verdict_timeout";
+    case Verdict::MemoryOut: return "verdict_memoryout";
+    case Verdict::Inconclusive: return "verdict_inconclusive";
+    case Verdict::Cancelled: return "verdict_cancelled";
+    case Verdict::Error: return "verdict_error";
+  }
+  return "verdict_unknown";
+}
 
 /// Everything a worker needs to run one obligation; descriptors are copied
 /// into the pool task, so only the job pointer must outlive the batch.
@@ -91,7 +120,7 @@ struct AttemptOutput {
 
 /// One engine attempt: fresh context, fresh budget, full rebuild.
 AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned,
-                         const std::atomic<bool>* cancel) {
+                         const CancelFlags& cancel) {
   AttemptOutput out;
   out.record.engine = engineName(partitioned);
   const JobOptions& jopts = d.job->options;
@@ -107,8 +136,8 @@ AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned,
     symbolic::CheckerOptions copts;
     copts.usePartitionedTrans = partitioned;
     copts.clusterThreshold = jopts.clusterThreshold;
-    copts.cancelCheck = [&token, cancel] {
-      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    copts.cancelCheck = [&token, &cancel] {
+      if (cancel.requested()) {
         throw symbolic::CancelledError(symbolic::CancelReason::External,
                                        "run interrupted");
       }
@@ -256,7 +285,7 @@ bool serveFromCache(const ObligationDesc& d, ObligationCache* cache,
 /// on an unexpected exception (one retry on a fresh Context, then Error).
 void runAttempts(const ObligationDesc& d, ObligationOutcome& out,
                  RunTrace& trace, ObligationCache* cache,
-                 const std::atomic<bool>* cancel) {
+                 const CancelFlags& cancel) {
   const JobOptions& jopts = d.job->options;
   bool partitioned = jopts.usePartitionedTrans;
   const int maxBudgetAttempts = jopts.retryOtherEngine ? 2 : 1;
@@ -351,13 +380,16 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
                                 ThreadPool& pool, ObligationCache* cache,
                                 RunJournal* journal,
                                 const JournalReplay* replay,
-                                const std::atomic<bool>* cancel) {
+                                const CancelFlags& cancel,
+                                MetricsRegistry* metrics) {
   ObligationOutcome out;
   out.id = d.id;
   out.target = d.target;
   out.spec = d.specName;
   out.specText = d.specText;
   out.fingerprint = d.fingerprint;
+  WallTimer dispatchTimer;
+  if (metrics != nullptr) metrics->counter("obligations_dispatched").inc();
 
   trace.emit(JsonObject()
                  .put("event", "obligation_start")
@@ -374,7 +406,7 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
   // the pool are untouched and the batch completes.
   try {
     CMC_FAILPOINT("scheduler.dispatch");
-    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    if (cancel.requested()) {
       // Drain mode: the run is being interrupted — report the queued
       // obligation as Cancelled without spending an attempt on it.
       out.verdict = Verdict::Cancelled;
@@ -388,6 +420,13 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
   } catch (...) {
     out.verdict = Verdict::Error;
     out.error = "unknown exception";
+  }
+
+  if (metrics != nullptr) {
+    metrics->counter("obligations_completed").inc();
+    metrics->counter("obligations_" + out.verdictSource).inc();
+    metrics->counter(verdictMetric(out.verdict)).inc();
+    metrics->histogram("obligation_seconds").observe(dispatchTimer.seconds());
   }
 
   // Journal the outcome the moment it is final (append + flush inside);
@@ -424,16 +463,19 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
 
 JobReport VerificationService::run(const VerificationJob& job,
                                    RunTrace* trace, RunJournal* journal,
-                                   const JournalReplay* replay) {
+                                   const JournalReplay* replay,
+                                   const std::atomic<bool>* cancel) {
   const std::vector<VerificationJob> one{job};
-  return runBatch(one, trace, journal, replay).front();
+  return runBatch(one, trace, journal, replay, cancel).front();
 }
 
 std::vector<JobReport> VerificationService::runBatch(
     const std::vector<VerificationJob>& jobs, RunTrace* trace,
-    RunJournal* journal, const JournalReplay* replay) {
+    RunJournal* journal, const JournalReplay* replay,
+    const std::atomic<bool>* cancel) {
   RunTrace localTrace;
   RunTrace& tr = trace != nullptr ? *trace : localTrace;
+  const CancelFlags flags{cancel_, cancel};
 
   struct JobState {
     WallTimer timer;
@@ -514,6 +556,7 @@ std::vector<JobReport> VerificationService::runBatch(
                 .put("event", "job_start")
                 .putDouble("t", tr.elapsedSeconds())
                 .put("job", job.name)
+                .put("cmc_version", util::versionString())
                 .put("source", job.sourcePath)
                 .putUint("obligations",
                          static_cast<std::uint64_t>(state.descs.size()))
@@ -524,14 +567,15 @@ std::vector<JobReport> VerificationService::runBatch(
   // on the pool.
   for (JobState& state : states) {
     for (const ObligationDesc& d : state.descs) {
-      state.futures.push_back(pool_.submit([d, &tr, journal, replay, this] {
+      state.futures.push_back(pool_.submit([d, &tr, journal, replay, flags,
+                                            this] {
         // Last line of defence: runObligation already guards its decision
         // path, but nothing that reaches the pool may ever rethrow through
         // future.get() — one poisoned obligation must not lose its
         // siblings' outcomes.
         try {
           return runObligation(d, tr, pool_, cache_.get(), journal, replay,
-                               cancel_);
+                               flags, metrics_);
         } catch (const std::exception& e) {
           ObligationOutcome out;
           out.id = d.id;

@@ -45,6 +45,7 @@
 
 #include "service/job.hpp"
 #include "service/journal.hpp"
+#include "service/metrics.hpp"
 #include "service/obligation_cache.hpp"
 #include "service/trace_log.hpp"
 #include "util/thread_pool.hpp"
@@ -68,12 +69,22 @@ struct ServiceOptions {
   /// without running them.  The flag is owned by the embedder — cmc points
   /// it at the flag its SIGINT/SIGTERM handler sets.
   const std::atomic<bool>* cancelFlag = nullptr;
+  /// Scheduler observability: when non-null, obligation dispatch and
+  /// verdicts are counted (obligations_dispatched, obligations_completed,
+  /// per-source obligations_{checked,cache,journal}, per-verdict
+  /// verdict_*) and per-obligation latency lands in the
+  /// obligation_seconds histogram.  Owned by the embedder (cmc serve
+  /// shares one registry between server and scheduler); must outlive the
+  /// service.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class VerificationService {
  public:
   explicit VerificationService(ServiceOptions opts = {})
-      : pool_(opts.threads), cancel_(opts.cancelFlag) {
+      : pool_(opts.threads),
+        cancel_(opts.cancelFlag),
+        metrics_(opts.metrics) {
     if (opts.cacheEnabled) {
       ObligationCache::Options copts;
       copts.capacity = opts.cacheCapacity;
@@ -85,17 +96,26 @@ class VerificationService {
   /// Run one job to completion; events go to `trace` when non-null.
   /// Outcomes are journaled to `journal` (when open) as they are decided;
   /// obligations found decided in `replay` are served without attempts.
+  /// `cancel` is a per-call cancel flag, polled alongside the service-wide
+  /// ServiceOptions::cancelFlag — `cmc serve` points it at the per-request
+  /// flag its CANCEL command raises, so one request winds down without
+  /// touching its neighbours.
   JobReport run(const VerificationJob& job, RunTrace* trace = nullptr,
                 RunJournal* journal = nullptr,
-                const JournalReplay* replay = nullptr);
+                const JournalReplay* replay = nullptr,
+                const std::atomic<bool>* cancel = nullptr);
 
   /// Run a batch: all obligations of all jobs share the pool, so a wide
   /// job cannot starve a narrow one queued behind it (obligations
   /// interleave at task granularity).  Reports are returned in job order.
+  /// Safe to call concurrently from several threads (the server does):
+  /// the pool, cache, journal, and trace are all thread-safe, and each
+  /// call owns its own futures.
   std::vector<JobReport> runBatch(const std::vector<VerificationJob>& jobs,
                                   RunTrace* trace = nullptr,
                                   RunJournal* journal = nullptr,
-                                  const JournalReplay* replay = nullptr);
+                                  const JournalReplay* replay = nullptr,
+                                  const std::atomic<bool>* cancel = nullptr);
 
   unsigned threads() const noexcept { return pool_.size(); }
   /// Obligations submitted but not yet picked up by a worker (the
@@ -114,6 +134,7 @@ class VerificationService {
  private:
   ThreadPool pool_;
   const std::atomic<bool>* cancel_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<ObligationCache> cache_;
 };
 

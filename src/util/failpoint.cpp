@@ -30,6 +30,8 @@ constexpr CatalogEntry kCatalog[] = {
     {"scheduler.retry", "engine-degradation retry decision"},
     {"journal.append", "run-journal append of a decided obligation"},
     {"journal.load", "run-journal load on --resume (per line)"},
+    {"net.accept", "server accept of a new connection (before the handler)"},
+    {"net.read", "server read of a request line (per read attempt)"},
 };
 
 }  // namespace

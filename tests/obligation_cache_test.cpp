@@ -6,6 +6,9 @@
 // service instances, shared cache under a concurrent batch).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -177,7 +180,11 @@ TEST(ObligationCacheUnit, StoreLinesCarryTheJournalFraming) {
     std::string line;
     while (std::getline(in, line)) lines.push_back(line);
   }
-  ASSERT_EQ(lines.size(), 2u);
+  // Whichever process first appends to an empty store prepends the
+  // versioned header; every line — header included — is CRC-framed.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("cmc-obligation-cache-v1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cmc_version\": \""), std::string::npos);
   for (const std::string& line : lines) {
     EXPECT_NE(line.find("\"crc\": \""), std::string::npos);
     EXPECT_TRUE(unframeLine(line).has_value()) << line;
@@ -185,10 +192,10 @@ TEST(ObligationCacheUnit, StoreLinesCarryTheJournalFraming) {
   {
     // Flip one byte inside the first entry's payload: the checksum must
     // reject it on reload while the intact line still loads.
-    std::string tampered = lines[0];
+    std::string tampered = lines[1];
     tampered[10] ^= 1;
     std::ofstream out(dir / "obligations.jsonl");
-    out << tampered << "\n" << lines[1] << "\n";
+    out << lines[0] << "\n" << tampered << "\n" << lines[2] << "\n";
   }
   ObligationCache::Options opts;
   opts.dir = dir.string();
@@ -414,6 +421,67 @@ TEST(ObligationCacheService, ConcurrentBatchSharesOneCache) {
   EXPECT_EQ(stats.hits, hits);
   EXPECT_EQ(stats.misses, misses);
   EXPECT_EQ(stats.inserts, inserts);
+}
+
+TEST(ObligationCacheService, TwoProcessesShareOneStoreWithoutTornLines) {
+  // Multi-process safety satellite: a daemon and a one-shot `cmc check`
+  // (or two daemons) pointed at the same --cache-dir append concurrently.
+  // flock + single-write(2)-per-entry must keep every line whole: after
+  // both processes finish, a fresh load sees every entry and zero corrupt
+  // lines, and exactly one process won the header race.
+  const fs::path dir = scratchDir("cmc_obligation_cache_two_process");
+  constexpr int kPerProcess = 64;
+  CachedVerdict v;
+  v.verdict = Verdict::Holds;
+  v.rule = "direct";
+  v.engine = "partitioned";
+  v.seconds = 0.01;
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Child: its own cache instance on the shared dir; plain _exit so no
+    // gtest teardown runs in the forked copy.
+    ObligationCache::Options opts;
+    opts.dir = dir.string();
+    ObligationCache mine(opts);
+    for (int i = 0; i < kPerProcess; ++i) {
+      mine.insert("child-" + std::to_string(i), v);
+    }
+    ::_exit(0);
+  }
+  {
+    ObligationCache::Options opts;
+    opts.dir = dir.string();
+    ObligationCache mine(opts);
+    for (int i = 0; i < kPerProcess; ++i) {
+      mine.insert("parent-" + std::to_string(i), v);
+    }
+  }
+  int status = -1;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  ObligationCache::Options opts;
+  opts.dir = dir.string();
+  ObligationCache merged(opts);
+  EXPECT_EQ(merged.stats().loaded,
+            static_cast<std::uint64_t>(2 * kPerProcess));
+  EXPECT_EQ(merged.stats().corruptLines, 0u);
+  EXPECT_TRUE(merged.lookup("parent-0").has_value());
+  EXPECT_TRUE(merged.lookup("child-" + std::to_string(kPerProcess - 1))
+                  .has_value());
+
+  // Exactly one header line despite the two-process creation race.
+  std::size_t headers = 0;
+  std::ifstream in(dir / "obligations.jsonl");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("cmc-obligation-cache-v1") != std::string::npos) ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,10 +1,18 @@
 // cmc — the production command-line front end of the verification service.
 //
 //   cmc check [options] <model.smv> [more.smv ...]
+//   cmc serve --socket /path [--tcp PORT] [options]
+//   cmc submit --socket /path [options] <model.smv> [more.smv ...]
 //   cmc failpoints | version | help
 //
 // Each model file becomes one VerificationJob; all jobs run as one batch on
 // the service's thread pool, so obligations of different models interleave.
+//
+// `cmc serve` keeps one VerificationService alive across many requests — a
+// persistent daemon speaking newline-delimited JSON (src/net/protocol.hpp)
+// over a Unix-domain socket, with admission control (bounded queue, BUSY
+// backpressure), per-request CANCEL, live metrics (STATS), and SIGTERM =
+// drain-and-exit-0.  `cmc submit` is the matching client.
 // Every job writes a JSONL event trace and a summary JSON report (schema in
 // README.md) next to its model — override the destinations with --trace and
 // --report.  A crash-safe run journal records every outcome as it is
@@ -21,7 +29,10 @@
 // SIGINT, 143 = SIGTERM).  With --strict the verdict is additionally mapped
 // onto the exit code for CI gating: 1 = some spec fails, 3 = budget
 // exhausted (Timeout / MemoryOut), 4 = Inconclusive on both engines.
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -30,21 +41,27 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "service/scheduler.hpp"
 #include "util/failpoint.hpp"
+#include "util/version.hpp"
 
 using namespace cmc;
 
 namespace {
 
-constexpr const char* kVersion = "cmc 0.2.0 (compositional model checker)";
-
 constexpr const char* kUsage = R"(usage: cmc <command> [options] <model.smv> [more.smv ...]
 
 commands:
   check       parse, elaborate and verify every SPEC of the given models
+  serve       run the persistent verification daemon (wire protocol over a
+              Unix-domain socket; see README.md "Server mode")
+  submit      client for a serving daemon: submit checks, query STATUS/STATS,
+              CANCEL a request, or DRAIN the server
   failpoints  list the fault-injection sites (see docs/OPERATIONS.md)
   version     print the version string
   help        print this help
@@ -85,10 +102,43 @@ cmc check options:
                      is to exit 0 whenever verification ran to completion
   --quiet            only print the final per-job verdicts
 
+cmc serve options:
+  --socket PATH      Unix-domain listener (required; unlinked on shutdown)
+  --tcp PORT         also listen on 127.0.0.1:PORT (0 = pick an ephemeral
+                     port, printed on start-up)
+  --max-inflight N   CHECK requests executing at once (default: worker
+                     threads)
+  --queue-depth N    admitted CHECKs that may wait for a slot (default 16);
+                     one more and the server answers BUSY
+  --model-root DIR   resolve request "model" paths under DIR
+  --metrics-interval-ms N
+                     period of the "metrics" JSONL trace event (default
+                     10000; 0 = off)
+  plus, as in check: --threads --cache-dir --no-cache --journal --resume
+  --trace --failpoint, and the job-option defaults (--compose --monolithic
+  --no-retry --deadline-ms --node-budget --cluster --reorder), which
+  requests overlay per CHECK.  SIGTERM/SIGINT (or a DRAIN command) drains:
+  in-flight requests finish and respond, new CHECKs get DRAINING, then the
+  server exits 0.
+
+cmc submit options:
+  --socket PATH      connect to the daemon's Unix-domain socket
+  --tcp PORT         connect to 127.0.0.1:PORT instead
+  --status | --stats | --drain | --cancel ID
+                     control commands (no model arguments); --stats prints
+                     the Prometheus-style metrics text
+  --id ID            request id (one model) or id prefix (several)
+  --name NAME        job name for a single submitted model
+  --report PATH      write the returned report JSON (unescaped) to PATH
+  plus the job options above, overriding the server's defaults per CHECK.
+  Model text is read client-side and sent inline, so the daemon need not
+  share a filesystem with the client.
+
 exit codes: 0 completed (all hold under --strict); 1 --strict and a spec
 fails; 2 usage/I-O/model error; 3 --strict and Timeout/MemoryOut;
-4 --strict and Inconclusive; 5 Error verdict; 130/143 interrupted
-(SIGINT/SIGTERM; journal, trace and report hold the partial results)
+4 --strict and Inconclusive; 5 Error verdict; 6 submit refused
+(BUSY/DRAINING); 130/143 interrupted (SIGINT/SIGTERM; journal, trace and
+report hold the partial results)
 )";
 
 struct CliOptions {
@@ -275,13 +325,13 @@ void printReport(const service::JobReport& report, bool quiet) {
             << service::jsonNumber(report.wallSeconds) << " s wall)\n\n";
 }
 
-int runCheck(const CliOptions& cli) {
+int armFailpoints(const std::vector<std::string>& specs) {
   if (!util::Failpoint::compiledIn()) {
     // Refuse rather than silently ignore: an operator arming a failpoint
     // against an uninstrumented binary would otherwise believe the fault
     // paths were exercised when nothing fired.
     const char* env = std::getenv("CMC_FAILPOINTS");
-    if (!cli.failpoints.empty()) {
+    if (!specs.empty()) {
       std::cerr << "cmc: --failpoint needs a build with -DCMC_FAILPOINTS=ON "
                    "(run `cmc failpoints` to see the catalog)\n";
       return 2;
@@ -293,10 +343,15 @@ int runCheck(const CliOptions& cli) {
       return 2;
     }
   }
-  for (const std::string& spec : cli.failpoints) {
+  for (const std::string& spec : specs) {
     util::Failpoint::configure(spec);  // throws cmc::Error on a bad spec
   }
   util::Failpoint::configureFromEnv();
+  return 0;
+}
+
+int runCheck(const CliOptions& cli) {
+  if (const int rc = armFailpoints(cli.failpoints); rc != 0) return rc;
 
   std::vector<service::VerificationJob> jobs;
   for (const std::string& path : cli.models) {
@@ -448,6 +503,496 @@ int runCheck(const CliOptions& cli) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// cmc serve
+
+struct ServeOptions {
+  net::ServerOptions server;
+  unsigned threads = 0;
+  std::string cacheDir;
+  std::string journalPath;
+  std::string tracePath;
+  bool cacheEnabled = true;
+  bool resume = false;
+  std::vector<std::string> failpoints;
+};
+
+int parseServeArgs(int argc, char** argv, ServeOptions* opts) {
+  service::JobOptions& job = opts->server.defaults;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "cmc serve: " << arg << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const auto nextUint = [&](std::uint64_t* out) {
+      const char* v = next();
+      return v != nullptr && parseUint(v, out);
+    };
+    std::uint64_t n = 0;
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->server.socketPath = v;
+    } else if (arg == "--tcp") {
+      if (!nextUint(&n) || n > 65535) return 2;
+      opts->server.tcpPort = static_cast<int>(n);
+    } else if (arg == "--max-inflight") {
+      if (!nextUint(&n)) return 2;
+      opts->server.maxInFlight = static_cast<unsigned>(n);
+    } else if (arg == "--queue-depth") {
+      if (!nextUint(&n)) return 2;
+      opts->server.queueDepth = static_cast<std::size_t>(n);
+    } else if (arg == "--model-root") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->server.modelRoot = v;
+    } else if (arg == "--metrics-interval-ms") {
+      if (!nextUint(&n)) return 2;
+      opts->server.metricsIntervalSeconds = static_cast<double>(n) / 1e3;
+    } else if (arg == "--threads") {
+      if (!nextUint(&n)) return 2;
+      opts->threads = static_cast<unsigned>(n);
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->cacheDir = v;
+    } else if (arg == "--no-cache") {
+      opts->cacheEnabled = false;
+    } else if (arg == "--journal") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->journalPath = v;
+    } else if (arg == "--resume") {
+      opts->resume = true;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->tracePath = v;
+    } else if (arg == "--failpoint") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->failpoints.push_back(v);
+    } else if (arg == "--compose") {
+      job.compose = true;
+    } else if (arg == "--monolithic") {
+      job.usePartitionedTrans = false;
+    } else if (arg == "--no-retry") {
+      job.retryOtherEngine = false;
+    } else if (arg == "--reorder") {
+      job.reorderBeforeCheck = true;
+    } else if (arg == "--deadline-ms") {
+      if (!nextUint(&n)) return 2;
+      job.limits.deadlineSeconds = static_cast<double>(n) / 1e3;
+    } else if (arg == "--node-budget") {
+      if (!nextUint(&n)) return 2;
+      job.limits.nodeBudget = n;
+    } else if (arg == "--cluster") {
+      if (!nextUint(&n)) return 2;
+      job.clusterThreshold = n;
+    } else {
+      std::cerr << "cmc serve: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opts->server.socketPath.empty()) {
+    std::cerr << "cmc serve: --socket PATH is required\n";
+    return 2;
+  }
+  if (opts->resume && opts->journalPath.empty()) {
+    std::cerr << "cmc serve: --resume needs --journal PATH\n";
+    return 2;
+  }
+  return 0;
+}
+
+int runServe(const ServeOptions& opts) {
+  if (const int rc = armFailpoints(opts.failpoints); rc != 0) return rc;
+
+  service::MetricsRegistry metrics;
+  service::ServiceOptions svcOpts;
+  svcOpts.threads = opts.threads;
+  svcOpts.cacheEnabled = opts.cacheEnabled;
+  svcOpts.cacheDir = opts.cacheDir;
+  svcOpts.metrics = &metrics;
+  // No service-wide cancel flag: a signal means *drain* (in-flight
+  // requests complete and respond), not cancel.  Per-request cancellation
+  // arrives through the protocol's CANCEL command instead.
+  service::VerificationService svc(svcOpts);
+
+  std::ofstream traceFile;
+  if (!opts.tracePath.empty()) {
+    traceFile.open(opts.tracePath);
+    if (!traceFile) {
+      std::cerr << "cmc serve: cannot write " << opts.tracePath << "\n";
+      return 2;
+    }
+  }
+  service::RunTrace trace(traceFile.is_open() ? &traceFile : nullptr);
+
+  service::JournalReplay replay;
+  if (opts.resume) {
+    replay = service::loadJournal(opts.journalPath);
+    if (replay.found) {
+      std::cout << "cmc serve: resuming " << replay.decided.size()
+                << " decided obligation(s) from " << opts.journalPath << "\n";
+    }
+  }
+  service::RunJournal journal;
+  if (!opts.journalPath.empty()) {
+    std::string jerr;
+    if (!journal.open(opts.journalPath, &jerr)) {
+      std::cerr << "cmc serve: " << jerr << "; continuing without a journal\n";
+    }
+  }
+
+  net::Server server(opts.server, svc, metrics, trace,
+                     journal.isOpen() ? &journal : nullptr,
+                     opts.resume && replay.found ? &replay : nullptr);
+  std::string err;
+  if (!server.start(&err)) {
+    std::cerr << "cmc serve: " << err << "\n";
+    return 2;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::cout << "cmc serve: listening on " << opts.server.socketPath;
+  if (server.boundTcpPort() >= 0) {
+    std::cout << " and 127.0.0.1:" << server.boundTcpPort();
+  }
+  std::cout << " (" << svc.threads() << " workers)" << std::endl;
+
+  // The handlers only set gSignal (async-signal-safe); the main loop turns
+  // it into a drain.  A DRAIN protocol command also ends this loop.
+  while (gSignal.load(std::memory_order_relaxed) == 0 &&
+         !server.drainRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (const int sig = gSignal.load(std::memory_order_relaxed); sig != 0) {
+    std::cout << "cmc serve: signal " << sig << "; draining" << std::endl;
+  }
+  server.requestDrain();
+  server.shutdown();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  std::cout << "cmc serve: drained; "
+            << metrics.counterValue("checks_completed")
+            << " check(s) completed, "
+            << metrics.counterValue("checks_rejected_busy") << " busy, "
+            << metrics.counterValue("checks_rejected_draining")
+            << " refused draining";
+  if (journal.isOpen()) {
+    std::cout << "; " << journal.recorded() << " outcome(s) journaled";
+  }
+  std::cout << std::endl;
+  // Drain-and-exit is the *orderly* path, signal or not: exit 0.
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// cmc submit
+
+struct SubmitOptions {
+  std::string socketPath;
+  int tcpPort = -1;
+  bool status = false;
+  bool stats = false;
+  bool drain = false;
+  std::string cancelId;
+  std::string id;
+  std::string name;
+  std::string reportPath;
+  bool strict = false;
+  bool quiet = false;
+  service::JobOptions job;
+  // Only explicitly given options are sent; the server's defaults cover
+  // the rest.
+  bool setCompose = false, setEngine = false, setNoRetry = false;
+  bool setDeadline = false, setNodeBudget = false, setCluster = false;
+  bool setReorder = false;
+  std::vector<std::string> models;
+};
+
+int parseSubmitArgs(int argc, char** argv, SubmitOptions* opts) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "cmc submit: " << arg << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    std::uint64_t n = 0;
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->socketPath = v;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &n) || n > 65535) return 2;
+      opts->tcpPort = static_cast<int>(n);
+    } else if (arg == "--status") {
+      opts->status = true;
+    } else if (arg == "--stats") {
+      opts->stats = true;
+    } else if (arg == "--drain") {
+      opts->drain = true;
+    } else if (arg == "--cancel") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->cancelId = v;
+    } else if (arg == "--id") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->id = v;
+    } else if (arg == "--name") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->name = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->reportPath = v;
+    } else if (arg == "--strict") {
+      opts->strict = true;
+    } else if (arg == "--quiet") {
+      opts->quiet = true;
+    } else if (arg == "--compose") {
+      opts->job.compose = true;
+      opts->setCompose = true;
+    } else if (arg == "--monolithic") {
+      opts->job.usePartitionedTrans = false;
+      opts->setEngine = true;
+    } else if (arg == "--no-retry") {
+      opts->job.retryOtherEngine = false;
+      opts->setNoRetry = true;
+    } else if (arg == "--reorder") {
+      opts->job.reorderBeforeCheck = true;
+      opts->setReorder = true;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &n)) return 2;
+      opts->job.limits.deadlineSeconds = static_cast<double>(n) / 1e3;
+      opts->setDeadline = true;
+    } else if (arg == "--node-budget") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &opts->job.limits.nodeBudget))
+        return 2;
+      opts->setNodeBudget = true;
+    } else if (arg == "--cluster") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &opts->job.clusterThreshold))
+        return 2;
+      opts->setCluster = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cmc submit: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      opts->models.push_back(arg);
+    }
+  }
+  if (opts->socketPath.empty() && opts->tcpPort < 0) {
+    std::cerr << "cmc submit: need --socket PATH or --tcp PORT\n";
+    return 2;
+  }
+  const bool control = opts->status || opts->stats || opts->drain ||
+                       !opts->cancelId.empty();
+  if (control && !opts->models.empty()) {
+    std::cerr << "cmc submit: control commands take no model arguments\n";
+    return 2;
+  }
+  if (!control && opts->models.empty()) {
+    std::cerr << "cmc submit: no model files given\n";
+    return 2;
+  }
+  return 0;
+}
+
+std::string buildCheckRequest(const SubmitOptions& opts, const std::string& id,
+                              const std::string& name,
+                              const std::string& smv) {
+  service::JsonObject req;
+  req.put("cmd", "CHECK").put("id", id);
+  if (!name.empty()) req.put("name", name);
+  if (opts.setCompose) req.putBool("compose", opts.job.compose);
+  if (opts.setReorder) req.putBool("reorder", opts.job.reorderBeforeCheck);
+  if (opts.setNoRetry) req.putBool("no_retry", !opts.job.retryOtherEngine);
+  if (opts.setEngine) {
+    req.put("engine",
+            opts.job.usePartitionedTrans ? "partitioned" : "monolithic");
+  }
+  if (opts.setDeadline) {
+    req.putUint("deadline_ms", static_cast<std::uint64_t>(
+                                   opts.job.limits.deadlineSeconds * 1e3));
+  }
+  if (opts.setNodeBudget) req.putUint("node_budget", opts.job.limits.nodeBudget);
+  if (opts.setCluster) req.putUint("cluster", opts.job.clusterThreshold);
+  // Free text goes last: flat extraction of the typed fields above then
+  // never scans across the (escaped) model text.
+  req.put("smv", smv);
+  return req.str();
+}
+
+/// Render one CHECK response; returns the submit exit code contribution
+/// (0 ok, 2 bad request, 6 refused) and folds the verdict into *worst.
+int renderCheckResponse(const std::string& resp, bool quiet,
+                        service::Verdict* worst, std::string* reportOut) {
+  bool ok = false;
+  service::jsonExtractBool(resp, "ok", &ok);
+  std::string id;
+  service::jsonExtractString(resp, "id", &id);
+  if (!ok) {
+    std::string code, message;
+    service::jsonExtractString(resp, "code", &code);
+    service::jsonExtractString(resp, "error", &message);
+    std::cerr << "cmc submit: " << (id.empty() ? "request" : id) << ": "
+              << code << ": " << message << "\n";
+    return code == net::kBusy || code == net::kDraining ? 6 : 2;
+  }
+  std::string job, verdictText;
+  service::jsonExtractString(resp, "job", &job);
+  service::jsonExtractString(resp, "verdict", &verdictText);
+  std::uint64_t obligations = 0, holds = 0, fails = 0, cacheHits = 0;
+  service::jsonExtractUint(resp, "obligations", &obligations);
+  service::jsonExtractUint(resp, "holds", &holds);
+  service::jsonExtractUint(resp, "fails", &fails);
+  service::jsonExtractUint(resp, "cache_hits", &cacheHits);
+  double wall = 0.0, wait = 0.0;
+  service::jsonExtractDouble(resp, "wall_seconds", &wall);
+  service::jsonExtractDouble(resp, "queue_wait_seconds", &wait);
+  std::cout << "== job " << job << ": " << verdictText << " (" << obligations
+            << " obligations, " << holds << " hold, " << fails << " fail, "
+            << cacheHits << " cache hits, " << service::jsonNumber(wall)
+            << " s wall, " << service::jsonNumber(wait) << " s queued) ==\n";
+  if (!quiet) {
+    bool queueCancelled = false;
+    service::jsonExtractBool(resp, "cancelled_in_queue", &queueCancelled);
+    if (queueCancelled) std::cout << "-- cancelled while queued --\n";
+  }
+  service::Verdict verdict = service::Verdict::Error;
+  if (service::verdictFromString(verdictText, &verdict)) {
+    *worst = service::worseVerdict(*worst, verdict);
+  }
+  if (reportOut != nullptr) {
+    service::jsonExtractString(resp, "report", reportOut);
+  }
+  return 0;
+}
+
+int runSubmit(const SubmitOptions& opts) {
+  net::Client client;
+  std::string err;
+  const bool connected = !opts.socketPath.empty()
+                             ? client.connectUnix(opts.socketPath, &err)
+                             : client.connectTcp(opts.tcpPort, &err);
+  if (!connected) {
+    std::cerr << "cmc submit: " << err << "\n";
+    return 2;
+  }
+
+  // Control commands: one request, print, done.
+  if (opts.status || opts.stats || opts.drain || !opts.cancelId.empty()) {
+    service::JsonObject req;
+    if (opts.status) req.put("cmd", "STATUS");
+    else if (opts.stats) req.put("cmd", "STATS");
+    else if (opts.drain) req.put("cmd", "DRAIN");
+    else req.put("cmd", "CANCEL").put("id", opts.cancelId);
+    std::string resp;
+    if (!client.request(req.str(), &resp, &err)) {
+      std::cerr << "cmc submit: " << err << "\n";
+      return 2;
+    }
+    bool ok = false;
+    service::jsonExtractBool(resp, "ok", &ok);
+    if (opts.stats && ok) {
+      // The greppable rendering: one metric per line.
+      std::string text;
+      if (service::jsonExtractString(resp, "metrics_text", &text)) {
+        std::cout << text;
+      }
+      double uptime = 0.0;
+      std::uint64_t entries = 0;
+      service::jsonExtractDouble(resp, "uptime_seconds", &uptime);
+      if (service::jsonExtractUint(resp, "cache_entries", &entries)) {
+        std::cout << "cache_entries " << entries << "\n";
+      }
+      std::cout << "uptime_seconds " << service::jsonNumber(uptime) << "\n";
+    } else {
+      std::cout << resp << "\n";
+    }
+    return ok ? 0 : 2;
+  }
+
+  // CHECK per model, sequentially on this connection (run several submit
+  // processes for concurrency; the daemon interleaves them).
+  int exitCode = 0;
+  service::Verdict worst = service::Verdict::Holds;
+  std::vector<std::string> reports;
+  for (std::size_t k = 0; k < opts.models.size(); ++k) {
+    const std::string& path = opts.models[k];
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cmc submit: cannot open " << path << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string id = opts.id;
+    if (id.empty()) {
+      id = "submit-" + std::to_string(::getpid()) + "-" + std::to_string(k);
+    } else if (opts.models.size() > 1) {
+      id += "-" + std::to_string(k);
+    }
+    const std::string name = !opts.name.empty() && opts.models.size() == 1
+                                 ? opts.name
+                                 : basenameStem(path);
+    std::string resp;
+    if (!client.request(buildCheckRequest(opts, id, name, buffer.str()),
+                        &resp, &err)) {
+      std::cerr << "cmc submit: " << err << "\n";
+      return 2;
+    }
+    std::string report;
+    const int rc = renderCheckResponse(resp, opts.quiet, &worst,
+                                       opts.reportPath.empty() ? nullptr
+                                                               : &report);
+    if (rc != 0) exitCode = rc;
+    if (!report.empty()) reports.push_back(std::move(report));
+  }
+
+  if (!opts.reportPath.empty() && !reports.empty()) {
+    std::string combined;
+    if (reports.size() == 1) {
+      combined = reports.front() + "\n";
+    } else {
+      combined = "{\"reports\": [\n";
+      for (std::size_t k = 0; k < reports.size(); ++k) {
+        combined += reports[k];
+        combined += k + 1 < reports.size() ? ",\n" : "\n";
+      }
+      combined += "]}\n";
+    }
+    if (!writeFile(opts.reportPath, combined)) return 2;
+  }
+
+  if (exitCode != 0) return exitCode;
+  if (worst == service::Verdict::Error) return 5;
+  if (!opts.strict) return 0;
+  switch (worst) {
+    case service::Verdict::Holds: return 0;
+    case service::Verdict::Fails: return 1;
+    case service::Verdict::Inconclusive: return 4;
+    default: return 3;
+  }
+}
+
 int runFailpoints() {
   if (util::Failpoint::compiledIn()) {
     std::cout << "failpoint sites (compiled in; arm with --failpoint or the "
@@ -473,7 +1018,8 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "version" || command == "--version") {
-    std::cout << kVersion << "\n";
+    std::cout << "cmc " << util::versionString()
+              << " (compositional model checker)\n";
     return 0;
   }
   if (command == "help" || command == "--help") {
@@ -483,16 +1029,28 @@ int main(int argc, char** argv) {
   if (command == "failpoints") {
     return runFailpoints();
   }
-  if (command != "check") {
-    std::cerr << "cmc: unknown command '" << command << "'\n" << kUsage;
-    return 2;
-  }
-  CliOptions cli;
-  if (const int rc = parseArgs(argc, argv, &cli); rc != 0) return rc;
   try {
-    return runCheck(cli);
+    if (command == "check") {
+      CliOptions cli;
+      if (const int rc = parseArgs(argc, argv, &cli); rc != 0) return rc;
+      return runCheck(cli);
+    }
+    if (command == "serve") {
+      ServeOptions opts;
+      if (const int rc = parseServeArgs(argc, argv, &opts); rc != 0)
+        return rc;
+      return runServe(opts);
+    }
+    if (command == "submit") {
+      SubmitOptions opts;
+      if (const int rc = parseSubmitArgs(argc, argv, &opts); rc != 0)
+        return rc;
+      return runSubmit(opts);
+    }
   } catch (const Error& e) {
     std::cerr << "cmc: " << e.what() << "\n";
     return 2;
   }
+  std::cerr << "cmc: unknown command '" << command << "'\n" << kUsage;
+  return 2;
 }
