@@ -68,12 +68,18 @@ void report() {
               "service s");
   for (const int copies : {2, 4, 8}) {
     const std::vector<service::VerificationJob> jobs = makeBatch(copies);
-    WallTimer serialTimer;
-    const bool serialOk = runSerial(jobs);
-    const double serialSeconds = serialTimer.seconds();
-    WallTimer poolTimer;
-    const bool poolOk = runPooled(jobs, 0);
-    const double poolSeconds = poolTimer.seconds();
+    // Best-of-3 each, so a scheduler hiccup in one run does not smear the
+    // recorded trajectory.
+    bool serialOk = true, poolOk = true;
+    double serialSeconds = 1e30, poolSeconds = 1e30;
+    for (int run = 0; run < 3; ++run) {
+      WallTimer serialTimer;
+      serialOk = serialOk && runSerial(jobs);
+      serialSeconds = std::min(serialSeconds, serialTimer.seconds());
+      WallTimer poolTimer;
+      poolOk = poolOk && runPooled(jobs, 0);
+      poolSeconds = std::min(poolSeconds, poolTimer.seconds());
+    }
     std::printf("%8zu %6zu %12.4f %12.4f%s\n", jobs.size(),
                 jobs.size() * 5, serialSeconds, poolSeconds,
                 serialOk && poolOk ? "" : "  (VERDICT MISMATCH)");

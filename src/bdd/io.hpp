@@ -25,4 +25,70 @@ std::string cubeToString(const std::vector<std::int8_t>& cube,
 std::string resourceReport(const Manager& mgr, std::uint64_t transNodes,
                            std::uint64_t extraParts, double userSeconds);
 
+/// In-memory cross-manager transfer: copies BDDs from a source manager into
+/// a destination manager through a node-index translation map, so worker
+/// setup is a linear walk of the reachable DAG instead of rebuilding the
+/// functions from scratch.
+///
+/// The translation map is shared across import() calls, so functions with
+/// shared subgraphs stay shared in the destination (one importer per
+/// (src, dst) pair imports a whole snapshot with no duplicated nodes), and
+/// importing the same function twice returns the same (canonical) node.
+///
+/// Two paths:
+///  - When the source variable order is a prefix of the destination's, the
+///    copy is a post-order DFS driving Manager::mk() directly: children are
+///    hash-consed before parents, each source node costs one unique-table
+///    probe, and the subgraph lands contiguously in the destination arena
+///    (DFS layout, good locality for the top-down ops recursion).
+///  - Under a different destination order the DFS instead combines each
+///    node as ite(var, high', low'), which re-canonicalizes per the
+///    destination order (correct for any permutation, more expensive).
+///
+/// Every imported node is pinned with an external reference for the
+/// importer's lifetime, so a destination-side GC between import() calls
+/// can never sweep half-translated subgraphs.
+///
+/// Thread safety: the importer only *reads* the source manager (node(),
+/// levels) — several importers may copy from one immutable source
+/// concurrently, which is exactly how service workers consume a shared
+/// elaboration snapshot.  The destination manager is single-threaded as
+/// usual, and the source must not mutate (no ops, no GC, no reordering)
+/// while importers are attached.
+class Importer {
+ public:
+  /// Ensures `dst` knows all of `src`'s variables and sizes the map from
+  /// src.arenaSize().
+  Importer(Manager& dst, const Manager& src);
+
+  Importer(const Importer&) = delete;
+  Importer& operator=(const Importer&) = delete;
+
+  /// Import the function rooted at `f` (a handle of the source manager);
+  /// returns the equivalent function in the destination manager.
+  Bdd import(const Bdd& f);
+  /// Import by source node index (avoids touching source reference counts —
+  /// the handle-free form workers use on a shared snapshot).
+  Bdd importIndex(NodeIndex root);
+
+  /// Source nodes translated so far (shared subgraphs counted once).
+  std::size_t translatedCount() const noexcept { return translated_; }
+  /// True when the fast same-order structural copy applies.
+  bool sameOrder() const noexcept { return sameOrder_; }
+
+ private:
+  NodeIndex copySameOrder(NodeIndex root);
+  NodeIndex copyReordered(NodeIndex root);
+  void pin(NodeIndex srcIdx, NodeIndex dstIdx);
+
+  Manager& dst_;
+  const Manager& src_;
+  bool sameOrder_;
+  std::size_t translated_ = 0;
+  /// src index -> dst index; kNilNode = not yet translated.
+  std::vector<NodeIndex> map_;
+  /// External references keeping translated nodes alive in dst_.
+  std::vector<Bdd> pins_;
+};
+
 }  // namespace cmc::bdd

@@ -228,6 +228,10 @@ class Manager {
   };
 
   const Node& node(NodeIndex i) const { return nodes_[i]; }
+  /// Size of the node arena (terminals + live + free slots).  An importer
+  /// sizes its translation map from this; a worker manager pre-sized with
+  /// the source's arena never rehashes during the import.
+  std::size_t arenaSize() const noexcept { return nodes_.size(); }
   /// Level of a node (kTerminalLevel for terminals and free nodes).
   std::uint32_t levelOf(NodeIndex i) const {
     const std::uint32_t var = nodes_[i].var;
@@ -239,6 +243,9 @@ class Manager {
 
  private:
   friend class Bdd;
+  /// Cross-manager import (io.cpp) drives mk() directly so the copied DAG
+  /// is hash-consed into this manager without going through ite().
+  friend class Importer;
 
   /// Find-or-create the node (var, low, high), applying the reduction rule.
   NodeIndex mk(std::uint32_t var, NodeIndex low, NodeIndex high);

@@ -262,20 +262,35 @@ std::uint64_t Manager::dagSize(const Bdd& f) const {
 }
 
 std::uint64_t Manager::dagSize(const std::vector<Bdd>& fs) const {
-  std::unordered_set<NodeIndex> seen;
+  // Scratch-marks walk: the reset is one memset of arena/8 bytes and each
+  // edge costs a bit test, an order of magnitude cheaper than hashing
+  // every visited node — dagSize sits on the engine chooser's probe path,
+  // where it runs against intermediate products thousands of nodes wide.
+  // Uses the same mutable scratch as GC, so the usual manager rule holds:
+  // not concurrently callable (see the snapshot-sharing contract).
+  marks_.assign(nodes_.size(), false);
   std::vector<NodeIndex> stack;
   for (const Bdd& f : fs) {
     if (f.isNull() || f.index() < 2) continue;
-    if (seen.insert(f.index()).second) stack.push_back(f.index());
+    if (!marks_[f.index()]) {
+      marks_[f.index()] = true;
+      stack.push_back(f.index());
+    }
   }
   std::uint64_t count = 0;
   while (!stack.empty()) {
-    NodeIndex i = stack.back();
+    const NodeIndex i = stack.back();
     stack.pop_back();
     ++count;
     const Node& n = nodes_[i];
-    if (n.low >= 2 && seen.insert(n.low).second) stack.push_back(n.low);
-    if (n.high >= 2 && seen.insert(n.high).second) stack.push_back(n.high);
+    if (n.low >= 2 && !marks_[n.low]) {
+      marks_[n.low] = true;
+      stack.push_back(n.low);
+    }
+    if (n.high >= 2 && !marks_[n.high]) {
+      marks_[n.high] = true;
+      stack.push_back(n.high);
+    }
   }
   return count;
 }

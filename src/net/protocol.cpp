@@ -122,12 +122,10 @@ bool parseRequest(const std::string& line, const service::JobOptions& defaults,
       if (hasKey(line, "engine")) {
         std::string engine;
         service::jsonExtractString(line, "engine", &engine);
-        if (engine == "partitioned") {
-          req.options.usePartitionedTrans = true;
-        } else if (engine == "monolithic") {
-          req.options.usePartitionedTrans = false;
-        } else {
-          *error = "field 'engine' must be 'partitioned' or 'monolithic'";
+        if (!symbolic::engineModeFromString(engine, &req.options.engine)) {
+          *error =
+              "field 'engine' must be 'auto', 'partitioned', or "
+              "'monolithic'";
           return false;
         }
       }

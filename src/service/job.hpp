@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "smv/elaborate.hpp"
+#include "symbolic/engine_choice.hpp"
 
 namespace cmc::service {
 
@@ -65,8 +66,13 @@ struct JobOptions {
   /// Also verify every spec on the composition of all modules (through the
   /// compositional rules, with a ProofTree certificate in the report).
   bool compose = false;
-  /// First-attempt preimage engine (CheckerOptions::usePartitionedTrans).
-  bool usePartitionedTrans = true;
+  /// First-attempt preimage engine.  Auto resolves per obligation through
+  /// symbolic::chooseEngine (capped materialization probe, run once during
+  /// the job's elaboration snapshot); Partitioned/Monolithic force
+  /// CheckerOptions::usePartitionedTrans directly.  The library default
+  /// stays Partitioned for reproducible behavior; the cmc CLI defaults to
+  /// Auto.
+  symbolic::EngineMode engine = symbolic::EngineMode::Partitioned;
   /// Degradation policy: an obligation that exhausts its budget under one
   /// engine is retried once under the other before being reported
   /// Inconclusive.
@@ -103,6 +109,12 @@ struct AttemptRecord {
   double seconds = 0.0;
   std::uint64_t peakLiveNodes = 0;
   double cacheHitRate = 0.0;
+  // Phase breakdown of `seconds`.  Snapshot-backed attempts pay importMs
+  // (cross-manager copy of the elaborated BDDs) instead of elaborateMs
+  // (full parse + elaboration); fixpointMs is the checker proper.
+  double elaborateMs = 0.0;
+  double importMs = 0.0;
+  double fixpointMs = 0.0;
 };
 
 struct ObligationOutcome {
@@ -126,6 +138,10 @@ struct ObligationOutcome {
   /// ("universal (Rule 2)", "existential (Rules 1/3)", "global fallback").
   std::string rule;
   std::vector<AttemptRecord> attempts;
+  /// JSON object describing how EngineMode::Auto resolved for this
+  /// obligation (chooseEngine's inputs and decision); empty when the
+  /// engine was forced by options or the verdict came without attempts.
+  std::string engineChoiceJson;
   double seconds = 0.0;        ///< total across attempts
   std::string error;           ///< non-empty for Verdict::Error
   std::string counterexample;  ///< trace for failing AG specs, if derivable

@@ -315,7 +315,9 @@ std::string obligationFingerprint(const std::vector<std::string>& moduleCanon,
   // Fails (results are BDD-identical), but keeping them in the key makes
   // every cached verdict attributable to one exact configuration — and a
   // future engine whose semantics drift cannot alias an old entry.
-  h.update(options.usePartitionedTrans ? "partitioned" : "monolithic").sep();
+  // EngineMode::Partitioned hashes to "partitioned", so entries written by
+  // older builds (which hashed the boolean engine flag) stay addressable.
+  h.update(symbolic::toString(options.engine)).sep();
   h.update(std::to_string(options.clusterThreshold)).sep();
   h.update(options.reorderBeforeCheck ? "reorder" : "noreorder").sep();
   return h.hex();

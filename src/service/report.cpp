@@ -46,6 +46,9 @@ std::string attemptJson(const AttemptRecord& a) {
       .putDouble("seconds", a.seconds)
       .putUint("peak_live_nodes", a.peakLiveNodes)
       .putDouble("cache_hit_rate", a.cacheHitRate)
+      .putDouble("elaborate_ms", a.elaborateMs)
+      .putDouble("import_ms", a.importMs)
+      .putDouble("fixpoint_ms", a.fixpointMs)
       .str();
 }
 
@@ -69,6 +72,9 @@ std::string outcomeJson(const ObligationOutcome& o) {
   }
   attempts << ']';
   obj.putRaw("attempts", attempts.str());
+  if (!o.engineChoiceJson.empty()) {
+    obj.putRaw("engine_choice", o.engineChoiceJson);
+  }
   if (!o.error.empty()) obj.put("error", o.error);
   if (!o.counterexample.empty()) obj.put("counterexample", o.counterexample);
   if (!o.proofJson.empty()) obj.putRaw("proof", o.proofJson);
@@ -87,8 +93,7 @@ std::string JobReport::toJson() const {
   JsonObject opts;
   opts.putDouble("deadline_seconds", options.limits.deadlineSeconds)
       .putUint("node_budget", options.limits.nodeBudget)
-      .put("engine", options.usePartitionedTrans ? "partitioned"
-                                                 : "monolithic")
+      .put("engine", symbolic::toString(options.engine))
       .putBool("retry_other_engine", options.retryOtherEngine)
       .putBool("compose", options.compose)
       .putUint("cluster_threshold", options.clusterThreshold);

@@ -1,13 +1,15 @@
 #include "service/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
+#include <map>
+#include <optional>
 #include <utility>
 
 #include "comp/classify.hpp"
 #include "comp/verifier.hpp"
 #include "service/budget.hpp"
-#include "smv/fingerprint.hpp"
 #include "symbolic/composition.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
@@ -31,22 +33,68 @@ struct CancelFlags {
   }
 };
 
-/// Per-verdict counter name in the metrics registry.
-const char* verdictMetric(Verdict v) noexcept {
-  switch (v) {
-    case Verdict::Holds: return "verdict_holds";
-    case Verdict::Fails: return "verdict_fails";
-    case Verdict::Timeout: return "verdict_timeout";
-    case Verdict::MemoryOut: return "verdict_memoryout";
-    case Verdict::Inconclusive: return "verdict_inconclusive";
-    case Verdict::Cancelled: return "verdict_cancelled";
-    case Verdict::Error: return "verdict_error";
+/// Pre-resolved metric instruments for the per-obligation hot path.  The
+/// registry's get-or-create is a string-keyed map lookup under a mutex —
+/// fine per batch, wasteful per obligation (an obligation touches up to
+/// seven instruments; the AFS batch bench runs dozens per millisecond).
+struct ObligationInstruments {
+  explicit ObligationInstruments(MetricsRegistry& m)
+      : dispatched(m.counter("obligations_dispatched")),
+        completed(m.counter("obligations_completed")),
+        sourceChecked(m.counter("obligations_checked")),
+        sourceCache(m.counter("obligations_cache")),
+        sourceJournal(m.counter("obligations_journal")),
+        holds(m.counter("verdict_holds")),
+        fails(m.counter("verdict_fails")),
+        timeout(m.counter("verdict_timeout")),
+        memoryOut(m.counter("verdict_memoryout")),
+        inconclusive(m.counter("verdict_inconclusive")),
+        cancelled(m.counter("verdict_cancelled")),
+        error(m.counter("verdict_error")),
+        elaborateSeconds(m.histogram("elaborate_seconds")),
+        importSeconds(m.histogram("import_seconds")),
+        fixpointSeconds(m.histogram("fixpoint_seconds")),
+        obligationSeconds(m.histogram("obligation_seconds")) {}
+
+  Counter& verdictCounter(Verdict v) const {
+    switch (v) {
+      case Verdict::Holds: return holds;
+      case Verdict::Fails: return fails;
+      case Verdict::Timeout: return timeout;
+      case Verdict::MemoryOut: return memoryOut;
+      case Verdict::Inconclusive: return inconclusive;
+      case Verdict::Cancelled: return cancelled;
+      case Verdict::Error: return error;
+    }
+    return error;
   }
-  return "verdict_unknown";
-}
+  Counter& sourceCounter(const std::string& source) const {
+    if (source == "cache") return sourceCache;
+    if (source == "journal") return sourceJournal;
+    return sourceChecked;
+  }
+
+  Counter& dispatched;
+  Counter& completed;
+  Counter& sourceChecked;
+  Counter& sourceCache;
+  Counter& sourceJournal;
+  Counter& holds;
+  Counter& fails;
+  Counter& timeout;
+  Counter& memoryOut;
+  Counter& inconclusive;
+  Counter& cancelled;
+  Counter& error;
+  LatencyHistogram& elaborateSeconds;
+  LatencyHistogram& importSeconds;
+  LatencyHistogram& fixpointSeconds;
+  LatencyHistogram& obligationSeconds;
+};
 
 /// Everything a worker needs to run one obligation; descriptors are copied
-/// into the pool task, so only the job pointer must outlive the batch.
+/// into the pool task, so only the job pointer must outlive the batch (the
+/// snapshot is kept alive by the shared_ptr in every copy).
 struct ObligationDesc {
   const VerificationJob* job = nullptr;
   std::string jobName;
@@ -60,6 +108,9 @@ struct ObligationDesc {
   /// Obligation-cache address; empty when the cache is disabled or the
   /// scout could not fingerprint the job.
   std::string fingerprint;
+  /// The job's shared elaboration snapshot; null for factory jobs (their
+  /// builder runs per attempt) — workers then rebuild from scratch.
+  std::shared_ptr<const ElaborationSnapshot> snapshot;
 };
 
 std::vector<smv::ElaboratedModule> materialize(const VerificationJob& job,
@@ -74,6 +125,19 @@ std::vector<smv::ElaboratedModule> materialize(const VerificationJob& job,
 
 const char* engineName(bool partitioned) {
   return partitioned ? "partitioned" : "monolithic";
+}
+
+std::string choiceJson(const symbolic::EngineChoice& c) {
+  return JsonObject()
+      .put("engine", engineName(c.usePartitioned))
+      .putBool("probed", c.probed)
+      .putBool("probe_aborted", c.probeAborted)
+      .putUint("conjuncts", static_cast<std::uint64_t>(c.conjuncts))
+      .putUint("partition_nodes", c.partitionNodes)
+      .putUint("monolithic_nodes", c.monolithicNodes)
+      .putUint("cap_nodes", c.capNodes)
+      .put("reason", c.reason)
+      .str();
 }
 
 Verdict cancelVerdict(symbolic::CancelReason reason) {
@@ -112,24 +176,104 @@ std::string extractCounterexample(symbolic::Checker& checker,
 struct AttemptOutput {
   AttemptRecord record;
   bool decided = false;  ///< verdict is Holds/Fails (not budget/error)
+  bool partitioned = true;  ///< engine actually used
+  /// EngineMode::Auto was resolved during this attempt (worker-side probe
+  /// on the rebuild path); `choice` then carries the decision.
+  bool autoResolved = false;
+  symbolic::EngineChoice choice;
   std::string rule;
   std::string counterexample;
   std::string proofJson;
   std::string error;
 };
 
-/// One engine attempt: fresh context, fresh budget, full rebuild.
-AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned,
+/// One engine attempt.  With a snapshot (and `useSnapshot`), the worker
+/// adopts the snapshot's variable layout into a context pre-sized from its
+/// node counts and imports the BDDs it needs — a linear DAG copy in DFS
+/// order, no rehashing mid-import.  Otherwise (factory jobs, quarantine
+/// retries) it rebuilds from scratch as before.  `forceEngine` fixes the
+/// engine (retries, non-Auto modes, snapshot-resolved Auto); when absent
+/// the mode is Auto without a snapshot and the worker resolves it here.
+AttemptOutput runAttempt(const ObligationDesc& d,
+                         std::optional<bool> forceEngine, bool useSnapshot,
                          const CancelFlags& cancel) {
   AttemptOutput out;
-  out.record.engine = engineName(partitioned);
   const JobOptions& jopts = d.job->options;
+  const ElaborationSnapshot* snap =
+      useSnapshot ? d.snapshot.get() : nullptr;
+
+  // Engine, when already determined: forced by the caller or fixed by mode.
+  bool partitioned = true;
+  bool engineKnown = false;
+  if (forceEngine.has_value()) {
+    partitioned = *forceEngine;
+    engineKnown = true;
+  } else if (jopts.engine == symbolic::EngineMode::Partitioned) {
+    partitioned = true;
+    engineKnown = true;
+  } else if (jopts.engine == symbolic::EngineMode::Monolithic) {
+    partitioned = false;
+    engineKnown = true;
+  }
+  out.record.engine = engineKnown ? engineName(partitioned) : "auto";
+
   WallTimer timer;
   try {
-    symbolic::Context ctx(1 << 14);
+    symbolic::Context ctx(
+        snap != nullptr ? workerArenaCapacity(snap->liveNodes)
+                        : std::size_t{1} << 14,
+        snap != nullptr ? workerCacheCapacity(snap->liveNodes)
+                        : std::size_t{1} << 14);
     bdd::Manager& mgr = ctx.mgr();
-    const std::vector<smv::ElaboratedModule> modules =
-        materialize(*d.job, ctx);
+
+    std::vector<smv::ElaboratedModule> modules;
+    std::size_t localIndex = d.moduleIndex;
+    if (snap != nullptr) {
+      // Snapshot path: Auto was resolved by the caller (runAttempts reads
+      // the snapshot's probed choice), so `partitioned` is known and the
+      // import copies exactly what the chosen engine needs.
+      CMC_ASSERT(engineKnown);
+      WallTimer importTimer;
+      ctx.adoptVariablesFrom(*snap->ctx);
+      bdd::Importer imp(mgr, snap->ctx->mgr());
+      if (!d.composed) {
+        modules.push_back(importModule(
+            ctx, imp, snap->modules.at(d.moduleIndex),
+            /*wantMonolithic=*/!partitioned));
+        localIndex = 0;
+      } else {
+        modules.reserve(snap->modules.size());
+        for (const smv::ElaboratedModule& mod : snap->modules) {
+          // Composition operates on the partitions; component monolithics
+          // are never needed.
+          modules.push_back(importModule(ctx, imp, mod,
+                                         /*wantMonolithic=*/false));
+        }
+      }
+      out.record.importMs = importTimer.seconds() * 1000.0;
+    } else {
+      WallTimer elaborateTimer;
+      modules = materialize(*d.job, ctx);
+      out.record.elaborateMs = elaborateTimer.seconds() * 1000.0;
+    }
+
+    if (!engineKnown) {
+      // Auto without a snapshot: probe on the freshly built system.  For a
+      // composed obligation the product is exactly what we refuse to build
+      // speculatively, so default to the engine that never materializes it.
+      if (!d.composed) {
+        out.choice = symbolic::chooseEngine(modules.at(localIndex).sys);
+      } else {
+        out.choice.usePartitioned = true;
+        out.choice.reason =
+            "composed obligation without snapshot defaults to partitioned";
+      }
+      partitioned = out.choice.usePartitioned;
+      out.autoResolved = true;
+    }
+    out.partitioned = partitioned;
+    out.record.engine = engineName(partitioned);
+
     if (jopts.reorderBeforeCheck) mgr.reorderSift();
 
     BudgetToken token(mgr, jopts.limits);
@@ -148,11 +292,12 @@ AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned,
     const std::uint64_t hits0 = mgr.stats().cacheHits;
     mgr.resetPeakNodes();
 
+    WallTimer fixpointTimer;
     try {
-      const ctl::Spec& spec = modules.at(d.moduleIndex).specs.at(d.specIndex);
+      const ctl::Spec& spec = modules.at(localIndex).specs.at(d.specIndex);
       if (!d.composed) {
         out.rule = "direct";
-        symbolic::Checker checker(modules.at(d.moduleIndex).sys, copts);
+        symbolic::Checker checker(modules.at(localIndex).sys, copts);
         const bool holds = checker.holds(spec);
         out.record.verdict = holds ? Verdict::Holds : Verdict::Fails;
         out.decided = true;
@@ -191,6 +336,7 @@ AttemptOutput runAttempt(const ObligationDesc& d, bool partitioned,
     } catch (const symbolic::CancelledError& e) {
       out.record.verdict = cancelVerdict(e.reason());
     }
+    out.record.fixpointMs = fixpointTimer.seconds() * 1000.0;
     out.record.seconds = timer.seconds();
     out.record.peakLiveNodes = mgr.stats().peakNodes;
     const std::uint64_t lookups = mgr.stats().cacheLookups - lookups0;
@@ -247,13 +393,15 @@ bool serveFromJournal(const ObligationDesc& d, const JournalReplay* replay,
   out.rule = hit->rule;
   out.counterexample = hit->counterexample;
   out.proofJson = hit->proofJson;
-  trace.emit(JsonObject()
-                 .put("event", "journal_hit")
-                 .putDouble("t", trace.elapsedSeconds())
-                 .put("job", d.jobName)
-                 .put("obligation", d.id)
-                 .put("verdict", toString(out.verdict))
-                 .putDouble("original_seconds", hit->seconds));
+  if (trace.enabled()) {
+    trace.emit(JsonObject()
+                   .put("event", "journal_hit")
+                   .putDouble("t", trace.elapsedSeconds())
+                   .put("job", d.jobName)
+                   .put("obligation", d.id)
+                   .put("verdict", toString(out.verdict))
+                   .putDouble("original_seconds", hit->seconds));
+  }
   return true;
 }
 
@@ -270,58 +418,123 @@ bool serveFromCache(const ObligationDesc& d, ObligationCache* cache,
   out.counterexample = hit->counterexample;
   out.proofJson = hit->proofJson;
   out.seconds = cacheTimer.seconds();
-  trace.emit(JsonObject()
-                 .put("event", "cache_hit")
-                 .putDouble("t", trace.elapsedSeconds())
-                 .put("job", d.jobName)
-                 .put("obligation", d.id)
-                 .put("fingerprint", d.fingerprint)
-                 .put("verdict", toString(out.verdict))
-                 .putDouble("original_seconds", hit->seconds));
+  if (trace.enabled()) {
+    trace.emit(JsonObject()
+                   .put("event", "cache_hit")
+                   .putDouble("t", trace.elapsedSeconds())
+                   .put("job", d.jobName)
+                   .put("obligation", d.id)
+                   .put("fingerprint", d.fingerprint)
+                   .put("verdict", toString(out.verdict))
+                   .putDouble("original_seconds", hit->seconds));
+  }
   return true;
 }
 
+/// Record how EngineMode::Auto resolved for this obligation — once, in
+/// both the trace (engine_choice event) and the report.
+void recordEngineChoice(const ObligationDesc& d,
+                        const symbolic::EngineChoice& c,
+                        ObligationOutcome& out, RunTrace& trace) {
+  if (!out.engineChoiceJson.empty()) return;
+  out.engineChoiceJson = choiceJson(c);
+  if (trace.enabled()) {
+    trace.emit(JsonObject()
+                   .put("event", "engine_choice")
+                   .putDouble("t", trace.elapsedSeconds())
+                   .put("job", d.jobName)
+                   .put("obligation", d.id)
+                   .put("engine", engineName(c.usePartitioned))
+                   .putBool("probed", c.probed)
+                   .putBool("probe_aborted", c.probeAborted)
+                   .putUint("conjuncts",
+                            static_cast<std::uint64_t>(c.conjuncts))
+                   .putUint("partition_nodes", c.partitionNodes)
+                   .putUint("monolithic_nodes", c.monolithicNodes)
+                   .putUint("cap_nodes", c.capNodes)
+                   .put("reason", c.reason));
+  }
+}
+
 /// The attempt loop: engine degradation on budget exhaustion, quarantine
-/// on an unexpected exception (one retry on a fresh Context, then Error).
+/// on an unexpected exception (one retry rebuilt from scratch, then Error).
 void runAttempts(const ObligationDesc& d, ObligationOutcome& out,
                  RunTrace& trace, ObligationCache* cache,
-                 const CancelFlags& cancel) {
+                 const CancelFlags& cancel,
+                 const ObligationInstruments* ins) {
   const JobOptions& jopts = d.job->options;
-  bool partitioned = jopts.usePartitionedTrans;
+  // First-attempt engine: fixed modes are forced outright; Auto resolves
+  // from the snapshot's probed choice when there is one, otherwise the
+  // first attempt resolves it worker-side.
+  std::optional<bool> engine;
+  if (jopts.engine == symbolic::EngineMode::Partitioned) {
+    engine = true;
+  } else if (jopts.engine == symbolic::EngineMode::Monolithic) {
+    engine = false;
+  } else if (d.snapshot != nullptr) {
+    const symbolic::EngineChoice& c =
+        d.composed ? d.snapshot->composedChoice
+                   : d.snapshot->moduleChoice.at(d.moduleIndex);
+    engine = c.usePartitioned;
+    recordEngineChoice(d, c, out, trace);
+  }
   const int maxBudgetAttempts = jopts.retryOtherEngine ? 2 : 1;
   int budgetAttempts = 0;  ///< attempts that ended in a budget verdict
   bool quarantined = false;
   int attemptNo = 0;
   while (true) {
     ++attemptNo;
-    const AttemptOutput a = runAttempt(d, partitioned, cancel);
+    // The quarantine retry deliberately bypasses the snapshot: a full
+    // rebuild from the program text rules out a poisoned import just as
+    // the fresh Context rules out a poisoned manager.
+    const AttemptOutput a = runAttempt(d, engine, !quarantined, cancel);
+    if (a.autoResolved) {
+      engine = a.partitioned;
+      recordEngineChoice(d, a.choice, out, trace);
+    }
     out.attempts.push_back(a.record);
     out.seconds += a.record.seconds;
     if (!a.rule.empty()) out.rule = a.rule;
-    trace.emit(JsonObject()
-                   .put("event", "attempt")
-                   .putDouble("t", trace.elapsedSeconds())
-                   .put("job", d.jobName)
-                   .put("obligation", d.id)
-                   .putUint("attempt", static_cast<std::uint64_t>(attemptNo))
-                   .put("engine", a.record.engine)
-                   .put("verdict", toString(a.record.verdict))
-                   .putDouble("seconds", a.record.seconds)
-                   .putUint("peak_live_nodes", a.record.peakLiveNodes)
-                   .putDouble("cache_hit_rate", a.record.cacheHitRate));
+    if (ins != nullptr) {
+      if (a.record.elaborateMs > 0.0) {
+        ins->elaborateSeconds.observe(a.record.elaborateMs / 1000.0);
+      }
+      if (a.record.importMs > 0.0) {
+        ins->importSeconds.observe(a.record.importMs / 1000.0);
+      }
+      ins->fixpointSeconds.observe(a.record.fixpointMs / 1000.0);
+    }
+    if (trace.enabled()) {
+      trace.emit(JsonObject()
+                     .put("event", "attempt")
+                     .putDouble("t", trace.elapsedSeconds())
+                     .put("job", d.jobName)
+                     .put("obligation", d.id)
+                     .putUint("attempt", static_cast<std::uint64_t>(attemptNo))
+                     .put("engine", a.record.engine)
+                     .put("verdict", toString(a.record.verdict))
+                     .putDouble("seconds", a.record.seconds)
+                     .putDouble("elaborate_ms", a.record.elaborateMs)
+                     .putDouble("import_ms", a.record.importMs)
+                     .putDouble("fixpoint_ms", a.record.fixpointMs)
+                     .putUint("peak_live_nodes", a.record.peakLiveNodes)
+                     .putDouble("cache_hit_rate", a.record.cacheHitRate));
+    }
     if (a.record.verdict == Verdict::Error) {
-      // Quarantine: one more try on a fresh Context (runAttempt always
-      // rebuilds from scratch, so a transient poisoning — a torn model
-      // file, an injected fault, a bad allocation — gets a clean slate).
+      // Quarantine: one more try rebuilt from scratch (fresh Context, no
+      // snapshot import, so a transient poisoning — a torn model file, an
+      // injected fault, a bad allocation — gets a clean slate).
       if (!quarantined) {
         quarantined = true;
-        trace.emit(JsonObject()
-                       .put("event", "quarantine")
-                       .putDouble("t", trace.elapsedSeconds())
-                       .put("job", d.jobName)
-                       .put("obligation", d.id)
-                       .put("engine", a.record.engine)
-                       .put("error", a.error));
+        if (trace.enabled()) {
+          trace.emit(JsonObject()
+                         .put("event", "quarantine")
+                         .putDouble("t", trace.elapsedSeconds())
+                         .put("job", d.jobName)
+                         .put("obligation", d.id)
+                         .put("engine", a.record.engine)
+                         .put("error", a.error));
+        }
         continue;
       }
       out.verdict = Verdict::Error;
@@ -357,15 +570,17 @@ void runAttempts(const ObligationDesc& d, ObligationOutcome& out,
     if (budgetAttempts < maxBudgetAttempts) {
       CMC_FAILPOINT("scheduler.retry");
       out.retried = true;
-      trace.emit(JsonObject()
-                     .put("event", "retry")
-                     .putDouble("t", trace.elapsedSeconds())
-                     .put("job", d.jobName)
-                     .put("obligation", d.id)
-                     .put("reason", toString(a.record.verdict))
-                     .put("from_engine", engineName(partitioned))
-                     .put("to_engine", engineName(!partitioned)));
-      partitioned = !partitioned;
+      if (trace.enabled()) {
+        trace.emit(JsonObject()
+                       .put("event", "retry")
+                       .putDouble("t", trace.elapsedSeconds())
+                       .put("job", d.jobName)
+                       .put("obligation", d.id)
+                       .put("reason", toString(a.record.verdict))
+                       .put("from_engine", engineName(a.partitioned))
+                       .put("to_engine", engineName(!a.partitioned)));
+      }
+      engine = !a.partitioned;
       continue;
     }
     // Both engines exhausted their budget (or retry is disabled, in
@@ -381,7 +596,7 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
                                 RunJournal* journal,
                                 const JournalReplay* replay,
                                 const CancelFlags& cancel,
-                                MetricsRegistry* metrics) {
+                                const ObligationInstruments* ins) {
   ObligationOutcome out;
   out.id = d.id;
   out.target = d.target;
@@ -389,17 +604,20 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
   out.specText = d.specText;
   out.fingerprint = d.fingerprint;
   WallTimer dispatchTimer;
-  if (metrics != nullptr) metrics->counter("obligations_dispatched").inc();
+  if (ins != nullptr) ins->dispatched.inc();
 
-  trace.emit(JsonObject()
-                 .put("event", "obligation_start")
-                 .putDouble("t", trace.elapsedSeconds())
-                 .put("job", d.jobName)
-                 .put("obligation", d.id)
-                 .put("target", d.target)
-                 .put("spec", d.specName)
-                 .put("engine", engineName(d.job->options.usePartitionedTrans))
-                 .putUint("queue_depth", pool.pendingTasks()));
+  if (trace.enabled()) {
+    trace.emit(JsonObject()
+                   .put("event", "obligation_start")
+                   .putDouble("t", trace.elapsedSeconds())
+                   .put("job", d.jobName)
+                   .put("obligation", d.id)
+                   .put("target", d.target)
+                   .put("spec", d.specName)
+                   .put("engine", symbolic::toString(d.job->options.engine))
+                   .putBool("snapshot", d.snapshot != nullptr)
+                   .putUint("queue_depth", pool.pendingTasks()));
+  }
 
   // The whole decision path is guarded: whatever a poisoned obligation
   // throws (including from the dispatch failpoint below), its siblings on
@@ -412,7 +630,7 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
       out.verdict = Verdict::Cancelled;
     } else if (!serveFromJournal(d, replay, out, trace) &&
                !serveFromCache(d, cache, out, trace)) {
-      runAttempts(d, out, trace, cache, cancel);
+      runAttempts(d, out, trace, cache, cancel, ins);
     }
   } catch (const std::exception& e) {
     out.verdict = Verdict::Error;
@@ -422,11 +640,11 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
     out.error = "unknown exception";
   }
 
-  if (metrics != nullptr) {
-    metrics->counter("obligations_completed").inc();
-    metrics->counter("obligations_" + out.verdictSource).inc();
-    metrics->counter(verdictMetric(out.verdict)).inc();
-    metrics->histogram("obligation_seconds").observe(dispatchTimer.seconds());
+  if (ins != nullptr) {
+    ins->completed.inc();
+    ins->sourceCounter(out.verdictSource).inc();
+    ins->verdictCounter(out.verdict).inc();
+    ins->obligationSeconds.observe(dispatchTimer.seconds());
   }
 
   // Journal the outcome the moment it is final (append + flush inside);
@@ -439,23 +657,25 @@ ObligationOutcome runObligation(const ObligationDesc& d, RunTrace& trace,
   for (const AttemptRecord& a : out.attempts) {
     peak = std::max(peak, a.peakLiveNodes);
   }
-  trace.emit(JsonObject()
-                 .put("event", "obligation_end")
-                 .putDouble("t", trace.elapsedSeconds())
-                 .put("job", d.jobName)
-                 .put("obligation", d.id)
-                 .put("verdict", toString(out.verdict))
-                 .put("verdict_source", out.verdictSource)
-                 .put("rule", out.rule)
-                 .putBool("retried", out.retried)
-                 .putUint("attempts",
-                          static_cast<std::uint64_t>(out.attempts.size()))
-                 .putDouble("seconds", out.seconds)
-                 .putUint("peak_live_nodes", peak)
-                 .putDouble("cache_hit_rate", out.attempts.empty()
-                                                  ? 0.0
-                                                  : out.attempts.back()
-                                                        .cacheHitRate));
+  if (trace.enabled()) {
+    trace.emit(JsonObject()
+                   .put("event", "obligation_end")
+                   .putDouble("t", trace.elapsedSeconds())
+                   .put("job", d.jobName)
+                   .put("obligation", d.id)
+                   .put("verdict", toString(out.verdict))
+                   .put("verdict_source", out.verdictSource)
+                   .put("rule", out.rule)
+                   .putBool("retried", out.retried)
+                   .putUint("attempts",
+                            static_cast<std::uint64_t>(out.attempts.size()))
+                   .putDouble("seconds", out.seconds)
+                   .putUint("peak_live_nodes", peak)
+                   .putDouble("cache_hit_rate", out.attempts.empty()
+                                                    ? 0.0
+                                                    : out.attempts.back()
+                                                          .cacheHitRate));
+  }
   return out;
 }
 
@@ -469,115 +689,222 @@ JobReport VerificationService::run(const VerificationJob& job,
   return runBatch(one, trace, journal, replay, cancel).front();
 }
 
+std::shared_future<SnapshotResult> VerificationService::snapshotFor(
+    const VerificationJob& job, bool wantCanon) {
+  // Factory jobs are not memoizable (the builder must run per call — and
+  // tests rely on its call count); their snapshot is also only used for
+  // obligation enumeration, never shared with workers.
+  if (!job.factory && snapshotCapacity_ > 0) {
+    // The snapshot's content depends on the engine mode (Auto probes and
+    // records choices), compose (composed probe), and whether canonical
+    // serializations were requested — all of it goes into the key.
+    const std::string key = std::string(symbolic::toString(job.options.engine))
+                                .append(job.options.compose ? "|C|" : "|D|")
+                                .append(wantCanon ? "F|" : "N|")
+                                .append(job.smvText);
+    std::lock_guard<std::mutex> lock(snapshotMutex_);
+    auto it = snapshotCache_.find(key);
+    if (it != snapshotCache_.end()) {
+      // A memoized *failure* is not served: erase it so a resubmission
+      // gets a fresh build (the failure may have been transient).
+      const std::shared_future<SnapshotResult>& fut = it->second.future;
+      const bool failed =
+          fut.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready &&
+          fut.get().snapshot == nullptr;
+      if (!failed) {
+        snapshotLru_.splice(snapshotLru_.begin(), snapshotLru_,
+                            it->second.lruIt);
+        if (metrics_ != nullptr) metrics_->counter("snapshot_reuses").inc();
+        return fut;
+      }
+      snapshotLru_.erase(it->second.lruIt);
+      snapshotCache_.erase(it);
+    }
+    if (metrics_ != nullptr) metrics_->counter("snapshot_builds").inc();
+    std::shared_future<SnapshotResult> fut =
+        pool_.submit([job, wantCanon] { return buildSnapshot(job, wantCanon); })
+            .share();
+    snapshotLru_.push_front(key);
+    SnapshotSlot slot;
+    slot.future = fut;
+    slot.lruIt = snapshotLru_.begin();
+    snapshotCache_.emplace(key, std::move(slot));
+    while (snapshotCache_.size() > snapshotCapacity_) {
+      snapshotCache_.erase(snapshotLru_.back());
+      snapshotLru_.pop_back();
+    }
+    return fut;
+  }
+  if (metrics_ != nullptr) metrics_->counter("snapshot_builds").inc();
+  return pool_
+      .submit([job, wantCanon] { return buildSnapshot(job, wantCanon); })
+      .share();
+}
+
 std::vector<JobReport> VerificationService::runBatch(
     const std::vector<VerificationJob>& jobs, RunTrace* trace,
     RunJournal* journal, const JournalReplay* replay,
     const std::atomic<bool>* cancel) {
-  RunTrace localTrace;
+  // No caller-provided trace → drop events instead of buffering them for
+  // nobody; the per-event JSON serialization is measurable against small
+  // obligations (the AFS batch bench runs tens of them per millisecond).
+  RunTrace localTrace{RunTrace::Disabled{}};
   RunTrace& tr = trace != nullptr ? *trace : localTrace;
   const CancelFlags flags{cancel_, cancel};
+  // Resolve every per-obligation instrument once for the whole batch.
+  std::optional<ObligationInstruments> instruments;
+  if (metrics_ != nullptr) instruments.emplace(*metrics_);
+  const ObligationInstruments* ins =
+      instruments.has_value() ? &*instruments : nullptr;
+  const bool wantCanon =
+      cache_ != nullptr || journal != nullptr || replay != nullptr;
 
   struct JobState {
     WallTimer timer;
+    std::shared_future<SnapshotResult> snapFuture;
+    std::shared_ptr<const ElaborationSnapshot> snapshot;
+    std::string scoutError;
     std::vector<ObligationDesc> descs;
     std::vector<std::future<ObligationOutcome>> futures;
-    std::string scoutError;
+    /// Countdown latch: the caller sleeps on `done` once per job instead
+    /// of once per obligation future.  Harvesting futures in submission
+    /// order wakes the caller on every set_value — a fresh sleeper
+    /// preempts the worker, so on few cores that is two context switches
+    /// per obligation for no progress.
+    std::shared_ptr<std::atomic<std::size_t>> remaining;
+    std::shared_ptr<std::promise<void>> donePromise;
+    std::future<void> done;
   };
   std::vector<JobState> states(jobs.size());
 
-  // Scout phase (caller thread): enumerate each job's obligations by
-  // elaborating once into a scratch context.  Workers re-elaborate in
-  // their own contexts; the scratch context only provides names.
+  // Scout phase, now parallel: every job's elaboration snapshot is a pool
+  // task (or a memo hit from a previous batch — the server's warm path).
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    states[k].snapFuture = snapshotFor(jobs[k], wantCanon);
+  }
+
+  // Enumerate and submit per job as its snapshot lands.  Obligations are
+  // submitted the moment their job's snapshot resolves, so job k's workers
+  // run while job k+1's snapshot is still elaborating — and because every
+  // snapshot future is resolved *here*, on the caller's thread, pool
+  // workers themselves never block on one (no pool-starvation deadlock).
+  //
+  // Jobs that share a snapshot and the verdict-relevant options (repeated
+  // batch entries — the warm server path, the AFS bench) produce identical
+  // obligation lists up to the owning job: enumerate once per
+  // (snapshot, options) and copy, instead of re-rendering every spec and
+  // re-hashing every fingerprint per job.
+  std::map<std::pair<const void*, std::uint64_t>,
+           std::vector<ObligationDesc>> descMemo;
   for (std::size_t k = 0; k < jobs.size(); ++k) {
     const VerificationJob& job = jobs[k];
     JobState& state = states[k];
-    try {
-      symbolic::Context scratch(1 << 14);
-      const std::vector<smv::ElaboratedModule> modules =
-          materialize(job, scratch);
-      // Canonical serializations for the obligation cache (and the
-      // journal's content-addressed replay key), one per module.
-      // Fingerprinting is best-effort: a failure leaves the job uncached —
-      // replay then falls back to the identity key (job/id/spec text).
-      std::vector<std::string> canon;
-      if (cache_ != nullptr || journal != nullptr || replay != nullptr) {
-        try {
-          canon.reserve(modules.size());
-          for (const smv::ElaboratedModule& mod : modules) {
-            canon.push_back(smv::canonicalModule(scratch, mod));
-          }
-        } catch (const std::exception&) {
-          canon.clear();
-        }
-      }
-      const auto fingerprintFor = [&](std::size_t i, std::size_t j,
-                                      bool composed) -> std::string {
-        if (canon.empty()) return "";
-        return obligationFingerprint(canon, i, composed,
-                                     modules[i].specs[j], job.options);
-      };
-      for (std::size_t i = 0; i < modules.size(); ++i) {
-        for (std::size_t j = 0; j < modules[i].specs.size(); ++j) {
-          ObligationDesc d;
-          d.job = &job;
-          d.jobName = job.name;
-          d.moduleIndex = i;
-          d.specIndex = j;
-          d.target = modules[i].sys.name;
-          d.specName = modules[i].specs[j].name;
-          d.specText = ctl::toString(modules[i].specs[j].f);
-          d.id = d.target + "/" + d.specName;
-          d.fingerprint = fingerprintFor(i, j, /*composed=*/false);
-          state.descs.push_back(std::move(d));
-        }
-      }
-      if (job.options.compose && modules.size() > 1) {
-        for (std::size_t i = 0; i < modules.size(); ++i) {
-          for (std::size_t j = 0; j < modules[i].specs.size(); ++j) {
+    const SnapshotResult sr = state.snapFuture.get();
+    if (sr.snapshot == nullptr) {
+      state.scoutError = sr.error;
+    } else {
+      state.snapshot = sr.snapshot;
+      const ElaborationSnapshot& snap = *sr.snapshot;
+      // Workers share the snapshot's BDDs for text jobs only: a factory
+      // job's builder is the model's source of truth and runs per attempt.
+      const std::shared_ptr<const ElaborationSnapshot> shared =
+          job.factory ? nullptr : state.snapshot;
+      // Everything obligationFingerprint hashes beyond the snapshot
+      // (engine is part of the snapshot memo key already).
+      const std::uint64_t optBits =
+          (static_cast<std::uint64_t>(job.options.clusterThreshold) << 2) |
+          (static_cast<std::uint64_t>(job.options.compose) << 1) |
+          static_cast<std::uint64_t>(job.options.reorderBeforeCheck);
+      std::vector<ObligationDesc>& descs =
+          descMemo[{static_cast<const void*>(&snap), optBits}];
+      if (descs.empty()) {
+        const auto fingerprintFor = [&](std::size_t i, std::size_t j,
+                                        bool composed) -> std::string {
+          if (snap.canon.empty()) return "";
+          return obligationFingerprint(snap.canon, i, composed,
+                                       snap.modules[i].specs[j], job.options);
+        };
+        for (std::size_t i = 0; i < snap.modules.size(); ++i) {
+          for (std::size_t j = 0; j < snap.modules[i].specs.size(); ++j) {
             ObligationDesc d;
-            d.job = &job;
-            d.jobName = job.name;
-            d.composed = true;
             d.moduleIndex = i;
             d.specIndex = j;
-            d.target = "composed";
-            d.specName = modules[i].specs[j].name;
-            d.specText = ctl::toString(modules[i].specs[j].f);
+            d.target = snap.modules[i].sys.name;
+            d.specName = snap.modules[i].specs[j].name;
+            d.specText = ctl::toString(snap.modules[i].specs[j].f);
             d.id = d.target + "/" + d.specName;
-            d.fingerprint = fingerprintFor(i, j, /*composed=*/true);
-            state.descs.push_back(std::move(d));
+            d.fingerprint = fingerprintFor(i, j, /*composed=*/false);
+            descs.push_back(std::move(d));
+          }
+        }
+        if (job.options.compose && snap.modules.size() > 1) {
+          for (std::size_t i = 0; i < snap.modules.size(); ++i) {
+            for (std::size_t j = 0; j < snap.modules[i].specs.size(); ++j) {
+              ObligationDesc d;
+              d.composed = true;
+              d.moduleIndex = i;
+              d.specIndex = j;
+              d.target = "composed";
+              d.specName = snap.modules[i].specs[j].name;
+              d.specText = ctl::toString(snap.modules[i].specs[j].f);
+              d.id = d.target + "/" + d.specName;
+              d.fingerprint = fingerprintFor(i, j, /*composed=*/true);
+              descs.push_back(std::move(d));
+            }
           }
         }
       }
-    } catch (const std::exception& e) {
-      state.scoutError = e.what();
+      state.descs = descs;
+      for (ObligationDesc& d : state.descs) {
+        d.job = &job;
+        d.jobName = job.name;
+        d.snapshot = shared;
+      }
+      if (tr.enabled()) {
+        tr.emit(JsonObject()
+                    .put("event", "snapshot")
+                    .putDouble("t", tr.elapsedSeconds())
+                    .put("job", job.name)
+                    .putBool("shared", shared != nullptr)
+                    .putDouble("elaborate_ms", snap.elaborateSeconds * 1000.0)
+                    .putUint("live_nodes", snap.liveNodes)
+                    .putUint("modules",
+                             static_cast<std::uint64_t>(snap.modules.size())));
+      }
     }
-    tr.emit(JsonObject()
-                .put("event", "job_start")
-                .putDouble("t", tr.elapsedSeconds())
-                .put("job", job.name)
-                .put("cmc_version", util::versionString())
-                .put("source", job.sourcePath)
-                .putUint("obligations",
-                         static_cast<std::uint64_t>(state.descs.size()))
-                .putUint("workers", threads()));
-  }
-
-  // Submit everything up front so obligations of different jobs interleave
-  // on the pool.
-  for (JobState& state : states) {
+    if (tr.enabled()) {
+      tr.emit(JsonObject()
+                  .put("event", "job_start")
+                  .putDouble("t", tr.elapsedSeconds())
+                  .put("job", job.name)
+                  .put("cmc_version", util::versionString())
+                  .put("source", job.sourcePath)
+                  .putUint("obligations",
+                           static_cast<std::uint64_t>(state.descs.size()))
+                  .putUint("workers", threads()));
+    }
+    if (!state.descs.empty()) {
+      state.remaining =
+          std::make_shared<std::atomic<std::size_t>>(state.descs.size());
+      state.donePromise = std::make_shared<std::promise<void>>();
+      state.done = state.donePromise->get_future();
+    }
     for (const ObligationDesc& d : state.descs) {
+      auto remaining = state.remaining;
+      auto donePromise = state.donePromise;
       state.futures.push_back(pool_.submit([d, &tr, journal, replay, flags,
+                                            remaining, donePromise, ins,
                                             this] {
         // Last line of defence: runObligation already guards its decision
         // path, but nothing that reaches the pool may ever rethrow through
         // future.get() — one poisoned obligation must not lose its
         // siblings' outcomes.
+        ObligationOutcome out;
         try {
-          return runObligation(d, tr, pool_, cache_.get(), journal, replay,
-                               flags, metrics_);
+          out = runObligation(d, tr, pool_, cache_.get(), journal, replay,
+                              flags, ins);
         } catch (const std::exception& e) {
-          ObligationOutcome out;
           out.id = d.id;
           out.target = d.target;
           out.spec = d.specName;
@@ -585,8 +912,11 @@ std::vector<JobReport> VerificationService::runBatch(
           out.fingerprint = d.fingerprint;
           out.verdict = Verdict::Error;
           out.error = e.what();
-          return out;
         }
+        if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          donePromise->set_value();
+        }
+        return out;
       }));
     }
   }
@@ -609,6 +939,10 @@ std::vector<JobReport> VerificationService::runBatch(
       report.obligations.push_back(std::move(bad));
       report.verdict = Verdict::Error;
     }
+    // One sleep per job: after the latch fires every future below is
+    // settled (the last one may still be mid-set_value; its get() then
+    // blocks only for that sliver).
+    if (state.done.valid()) state.done.wait();
     for (std::future<ObligationOutcome>& f : state.futures) {
       report.obligations.push_back(f.get());
       const ObligationOutcome& o = report.obligations.back();
@@ -621,35 +955,39 @@ std::vector<JobReport> VerificationService::runBatch(
       }
     }
     report.wallSeconds = state.timer.seconds();
-    tr.emit(JsonObject()
-                .put("event", "job_end")
-                .putDouble("t", tr.elapsedSeconds())
-                .put("job", job.name)
-                .put("verdict", toString(report.verdict))
-                .putDouble("wall_seconds", report.wallSeconds)
-                .putUint("obligations",
-                         static_cast<std::uint64_t>(
-                             report.obligations.size()))
-                .putUint("cache_hits", report.cacheHits)
-                .putUint("cache_misses", report.cacheMisses)
-                .putUint("cache_inserts", report.cacheInserts)
-                .putUint("journal_hits", report.journalHits));
+    if (tr.enabled()) {
+      tr.emit(JsonObject()
+                  .put("event", "job_end")
+                  .putDouble("t", tr.elapsedSeconds())
+                  .put("job", job.name)
+                  .put("verdict", toString(report.verdict))
+                  .putDouble("wall_seconds", report.wallSeconds)
+                  .putUint("obligations",
+                           static_cast<std::uint64_t>(
+                               report.obligations.size()))
+                  .putUint("cache_hits", report.cacheHits)
+                  .putUint("cache_misses", report.cacheMisses)
+                  .putUint("cache_inserts", report.cacheInserts)
+                  .putUint("journal_hits", report.journalHits));
+    }
     reports.push_back(std::move(report));
   }
   if (cache_ != nullptr) {
     // Service-lifetime cache counters (all batches so far), for operators
     // tailing the trace.
     const ObligationCacheStats cs = cache_->stats();
-    tr.emit(JsonObject()
-                .put("event", "cache_stats")
-                .putDouble("t", tr.elapsedSeconds())
-                .putUint("hits", cs.hits)
-                .putUint("misses", cs.misses)
-                .putUint("inserts", cs.inserts)
-                .putUint("evictions", cs.evictions)
-                .putUint("loaded", cs.loaded)
-                .putUint("corrupt_lines", cs.corruptLines)
-                .putUint("entries", cache_->size()));
+    if (tr.enabled()) {
+      tr.emit(JsonObject()
+                  .put("event", "cache_stats")
+                  .putDouble("t", tr.elapsedSeconds())
+                  .putUint("hits", cs.hits)
+                  .putUint("misses", cs.misses)
+                  .putUint("inserts", cs.inserts)
+                  .putUint("evictions", cs.evictions)
+                  .putUint("loaded", cs.loaded)
+                  .putUint("corrupt_lines", cs.corruptLines)
+                  .putUint("entries", cache_->size()));
+    }
   }
   return reports;
 }

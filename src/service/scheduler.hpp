@@ -5,15 +5,21 @@
 // emits the structured JSONL run trace plus a summary JobReport per job.
 //
 // Scheduling model
-//  - A job is expanded (on the caller's thread, in a scratch context) into
-//    one obligation per (module, spec); with JobOptions::compose also one
-//    per spec on the composition, discharged through the compositional
-//    rules with a ProofTree certificate.
-//  - Obligations are independent: each attempt rebuilds its models in a
-//    fresh symbolic::Context on the worker thread (BDD managers are
-//    single-threaded; same discipline as comp::runObligations).  This also
-//    makes an engine retry meaningful after MemoryOut — the retry starts
-//    with an empty manager.
+//  - Each job is elaborated ONCE into a shared, immutable elaboration
+//    snapshot (service/snapshot.hpp); snapshot builds are themselves pool
+//    tasks, so a batch's scout phase runs in parallel.  The snapshot
+//    enumerates the obligations — one per (module, spec); with
+//    JobOptions::compose also one per spec on the composition, discharged
+//    through the compositional rules with a ProofTree certificate — and,
+//    under EngineMode::Auto, resolves the engine choice per target.
+//  - Obligations are independent: each attempt runs in a fresh
+//    symbolic::Context on the worker thread (BDD managers are
+//    single-threaded).  Text jobs *import* their BDDs from the snapshot
+//    through bdd::Importer — a linear copy of the reachable DAG into a
+//    pre-sized arena — instead of re-parsing and re-elaborating; factory
+//    jobs and quarantine retries rebuild from scratch.  An engine retry is
+//    still meaningful after MemoryOut — the retry starts with an empty
+//    manager either way.
 //  - Budgets are enforced cooperatively: BudgetToken is installed as the
 //    checker's CheckerOptions::cancelCheck hook, so a blown-up fixpoint
 //    aborts with Timeout/MemoryOut instead of hanging the worker.
@@ -41,12 +47,18 @@
 #pragma once
 
 #include <atomic>
+#include <future>
+#include <list>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "service/job.hpp"
 #include "service/journal.hpp"
 #include "service/metrics.hpp"
 #include "service/obligation_cache.hpp"
+#include "service/snapshot.hpp"
 #include "service/trace_log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -69,6 +81,12 @@ struct ServiceOptions {
   /// without running them.  The flag is owned by the embedder — cmc points
   /// it at the flag its SIGINT/SIGTERM handler sets.
   const std::atomic<bool>* cancelFlag = nullptr;
+  /// Elaboration snapshots of text jobs are memoized per service, keyed by
+  /// (engine mode, compose, program text), so a warm server request —
+  /// resubmitting a model it has seen — skips parse + elaboration entirely
+  /// and goes straight to obligation dispatch.  0 disables the memo (every
+  /// job builds its own snapshot; sharing within the job still applies).
+  std::size_t snapshotCacheCapacity = 16;
   /// Scheduler observability: when non-null, obligation dispatch and
   /// verdicts are counted (obligations_dispatched, obligations_completed,
   /// per-source obligations_{checked,cache,journal}, per-verdict
@@ -84,7 +102,8 @@ class VerificationService {
   explicit VerificationService(ServiceOptions opts = {})
       : pool_(opts.threads),
         cancel_(opts.cancelFlag),
-        metrics_(opts.metrics) {
+        metrics_(opts.metrics),
+        snapshotCapacity_(opts.snapshotCacheCapacity) {
     if (opts.cacheEnabled) {
       ObligationCache::Options copts;
       copts.capacity = opts.cacheCapacity;
@@ -132,10 +151,28 @@ class VerificationService {
   }
 
  private:
+  /// Resolve a job's elaboration snapshot: text jobs are served from the
+  /// LRU memo when possible (snapshot_reuses metric); misses and factory
+  /// jobs submit a buildSnapshot task to the pool.  The returned future is
+  /// resolved by the runBatch caller *before* any obligation is submitted,
+  /// so pool workers never block on it.
+  std::shared_future<SnapshotResult> snapshotFor(const VerificationJob& job,
+                                                 bool wantCanon);
+
   ThreadPool pool_;
   const std::atomic<bool>* cancel_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<ObligationCache> cache_;
+
+  std::size_t snapshotCapacity_ = 16;
+  std::mutex snapshotMutex_;
+  /// LRU order, most recent first; values are keys of snapshotCache_.
+  std::list<std::string> snapshotLru_;
+  struct SnapshotSlot {
+    std::shared_future<SnapshotResult> future;
+    std::list<std::string>::iterator lruIt;
+  };
+  std::unordered_map<std::string, SnapshotSlot> snapshotCache_;
 };
 
 }  // namespace cmc::service

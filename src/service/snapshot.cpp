@@ -1,0 +1,89 @@
+#include "service/snapshot.hpp"
+
+#include <utility>
+
+#include "smv/fingerprint.hpp"
+#include "symbolic/composition.hpp"
+#include "util/timer.hpp"
+
+namespace cmc::service {
+
+SnapshotResult buildSnapshot(const VerificationJob& job, bool wantCanon) {
+  SnapshotResult result;
+  try {
+    auto snap = std::make_shared<ElaborationSnapshot>();
+    snap->ctx = std::make_unique<symbolic::Context>(1 << 14);
+    symbolic::Context& ctx = *snap->ctx;
+
+    WallTimer elaborateTimer;
+    snap->modules = job.factory ? job.factory(ctx)
+                                : smv::elaborateProgram(ctx, job.smvText);
+    if (snap->modules.empty()) {
+      throw ModelError("job '" + job.name + "' has no modules");
+    }
+    snap->elaborateSeconds = elaborateTimer.seconds();
+
+    // Canonical serializations are best-effort: a failure leaves the job
+    // uncached (replay then falls back to the identity key).
+    if (wantCanon) {
+      try {
+        snap->canon.reserve(snap->modules.size());
+        for (const smv::ElaboratedModule& mod : snap->modules) {
+          snap->canon.push_back(smv::canonicalModule(ctx, mod));
+        }
+      } catch (const std::exception&) {
+        snap->canon.clear();
+      }
+    }
+
+    snap->moduleChoice.resize(snap->modules.size());
+    if (job.options.engine == symbolic::EngineMode::Auto) {
+      for (std::size_t i = 0; i < snap->modules.size(); ++i) {
+        snap->moduleChoice[i] = symbolic::chooseEngine(snap->modules[i].sys);
+      }
+      if (job.options.compose && snap->modules.size() > 1) {
+        // Probe the composition the way composed obligations build it:
+        // reflexive-closed components folded with ∘.  The temporary's
+        // nodes die in the collection below; only the decision survives.
+        std::vector<symbolic::SymbolicSystem> parts;
+        parts.reserve(snap->modules.size());
+        for (const smv::ElaboratedModule& mod : snap->modules) {
+          symbolic::SymbolicSystem sys = mod.sys;
+          symbolic::addReflexive(sys);
+          parts.push_back(std::move(sys));
+        }
+        const symbolic::SymbolicSystem composed =
+            symbolic::composeAll(parts);
+        snap->composedChoice = symbolic::chooseEngine(composed);
+        snap->hasComposedChoice = true;
+      }
+    }
+
+    // Final sweep: drop probe intermediates, then freeze.  From here on the
+    // manager is immutable — importers rely on stable node indices.
+    ctx.mgr().collectGarbage();
+    snap->liveNodes = ctx.mgr().liveNodeCount();
+
+    result.snapshot = std::move(snap);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception during elaboration";
+  }
+  return result;
+}
+
+smv::ElaboratedModule importModule(symbolic::Context& dst, bdd::Importer& imp,
+                                   const smv::ElaboratedModule& src,
+                                   bool wantMonolithic) {
+  smv::ElaboratedModule out;
+  out.sys = symbolic::importSystem(dst, imp, src.sys, wantMonolithic);
+  // Formula trees are context-free and shared_ptr-held with atomic
+  // refcounts: share, don't copy.
+  out.initFormula = src.initFormula;
+  out.fairness = src.fairness;
+  out.specs = src.specs;
+  return out;
+}
+
+}  // namespace cmc::service

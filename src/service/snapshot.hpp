@@ -1,0 +1,107 @@
+// Shared elaboration snapshots (service layer).
+//
+// The old scheduler elaborated every job twice per obligation attempt: once
+// in the scout (to enumerate obligations) and again on the worker, from
+// scratch, into a fresh Context.  For the AFS batch benchmarks that re-parse
+// plus re-elaboration dominated the per-obligation cost and made the pool
+// *lose* to the serial loop.  A snapshot kills both copies of that work:
+//
+//  - buildSnapshot elaborates a job ONCE into a dedicated Context and
+//    freezes the result (modules, canonical serializations for the cache,
+//    and — under EngineMode::Auto — the per-module and composed engine
+//    choices, probed here where mutation is still allowed).
+//  - Workers adopt the snapshot's variable layout into their own pre-sized
+//    Context and copy the BDDs they need through bdd::Importer — a linear
+//    walk of the reachable DAG instead of a parse + elaboration.
+//
+// Ownership and immutability: the snapshot is held by shared_ptr<const>;
+// the last obligation (or the service's snapshot cache) drops it.  After
+// buildSnapshot returns, NOTHING may run BDD operations, GC, or reordering
+// on the snapshot's manager — workers only read the node arena through
+// Importer (concurrently safe, see bdd/io.hpp).  In particular workers must
+// not call dagSize()/support() on snapshot BDDs: those touch the manager's
+// mutable mark bits.  All sizes a worker needs are precomputed below.
+//
+// GC interaction: the snapshot context is garbage-collected once, at the
+// end of buildSnapshot, sweeping probe intermediates; the surviving nodes
+// are exactly the obligations' reachable DAGs (every handle in `modules`
+// keeps its nodes referenced).  The snapshot manager never collects again,
+// so node indices stay stable for every importer's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdd/io.hpp"
+#include "service/job.hpp"
+#include "symbolic/engine_choice.hpp"
+
+namespace cmc::service {
+
+struct ElaborationSnapshot {
+  /// The context every module below lives in.  unique_ptr so the snapshot
+  /// is movable; never null after a successful build.
+  std::unique_ptr<symbolic::Context> ctx;
+  std::vector<smv::ElaboratedModule> modules;
+  /// Canonical serializations for the obligation cache / journal replay
+  /// key, one per module; empty when fingerprinting failed or was not
+  /// requested.
+  std::vector<std::string> canon;
+  /// Per-module engine decision (EngineMode::Auto only; defaulted
+  /// otherwise).
+  std::vector<symbolic::EngineChoice> moduleChoice;
+  /// Engine decision for the composed system (compose jobs under Auto).
+  symbolic::EngineChoice composedChoice;
+  bool hasComposedChoice = false;
+  /// Live nodes after the final collection — what workers size their
+  /// arenas from.
+  std::uint64_t liveNodes = 0;
+  /// Wall time of parse + elaboration (the cost the snapshot amortizes).
+  double elaborateSeconds = 0.0;
+};
+
+struct SnapshotResult {
+  std::shared_ptr<const ElaborationSnapshot> snapshot;  ///< null on error
+  std::string error;                                    ///< why, when null
+};
+
+/// Elaborate `job` once into a fresh context (never throws — errors land in
+/// SnapshotResult::error).  `wantCanon` additionally computes the canonical
+/// module serializations (best-effort).  Engine probes run only when the
+/// job's engine mode is Auto.  Thread-safe for concurrent jobs: each call
+/// owns its context, so runBatch fans snapshot builds onto the pool.
+SnapshotResult buildSnapshot(const VerificationJob& job, bool wantCanon);
+
+/// Copy one elaborated module out of a snapshot into a worker context
+/// through `imp` (destination must be the worker's manager).  Formula trees
+/// (init/fairness/specs) are shared, not copied — FormulaPtr refcounts are
+/// atomic.  `wantMonolithic` also copies the materialized monolithic
+/// relation when the source has one.
+smv::ElaboratedModule importModule(symbolic::Context& dst, bdd::Importer& imp,
+                                   const smv::ElaboratedModule& src,
+                                   bool wantMonolithic);
+
+/// Arena capacity for a worker importing `snapshotLiveNodes` nodes: room
+/// for the full import plus fixpoint headroom, so neither the import nor a
+/// typical check ever rehashes the unique table or grows the arena.
+inline std::size_t workerArenaCapacity(std::uint64_t snapshotLiveNodes) {
+  // The floor matches the default Context: over-sizing costs real time on
+  // small models (every worker zeroes the arena + tables up front), and a
+  // small import that later grows just rehashes once like any context.
+  const std::uint64_t want = 2 * snapshotLiveNodes;
+  return static_cast<std::size_t>(
+      want < (std::uint64_t{1} << 12) ? (std::uint64_t{1} << 12) : want);
+}
+
+/// Computed-table capacity to match: ~4 slots per imported node, clamped to
+/// [2^12, 2^20] (the manager rounds up to a power of two).
+inline std::size_t workerCacheCapacity(std::uint64_t snapshotLiveNodes) {
+  std::uint64_t want = 4 * snapshotLiveNodes;
+  if (want < (std::uint64_t{1} << 12)) want = std::uint64_t{1} << 12;
+  if (want > (std::uint64_t{1} << 20)) want = std::uint64_t{1} << 20;
+  return static_cast<std::size_t>(want);
+}
+
+}  // namespace cmc::service

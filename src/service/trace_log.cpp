@@ -71,6 +71,7 @@ JsonObject& JsonObject::putRaw(const std::string& key,
 std::string JsonObject::str() const { return "{" + body_ + "}"; }
 
 void RunTrace::emit(const JsonObject& event) {
+  if (!enabled_) return;
   const std::string line = event.str();
   std::lock_guard<std::mutex> lock(mutex_);
   lines_.push_back(line);

@@ -53,10 +53,20 @@ class JsonObject {
 
 class RunTrace {
  public:
+  /// Tag for a trace that drops every event.  Callers with no trace sink
+  /// (batch runs without --trace) use this so the hot path can skip the
+  /// JSON serialization entirely — check enabled() before building the
+  /// JsonObject, since the argument is evaluated either way.
+  struct Disabled {};
+
   RunTrace() = default;
   /// Events are additionally appended (and flushed) to `sink`; the sink
   /// must outlive the trace.  Pass nullptr for in-memory only.
   explicit RunTrace(std::ostream* sink) : sink_(sink) {}
+  explicit RunTrace(Disabled) : enabled_(false) {}
+
+  /// False when this trace discards events: skip building them.
+  bool enabled() const { return enabled_; }
 
   /// Append one event line.  Thread-safe; called from pool workers.
   void emit(const JsonObject& event);
@@ -72,6 +82,7 @@ class RunTrace {
 
  private:
   mutable std::mutex mutex_;
+  bool enabled_ = true;
   std::ostream* sink_ = nullptr;
   std::vector<std::string> lines_;
   WallTimer timer_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "bdd/io.hpp"
+
 namespace cmc::symbolic {
 
 const bdd::Bdd& SymbolicSystem::transBdd() const {
@@ -157,6 +159,42 @@ void addReflexive(SymbolicSystem& sys) {
   if (!sys.partition.hasStutterTrack()) {
     sys.partition.tracks.push_back(stutterTrack(*sys.ctx, sys.vars));
   }
+}
+
+SymbolicSystem importSystem(Context& dst, bdd::Importer& imp,
+                            const SymbolicSystem& src, bool wantMonolithic) {
+  SymbolicSystem out;
+  out.ctx = &dst;
+  out.name = src.name;
+  out.vars = src.vars;  // ids match by the adoptVariablesFrom precondition
+
+  for (const PartitionedRelation& t : src.partition.tracks) {
+    PartitionedRelation track = PartitionedRelation::of({}, t.frameOnly());
+    if (t.framesTagged()) {
+      // Frames were recorded in append order, so replaying the conjunct
+      // sequence consumes frameVars() front to back.
+      std::size_t fi = 0;
+      for (const Conjunct& c : t.conjuncts()) {
+        bdd::Bdd rel = imp.importIndex(c.rel.index());
+        if (c.isFrame) {
+          track.appendFrame(std::move(rel), t.frameVars()[fi++]);
+        } else {
+          track.append(std::move(rel));
+        }
+      }
+      CMC_ASSERT(fi == t.frameVars().size());
+    } else {
+      for (const Conjunct& c : t.conjuncts()) {
+        track.append(imp.importIndex(c.rel.index()), c.isFrame);
+      }
+    }
+    out.partition.tracks.push_back(std::move(track));
+  }
+
+  if (wantMonolithic && src.transMaterialized()) {
+    out.monolithic_ = imp.importIndex(src.monolithic_.index());
+  }
+  return out;
 }
 
 }  // namespace cmc::symbolic

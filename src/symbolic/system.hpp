@@ -27,6 +27,10 @@
 #include "symbolic/partition.hpp"
 #include "symbolic/var_table.hpp"
 
+namespace cmc::bdd {
+class Importer;
+}
+
 namespace cmc::symbolic {
 
 struct SymbolicSystem {
@@ -92,5 +96,19 @@ PartitionedRelation stutterTrack(Context& ctx, const std::vector<VarId>& vars);
 
 /// Add the stuttering transitions to `sys` (reflexive closure).
 void addReflexive(SymbolicSystem& sys);
+
+/// Copy `src` (owned by another context) into `dst` through `imp`, a
+/// bdd::Importer whose destination is dst's manager.  Rebuilds the track
+/// structure conjunct by conjunct — frame tags and frameVars survive, so
+/// the substitution-based preimage works on the copy — while the importer's
+/// shared translation map keeps subgraphs shared across conjuncts (and
+/// across several systems imported through the same importer).  The
+/// materialized monolithic relation is copied only when `wantMonolithic`
+/// (a worker running the partitioned engine never pays for it).
+///
+/// Precondition: dst adopted src's variables (Context::adoptVariablesFrom),
+/// so both contexts agree on the bit layout.  src is only read.
+SymbolicSystem importSystem(Context& dst, bdd::Importer& imp,
+                            const SymbolicSystem& src, bool wantMonolithic);
 
 }  // namespace cmc::symbolic

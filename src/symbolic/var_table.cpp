@@ -24,7 +24,19 @@ bool Variable::hasValue(const std::string& value) const {
                     value == "false");
 }
 
-Context::Context(std::size_t bddCapacity) : mgr_(bddCapacity) {}
+Context::Context(std::size_t bddCapacity, std::size_t bddCacheSize)
+    : mgr_(bddCapacity, bddCacheSize) {}
+
+void Context::adoptVariablesFrom(const Context& src) {
+  CMC_ASSERT(vars_.empty());
+  for (const Variable& v : src.vars_) {
+    Variable copy;
+    copy.name = v.name;
+    copy.values = v.values;
+    copy.isBool = v.isBool;
+    addVar(std::move(copy));  // recomputes the identical bit layout
+  }
+}
 
 VarId Context::addVar(Variable v) {
   if (byName_.count(v.name) != 0) {

@@ -35,7 +35,12 @@ struct Variable {
 
 class Context {
  public:
-  explicit Context(std::size_t bddCapacity = 1 << 12);
+  /// `bddCapacity` pre-sizes the manager's node arena and unique table;
+  /// `bddCacheSize` the computed table.  Worker contexts importing from an
+  /// elaboration snapshot pass the snapshot's node counts here so the
+  /// import and the following fixpoints never rehash or grow mid-flight.
+  explicit Context(std::size_t bddCapacity = 1 << 12,
+                   std::size_t bddCacheSize = 1 << 14);
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
@@ -47,6 +52,13 @@ class Context {
   VarId addBoolVar(const std::string& name);
   /// Declare an enumerated variable with the given (non-empty) value list.
   VarId addEnumVar(const std::string& name, std::vector<std::string> values);
+
+  /// Re-declare every variable of `src` into this (empty) context, in id
+  /// order.  Variable assignment is deterministic, so ids, bit indices, and
+  /// the BDD-variable layout come out identical to the source — the
+  /// precondition for importing a snapshot's BDDs with bdd::Importer and
+  /// having every varEq/cube/permutation built here line up with them.
+  void adoptVariablesFrom(const Context& src);
 
   bool hasVar(const std::string& name) const;
   VarId varId(const std::string& name) const;  ///< throws ModelError if absent

@@ -44,20 +44,31 @@ ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;
 SPEC AG (s = a | s = b | s = c)
 )";
 
-/// A model whose batch takes O(seconds) on one worker: n distinct holding
-/// specs (EF^i reaches the absorbing state c), each obligation
-/// re-elaborating the n-spec module.  Distinct texts defeat the cache, so
-/// the duration is deterministic-ish — long enough for a cancel or a
-/// second connection to land mid-run.
-std::string slowSmv(int n) {
+/// A model whose single obligation is genuinely slow to *check*: a
+/// saturating k-bit ripple counter where AG (EF all-ones) holds but the
+/// inner EF fixpoint needs 2^k backward iterations before converging.
+/// Elaboration is shared across a job since snapshots landed, so the
+/// slowness must live in the fixpoint, not in re-parsing; k is sized so
+/// the check runs for roughly `ms` milliseconds with a ~2x margin for
+/// faster machines — long enough for a cancel or a second connection to
+/// land mid-run.
+std::string slowSmv(int ms) {
+  int bits = 14;
+  while ((1 << bits) < ms * 2800 && bits < 24) ++bits;
   std::ostringstream out;
-  out << "MODULE chain\nVAR s : {a, b, c};\n"
-         "ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;\n";
-  for (int i = 1; i <= n; ++i) {
-    std::string f = "s = c";
-    for (int k = 0; k < i; ++k) f = "EF (" + f + ")";
-    out << "SPEC AG (" << f << ")\n";
+  out << "MODULE slow\nVAR\n";
+  for (int i = 0; i < bits; ++i) out << "  b" << i << " : boolean;\n";
+  out << "ASSIGN\n  next(b0) := case";
+  std::string carry = "b0";
+  for (int i = 1; i < bits; ++i) carry += " & b" + std::to_string(i);
+  out << " " << carry << " : b0; 1 : !b0; esac;\n";
+  for (int i = 1; i < bits; ++i) {
+    std::string below = "b0";
+    for (int k = 1; k < i; ++k) below += " & b" + std::to_string(k);
+    out << "  next(b" << i << ") := case " << carry << " : b" << i << "; "
+        << below << " : !b" << i << "; 1 : b" << i << "; esac;\n";
   }
+  out << "SPEC AG (EF (" << carry << "))\n";
   return out.str();
 }
 
@@ -179,7 +190,7 @@ TEST(NetProtocol, ParseOverlaysDefaults) {
   EXPECT_DOUBLE_EQ(req.options.limits.deadlineSeconds, 1.5);
   EXPECT_TRUE(req.options.compose);
   EXPECT_FALSE(req.options.retryOtherEngine);
-  EXPECT_FALSE(req.options.usePartitionedTrans);
+  EXPECT_EQ(req.options.engine, symbolic::EngineMode::Monolithic);
   EXPECT_EQ(req.options.clusterThreshold, 512u);  // untouched default
 
   // An inline-smv CHECK whose *model text* mentions option-like words must

@@ -109,7 +109,9 @@ TEST(ObligationFingerprint, RestrictionAndOptionsArePartOfTheKey) {
   threshold.clusterThreshold = 7;
   EXPECT_NE(obligationFingerprint(canon, 0, false, spec, threshold), base);
   JobOptions engine = opts;
-  engine.usePartitionedTrans = !opts.usePartitionedTrans;
+  engine.engine = opts.engine == symbolic::EngineMode::Monolithic
+                      ? symbolic::EngineMode::Partitioned
+                      : symbolic::EngineMode::Monolithic;
   EXPECT_NE(obligationFingerprint(canon, 0, false, spec, engine), base);
   JobOptions reorder = opts;
   reorder.reorderBeforeCheck = !opts.reorderBeforeCheck;

@@ -151,7 +151,7 @@ TEST(Service, TinyNodeBudgetOnAfs2YieldsMemoryOutNotAHang) {
 
 TEST(Service, RetryDegradesMonolithicToPartitionedToo) {
   VerificationJob job = chainJob();
-  job.options.usePartitionedTrans = false;
+  job.options.engine = symbolic::EngineMode::Monolithic;
   job.options.limits.nodeBudget = 1;
 
   VerificationService svc(withThreads(1));

@@ -69,8 +69,10 @@ commands:
 cmc check options:
   --compose          also verify each spec on the composition of all modules
                      (compositional rules first, certificate in the report)
-  --monolithic       first-attempt engine: monolithic transition relation
-                     (default: partitioned with early quantification)
+  --engine MODE      first-attempt preimage engine: auto (default; probes
+                     the monolithic product size per obligation and picks
+                     the cheaper engine), partitioned, or monolithic
+  --monolithic       deprecated alias for --engine monolithic
   --no-retry         disable the budget-exhaustion retry on the other engine
   --deadline-ms N    per-attempt wall-clock deadline in milliseconds
   --node-budget N    per-attempt budget of live BDD nodes
@@ -115,7 +117,7 @@ cmc serve options:
                      period of the "metrics" JSONL trace event (default
                      10000; 0 = off)
   plus, as in check: --threads --cache-dir --no-cache --journal --resume
-  --trace --failpoint, and the job-option defaults (--compose --monolithic
+  --trace --failpoint, and the job-option defaults (--compose --engine
   --no-retry --deadline-ms --node-budget --cluster --reorder), which
   requests overlay per CHECK.  SIGTERM/SIGINT (or a DRAIN command) drains:
   in-flight requests finish and respond, new CHECKs get DRAINING, then the
@@ -197,7 +199,22 @@ bool parseUint(const char* text, std::uint64_t* out) {
   return true;
 }
 
+/// Parse an --engine value; prints the usage error itself.
+bool parseEngineMode(const char* v, symbolic::EngineMode* out) {
+  if (v != nullptr && symbolic::engineModeFromString(v, out)) return true;
+  std::cerr << "cmc: --engine must be auto, partitioned, or monolithic\n";
+  return false;
+}
+
+void warnMonolithicDeprecated(const char* cmd) {
+  std::cerr << cmd
+            << ": --monolithic is deprecated; use --engine monolithic\n";
+}
+
 int parseArgs(int argc, char** argv, CliOptions* cli) {
+  // The CLI resolves the engine adaptively by default; library embedders
+  // keep JobOptions' reproducible Partitioned default.
+  cli->job.engine = symbolic::EngineMode::Auto;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -209,8 +226,11 @@ int parseArgs(int argc, char** argv, CliOptions* cli) {
     };
     if (arg == "--compose") {
       cli->job.compose = true;
+    } else if (arg == "--engine") {
+      if (!parseEngineMode(next(), &cli->job.engine)) return 2;
     } else if (arg == "--monolithic") {
-      cli->job.usePartitionedTrans = false;
+      warnMonolithicDeprecated("cmc");
+      cli->job.engine = symbolic::EngineMode::Monolithic;
     } else if (arg == "--no-retry") {
       cli->job.retryOtherEngine = false;
     } else if (arg == "--reorder") {
@@ -519,6 +539,7 @@ struct ServeOptions {
 
 int parseServeArgs(int argc, char** argv, ServeOptions* opts) {
   service::JobOptions& job = opts->server.defaults;
+  job.engine = symbolic::EngineMode::Auto;  // CLI default, as in check
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -578,8 +599,11 @@ int parseServeArgs(int argc, char** argv, ServeOptions* opts) {
       opts->failpoints.push_back(v);
     } else if (arg == "--compose") {
       job.compose = true;
+    } else if (arg == "--engine") {
+      if (!parseEngineMode(next(), &job.engine)) return 2;
     } else if (arg == "--monolithic") {
-      job.usePartitionedTrans = false;
+      warnMonolithicDeprecated("cmc serve");
+      job.engine = symbolic::EngineMode::Monolithic;
     } else if (arg == "--no-retry") {
       job.retryOtherEngine = false;
     } else if (arg == "--reorder") {
@@ -767,8 +791,12 @@ int parseSubmitArgs(int argc, char** argv, SubmitOptions* opts) {
     } else if (arg == "--compose") {
       opts->job.compose = true;
       opts->setCompose = true;
+    } else if (arg == "--engine") {
+      if (!parseEngineMode(next(), &opts->job.engine)) return 2;
+      opts->setEngine = true;
     } else if (arg == "--monolithic") {
-      opts->job.usePartitionedTrans = false;
+      warnMonolithicDeprecated("cmc submit");
+      opts->job.engine = symbolic::EngineMode::Monolithic;
       opts->setEngine = true;
     } else if (arg == "--no-retry") {
       opts->job.retryOtherEngine = false;
@@ -825,8 +853,7 @@ std::string buildCheckRequest(const SubmitOptions& opts, const std::string& id,
   if (opts.setReorder) req.putBool("reorder", opts.job.reorderBeforeCheck);
   if (opts.setNoRetry) req.putBool("no_retry", !opts.job.retryOtherEngine);
   if (opts.setEngine) {
-    req.put("engine",
-            opts.job.usePartitionedTrans ? "partitioned" : "monolithic");
+    req.put("engine", symbolic::toString(opts.job.engine));
   }
   if (opts.setDeadline) {
     req.putUint("deadline_ms", static_cast<std::uint64_t>(
