@@ -33,6 +33,13 @@
 #     identical, verdict for verdict, to the clean run's — with the
 #     already-decided obligations served from the journal/cache, never
 #     re-checked from scratch.  Then SIGTERM must drain it with exit 0.
+#
+#  4. Cluster shard loss: a coordinator fronts three dispatch-delayed
+#     shards; one shard is SIGKILLed mid-batch while its obligations are
+#     in flight.  The coordinator must mark it down, re-dispatch its
+#     obligations along their rendezvous order, and still hand the client
+#     a report identical, verdict for verdict, to the single-daemon clean
+#     run — the client never sees the crash.
 set -u
 
 CMC=${1:-build-chaos/tools/cmc}
@@ -214,5 +221,73 @@ wait "$SRV" || rc=$?
 [ "$rc" -eq 0 ] || fail "daemon exited $rc on SIGTERM: $(cat "$WORK/srv.log")"
 [ ! -S "$SOCK" ] || fail "socket not unlinked on drain"
 note "daemon drained cleanly after the chaos (exit 0)"
+
+# ---------------------------------------------------------------------------
+# Phase 4: SIGKILL one shard of a cluster mid-batch
+# ---------------------------------------------------------------------------
+# Every obligation takes >= 1 s on a shard, so a kill 0.8 s into the batch
+# is guaranteed to catch the victim's obligations either in flight (the
+# transport error path) or still queued (the connect-failure path); both
+# must end in a re-dispatch, never in a client-visible error.
+for i in 1 2 3; do
+  "$CMC" serve --socket "$WORK/cs$i.sock" --threads 2 \
+    --failpoint "scheduler.dispatch=delay(1000)" \
+    > "$WORK/cs$i.log" 2>&1 &
+  eval "CS$i=$!"
+done
+for i in 1 2 3; do
+  for _ in $(seq 100); do
+    "$CMC" submit --socket "$WORK/cs$i.sock" --status > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+done
+cat > "$WORK/topology.jsonl" <<EOF
+{"name": "s1", "socket": "$WORK/cs1.sock"}
+{"name": "s2", "socket": "$WORK/cs2.sock"}
+{"name": "s3", "socket": "$WORK/cs3.sock"}
+EOF
+"$CMC" coordinator --socket "$WORK/coord.sock" \
+  --topology "$WORK/topology.jsonl" \
+  --probe-interval-ms 200 --fail-threshold 1 > "$WORK/coord.log" 2>&1 &
+COORD=$!
+for _ in $(seq 100); do
+  "$CMC" submit --socket "$WORK/coord.sock" --status > /dev/null 2>&1 && break
+  sleep 0.1
+done
+
+"$CMC" submit --socket "$WORK/coord.sock" --id doomed-shard --compose \
+  --report "$WORK/cluster.json" "$MODEL" > "$WORK/cluster.log" 2>&1 &
+client=$!
+sleep 0.8
+kill -9 "$CS2" 2>/dev/null || fail "shard s2 died before the SIGKILL"
+wait "$CS2" 2>/dev/null
+note "SIGKILLed shard s2 (pid $CS2) mid-batch"
+
+wait "$client" \
+  || fail "client failed although the ring survived: $(cat "$WORK/cluster.log")"
+verdicts "$WORK/cluster.json" > "$WORK/cluster.verdicts"
+diff -u "$WORK/clean.verdicts" "$WORK/cluster.verdicts" \
+  || fail "cluster report differs from the single-daemon clean run"
+grep -q '"shard": "s2"' "$WORK/cluster.json" \
+  && fail "an outcome is attributed to the killed shard"
+
+"$CMC" submit --socket "$WORK/coord.sock" --status > "$WORK/coord-status.json" 2>&1
+grep -q '"shards_up": 2' "$WORK/coord-status.json" \
+  || fail "killed shard not marked down: $(cat "$WORK/coord-status.json")"
+"$CMC" submit --socket "$WORK/coord.sock" --stats > "$WORK/coord-stats.txt" 2>&1
+redispatched=$(awk '$1 == "cluster_redispatches" { print $2 }' "$WORK/coord-stats.txt")
+[ -n "$redispatched" ] && [ "$redispatched" -ge 1 ] \
+  || fail "no re-dispatch recorded after the shard kill"
+note "cluster survived the shard kill: verdicts match clean, $redispatched re-dispatched"
+
+kill -TERM "$COORD"
+rc=0
+wait "$COORD" || rc=$?
+[ "$rc" -eq 0 ] || fail "coordinator exited $rc on SIGTERM: $(cat "$WORK/coord.log")"
+for pid in "$CS1" "$CS3"; do
+  kill -TERM "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+done
+note "cluster drained cleanly after the chaos"
 
 note "PASS"

@@ -1,0 +1,183 @@
+#!/usr/bin/env bash
+# Cluster-mode smoke: a coordinator fronting three shard daemons, with
+# fingerprint routing, a fleet-wide warm-cache resubmission, health
+# accounting, offline cache compaction, the submit retry backoff, and a
+# SIGTERM drain that leaves the shards serving.
+#
+#   scripts/cluster_smoke.sh [path/to/cmc]
+#
+# Sequence (all against a throwaway work dir):
+#   1. Three `cmc serve` shards on Unix sockets, each with its own cache
+#      dir; a topology file names them; `cmc coordinator` fronts them and
+#      must report 3/3 shards up over STATUS (version + protocol_rev
+#      stamped).
+#   2. Submit composed AFS-2 through the coordinator: Holds, 12
+#      obligations, every outcome attributed to a shard, and the work
+#      actually spread over more than one shard.
+#   3. Resubmit identically: rendezvous routing sends every obligation
+#      back to the shard that decided it, so the whole job is served from
+#      shard caches (verdict_source "cache", never "checked") — the
+#      fleet-wide warm win the coordinator exists for.
+#   4. `cmc cache compact` over a shard's store: idempotent, size
+#      reported, and the store still loads afterwards (the warm resubmit
+#      repeated after compaction stays all-cache).
+#   5. Submit retry: against a coordinator with --max-inflight 0 (always
+#      BUSY), `--max-retries 2` must retry with backoff and then exit 6;
+#      without the flag it must fail fast with exit 6 and no retries.
+#   6. SIGTERM drains the coordinator (exit 0, socket unlinked) while the
+#      shards keep serving; then the shards drain cleanly too.
+set -u
+
+CMC=${1:-build/tools/cmc}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/cmc-cluster-smoke.XXXXXX")
+MODEL=models/afs2_composed.smv
+PIDS=
+
+cleanup() {
+  for p in $PIDS; do kill -9 "$p" 2>/dev/null; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "cluster-smoke: FAIL: $*" >&2; exit 1; }
+note() { echo "cluster-smoke: $*"; }
+
+[ -x "$CMC" ] || fail "no cmc binary at $CMC"
+
+wait_ready() { # socket, logfile
+  for _ in $(seq 100); do
+    "$CMC" submit --socket "$1" --status > /dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "nothing answered on $1: $(cat "$2")"
+}
+
+# ---------------------------------------------------------------------------
+# 1. Three shards + a coordinator
+# ---------------------------------------------------------------------------
+for i in 1 2 3; do
+  "$CMC" serve --socket "$WORK/s$i.sock" --cache-dir "$WORK/cache$i" \
+    > "$WORK/s$i.log" 2>&1 &
+  PIDS="$PIDS $!"
+  eval "S$i=$!"
+done
+for i in 1 2 3; do wait_ready "$WORK/s$i.sock" "$WORK/s$i.log"; done
+
+cat > "$WORK/topology.jsonl" <<EOF
+# the smoke fleet: three local shards
+{"name": "s1", "socket": "$WORK/s1.sock"}
+{"name": "s2", "socket": "$WORK/s2.sock"}
+{"name": "s3", "socket": "$WORK/s3.sock"}
+EOF
+
+"$CMC" coordinator --socket "$WORK/coord.sock" \
+  --topology "$WORK/topology.jsonl" > "$WORK/coord.log" 2>&1 &
+COORD=$!
+PIDS="$PIDS $COORD"
+wait_ready "$WORK/coord.sock" "$WORK/coord.log"
+
+"$CMC" submit --socket "$WORK/coord.sock" --status > "$WORK/status.json" 2>&1 \
+  || fail "coordinator STATUS failed: $(cat "$WORK/status.json")"
+grep -q '"role": "coordinator"' "$WORK/status.json" || fail "no coordinator role in STATUS"
+grep -q '"shards_up": 3' "$WORK/status.json" || fail "expected 3 shards up: $(cat "$WORK/status.json")"
+grep -q '"cmc_version": "' "$WORK/status.json" || fail "STATUS is not version-stamped"
+grep -q '"protocol_rev": ' "$WORK/status.json" || fail "STATUS carries no protocol revision"
+note "coordinator up, fronting 3/3 shards"
+
+# ---------------------------------------------------------------------------
+# 2. Cold submit through the coordinator
+# ---------------------------------------------------------------------------
+"$CMC" submit --socket "$WORK/coord.sock" --id cold --compose \
+  --report "$WORK/cold.json" "$MODEL" > "$WORK/cold.log" 2>&1 \
+  || fail "cold submission failed: $(cat "$WORK/cold.log")"
+grep -q '"verdict": "Holds"' "$WORK/cold.json" || fail "cold run does not hold"
+n=$(grep -c '"verdict_source": "checked"' "$WORK/cold.json")
+[ "$n" -eq 12 ] || fail "expected 12 checked obligations, got $n"
+shards=$(grep -o '"shard": "s[0-9]*"' "$WORK/cold.json" | sort -u | wc -l)
+[ "$(grep -c '"shard": "s' "$WORK/cold.json")" -eq 12 ] \
+  || fail "not every obligation is attributed to a shard"
+[ "$shards" -ge 2 ] || fail "all obligations landed on one shard"
+note "cold AFS-2: 12 obligations checked across $shards shards"
+
+# ---------------------------------------------------------------------------
+# 3. Warm resubmission must be served entirely from shard caches
+# ---------------------------------------------------------------------------
+warm_all_cache() { # id
+  "$CMC" submit --socket "$WORK/coord.sock" --id "$1" --compose \
+    --report "$WORK/$1.json" "$MODEL" > "$WORK/$1.log" 2>&1 \
+    || fail "$1 submission failed: $(cat "$WORK/$1.log")"
+  grep -q '"verdict": "Holds"' "$WORK/$1.json" || fail "$1 run does not hold"
+  if grep -q '"verdict_source": "checked"' "$WORK/$1.json"; then
+    fail "$1 run re-checked an obligation"
+  fi
+  hits=$(grep -c '"verdict_source": "cache"' "$WORK/$1.json")
+  [ "$hits" -eq 12 ] || fail "$1: only $hits of 12 obligations from cache"
+}
+warm_all_cache warm
+note "warm AFS-2: all 12 obligations from shard caches"
+
+# ---------------------------------------------------------------------------
+# 4. Offline compaction keeps the stores loadable (and warm)
+# ---------------------------------------------------------------------------
+for i in 1 2 3; do
+  if [ -s "$WORK/cache$i/obligations.jsonl" ]; then
+    "$CMC" cache compact --cache-dir "$WORK/cache$i" > "$WORK/compact$i.log" 2>&1 \
+      || fail "compaction of cache$i failed: $(cat "$WORK/compact$i.log")"
+    grep -q "cache compact: " "$WORK/compact$i.log" \
+      || fail "no compaction summary for cache$i"
+  fi
+done
+warm_all_cache warm2
+note "compaction: stores rewritten, resubmission still all-cache"
+
+# ---------------------------------------------------------------------------
+# 5. Submit retry backoff against an always-BUSY coordinator
+# ---------------------------------------------------------------------------
+"$CMC" coordinator --socket "$WORK/busy.sock" --max-inflight 0 \
+  --topology "$WORK/topology.jsonl" > "$WORK/busy-coord.log" 2>&1 &
+BUSY=$!
+PIDS="$PIDS $BUSY"
+wait_ready "$WORK/busy.sock" "$WORK/busy-coord.log"
+
+rc=0
+"$CMC" submit --socket "$WORK/busy.sock" --id fast "$MODEL" \
+  > "$WORK/fastfail.log" 2>&1 || rc=$?
+[ "$rc" -eq 6 ] || fail "fail-fast BUSY submit exited $rc, want 6"
+grep -Eq "retry [0-9]+/" "$WORK/fastfail.log" && fail "retried without --max-retries"
+
+rc=0
+"$CMC" submit --socket "$WORK/busy.sock" --id retried \
+  --max-retries 2 --retry-ms 50 "$MODEL" > "$WORK/retry.log" 2>&1 || rc=$?
+[ "$rc" -eq 6 ] || fail "retried BUSY submit exited $rc, want 6"
+[ "$(grep -Ec "retry [0-9]+/" "$WORK/retry.log")" -eq 2 ] \
+  || fail "expected 2 retry attempts: $(cat "$WORK/retry.log")"
+kill -TERM "$BUSY" 2>/dev/null
+wait "$BUSY" 2>/dev/null
+note "submit retry: fail-fast without the flag, 2 backoff retries with it"
+
+# ---------------------------------------------------------------------------
+# 6. Drain the coordinator; the shards must survive it
+# ---------------------------------------------------------------------------
+kill -TERM "$COORD"
+rc=0
+wait "$COORD" || rc=$?
+[ "$rc" -eq 0 ] || fail "coordinator exited $rc on SIGTERM: $(cat "$WORK/coord.log")"
+grep -q "drained" "$WORK/coord.log" || fail "no drain summary in the coordinator log"
+[ ! -S "$WORK/coord.sock" ] || fail "coordinator socket not unlinked"
+for i in 1 2 3; do
+  "$CMC" submit --socket "$WORK/s$i.sock" --status > /dev/null 2>&1 \
+    || fail "shard s$i stopped serving when the coordinator drained"
+done
+note "coordinator drained (exit 0); all shards still serving"
+
+for i in 1 2 3; do
+  eval "pid=\$S$i"
+  kill -TERM "$pid"
+  rc=0
+  wait "$pid" || rc=$?
+  [ "$rc" -eq 0 ] || fail "shard s$i exited $rc on SIGTERM"
+done
+PIDS=
+note "shards drained cleanly"
+
+note "PASS"

@@ -1,0 +1,951 @@
+#include "cluster/coordinator.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <sstream>
+
+#include "service/journal.hpp"
+#include "util/version.hpp"
+
+namespace cmc::cluster {
+
+namespace {
+
+std::string errnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+std::string jobNameFromPath(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) base.resize(dot);
+  return base.empty() ? "job" : base;
+}
+
+unsigned forwardPoolWidth(const CoordinatorOptions& opts) {
+  if (opts.forwardThreads > 0) return opts.forwardThreads;
+  const std::size_t shards = opts.topology.shards.size();
+  return static_cast<unsigned>(std::max<std::size_t>(4, 2 * shards));
+}
+
+/// recv timeout on a connected client, for control-plane round-trips that
+/// must not hang on a wedged shard.
+void setRecvTimeout(net::Client& client, double seconds) {
+  if (client.socket() == nullptr || seconds <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  ::setsockopt(client.socket()->fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+/// The single-obligation CHECK line forwarded to a shard.  Every
+/// verdict-relevant option is explicit so the shard's enumeration hashes
+/// the exact fingerprint the coordinator routed by, regardless of the
+/// shard's own defaults; smv goes last per the flat-line convention.
+std::string forwardRequestLine(const std::string& requestId,
+                               const std::string& jobName,
+                               const std::string& smvText,
+                               const service::JobOptions& options,
+                               const service::ObligationRef& ref) {
+  service::JsonObject req;
+  req.put("cmd", "CHECK")
+      .put("id", requestId)
+      .put("name", jobName)
+      .put("only", ref.id)
+      .putBool("compose", options.compose)
+      .putBool("reorder", options.reorderBeforeCheck)
+      .putBool("no_retry", !options.retryOtherEngine)
+      .put("engine", symbolic::toString(options.engine))
+      .putUint("deadline_ms",
+               static_cast<std::uint64_t>(
+                   std::llround(options.limits.deadlineSeconds * 1e3)))
+      .putUint("node_budget", options.limits.nodeBudget)
+      .putUint("cluster", options.clusterThreshold)
+      .put("smv", smvText);
+  return req.str();
+}
+
+/// Rebuild an ObligationOutcome from a shard's flat single-obligation
+/// response fields (never from the nested report).  Missing fields keep
+/// the ref-derived defaults, so a malformed response degrades to an Error
+/// outcome instead of a parse failure.
+service::ObligationOutcome outcomeFromResponse(
+    const std::string& response, const service::ObligationRef& ref) {
+  service::ObligationOutcome out;
+  out.id = ref.id;
+  out.target = ref.target;
+  out.spec = ref.specName;
+  out.specText = ref.specText;
+  out.fingerprint = ref.fingerprint;
+  std::string verdictText;
+  if (service::jsonExtractString(response, "verdict", &verdictText)) {
+    service::verdictFromString(verdictText, &out.verdict);
+  } else {
+    out.error = "shard response carried no verdict";
+  }
+  service::jsonExtractString(response, "verdict_source", &out.verdictSource);
+  service::jsonExtractString(response, "rule", &out.rule);
+  service::jsonExtractDouble(response, "obligation_seconds", &out.seconds);
+  service::jsonExtractString(response, "obligation_error", &out.error);
+  service::jsonExtractString(response, "counterexample", &out.counterexample);
+  service::jsonExtractString(response, "engine_choice", &out.engineChoiceJson);
+  service::jsonExtractString(response, "proof", &out.proofJson);
+  // A freshly checked verdict ran real attempts on the shard; reflect the
+  // deciding engine so the merged report explains itself like a local one.
+  std::string engine;
+  if (out.verdictSource == "checked" &&
+      service::jsonExtractString(response, "engine", &engine)) {
+    service::AttemptRecord attempt;
+    attempt.engine = engine;
+    attempt.verdict = out.verdict;
+    attempt.seconds = out.seconds;
+    out.attempts.push_back(std::move(attempt));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool shardCompatible(const std::string& statusResponse, std::string* why) {
+  std::string version;
+  service::jsonExtractString(statusResponse, "cmc_version", &version);
+  std::uint64_t rev = 0;
+  if (!service::jsonExtractUint(statusResponse, "protocol_rev", &rev)) {
+    *why = "shard runs cmc " + (version.empty() ? "<unknown>" : version) +
+           " which does not stamp protocol_rev (pre-cluster build); this "
+           "coordinator is cmc " +
+           util::versionString() + " (protocol rev " +
+           std::to_string(net::kProtocolRevision) + ")";
+    return false;
+  }
+  if (rev != net::kProtocolRevision || version != util::versionString()) {
+    *why = "shard runs cmc " + version + " (protocol rev " +
+           std::to_string(rev) + "); this coordinator is cmc " +
+           util::versionString() + " (protocol rev " +
+           std::to_string(net::kProtocolRevision) +
+           ") — mixed-version clusters are refused";
+    return false;
+  }
+  return true;
+}
+
+Coordinator::Coordinator(CoordinatorOptions opts,
+                         service::MetricsRegistry& metrics,
+                         service::RunTrace& trace)
+    : opts_(std::move(opts)),
+      metrics_(metrics),
+      trace_(trace),
+      pool_(forwardPoolWidth(opts_)) {
+  shards_.reserve(opts_.topology.shards.size());
+  for (const ShardSpec& spec : opts_.topology.shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->spec = spec;
+    shardNames_.push_back(spec.name);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Coordinator::~Coordinator() { shutdown(); }
+
+bool Coordinator::connectShard(const ShardSpec& spec, net::Client* client,
+                               std::string* error) const {
+  return spec.tcpPort >= 0 ? client->connectTcp(spec.tcpPort, error)
+                           : client->connectUnix(spec.socketPath, error);
+}
+
+bool Coordinator::probeShard(Shard& shard, std::string* statusLine,
+                             std::string* error) {
+  net::Client client;
+  if (!connectShard(shard.spec, &client, error)) return false;
+  setRecvTimeout(client, opts_.controlTimeoutSeconds);
+  static const std::string kStatusLine =
+      service::JsonObject().put("cmd", "STATUS").str();
+  return client.request(kStatusLine, statusLine, error);
+}
+
+void Coordinator::markDown(Shard& shard, const std::string& reason) {
+  if (shard.up.exchange(false, std::memory_order_relaxed)) {
+    metrics_.counter("cluster_shard_markdowns").inc();
+    trace_.emit(service::JsonObject()
+                    .put("event", "shard_down")
+                    .putDouble("t", trace_.elapsedSeconds())
+                    .put("shard", shard.spec.name)
+                    .put("reason", reason));
+  }
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  shard.downReason = reason;
+}
+
+void Coordinator::markUp(Shard& shard) {
+  if (!shard.up.exchange(true, std::memory_order_relaxed)) {
+    metrics_.counter("cluster_shard_markups").inc();
+    trace_.emit(service::JsonObject()
+                    .put("event", "shard_up")
+                    .putDouble("t", trace_.elapsedSeconds())
+                    .put("shard", shard.spec.name));
+  }
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  shard.downReason.clear();
+}
+
+void Coordinator::probeNow() {
+  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::string statusLine, error;
+    if (!probeShard(shard, &statusLine, &error)) {
+      int failures;
+      {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        failures = ++shard.consecutiveFailures;
+      }
+      if (failures >= opts_.failThreshold) {
+        markDown(shard, "probe: " + error);
+      }
+      continue;
+    }
+    std::string why;
+    const bool compatible = shardCompatible(statusLine, &why);
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      shard.consecutiveFailures = 0;
+      service::jsonExtractString(statusLine, "cmc_version", &shard.version);
+      service::jsonExtractUint(statusLine, "in_flight", &shard.inFlight);
+      service::jsonExtractUint(statusLine, "queued", &shard.queued);
+    }
+    if (!compatible) {
+      // A responding-but-incompatible shard stays out of the ring: an old
+      // build would ignore "only" and check whole jobs.
+      markDown(shard, why);
+      continue;
+    }
+    markUp(shard);
+  }
+}
+
+void Coordinator::probeLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> lock(stopMutex_);
+      stopCv_.wait_for(
+          lock,
+          std::chrono::duration<double>(opts_.probeIntervalSeconds),
+          [&] { return stopping_.load(std::memory_order_relaxed); });
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    probeNow();
+  }
+}
+
+std::size_t Coordinator::shardsUp() const {
+  std::size_t up = 0;
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    if (s->up.load(std::memory_order_relaxed)) ++up;
+  }
+  return up;
+}
+
+bool Coordinator::start(std::string* error) {
+  if (opts_.socketPath.empty() && opts_.tcpPort < 0) {
+    *error = "no listener configured (need a socket path or a TCP port)";
+    return false;
+  }
+  if (shards_.empty()) {
+    *error = "topology has no shards";
+    return false;
+  }
+
+  // Synchronous startup probe: refuse a ring we cannot correctly use.
+  // A responding shard with the wrong version/revision is a configuration
+  // error the operator must fix; an unreachable shard just starts down.
+  std::size_t responding = 0;
+  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::string statusLine, probeError;
+    if (!probeShard(shard, &statusLine, &probeError)) {
+      markDown(shard, "startup probe: " + probeError);
+      continue;
+    }
+    ++responding;
+    std::string why;
+    if (!shardCompatible(statusLine, &why)) {
+      *error = "shard '" + shard.spec.name + "': " + why;
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    service::jsonExtractString(statusLine, "cmc_version", &shard.version);
+  }
+  if (responding == 0) {
+    *error = "none of the " + std::to_string(shards_.size()) +
+             " shards answered STATUS; start the shard daemons first";
+    return false;
+  }
+
+  if (!opts_.socketPath.empty()) {
+    sockaddr_un addr{};
+    if (opts_.socketPath.size() >= sizeof addr.sun_path) {
+      *error = "socket path too long: " + opts_.socketPath;
+      return false;
+    }
+    unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unixFd_ < 0) {
+      *error = errnoMessage("socket(AF_UNIX)");
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+    // Same stale-socket discipline as the shard server: probe before
+    // unlinking so we never steal a live listener.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) == 0) {
+        ::close(probe);
+        ::close(unixFd_);
+        unixFd_ = -1;
+        *error =
+            "another daemon is already listening on " + opts_.socketPath;
+        return false;
+      }
+      ::close(probe);
+    }
+    ::unlink(opts_.socketPath.c_str());
+    if (::bind(unixFd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(unixFd_, 64) != 0) {
+      *error = errnoMessage(("bind/listen " + opts_.socketPath).c_str());
+      ::close(unixFd_);
+      unixFd_ = -1;
+      return false;
+    }
+  }
+
+  if (opts_.tcpPort >= 0) {
+    tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcpFd_ < 0) {
+      *error = errnoMessage("socket(AF_INET)");
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.tcpPort));
+    if (::bind(tcpFd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(tcpFd_, 64) != 0) {
+      *error = errnoMessage("bind/listen TCP");
+      ::close(tcpFd_);
+      tcpFd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(tcpFd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+      boundTcpPort_ = ntohs(bound.sin_port);
+  }
+
+  uptime_.reset();
+  if (unixFd_ >= 0)
+    acceptThreads_.emplace_back(&Coordinator::acceptLoop, this, unixFd_);
+  if (tcpFd_ >= 0)
+    acceptThreads_.emplace_back(&Coordinator::acceptLoop, this, tcpFd_);
+  if (opts_.probeIntervalSeconds > 0.0)
+    probeThread_ = std::thread(&Coordinator::probeLoop, this);
+
+  trace_.emit(service::JsonObject()
+                  .put("event", "coordinator_start")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("cmc_version", util::versionString())
+                  .put("socket", opts_.socketPath)
+                  .putUint("shards", shards_.size())
+                  .putUint("shards_up", shardsUp())
+                  .putUint("forward_threads", pool_.size()));
+  return true;
+}
+
+void Coordinator::requestDrain() {
+  if (draining_.exchange(true)) return;
+  metrics_.counter("cluster_drains").inc();
+  trace_.emit(service::JsonObject()
+                  .put("event", "drain")
+                  .putDouble("t", trace_.elapsedSeconds()));
+}
+
+void Coordinator::shutdown() {
+  std::lock_guard<std::mutex> shutdownLock(shutdownMutex_);
+  if (shutdownDone_) return;
+  requestDrain();
+
+  {
+    std::unique_lock<std::mutex> lock(jobsMutex_);
+    jobsCv_.wait(lock, [&] { return activeJobs_ == 0; });
+  }
+
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(stopMutex_);
+  }
+  stopCv_.notify_all();
+  for (std::thread& t : acceptThreads_) t.join();
+  acceptThreads_.clear();
+  if (unixFd_ >= 0) {
+    ::close(unixFd_);
+    unixFd_ = -1;
+    ::unlink(opts_.socketPath.c_str());
+  }
+  if (tcpFd_ >= 0) {
+    ::close(tcpFd_);
+    tcpFd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (int fd : connFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connThreads_) t.join();
+  connThreads_.clear();
+  if (probeThread_.joinable()) probeThread_.join();
+
+  trace_.emit(service::JsonObject()
+                  .put("event", "coordinator_stop")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .putDouble("uptime_seconds", uptime_.seconds()));
+  shutdownDone_ = true;
+}
+
+void Coordinator::acceptLoop(int listenFd) {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd p{};
+    p.fd = listenFd;
+    p.events = POLLIN;
+    const int ready = ::poll(&p, 1, 200);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) continue;
+    metrics_.counter("connections_accepted").inc();
+    std::lock_guard<std::mutex> lock(connMutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    connFds_.push_back(fd);
+    connThreads_.emplace_back(&Coordinator::handleConnection, this, fd);
+  }
+}
+
+void Coordinator::handleConnection(int fd) {
+  metrics_.gauge("connections_open").inc();
+  net::LineSocket sock(fd);
+  std::string line;
+  bool closeAfter = false;
+  while (!closeAfter) {
+    const net::LineSocket::ReadResult r = sock.readLine(&line);
+    if (r == net::LineSocket::ReadResult::Eof ||
+        r == net::LineSocket::ReadResult::Error)
+      break;
+    if (r == net::LineSocket::ReadResult::TooLong) {
+      metrics_.counter("protocol_errors").inc();
+      sock.writeLine(net::errorResponse(
+          "?", net::kBadRequest,
+          "request line exceeds " + std::to_string(net::kMaxLineBytes) +
+              " bytes; closing connection"));
+      break;
+    }
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    net::Request req;
+    std::string perror;
+    if (!net::parseRequest(line, opts_.defaults, &req, &perror)) {
+      metrics_.counter("protocol_errors").inc();
+      if (!sock.writeLine(net::errorResponse("?", net::kBadRequest, perror)))
+        break;
+      continue;
+    }
+    metrics_.counter("requests_received").inc();
+    switch (req.cmd) {
+      case net::Command::Check:
+        handleCheck(sock, req);
+        closeAfter = !sock.valid();
+        break;
+      case net::Command::Status:
+        closeAfter = !sock.writeLine(statusResponse());
+        break;
+      case net::Command::Stats:
+        closeAfter = !sock.writeLine(statsResponse());
+        break;
+      case net::Command::Cancel:
+        closeAfter = !sock.writeLine(net::errorResponse(
+            "CANCEL", net::kBadRequest,
+            "the coordinator does not support CANCEL; cancel at the "
+            "owning shard"));
+        break;
+      case net::Command::Drain:
+        requestDrain();
+        closeAfter = !sock.writeLine(service::JsonObject()
+                                         .putBool("ok", true)
+                                         .put("cmd", "DRAIN")
+                                         .put("state", "draining")
+                                         .str());
+        break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto it = connFds_.begin(); it != connFds_.end(); ++it) {
+      if (*it == fd) {
+        connFds_.erase(it);
+        break;
+      }
+    }
+    sock.close();
+  }
+  metrics_.gauge("connections_open").dec();
+}
+
+service::ObligationOutcome Coordinator::forwardObligation(
+    const std::string& jobId, const std::string& jobName,
+    const std::string& smvText, const service::JobOptions& options,
+    const service::ObligationRef& ref) {
+  metrics_.counter("cluster_obligations_forwarded").inc();
+  WallTimer forwardTimer;
+  // Route by fingerprint so a warm resubmission revisits the shard whose
+  // cache holds the verdict; obligations the scout could not fingerprint
+  // route by id (stable, just not content-addressed).
+  const std::string& key = ref.fingerprint.empty() ? ref.id : ref.fingerprint;
+  const std::vector<std::size_t> order = rendezvousOrder(shardNames_, key);
+  const std::string requestLine =
+      forwardRequestLine(jobId + "/" + ref.id, jobName, smvText, options, ref);
+  std::string lastError = "all shards down";
+  for (int sweep = 0; sweep < opts_.dispatchSweeps; ++sweep) {
+    bool sawBusy = false;
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      Shard& shard = *shards_[order[rank]];
+      if (!shard.up.load(std::memory_order_relaxed)) continue;
+      const bool isRedispatch = rank > 0 || sweep > 0;
+      net::Client client;
+      std::string error;
+      if (!connectShard(shard.spec, &client, &error)) {
+        markDown(shard, "connect: " + error);
+        lastError = shard.spec.name + ": " + error;
+        continue;
+      }
+      shard.dispatched.fetch_add(1, std::memory_order_relaxed);
+      if (isRedispatch) {
+        shard.redispatched.fetch_add(1, std::memory_order_relaxed);
+        metrics_.counter("cluster_redispatches").inc();
+        trace_.emit(service::JsonObject()
+                        .put("event", "redispatch")
+                        .putDouble("t", trace_.elapsedSeconds())
+                        .put("obligation", ref.id)
+                        .put("shard", shard.spec.name));
+      }
+      std::string response;
+      // No recv timeout here: a long check is legitimate, and a SIGKILLed
+      // shard closes the connection, which lands as a transport error.
+      if (!client.request(requestLine, &response, &error)) {
+        // The shard died (or vanished) with our obligation in flight.
+        // Obligations are pure and cache-keyed by fingerprint, so
+        // re-dispatching to the next shard in the rendezvous order is
+        // always safe — at worst the same verdict is computed twice.
+        markDown(shard, "forward: " + error);
+        lastError = shard.spec.name + ": " + error;
+        continue;
+      }
+      bool ok = false;
+      service::jsonExtractBool(response, "ok", &ok);
+      if (!ok) {
+        std::string code;
+        service::jsonExtractString(response, "code", &code);
+        if (code == net::kBusy || code == net::kDraining) {
+          // Healthy but saturated/draining: not a health event.  Try the
+          // rest of the ring; later sweeps back off briefly.
+          sawBusy = true;
+          lastError = shard.spec.name + ": " + code;
+          continue;
+        }
+        std::string message;
+        service::jsonExtractString(response, "error", &message);
+        service::ObligationOutcome out;
+        out.id = ref.id;
+        out.target = ref.target;
+        out.spec = ref.specName;
+        out.specText = ref.specText;
+        out.fingerprint = ref.fingerprint;
+        out.verdict = service::Verdict::Error;
+        out.error = shard.spec.name + ": " + code + ": " + message;
+        out.shard = shard.spec.name;
+        return out;
+      }
+      service::ObligationOutcome out = outcomeFromResponse(response, ref);
+      out.shard = shard.spec.name;
+      metrics_.histogram("cluster_forward_seconds")
+          .observe(forwardTimer.seconds());
+      return out;
+    }
+    if (!sawBusy) break;  // nothing is busy, nothing is up: sweeps can't help
+    if (sweep + 1 < opts_.dispatchSweeps) {
+      metrics_.counter("cluster_busy_retries").inc();
+      std::this_thread::sleep_for(std::chrono::milliseconds(100 * (sweep + 1)));
+    }
+  }
+  service::ObligationOutcome out;
+  out.id = ref.id;
+  out.target = ref.target;
+  out.spec = ref.specName;
+  out.specText = ref.specText;
+  out.fingerprint = ref.fingerprint;
+  out.verdict = service::Verdict::Error;
+  out.error = "no shard could take obligation '" + ref.id +
+              "' (last: " + lastError + ")";
+  metrics_.counter("cluster_dispatch_failures").inc();
+  return out;
+}
+
+void Coordinator::handleCheck(net::LineSocket& sock, const net::Request& req) {
+  const std::uint64_t serial = ++serial_;
+  const std::string requestId =
+      req.id.empty() ? "#" + std::to_string(serial) : req.id;
+
+  if (drainRequested()) {
+    metrics_.counter("checks_rejected_draining").inc();
+    sock.writeLine(net::errorResponse(
+        "CHECK", net::kDraining, "coordinator is draining; not accepting"));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    if (activeJobs_ >= opts_.maxInFlight) {
+      metrics_.counter("checks_rejected_busy").inc();
+      sock.writeLine(net::errorResponse(
+          "CHECK", net::kBusy,
+          "coordinator at capacity; retry with backoff"));
+      return;
+    }
+    ++activeJobs_;
+  }
+  struct JobSlot {
+    Coordinator* self;
+    ~JobSlot() {
+      std::lock_guard<std::mutex> lock(self->jobsMutex_);
+      --self->activeJobs_;
+      self->jobsCv_.notify_all();
+    }
+  } slot{this};
+
+  service::VerificationJob job;
+  job.options = req.options;
+  job.only = req.only;
+  if (!req.smv.empty()) {
+    job.smvText = req.smv;
+    job.sourcePath = "<inline>";
+    job.name =
+        !req.name.empty() ? req.name : "inline-" + std::to_string(serial);
+  } else {
+    std::string path = req.model;
+    if (!opts_.modelRoot.empty() && !path.empty() && path.front() != '/')
+      path = opts_.modelRoot + "/" + path;
+    std::ifstream in(path);
+    if (!in) {
+      metrics_.counter("checks_rejected_bad_model").inc();
+      sock.writeLine(net::errorResponse("CHECK", net::kBadRequest,
+                                        "cannot open model: " + path));
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    job.smvText = buf.str();
+    job.sourcePath = path;
+    job.name = !req.name.empty() ? req.name : jobNameFromPath(path);
+  }
+
+  metrics_.counter("checks_admitted").inc();
+  trace_.emit(service::JsonObject()
+                  .put("event", "cluster_job_start")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("id", requestId)
+                  .put("job", job.name)
+                  .putUint("shards_up", shardsUp()));
+
+  WallTimer runTimer;
+  service::JobReport report;
+  report.job = job.name;
+  report.source = job.sourcePath;
+  report.options = job.options;
+
+  // Scout: elaborate once, locally, exactly like the scheduler's scout
+  // phase — the enumeration (ids, fingerprints) must match what every
+  // shard derives from the same text and options.
+  const service::SnapshotResult scout =
+      service::buildSnapshot(job, /*wantCanon=*/true);
+  if (scout.snapshot == nullptr) {
+    service::ObligationOutcome bad;
+    bad.id = job.name + "/<elaboration>";
+    bad.target = job.name;
+    bad.verdict = service::Verdict::Error;
+    bad.error = scout.error;
+    report.obligations.push_back(std::move(bad));
+    report.verdict = service::Verdict::Error;
+  } else {
+    std::vector<service::ObligationRef> refs =
+        service::enumerateObligations(*scout.snapshot, job.options);
+    if (!job.only.empty()) {
+      std::erase_if(refs, [&job](const service::ObligationRef& r) {
+        return r.id != job.only;
+      });
+      if (refs.empty()) {
+        service::ObligationOutcome bad;
+        bad.id = job.name + "/<elaboration>";
+        bad.target = job.name;
+        bad.verdict = service::Verdict::Error;
+        bad.error =
+            "job '" + job.name + "' has no obligation '" + job.only + "'";
+        report.obligations.push_back(std::move(bad));
+        report.verdict = service::Verdict::Error;
+      }
+    }
+    // Scatter: every obligation is an independent pool task; gather in
+    // enumeration order so the merged report reads like a local run.
+    std::vector<std::future<service::ObligationOutcome>> futures;
+    futures.reserve(refs.size());
+    for (const service::ObligationRef& ref : refs) {
+      futures.push_back(pool_.submit(
+          [this, requestId, &job, ref] {
+            return forwardObligation(requestId, job.name, job.smvText,
+                                     job.options, ref);
+          }));
+    }
+    for (std::future<service::ObligationOutcome>& f : futures) {
+      report.obligations.push_back(f.get());
+      const service::ObligationOutcome& o = report.obligations.back();
+      report.verdict = worseVerdict(report.verdict, o.verdict);
+      if (o.verdictSource == "journal") ++report.journalHits;
+      if (!o.fingerprint.empty() && o.verdictSource != "journal") {
+        if (o.verdictSource == "cache") ++report.cacheHits;
+        else ++report.cacheMisses;
+      }
+    }
+  }
+  report.wallSeconds = runTimer.seconds();
+
+  std::uint64_t holds = 0, fails = 0, undecided = 0;
+  for (const service::ObligationOutcome& o : report.obligations) {
+    if (o.verdict == service::Verdict::Holds) ++holds;
+    else if (o.verdict == service::Verdict::Fails) ++fails;
+    else ++undecided;
+  }
+  metrics_.counter("checks_completed").inc();
+  metrics_.histogram("request_seconds").observe(report.wallSeconds);
+  trace_.emit(service::JsonObject()
+                  .put("event", "cluster_job_end")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("id", requestId)
+                  .put("job", job.name)
+                  .put("verdict", service::toString(report.verdict))
+                  .putDouble("wall_seconds", report.wallSeconds)
+                  .putUint("obligations", report.obligations.size())
+                  .putUint("cache_hits", report.cacheHits)
+                  .putUint("journal_hits", report.journalHits));
+
+  service::JsonObject resp;
+  resp.putBool("ok", true)
+      .put("cmd", "CHECK")
+      .put("id", requestId)
+      .put("job", report.job)
+      .put("verdict", service::toString(report.verdict))
+      .putUint("obligations", report.obligations.size())
+      .putUint("holds", holds)
+      .putUint("fails", fails)
+      .putUint("undecided", undecided)
+      .putUint("cache_hits", report.cacheHits)
+      .putUint("journal_hits", report.journalHits)
+      .putUint("shards_up", shardsUp())
+      .putDouble("wall_seconds", report.wallSeconds)
+      .put("report", report.toJson());
+  if (!sock.writeLine(resp.str()))
+    metrics_.counter("responses_dropped").inc();
+}
+
+std::string Coordinator::statusResponse() {
+  std::string shardArray = "[";
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const Shard& s = *shards_[i];
+      if (i > 0) shardArray += ", ";
+      service::JsonObject one;
+      one.put("name", s.spec.name);
+      if (s.spec.tcpPort >= 0)
+        one.putUint("tcp", static_cast<std::uint64_t>(s.spec.tcpPort));
+      else
+        one.put("socket", s.spec.socketPath);
+      one.put("state", s.up.load(std::memory_order_relaxed) ? "up" : "down");
+      if (!s.downReason.empty()) one.put("reason", s.downReason);
+      if (!s.version.empty()) one.put("cmc_version", s.version);
+      one.putUint("in_flight", s.inFlight)
+          .putUint("queued", s.queued)
+          .putUint("dispatched",
+                   s.dispatched.load(std::memory_order_relaxed))
+          .putUint("redispatched",
+                   s.redispatched.load(std::memory_order_relaxed));
+      shardArray += one.str();
+    }
+  }
+  shardArray += "]";
+  unsigned active;
+  {
+    std::lock_guard<std::mutex> lock(jobsMutex_);
+    active = activeJobs_;
+  }
+  return service::JsonObject()
+      .putBool("ok", true)
+      .put("cmd", "STATUS")
+      .put("role", "coordinator")
+      .put("state", drainRequested() ? "draining" : "serving")
+      .put("cmc_version", util::versionString())
+      .putUint("protocol_rev", net::kProtocolRevision)
+      .putDouble("uptime_seconds", uptime_.seconds())
+      .putUint("shards_total", shards_.size())
+      .putUint("shards_up", shardsUp())
+      .putUint("in_flight", active)
+      .putUint("max_inflight", opts_.maxInFlight)
+      .putRaw("shards", shardArray)
+      .str();
+}
+
+std::string Coordinator::statsResponse() {
+  // Live scatter: every up shard is asked for its STATS (short timeout);
+  // the flat per-shard fields are summed into one fleet view and echoed
+  // per shard for drill-down.
+  struct ShardStats {
+    std::string name;
+    bool responded = false;
+    std::uint64_t admitted = 0, completed = 0, rejectedBusy = 0;
+    std::uint64_t cacheEntries = 0, cacheHits = 0, cacheMisses = 0;
+    std::uint64_t inFlight = 0, queued = 0, poolQueue = 0;
+    double p50 = 0.0, p99 = 0.0;
+  };
+  std::vector<ShardStats> all;
+  static const std::string kStatsLine =
+      service::JsonObject().put("cmd", "STATS").str();
+  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    ShardStats stats;
+    stats.name = shard.spec.name;
+    if (shard.up.load(std::memory_order_relaxed)) {
+      net::Client client;
+      std::string response, error;
+      if (connectShard(shard.spec, &client, &error)) {
+        setRecvTimeout(client, opts_.controlTimeoutSeconds);
+        if (client.request(kStatsLine, &response, &error)) {
+          stats.responded = true;
+          service::jsonExtractUint(response, "checks_admitted",
+                                   &stats.admitted);
+          service::jsonExtractUint(response, "checks_completed",
+                                   &stats.completed);
+          service::jsonExtractUint(response, "checks_rejected_busy",
+                                   &stats.rejectedBusy);
+          service::jsonExtractUint(response, "cache_entries",
+                                   &stats.cacheEntries);
+          service::jsonExtractUint(response, "cache_hits", &stats.cacheHits);
+          service::jsonExtractUint(response, "cache_misses",
+                                   &stats.cacheMisses);
+          service::jsonExtractUint(response, "in_flight", &stats.inFlight);
+          service::jsonExtractUint(response, "queued", &stats.queued);
+          service::jsonExtractUint(response, "pool_queue", &stats.poolQueue);
+          service::jsonExtractDouble(response, "request_p50_seconds",
+                                     &stats.p50);
+          service::jsonExtractDouble(response, "request_p99_seconds",
+                                     &stats.p99);
+        }
+      }
+    }
+    all.push_back(std::move(stats));
+  }
+
+  ShardStats total;
+  double worstP50 = 0.0, worstP99 = 0.0;
+  std::size_t responded = 0;
+  std::string shardArray = "[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const ShardStats& s = all[i];
+    if (i > 0) shardArray += ", ";
+    service::JsonObject one;
+    one.put("name", s.name).putBool("responded", s.responded);
+    if (s.responded) {
+      ++responded;
+      total.admitted += s.admitted;
+      total.completed += s.completed;
+      total.rejectedBusy += s.rejectedBusy;
+      total.cacheEntries += s.cacheEntries;
+      total.cacheHits += s.cacheHits;
+      total.cacheMisses += s.cacheMisses;
+      total.inFlight += s.inFlight;
+      total.queued += s.queued;
+      total.poolQueue += s.poolQueue;
+      worstP50 = std::max(worstP50, s.p50);
+      worstP99 = std::max(worstP99, s.p99);
+      one.putUint("checks_admitted", s.admitted)
+          .putUint("checks_completed", s.completed)
+          .putUint("checks_rejected_busy", s.rejectedBusy)
+          .putUint("cache_entries", s.cacheEntries)
+          .putUint("cache_hits", s.cacheHits)
+          .putUint("cache_misses", s.cacheMisses)
+          .putUint("in_flight", s.inFlight)
+          .putUint("queued", s.queued)
+          .putUint("pool_queue", s.poolQueue)
+          .putDouble("request_p50_seconds", s.p50)
+          .putDouble("request_p99_seconds", s.p99);
+    }
+    shardArray += one.str();
+  }
+  shardArray += "]";
+
+  const std::uint64_t consults = total.cacheHits + total.cacheMisses;
+  service::JsonObject resp;
+  resp.putBool("ok", true)
+      .put("cmd", "STATS")
+      .put("role", "coordinator")
+      .put("state", drainRequested() ? "draining" : "serving")
+      .put("cmc_version", util::versionString())
+      .putUint("protocol_rev", net::kProtocolRevision)
+      .putDouble("uptime_seconds", uptime_.seconds())
+      .putUint("shards_total", shards_.size())
+      .putUint("shards_up", shardsUp())
+      .putUint("shards_responding", responded)
+      .putUint("checks_admitted", total.admitted)
+      .putUint("checks_completed", total.completed)
+      .putUint("checks_rejected_busy", total.rejectedBusy)
+      .putUint("cache_entries", total.cacheEntries)
+      .putUint("cache_hits", total.cacheHits)
+      .putUint("cache_misses", total.cacheMisses)
+      .putDouble("cache_hit_rate",
+                 consults == 0 ? 0.0
+                               : static_cast<double>(total.cacheHits) /
+                                     static_cast<double>(consults))
+      .putUint("in_flight", total.inFlight)
+      .putUint("queued", total.queued)
+      .putUint("pool_queue", total.poolQueue)
+      .putDouble("request_p50_seconds", worstP50)
+      .putDouble("request_p99_seconds", worstP99)
+      .putRaw("shards_stats", shardArray)
+      // The coordinator's own instruments, escaped like a shard's.
+      .put("metrics", metrics_.toJson())
+      .put("metrics_text", metrics_.toText());
+  return resp.str();
+}
+
+}  // namespace cmc::cluster

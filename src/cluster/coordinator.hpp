@@ -1,0 +1,200 @@
+// The cmc cluster coordinator (cluster layer): a daemon that fronts N
+// `cmc serve` shards and presents them as one verification service over
+// the same wire protocol.
+//
+// How a CHECK flows through it:
+//   1. Scout: the coordinator elaborates the job ONCE into an elaboration
+//      snapshot (service::buildSnapshot — the same scout the scheduler
+//      runs) and enumerates its obligations with ids + content
+//      fingerprints.
+//   2. Route: each obligation's fingerprint is rendezvous-hashed over the
+//      up shards (cluster/topology.hpp); the top-ranked shard owns it.
+//   3. Forward: the obligation goes to its shard daemon-to-daemon as an
+//      ordinary single-obligation CHECK ({"only": "<id>", "smv": ...})
+//      with every verdict-relevant option made explicit, so the shard
+//      re-derives the identical fingerprint and serves it from its own
+//      cache/journal when warm.
+//   4. Gather: the flat single-obligation response fields are merged into
+//      one JobReport (worst-of verdict, per-shard attribution via
+//      ObligationOutcome::shard) that is indistinguishable from a local
+//      run's.
+//
+// Routing by *fingerprint* — not round-robin — is what makes the fleet's
+// caches compound: a resubmitted obligation always lands on the shard
+// that decided it first, so a warm resubmission through the coordinator
+// is served all-cache no matter how the batch was originally spread.
+//
+// Failure handling: a probe thread sends periodic STATUS to every shard;
+// `failThreshold` consecutive failures mark a shard down (new obligations
+// skip it) and a later successful, version-compatible probe marks it back
+// up.  A transport failure while forwarding marks the shard down
+// immediately and re-dispatches the obligation to the next shard in its
+// rendezvous order — safe because obligations are pure functions of
+// fingerprinted content, so checking one twice (or on a different shard)
+// cannot change its verdict.  Mixed-version shards are refused at
+// startup, and probes keep a version-mismatched shard out of the ring.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "cluster/topology.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "service/metrics.hpp"
+#include "service/snapshot.hpp"
+#include "service/trace_log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace cmc::cluster {
+
+/// Compatibility gate over a shard's STATUS response: its cmc_version and
+/// protocol_rev must match this build exactly.  False with a "shard runs
+/// ..." explanation; a shard that does not stamp protocol_rev at all is a
+/// pre-cluster build and is refused too.
+bool shardCompatible(const std::string& statusResponse, std::string* why);
+
+struct CoordinatorOptions {
+  /// Unix-domain listener (required unless tcpPort >= 0).
+  std::string socketPath;
+  /// Loopback TCP listener: -1 disabled, 0 ephemeral.
+  int tcpPort = -1;
+  Topology topology;
+  /// Defaults for per-request job options; requests overlay their own.
+  service::JobOptions defaults;
+  /// Directory request "model" paths resolve under.
+  std::string modelRoot;
+  /// Concurrent CHECK jobs; one more and the coordinator answers BUSY.
+  unsigned maxInFlight = 16;
+  /// Obligation-forwarding pool width (0 = 2 per shard, min 4).
+  unsigned forwardThreads = 0;
+  /// Health-probe period; 0 disables the probe thread (tests drive
+  /// probeNow() instead).
+  double probeIntervalSeconds = 1.0;
+  /// Consecutive probe failures before a shard is marked down.
+  int failThreshold = 2;
+  /// Full passes over a key's rendezvous order before the obligation is
+  /// reported Error "no shard available" (later passes wait briefly, for
+  /// all-BUSY rings).
+  int dispatchSweeps = 3;
+  /// recv timeout for probes and STATS scatter, seconds.  CHECK forwards
+  /// run without one: a killed shard closes the connection, which is the
+  /// signal to re-dispatch.
+  double controlTimeoutSeconds = 5.0;
+};
+
+class Coordinator {
+ public:
+  /// Metrics and trace are owned by the embedder and must outlive the
+  /// coordinator.
+  Coordinator(CoordinatorOptions opts, service::MetricsRegistry& metrics,
+              service::RunTrace& trace);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Probe every shard, refuse mixed versions, bind + listen, start the
+  /// accept and probe threads.  False with a message when no listener can
+  /// be set up, when a responding shard is version-incompatible, or when
+  /// no shard responds at all.
+  bool start(std::string* error);
+
+  /// Refuse new CHECKs (DRAINING); in-flight jobs finish.  Idempotent.
+  void requestDrain();
+  bool drainRequested() const noexcept {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Drain, wait for in-flight jobs, close listeners/connections, join
+  /// threads.  Idempotent.  Never touches the shards — they keep serving.
+  void shutdown();
+
+  int boundTcpPort() const noexcept { return boundTcpPort_; }
+
+  std::size_t shardsUp() const;
+  std::size_t shardsTotal() const { return shards_.size(); }
+
+  /// Run one synchronous probe round (the probe thread's body); the test
+  /// seam for deterministic mark-down/mark-up.
+  void probeNow();
+
+ private:
+  /// Live per-shard state.  `up` is read lock-free on the dispatch path;
+  /// the observed STATUS fields are guarded by stateMutex_.
+  struct Shard {
+    ShardSpec spec;
+    std::atomic<bool> up{true};
+    std::atomic<std::uint64_t> dispatched{0};
+    std::atomic<std::uint64_t> redispatched{0};
+    int consecutiveFailures = 0;  ///< probe rounds; stateMutex_
+    std::string downReason;       ///< stateMutex_
+    std::string version;          ///< last observed; stateMutex_
+    std::uint64_t inFlight = 0;   ///< last observed; stateMutex_
+    std::uint64_t queued = 0;     ///< last observed; stateMutex_
+  };
+
+  void acceptLoop(int listenFd);
+  void probeLoop();
+  void handleConnection(int fd);
+  void handleCheck(net::LineSocket& sock, const net::Request& req);
+  std::string statusResponse();
+  std::string statsResponse();
+
+  bool probeShard(Shard& shard, std::string* statusLine, std::string* error);
+  void markDown(Shard& shard, const std::string& reason);
+  void markUp(Shard& shard);
+  bool connectShard(const ShardSpec& spec, net::Client* client,
+                    std::string* error) const;
+
+  /// Forward one obligation along its rendezvous order until a shard
+  /// decides it; Error "no shard available" when the ring is exhausted.
+  service::ObligationOutcome forwardObligation(
+      const std::string& jobId, const std::string& jobName,
+      const std::string& smvText, const service::JobOptions& options,
+      const service::ObligationRef& ref);
+
+  CoordinatorOptions opts_;
+  service::MetricsRegistry& metrics_;
+  service::RunTrace& trace_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::string> shardNames_;  ///< parallel to shards_
+  mutable std::mutex stateMutex_;
+
+  ThreadPool pool_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  bool shutdownDone_ = false;
+  std::mutex shutdownMutex_;
+
+  int unixFd_ = -1;
+  int tcpFd_ = -1;
+  int boundTcpPort_ = -1;
+  WallTimer uptime_;
+  std::atomic<std::uint64_t> serial_{0};
+
+  // In-flight CHECK jobs (admission + drain wait).
+  mutable std::mutex jobsMutex_;
+  std::condition_variable jobsCv_;
+  unsigned activeJobs_ = 0;
+
+  std::mutex connMutex_;
+  std::vector<int> connFds_;
+  std::vector<std::thread> connThreads_;
+  std::vector<std::thread> acceptThreads_;
+  std::thread probeThread_;
+  std::condition_variable stopCv_;
+  std::mutex stopMutex_;
+};
+
+}  // namespace cmc::cluster

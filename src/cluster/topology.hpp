@@ -1,0 +1,62 @@
+// Cluster topology (cluster layer): the static ring of `cmc serve` shards
+// a coordinator fronts, plus the rendezvous routing that assigns every
+// obligation fingerprint an owner shard.
+//
+// Topology file format: JSONL, one shard per line, '#' comment lines and
+// blank lines skipped.  Each shard names exactly one transport:
+//   {"name": "s1", "socket": "/var/run/cmc-s1.sock"}
+//   {"name": "s2", "tcp": 7401}
+// Names must be unique — they are the rendezvous identity, so renaming a
+// shard re-keys the obligations it owns even when the endpoint is
+// unchanged.
+//
+// Why rendezvous (highest-random-weight) hashing instead of a token ring:
+// each key independently ranks ALL shards by a stable per-(shard, key)
+// score; the owner is the top of the ranking and the failover order is
+// simply the rest of it.  Removing a shard therefore re-keys exactly the
+// keys it owned (they fall to their second choice; every other key's top
+// choice is untouched) — the minimal re-keying property the cluster tests
+// pin down — with no virtual-node bookkeeping.  Scores come from
+// StableHash128, so every coordinator, test, and future process computes
+// the same ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmc::cluster {
+
+struct ShardSpec {
+  std::string name;
+  std::string socketPath;  ///< Unix transport; empty when TCP
+  int tcpPort = -1;        ///< loopback TCP transport; -1 when Unix
+};
+
+struct Topology {
+  std::vector<ShardSpec> shards;
+};
+
+/// Parse topology text (see the file format above).  False with a
+/// line-numbered message on a malformed line, a duplicate name, a shard
+/// with neither/both transports, or an empty topology.
+bool parseTopology(const std::string& text, Topology* out,
+                   std::string* error);
+
+/// Read and parse a topology file.
+bool loadTopology(const std::string& path, Topology* out, std::string* error);
+
+/// Stable rendezvous score of `shardName` for `key` (an obligation
+/// fingerprint).  Pure function of the two strings — identical across
+/// processes and runs.
+std::uint64_t rendezvousScore(const std::string& shardName,
+                              const std::string& key);
+
+/// Indices of `shardNames` ranked by descending rendezvous score for
+/// `key`: element 0 is the owner, the tail is the re-dispatch order when
+/// shards are down.  Ties (vanishingly rare) break by index for
+/// determinism.
+std::vector<std::size_t> rendezvousOrder(
+    const std::vector<std::string>& shardNames, const std::string& key);
+
+}  // namespace cmc::cluster

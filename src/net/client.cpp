@@ -5,8 +5,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
 
 namespace cmc::net {
 
@@ -19,6 +21,8 @@ std::string errnoMessage(const std::string& what) {
 }  // namespace
 
 bool Client::connectUnix(const std::string& socketPath, std::string* error) {
+  unixPath_ = socketPath;
+  tcpPort_ = -1;
   sockaddr_un addr{};
   if (socketPath.size() >= sizeof addr.sun_path) {
     *error = "socket path too long: " + socketPath;
@@ -42,6 +46,8 @@ bool Client::connectUnix(const std::string& socketPath, std::string* error) {
 }
 
 bool Client::connectTcp(int port, std::string* error) {
+  unixPath_.clear();
+  tcpPort_ = port;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     *error = errnoMessage("socket(AF_INET)");
@@ -94,6 +100,25 @@ bool Client::readResponse(std::string* response, std::string* error) {
   }
   *error = "unreachable";
   return false;
+}
+
+bool Client::reconnect(std::string* error) {
+  if (!unixPath_.empty()) return connectUnix(unixPath_, error);
+  if (tcpPort_ >= 0) return connectTcp(tcpPort_, error);
+  *error = "reconnect before any connect";
+  return false;
+}
+
+int Client::backoffMs(int attempt, int baseMs) {
+  if (baseMs <= 0) return 0;
+  const int exponent = std::clamp(attempt, 0, 10);
+  const std::int64_t ceiling =
+      std::min<std::int64_t>(static_cast<std::int64_t>(baseMs) << exponent,
+                             30000);
+  static thread_local std::mt19937_64 rng{std::random_device{}()};
+  std::uniform_int_distribution<std::int64_t> jitter(ceiling - ceiling / 2,
+                                                     ceiling);
+  return static_cast<int>(jitter(rng));
 }
 
 void Client::close() {

@@ -21,6 +21,11 @@ class Client {
   bool connectUnix(const std::string& socketPath, std::string* error);
   bool connectTcp(int port, std::string* error);
 
+  /// Re-dial the endpoint of the last connect attempt (fresh socket).
+  /// False when nothing was ever dialed, or the dial fails.  The retry
+  /// path of `cmc submit` uses this after a transport failure.
+  bool reconnect(std::string* error);
+
   bool connected() const noexcept { return sock_ != nullptr && sock_->valid(); }
 
   /// Send one request line and read the one response line the protocol
@@ -41,8 +46,18 @@ class Client {
   /// The underlying socket, for tests that need half-close semantics.
   LineSocket* socket() noexcept { return sock_.get(); }
 
+  /// Jittered exponential backoff delay before retry `attempt` (0-based):
+  /// uniform in [c/2, c] where c = baseMs·2^attempt, the exponent capped
+  /// at 10 and the whole delay at 30 s.  Full-range jitter on the upper
+  /// half desynchronizes a thundering herd of rejected submitters without
+  /// ever collapsing the delay to ~0.  `baseMs <= 0` returns 0.
+  static int backoffMs(int attempt, int baseMs);
+
  private:
   std::unique_ptr<LineSocket> sock_;
+  /// Endpoint of the last connect attempt, for reconnect().
+  std::string unixPath_;
+  int tcpPort_ = -1;
 };
 
 }  // namespace cmc::net

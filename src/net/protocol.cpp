@@ -116,6 +116,7 @@ bool parseRequest(const std::string& line, const service::JobOptions& defaults,
         req.options.limits.deadlineSeconds =
             static_cast<double>(deadlineMs) / 1e3;
       }
+      service::jsonExtractString(line, "only", &req.only);
       bool noRetry = !req.options.retryOtherEngine;
       if (!overlayBool(line, "no_retry", &noRetry, error)) return false;
       req.options.retryOtherEngine = !noRetry;

@@ -41,6 +41,15 @@ namespace cmc::net {
 /// garbage peer cannot balloon server memory.
 constexpr std::size_t kMaxLineBytes = 8u << 20;
 
+/// Wire protocol revision, stamped (with CMC_VERSION) into STATUS and
+/// STATS responses.  Bumped whenever a verb or field changes in a way a
+/// peer must understand — rev 2 added the single-obligation CHECK filter
+/// ("only") the cluster coordinator forwards on.  The coordinator refuses
+/// shards whose revision differs from its own: an old shard would
+/// silently ignore "only" and check the whole job, which is wrong, not
+/// slow.
+constexpr std::uint64_t kProtocolRevision = 2;
+
 /// Error codes of failure responses.
 inline constexpr const char* kBadRequest = "BAD_REQUEST";
 inline constexpr const char* kBusy = "BUSY";
@@ -59,6 +68,11 @@ struct Request {
   std::string name;   ///< job name (CHECK; defaults from model path / id)
   std::string model;  ///< server-side .smv path (CHECK)
   std::string smv;    ///< inline SMV program text (CHECK)
+  /// CHECK only: restrict the job to the one obligation with this id
+  /// ("<target>/<spec name>").  The cluster coordinator forwards each
+  /// routed obligation as a CHECK with "only"; an id that matches nothing
+  /// yields an Error verdict, not a silent full run.
+  std::string only;
   service::JobOptions options;  ///< seeded from the server defaults
 };
 

@@ -330,6 +330,7 @@ void Server::handleCheck(LineSocket& sock, const Request& req) {
 
   service::VerificationJob job;
   job.options = req.options;
+  job.only = req.only;
   if (!req.smv.empty()) {
     job.smvText = req.smv;
     job.sourcePath = "<inline>";
@@ -449,10 +450,28 @@ void Server::handleCheck(LineSocket& sock, const Request& req) {
       .putUint("cache_hits", report.cacheHits)
       .putUint("journal_hits", report.journalHits)
       .putDouble("queue_wait_seconds", waitSeconds)
-      .putDouble("wall_seconds", report.wallSeconds)
-      // Full report as an escaped string, last so flat extraction of the
-      // summary fields above never reads into the nested document.
-      .put("report", report.toJson());
+      .putDouble("wall_seconds", report.wallSeconds);
+  if (report.obligations.size() == 1) {
+    // Single-obligation responses (the coordinator's "only" forwards)
+    // additionally carry the outcome as flat fields, so the coordinator
+    // merges verdicts without parsing the nested report.  Free-text and
+    // nested-document fields stay last, per the flat-line convention.
+    const service::ObligationOutcome& o = report.obligations.front();
+    resp.put("obligation_id", o.id)
+        .put("verdict_source", o.verdictSource)
+        .put("rule", o.rule)
+        .putDouble("obligation_seconds", o.seconds);
+    if (!o.fingerprint.empty()) resp.put("fingerprint", o.fingerprint);
+    if (!o.attempts.empty()) resp.put("engine", o.attempts.back().engine);
+    if (!o.engineChoiceJson.empty())
+      resp.put("engine_choice", o.engineChoiceJson);
+    if (!o.error.empty()) resp.put("obligation_error", o.error);
+    if (!o.counterexample.empty()) resp.put("counterexample", o.counterexample);
+    if (!o.proofJson.empty()) resp.put("proof", o.proofJson);
+  }
+  // Full report as an escaped string, last so flat extraction of the
+  // summary fields above never reads into the nested document.
+  resp.put("report", report.toJson());
 
   // Account for the request and free its slot BEFORE writing the response:
   // a client that has read its verdict and then asks for STATS must see
@@ -492,6 +511,7 @@ std::string Server::statusResponse() {
       .put("cmd", "STATUS")
       .put("state", drainRequested() ? "draining" : "serving")
       .put("cmc_version", util::versionString())
+      .putUint("protocol_rev", kProtocolRevision)
       .putDouble("uptime_seconds", uptime_.seconds())
       .putUint("workers", svc_.threads())
       .putUint("in_flight", inFlight())
@@ -507,7 +527,28 @@ std::string Server::statsResponse() {
   service::JsonObject resp;
   resp.putBool("ok", true)
       .put("cmd", "STATS")
-      .putDouble("uptime_seconds", uptime_.seconds());
+      .put("state", drainRequested() ? "draining" : "serving")
+      .put("cmc_version", util::versionString())
+      .putUint("protocol_rev", kProtocolRevision)
+      .putDouble("uptime_seconds", uptime_.seconds())
+      // Flat per-shard load/latency fields the cluster coordinator
+      // aggregates into its fleet-wide STATS view.
+      .putUint("workers", svc_.threads())
+      .putUint("in_flight", inFlight())
+      .putUint("queued", queued())
+      .putUint("pool_queue", svc_.queuedObligations())
+      .putUint("checks_admitted", metrics_.counterValue("checks_admitted"))
+      .putUint("checks_completed", metrics_.counterValue("checks_completed"))
+      .putUint("checks_rejected_busy",
+               metrics_.counterValue("checks_rejected_busy"))
+      .putDouble("request_p50_seconds",
+                 metrics_.histogramQuantile("request_seconds", 0.5))
+      .putDouble("request_p99_seconds",
+                 metrics_.histogramQuantile("request_seconds", 0.99))
+      .putDouble("obligation_p50_seconds",
+                 metrics_.histogramQuantile("obligation_seconds", 0.5))
+      .putDouble("obligation_p99_seconds",
+                 metrics_.histogramQuantile("obligation_seconds", 0.99));
   if (const service::ObligationCache* cache = svc_.cache()) {
     const service::ObligationCacheStats s = cache->stats();
     resp.putUint("cache_entries", cache->size())

@@ -99,6 +99,12 @@ struct VerificationJob {
   ModelFactory factory;
   /// Provenance recorded in the report (e.g. the .smv path); may be empty.
   std::string sourcePath;
+  /// When non-empty, check only the obligation with this id
+  /// ("<target>/<spec name>"); every other enumerated obligation is
+  /// dropped before dispatch.  An id matching nothing yields a single
+  /// Error obligation.  This is how a cluster shard checks exactly the
+  /// obligation the coordinator routed to it.
+  std::string only;
   JobOptions options;
 };
 
@@ -130,6 +136,11 @@ struct ObligationOutcome {
   /// Content fingerprint used to address the obligation cache; empty when
   /// fingerprinting failed or the cache is disabled.
   std::string fingerprint;
+  /// Name of the cluster shard that served this obligation; empty for
+  /// local runs.  Set by the coordinator when it merges forwarded
+  /// verdicts, so a clustered report still explains where each verdict
+  /// came from.
+  std::string shard;
   /// True when this obligation's decided verdict became a new cache entry.
   bool cacheInserted = false;
   bool retried = false;

@@ -33,6 +33,28 @@ void LatencyHistogram::observe(double seconds) noexcept {
                        std::memory_order_relaxed);
 }
 
+double LatencyHistogram::Snapshot::quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::vector<double>& bounds = bucketBounds();
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (counts[i] > 0 && static_cast<double>(next) >= target) {
+      if (i >= bounds.size()) return bounds.back();  // +Inf: clamp
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (bounds[i] - lo) * (within < 0.0 ? 0.0 : within);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   Snapshot s;
   s.counts.reserve(kFiniteBuckets + 1);
@@ -70,6 +92,13 @@ std::int64_t MetricsRegistry::gaugeValue(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::histogramQuantile(const std::string& name,
+                                          double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0.0 : it->second.snapshot().quantile(q);
 }
 
 std::string MetricsRegistry::toJson() const {

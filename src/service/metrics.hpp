@@ -82,6 +82,12 @@ class LatencyHistogram {
     std::vector<std::uint64_t> counts;  ///< per-bucket (finite + overflow)
     std::uint64_t count = 0;
     double sumSeconds = 0.0;
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+    /// the covering bucket — the usual fixed-bucket estimator, so p99 is
+    /// only as sharp as the ladder.  Observations in the +Inf bucket clamp
+    /// to the last finite bound.  0 when the histogram is empty.
+    double quantile(double q) const;
   };
   Snapshot snapshot() const;
 
@@ -105,6 +111,10 @@ class MetricsRegistry {
   /// yet); for assertions and the STATUS command.
   std::uint64_t counterValue(const std::string& name) const;
   std::int64_t gaugeValue(const std::string& name) const;
+  /// Estimated quantile of a histogram (0 when it does not exist yet);
+  /// what STATS stamps as request_p50_seconds / request_p99_seconds for
+  /// the cluster coordinator to aggregate.
+  double histogramQuantile(const std::string& name, double q) const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {"name":
   ///   {"count": n, "sum_seconds": s, "bounds": [...], "counts": [...]}}}

@@ -4,7 +4,9 @@
 #include <sys/file.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -288,6 +290,119 @@ std::size_t ObligationCache::size() const {
     total += shard.order.size();
   }
   return total;
+}
+
+bool compactObligationStore(const std::string& dir, CompactionResult* result,
+                            std::string* error) {
+  *result = CompactionResult{};
+  const std::string path =
+      (std::filesystem::path(dir) / kStoreFile).string();
+  // O_RDWR (not O_RDONLY): the flock must be the same exclusive lock
+  // appenders take, so a concurrent `cmc serve` append waits out the
+  // whole rewrite instead of racing the rename.
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::flock(fd, LOCK_EX) != 0) {
+    *error = "flock on " + path + " failed: " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const auto unlockAndClose = [&] {
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+  };
+
+  std::string contents;
+  {
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof buf)) != 0) {
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        *error = "read " + path + " failed: " + std::strerror(errno);
+        unlockAndClose();
+        return false;
+      }
+      contents.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  result->bytesBefore = contents.size();
+
+  // Last write wins: later occurrences of a fingerprint replace earlier
+  // ones in place, keeping first-occurrence order (so a compacted store
+  // loads in the same LRU-seeding order as the original).
+  std::unordered_map<std::string, std::size_t> slotByFp;
+  std::vector<std::string> lines;
+  std::size_t at = 0;
+  while (at < contents.size()) {
+    std::size_t end = contents.find('\n', at);
+    if (end == std::string::npos) end = contents.size();
+    std::string line = contents.substr(at, end - at);
+    at = end + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    if (const std::optional<std::string> payload = unframeLine(line)) {
+      std::string format;
+      if (jsonExtractString(*payload, "format", &format)) {
+        if (format != kCacheVersion) {
+          *error = path + " has format '" + format + "' (this build writes '" +
+                   kCacheVersion + "'); refusing to compact";
+          unlockAndClose();
+          return false;
+        }
+        continue;  // a fresh header is stamped below
+      }
+    }
+    std::string fingerprint;
+    CachedVerdict v;
+    if (!parseStoreLine(line, &fingerprint, &v)) {
+      ++result->corrupt;
+      continue;
+    }
+    ++result->entriesBefore;
+    // Keep the surviving line byte-identical when it was already framed;
+    // legacy bare lines gain framing here.
+    const std::string framed =
+        unframeLine(line).has_value() ? line : frameLine(line);
+    const auto it = slotByFp.find(fingerprint);
+    if (it != slotByFp.end()) {
+      ++result->duplicates;
+      lines[it->second] = framed;
+    } else {
+      slotByFp.emplace(fingerprint, lines.size());
+      lines.push_back(framed);
+    }
+  }
+  result->entriesAfter = lines.size();
+
+  std::string data = storeHeader() + "\n";
+  for (const std::string& line : lines) {
+    data += line;
+    data += '\n';
+  }
+  result->bytesAfter = data.size();
+
+  const std::string tmpPath = path + ".compact.tmp";
+  const int tmpFd =
+      ::open(tmpPath.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (tmpFd < 0) {
+    *error = "cannot create " + tmpPath + ": " + std::strerror(errno);
+    unlockAndClose();
+    return false;
+  }
+  const bool wrote = writeAll(tmpFd, data) && ::fsync(tmpFd) == 0;
+  ::close(tmpFd);
+  if (!wrote || ::rename(tmpPath.c_str(), path.c_str()) != 0) {
+    *error = "rewrite of " + path + " failed: " + std::strerror(errno);
+    ::unlink(tmpPath.c_str());
+    unlockAndClose();
+    return false;
+  }
+  unlockAndClose();
+  return true;
 }
 
 std::string obligationFingerprint(const std::vector<std::string>& moduleCanon,

@@ -126,6 +126,27 @@ class ObligationCache {
   std::mutex diskMutex_;
 };
 
+struct CompactionResult {
+  std::uint64_t entriesBefore = 0;  ///< parsed entries, duplicates included
+  std::uint64_t entriesAfter = 0;   ///< surviving unique fingerprints
+  std::uint64_t duplicates = 0;     ///< dropped older writes (last wins)
+  std::uint64_t corrupt = 0;        ///< dropped unparseable lines
+  std::uint64_t bytesBefore = 0;
+  std::uint64_t bytesAfter = 0;
+};
+
+/// Offline compaction of a disk store directory's obligations.jsonl:
+/// last-write-wins dedup by fingerprint (first-occurrence order is
+/// preserved), corrupt lines dropped, legacy bare lines re-framed, a
+/// fresh header stamped, and the result atomically renamed over the store
+/// while holding the store's flock.  "Offline" means no daemon should be
+/// appending: a writer that opened the store before compaction keeps an
+/// fd to the *replaced* inode and its appends would be lost.  False with
+/// a message when the store cannot be opened, locked, or rewritten; a
+/// missing store is an error (nothing to compact), not a no-op.
+bool compactObligationStore(const std::string& dir, CompactionResult* result,
+                            std::string* error);
+
 /// The fingerprint of one obligation (see the key layout above).
 /// `moduleCanon` holds smv::canonicalModule for every module of the job in
 /// declaration order; a component obligation hashes only its own module, a

@@ -59,8 +59,9 @@ std::string outcomeJson(const ObligationOutcome& o) {
       .put("spec", o.spec)
       .put("spec_text", o.specText)
       .put("verdict", toString(o.verdict))
-      .put("verdict_source", o.verdictSource)
-      .put("rule", o.rule)
+      .put("verdict_source", o.verdictSource);
+  if (!o.shard.empty()) obj.put("shard", o.shard);
+  obj.put("rule", o.rule)
       .putBool("retried", o.retried)
       .putDouble("seconds", o.seconds);
   if (!o.fingerprint.empty()) obj.put("fingerprint", o.fingerprint);

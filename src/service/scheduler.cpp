@@ -92,22 +92,14 @@ struct ObligationInstruments {
   LatencyHistogram& obligationSeconds;
 };
 
-/// Everything a worker needs to run one obligation; descriptors are copied
-/// into the pool task, so only the job pointer must outlive the batch (the
-/// snapshot is kept alive by the shared_ptr in every copy).
-struct ObligationDesc {
+/// Everything a worker needs to run one obligation: the enumerated
+/// identity (ObligationRef, shared with the cluster coordinator's scout)
+/// plus the owning job.  Descriptors are copied into the pool task, so
+/// only the job pointer must outlive the batch (the snapshot is kept
+/// alive by the shared_ptr in every copy).
+struct ObligationDesc : ObligationRef {
   const VerificationJob* job = nullptr;
   std::string jobName;
-  bool composed = false;
-  std::size_t moduleIndex = 0;  ///< target module; spec owner when composed
-  std::size_t specIndex = 0;
-  std::string id;
-  std::string target;
-  std::string specName;
-  std::string specText;
-  /// Obligation-cache address; empty when the cache is disabled or the
-  /// scout could not fingerprint the job.
-  std::string fingerprint;
   /// The job's shared elaboration snapshot; null for factory jobs (their
   /// builder runs per attempt) — workers then rebuild from scratch.
   std::shared_ptr<const ElaborationSnapshot> snapshot;
@@ -819,43 +811,27 @@ std::vector<JobReport> VerificationService::runBatch(
       std::vector<ObligationDesc>& descs =
           descMemo[{static_cast<const void*>(&snap), optBits}];
       if (descs.empty()) {
-        const auto fingerprintFor = [&](std::size_t i, std::size_t j,
-                                        bool composed) -> std::string {
-          if (snap.canon.empty()) return "";
-          return obligationFingerprint(snap.canon, i, composed,
-                                       snap.modules[i].specs[j], job.options);
-        };
-        for (std::size_t i = 0; i < snap.modules.size(); ++i) {
-          for (std::size_t j = 0; j < snap.modules[i].specs.size(); ++j) {
-            ObligationDesc d;
-            d.moduleIndex = i;
-            d.specIndex = j;
-            d.target = snap.modules[i].sys.name;
-            d.specName = snap.modules[i].specs[j].name;
-            d.specText = ctl::toString(snap.modules[i].specs[j].f);
-            d.id = d.target + "/" + d.specName;
-            d.fingerprint = fingerprintFor(i, j, /*composed=*/false);
-            descs.push_back(std::move(d));
-          }
-        }
-        if (job.options.compose && snap.modules.size() > 1) {
-          for (std::size_t i = 0; i < snap.modules.size(); ++i) {
-            for (std::size_t j = 0; j < snap.modules[i].specs.size(); ++j) {
-              ObligationDesc d;
-              d.composed = true;
-              d.moduleIndex = i;
-              d.specIndex = j;
-              d.target = "composed";
-              d.specName = snap.modules[i].specs[j].name;
-              d.specText = ctl::toString(snap.modules[i].specs[j].f);
-              d.id = d.target + "/" + d.specName;
-              d.fingerprint = fingerprintFor(i, j, /*composed=*/true);
-              descs.push_back(std::move(d));
-            }
-          }
+        for (ObligationRef& ref : enumerateObligations(snap, job.options)) {
+          ObligationDesc d;
+          static_cast<ObligationRef&>(d) = std::move(ref);
+          descs.push_back(std::move(d));
         }
       }
       state.descs = descs;
+      // A single-obligation job (cluster shards run them for the
+      // coordinator) filters AFTER enumeration: the full, deterministic
+      // enumeration is what makes ids and fingerprints agree across the
+      // fleet.  The memo keeps the unfiltered list — `only` prunes this
+      // job's private copy.
+      if (!job.only.empty()) {
+        std::erase_if(state.descs, [&job](const ObligationDesc& d) {
+          return d.id != job.only;
+        });
+        if (state.descs.empty()) {
+          state.scoutError =
+              "job '" + job.name + "' has no obligation '" + job.only + "'";
+        }
+      }
       for (ObligationDesc& d : state.descs) {
         d.job = &job;
         d.jobName = job.name;

@@ -2,11 +2,53 @@
 
 #include <utility>
 
+#include "service/obligation_cache.hpp"
 #include "smv/fingerprint.hpp"
 #include "symbolic/composition.hpp"
 #include "util/timer.hpp"
 
 namespace cmc::service {
+
+std::vector<ObligationRef> enumerateObligations(const ElaborationSnapshot& snap,
+                                                const JobOptions& options) {
+  const auto fingerprintFor = [&](std::size_t i, std::size_t j,
+                                  bool composed) -> std::string {
+    if (snap.canon.empty()) return "";
+    return obligationFingerprint(snap.canon, i, composed,
+                                 snap.modules[i].specs[j], options);
+  };
+  std::vector<ObligationRef> refs;
+  for (std::size_t i = 0; i < snap.modules.size(); ++i) {
+    for (std::size_t j = 0; j < snap.modules[i].specs.size(); ++j) {
+      ObligationRef r;
+      r.moduleIndex = i;
+      r.specIndex = j;
+      r.target = snap.modules[i].sys.name;
+      r.specName = snap.modules[i].specs[j].name;
+      r.specText = ctl::toString(snap.modules[i].specs[j].f);
+      r.id = r.target + "/" + r.specName;
+      r.fingerprint = fingerprintFor(i, j, /*composed=*/false);
+      refs.push_back(std::move(r));
+    }
+  }
+  if (options.compose && snap.modules.size() > 1) {
+    for (std::size_t i = 0; i < snap.modules.size(); ++i) {
+      for (std::size_t j = 0; j < snap.modules[i].specs.size(); ++j) {
+        ObligationRef r;
+        r.composed = true;
+        r.moduleIndex = i;
+        r.specIndex = j;
+        r.target = "composed";
+        r.specName = snap.modules[i].specs[j].name;
+        r.specText = ctl::toString(snap.modules[i].specs[j].f);
+        r.id = r.target + "/" + r.specName;
+        r.fingerprint = fingerprintFor(i, j, /*composed=*/true);
+        refs.push_back(std::move(r));
+      }
+    }
+  }
+  return refs;
+}
 
 SnapshotResult buildSnapshot(const VerificationJob& job, bool wantCanon) {
   SnapshotResult result;

@@ -67,6 +67,34 @@ struct SnapshotResult {
   std::string error;                                    ///< why, when null
 };
 
+/// One enumerated obligation of a snapshot: the stable identity
+/// ("<target>/<spec name>") plus the content fingerprint that addresses
+/// the obligation cache — and, in cluster mode, routes the obligation to
+/// its shard.  The scheduler extends a ref into a dispatchable
+/// descriptor; the coordinator forwards it as-is.
+struct ObligationRef {
+  bool composed = false;
+  std::size_t moduleIndex = 0;  ///< target module; spec owner when composed
+  std::size_t specIndex = 0;
+  std::string id;
+  std::string target;    ///< module name, or "composed"
+  std::string specName;
+  std::string specText;
+  /// Obligation-cache address; empty when the snapshot carries no
+  /// canonical serializations.
+  std::string fingerprint;
+};
+
+/// Enumerate a snapshot's obligations in dispatch order: one per
+/// (module, spec), then — when `options.compose` and the snapshot has >1
+/// module — one per spec against the composition.  Deterministic for a
+/// given (snapshot, options) and stable across processes: a coordinator's
+/// scout and a shard's own enumeration of the same SMV text agree on
+/// every id and fingerprint, which is what makes single-obligation
+/// forwarding ("only") and fleet-wide cache hits line up.
+std::vector<ObligationRef> enumerateObligations(const ElaborationSnapshot& snap,
+                                                const JobOptions& options);
+
 /// Elaborate `job` once into a fresh context (never throws — errors land in
 /// SnapshotResult::error).  `wantCanon` additionally computes the canonical
 /// module serializations (best-effort).  Engine probes run only when the

@@ -1,0 +1,492 @@
+// Tests for the cluster layer: topology parsing, the rendezvous-hash
+// routing invariants (determinism, balance, minimal re-keying on shard
+// removal), the version-compatibility gate, the submit retry backoff
+// bounds, single-obligation forwarding through a plain server ("only"),
+// and the coordinator end-to-end — scatter/gather over in-process shard
+// servers, fleet-wide warm-cache resubmission, and mark-down plus
+// re-dispatch when a shard dies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.hpp"
+#include "cluster/topology.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "service/scheduler.hpp"
+#include "service/snapshot.hpp"
+#include "service/trace_log.hpp"
+#include "util/version.hpp"
+
+namespace cmc::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Two modules, two specs each: with compose that is 6 obligations — enough
+// for rendezvous routing to actually spread work over small rings.
+const char* kPairSmv = R"(
+MODULE ping
+VAR p : boolean;
+ASSIGN next(p) := !p;
+SPEC AG (p | !p)
+SPEC AG EF p
+MODULE pong
+VAR q : {lo, hi};
+ASSIGN next(q) := case q = lo : hi; 1 : lo; esac;
+SPEC AG (q = lo | q = hi)
+)";
+
+std::string freshSocketPath(const char* tag) {
+  static std::atomic<int> counter{0};
+  return (fs::temp_directory_path() /
+          ("cmc_cluster_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + "_" + std::to_string(++counter) +
+           ".sock"))
+      .string();
+}
+
+std::string checkRequest(const std::string& id, const std::string& smv,
+                         const std::string& extraRawFields = "") {
+  service::JsonObject req;
+  req.put("cmd", "CHECK").put("id", id);
+  std::string line = req.str();
+  if (!extraRawFields.empty()) {
+    line.pop_back();
+    line += ", " + extraRawFields + "}";
+  }
+  line.pop_back();
+  line += ", \"smv\": \"" + service::jsonEscape(smv) + "\"}";
+  return line;
+}
+
+std::size_t countOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Topology parsing
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTopology, ParsesMixedTransportsCommentsAndBlanks) {
+  Topology topo;
+  std::string err;
+  ASSERT_TRUE(parseTopology("# the fleet\n"
+                            "{\"name\": \"s1\", \"socket\": \"/run/a\"}\n"
+                            "\n"
+                            "{\"name\": \"s2\", \"tcp\": 7401}\n",
+                            &topo, &err))
+      << err;
+  ASSERT_EQ(topo.shards.size(), 2u);
+  EXPECT_EQ(topo.shards[0].name, "s1");
+  EXPECT_EQ(topo.shards[0].socketPath, "/run/a");
+  EXPECT_EQ(topo.shards[0].tcpPort, -1);
+  EXPECT_EQ(topo.shards[1].name, "s2");
+  EXPECT_EQ(topo.shards[1].tcpPort, 7401);
+}
+
+TEST(ClusterTopology, RejectsMalformedRosters) {
+  Topology topo;
+  std::string err;
+  EXPECT_FALSE(parseTopology("", &topo, &err));  // empty fleet
+  EXPECT_FALSE(parseTopology("{\"name\": \"a\", \"socket\": \"/x\"}\n"
+                             "{\"name\": \"a\", \"tcp\": 7401}\n",
+                             &topo, &err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+  // Exactly one transport per shard.
+  EXPECT_FALSE(parseTopology("{\"name\": \"a\"}\n", &topo, &err));
+  EXPECT_FALSE(parseTopology(
+      "{\"name\": \"a\", \"socket\": \"/x\", \"tcp\": 7401}\n", &topo, &err));
+  // Errors carry the line number.
+  EXPECT_FALSE(parseTopology("{\"name\": \"a\", \"socket\": \"/x\"}\n"
+                             "{\"socket\": \"/y\"}\n",
+                             &topo, &err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_FALSE(
+      parseTopology("{\"name\": \"a\", \"tcp\": 99999}\n", &topo, &err));
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous routing invariants
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> shardNames(int k) {
+  std::vector<std::string> names;
+  for (int i = 0; i < k; ++i) names.push_back("shard-" + std::to_string(i));
+  return names;
+}
+
+std::vector<std::string> syntheticKeys(int n) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < n; ++i) {
+    // Shaped like real fingerprints (hex-ish, shared prefix) so balance is
+    // demonstrated on adversarially similar keys, not random ones.
+    keys.push_back("fp-000" + std::to_string(i * 2654435761u));
+  }
+  return keys;
+}
+
+TEST(ClusterRendezvous, OrderIsDeterministicAndCompleteAndScoreRanked) {
+  const std::vector<std::string> names = shardNames(5);
+  for (const std::string& key : syntheticKeys(50)) {
+    const std::vector<std::size_t> order = rendezvousOrder(names, key);
+    ASSERT_EQ(order, rendezvousOrder(names, key));  // pure function
+    ASSERT_EQ(order.size(), names.size());          // a permutation...
+    std::vector<bool> seen(names.size(), false);
+    for (std::size_t i : order) seen[i] = true;
+    for (bool s : seen) ASSERT_TRUE(s);
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {  // ...by score
+      ASSERT_GE(rendezvousScore(names[order[i]], key),
+                rendezvousScore(names[order[i + 1]], key));
+    }
+  }
+}
+
+TEST(ClusterRendezvous, BalancesKeysAcrossRingSizes) {
+  const std::vector<std::string> keys = syntheticKeys(4000);
+  for (int k = 2; k <= 8; ++k) {
+    const std::vector<std::string> names = shardNames(k);
+    std::vector<std::size_t> owned(names.size(), 0);
+    for (const std::string& key : keys) {
+      ++owned[rendezvousOrder(names, key).front()];
+    }
+    const std::size_t fair = keys.size() / names.size();
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      EXPECT_GE(owned[i], fair / 2) << "ring " << k << " shard " << i;
+      EXPECT_LE(owned[i], fair * 2) << "ring " << k << " shard " << i;
+    }
+  }
+}
+
+TEST(ClusterRendezvous, RemovingAShardReKeysExactlyItsOwnKeys) {
+  const std::vector<std::string> all = shardNames(6);
+  std::vector<std::string> survivors = all;
+  survivors.erase(survivors.begin() + 2);  // drop shard-2
+  for (const std::string& key : syntheticKeys(2000)) {
+    const std::vector<std::size_t> before = rendezvousOrder(all, key);
+    const std::size_t after = rendezvousOrder(survivors, key).front();
+    if (all[before[0]] == "shard-2") {
+      // An orphaned key falls to its former second choice...
+      EXPECT_EQ(survivors[after], all[before[1]]);
+    } else {
+      // ...and every other key keeps its owner.
+      EXPECT_EQ(survivors[after], all[before[0]]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Version gate and retry backoff
+// ---------------------------------------------------------------------------
+
+TEST(ClusterCompat, GatesOnVersionAndProtocolRevision) {
+  const std::string version = util::versionString();
+  std::string why;
+  EXPECT_TRUE(shardCompatible(
+      "{\"ok\": true, \"cmc_version\": \"" + version +
+          "\", \"protocol_rev\": " + std::to_string(net::kProtocolRevision) +
+          "}",
+      &why))
+      << why;
+  EXPECT_FALSE(shardCompatible("{\"ok\": true, \"cmc_version\": \"" +
+                                   version + "\", \"protocol_rev\": 1}",
+                               &why));
+  EXPECT_NE(why.find("mixed-version"), std::string::npos) << why;
+  EXPECT_FALSE(shardCompatible(
+      "{\"ok\": true, \"cmc_version\": \"0.0.0-other\", \"protocol_rev\": " +
+          std::to_string(net::kProtocolRevision) + "}",
+      &why));
+  // No protocol_rev stamp at all = a pre-cluster build.
+  EXPECT_FALSE(shardCompatible(
+      "{\"ok\": true, \"cmc_version\": \"" + version + "\"}", &why));
+}
+
+TEST(ClusterBackoff, DelaysAreJitteredExponentialAndCapped) {
+  for (int round = 0; round < 64; ++round) {
+    const int first = net::Client::backoffMs(0, 100);
+    EXPECT_GE(first, 50);
+    EXPECT_LE(first, 100);
+    const int fourth = net::Client::backoffMs(3, 100);
+    EXPECT_GE(fourth, 400);
+    EXPECT_LE(fourth, 800);
+    const int capped = net::Client::backoffMs(20, 100000);
+    EXPECT_GE(capped, 15000);
+    EXPECT_LE(capped, 30000);
+  }
+  EXPECT_EQ(net::Client::backoffMs(5, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// In-process cluster harness
+// ---------------------------------------------------------------------------
+
+/// One in-process `cmc serve` shard on a fresh Unix socket.
+struct ShardHarness {
+  ShardHarness() {
+    service::ServiceOptions so;
+    so.threads = 1;
+    so.metrics = &metrics;
+    svc = std::make_unique<service::VerificationService>(so);
+    sockPath = freshSocketPath("shard");
+    net::ServerOptions opts;
+    opts.socketPath = sockPath;
+    server = std::make_unique<net::Server>(opts, *svc, metrics, trace,
+                                           nullptr, nullptr);
+    std::string err;
+    started = server->start(&err);
+    EXPECT_TRUE(started) << err;
+  }
+
+  ~ShardHarness() { server->shutdown(); }
+
+  service::MetricsRegistry metrics;
+  service::RunTrace trace;
+  std::unique_ptr<service::VerificationService> svc;
+  std::unique_ptr<net::Server> server;
+  std::string sockPath;
+  bool started = false;
+};
+
+/// A coordinator fronting `n` in-process shards.  The probe thread is
+/// disabled; tests drive probeNow() for deterministic health transitions.
+struct ClusterHarness {
+  explicit ClusterHarness(int n, int failThreshold = 2) {
+    for (int i = 0; i < n; ++i) {
+      shards.push_back(std::make_unique<ShardHarness>());
+    }
+    CoordinatorOptions opts;
+    opts.socketPath = freshSocketPath("coord");
+    for (int i = 0; i < n; ++i) {
+      ShardSpec spec;
+      spec.name = "s" + std::to_string(i);
+      spec.socketPath = shards[i]->sockPath;
+      opts.topology.shards.push_back(spec);
+    }
+    opts.defaults.compose = true;
+    opts.probeIntervalSeconds = 0.0;
+    opts.failThreshold = failThreshold;
+    opts.controlTimeoutSeconds = 2.0;
+    coordinator = std::make_unique<Coordinator>(opts, metrics, trace);
+    sockPath = opts.socketPath;
+    std::string err;
+    started = coordinator->start(&err);
+    EXPECT_TRUE(started) << err;
+  }
+
+  ~ClusterHarness() { coordinator->shutdown(); }
+
+  net::Client connect() {
+    net::Client c;
+    std::string err;
+    EXPECT_TRUE(c.connectUnix(sockPath, &err)) << err;
+    return c;
+  }
+
+  std::vector<std::unique_ptr<ShardHarness>> shards;
+  service::MetricsRegistry metrics;
+  service::RunTrace trace;
+  std::unique_ptr<Coordinator> coordinator;
+  std::string sockPath;
+  bool started = false;
+};
+
+// ---------------------------------------------------------------------------
+// Single-obligation forwarding against a plain server
+// ---------------------------------------------------------------------------
+
+TEST(ClusterOnly, ServerChecksExactlyTheNamedObligation) {
+  // The ids the coordinator would route: enumerate them the same way.
+  service::VerificationJob job;
+  job.name = "pair";
+  job.smvText = kPairSmv;
+  job.options.compose = true;
+  const service::SnapshotResult snap = service::buildSnapshot(job, true);
+  ASSERT_TRUE(snap.snapshot) << snap.error;
+  const std::vector<service::ObligationRef> refs =
+      service::enumerateObligations(*snap.snapshot, job.options);
+  ASSERT_EQ(refs.size(), 6u);  // 3 component + 3 composed
+
+  ShardHarness shard;
+  net::Client client;
+  std::string err, resp;
+  ASSERT_TRUE(client.connectUnix(shard.sockPath, &err)) << err;
+  ASSERT_TRUE(client.request(
+      checkRequest("only-1", kPairSmv,
+                   "\"compose\": true, \"only\": \"" + refs[1].id + "\""),
+      &resp, &err))
+      << err;
+  // One obligation checked, and the flat fields describe it.
+  std::uint64_t obligations = 0;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "obligations", &obligations));
+  EXPECT_EQ(obligations, 1u);
+  std::string id, source, fingerprint;
+  EXPECT_TRUE(service::jsonExtractString(resp, "obligation_id", &id));
+  EXPECT_EQ(id, refs[1].id);
+  EXPECT_TRUE(service::jsonExtractString(resp, "verdict_source", &source));
+  EXPECT_EQ(source, "checked");
+  EXPECT_TRUE(service::jsonExtractString(resp, "fingerprint", &fingerprint));
+  EXPECT_EQ(fingerprint, refs[1].fingerprint);
+
+  // A second CHECK of the same obligation is a shard-local cache hit.
+  ASSERT_TRUE(client.request(
+      checkRequest("only-2", kPairSmv,
+                   "\"compose\": true, \"only\": \"" + refs[1].id + "\""),
+      &resp, &err))
+      << err;
+  EXPECT_TRUE(service::jsonExtractString(resp, "verdict_source", &source));
+  EXPECT_EQ(source, "cache");
+
+  // Naming a nonexistent obligation is an elaboration-level Error, not a
+  // silent empty report.
+  ASSERT_TRUE(client.request(
+      checkRequest("only-3", kPairSmv,
+                   "\"compose\": true, \"only\": \"ping/no_such_spec\""),
+      &resp, &err))
+      << err;
+  std::string verdict;
+  EXPECT_TRUE(service::jsonExtractString(resp, "verdict", &verdict));
+  EXPECT_EQ(verdict, "Error");
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(ClusterCoordinator, ScattersGathersAndServesWarmResubmitAllCache) {
+  ClusterHarness cluster(3);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+
+  std::string err, resp;
+  ASSERT_TRUE(client.request(checkRequest("cold", kPairSmv), &resp, &err))
+      << err;
+  std::string verdict, report;
+  ASSERT_TRUE(service::jsonExtractString(resp, "verdict", &verdict));
+  EXPECT_EQ(verdict, "Holds");
+  std::uint64_t obligations = 0;
+  ASSERT_TRUE(service::jsonExtractUint(resp, "obligations", &obligations));
+  EXPECT_EQ(obligations, 6u);
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  // Every outcome is attributed to a shard, and the fleet as a whole did
+  // the work (the routing itself is pinned by the rendezvous tests).
+  EXPECT_EQ(countOccurrences(report, "\"shard\": \"s"), 6u);
+  EXPECT_EQ(countOccurrences(report, "\"verdict_source\": \"checked\""), 6u);
+
+  // Warm resubmission: every obligation routes back to the shard that
+  // decided it, so the whole job is served from shard caches.
+  ASSERT_TRUE(client.request(checkRequest("warm", kPairSmv), &resp, &err))
+      << err;
+  ASSERT_TRUE(service::jsonExtractString(resp, "verdict", &verdict));
+  EXPECT_EQ(verdict, "Holds");
+  std::uint64_t cacheHits = 0;
+  ASSERT_TRUE(service::jsonExtractUint(resp, "cache_hits", &cacheHits));
+  EXPECT_EQ(cacheHits, 6u);
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  EXPECT_EQ(countOccurrences(report, "\"verdict_source\": \"cache\""), 6u);
+  EXPECT_EQ(countOccurrences(report, "\"verdict_source\": \"checked\""), 0u);
+}
+
+TEST(ClusterCoordinator, StatusAggregatesTheFleet) {
+  ClusterHarness cluster(2);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  std::string err, resp;
+  ASSERT_TRUE(client.request("{\"cmd\": \"STATUS\"}", &resp, &err)) << err;
+  std::string role, version;
+  EXPECT_TRUE(service::jsonExtractString(resp, "role", &role));
+  EXPECT_EQ(role, "coordinator");
+  EXPECT_TRUE(service::jsonExtractString(resp, "cmc_version", &version));
+  EXPECT_EQ(version, util::versionString());
+  std::uint64_t rev = 0, total = 0, up = 0;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "protocol_rev", &rev));
+  EXPECT_EQ(rev, net::kProtocolRevision);
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_total", &total));
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_up", &up));
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(up, 2u);
+
+  ASSERT_TRUE(client.request("{\"cmd\": \"STATS\"}", &resp, &err)) << err;
+  bool ok = false;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_NE(resp.find("\"shards_stats\""), std::string::npos);
+}
+
+TEST(ClusterCoordinator, MarksDeadShardDownAndRedispatchesItsWork) {
+  ClusterHarness cluster(3, /*failThreshold=*/1);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+
+  // Kill one shard outright, then let one probe round notice.
+  cluster.shards[1]->server->shutdown();
+  cluster.coordinator->probeNow();
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 2u);
+
+  // The job still completes with every obligation decided: the dead
+  // shard's keys fall to the next shard in their rendezvous order.
+  std::string err, resp;
+  ASSERT_TRUE(client.request(checkRequest("after-loss", kPairSmv), &resp,
+                             &err))
+      << err;
+  std::string verdict, report;
+  ASSERT_TRUE(service::jsonExtractString(resp, "verdict", &verdict));
+  EXPECT_EQ(verdict, "Holds");
+  std::uint64_t obligations = 0;
+  ASSERT_TRUE(service::jsonExtractUint(resp, "obligations", &obligations));
+  EXPECT_EQ(obligations, 6u);
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  EXPECT_EQ(countOccurrences(report, "\"shard\": \"s1\""), 0u);
+  EXPECT_EQ(countOccurrences(report, "\"verdict\": \"Error\""), 0u);
+  EXPECT_EQ(countOccurrences(report, "\"verdict\": \"Fails\""), 0u);
+
+  std::uint64_t up = 0;
+  ASSERT_TRUE(client.request("{\"cmd\": \"STATUS\"}", &resp, &err)) << err;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_up", &up));
+  EXPECT_EQ(up, 2u);
+  EXPECT_NE(resp.find("\"state\": \"down\""), std::string::npos);
+}
+
+TEST(ClusterCoordinator, RefusesToStartWithNoReachableShard) {
+  CoordinatorOptions opts;
+  opts.socketPath = freshSocketPath("lonely");
+  ShardSpec spec;
+  spec.name = "ghost";
+  spec.socketPath = freshSocketPath("ghost-never-bound");
+  opts.topology.shards.push_back(spec);
+  opts.probeIntervalSeconds = 0.0;
+  service::MetricsRegistry metrics;
+  service::RunTrace trace;
+  Coordinator coordinator(opts, metrics, trace);
+  std::string err;
+  EXPECT_FALSE(coordinator.start(&err));
+  EXPECT_NE(err.find("STATUS"), std::string::npos) << err;
+  coordinator.shutdown();
+}
+
+TEST(ClusterCoordinator, DrainRefusesNewChecks) {
+  ClusterHarness cluster(2);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  cluster.coordinator->requestDrain();
+  std::string err, resp;
+  ASSERT_TRUE(client.request(checkRequest("late", kPairSmv), &resp, &err))
+      << err;
+  std::string code;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kDraining);
+}
+
+}  // namespace
+}  // namespace cmc::cluster

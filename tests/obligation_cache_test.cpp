@@ -486,5 +486,103 @@ TEST(ObligationCacheService, TwoProcessesShareOneStoreWithoutTornLines) {
   fs::remove_all(dir);
 }
 
+// ---------------------------------------------------------------------------
+// Offline compaction (cmc cache compact)
+// ---------------------------------------------------------------------------
+
+TEST(ObligationCacheCompaction, LastWriteWinsAndCorruptLinesAreDropped) {
+  const fs::path dir = scratchDir("cmc_obligation_cache_compact");
+  {
+    ObligationCache::Options opts;
+    opts.dir = dir.string();
+    ObligationCache cache(opts);
+    CachedVerdict v;
+    v.verdict = Verdict::Holds;
+    v.rule = "direct";
+    v.engine = "partitioned";
+    v.seconds = 0.125;
+    EXPECT_TRUE(cache.insert("aaaa", v));
+    EXPECT_TRUE(cache.insert("bbbb", v));
+    EXPECT_TRUE(cache.insert("cccc", v));
+  }
+  {
+    // What a long-lived store accretes: a NEWER write for an existing
+    // fingerprint (re-checked after an eviction), garbage from a torn
+    // append, and a line from before the CRC framing existed.
+    std::ofstream out(dir / "obligations.jsonl", std::ios::app);
+    out << frameLine("{\"fp\": \"aaaa\", \"verdict\": \"Fails\", "
+                     "\"rule\": \"rechecked\", \"engine\": \"monolithic\", "
+                     "\"seconds\": 0.5}")
+        << "\n";
+    out << "{\"fp\": \"torn...\n";
+    out << "{\"fp\": \"old1\", \"verdict\": \"Holds\", \"rule\": "
+           "\"direct\", \"engine\": \"partitioned\", \"seconds\": 0.5}\n";
+  }
+  const std::uint64_t sizeBefore = fs::file_size(dir / "obligations.jsonl");
+
+  CompactionResult result;
+  std::string err;
+  ASSERT_TRUE(compactObligationStore(dir.string(), &result, &err)) << err;
+  EXPECT_EQ(result.entriesBefore, 5u);  // 3 + duplicate + legacy
+  EXPECT_EQ(result.entriesAfter, 4u);
+  EXPECT_EQ(result.duplicates, 1u);
+  EXPECT_EQ(result.corrupt, 1u);
+  EXPECT_EQ(result.bytesBefore, sizeBefore);
+  EXPECT_LT(result.bytesAfter, result.bytesBefore);
+  EXPECT_EQ(result.bytesAfter, fs::file_size(dir / "obligations.jsonl"));
+
+  // The compacted store is fully framed (legacy line included) and loads
+  // clean, with the duplicate resolved to the LAST write.
+  {
+    std::ifstream in(dir / "obligations.jsonl");
+    std::string line;
+    while (std::getline(in, line)) {
+      EXPECT_TRUE(unframeLine(line).has_value()) << line;
+    }
+  }
+  ObligationCache::Options opts;
+  opts.dir = dir.string();
+  ObligationCache reloaded(opts);
+  EXPECT_EQ(reloaded.stats().loaded, 4u);
+  EXPECT_EQ(reloaded.stats().corruptLines, 0u);
+  const std::optional<CachedVerdict> winner = reloaded.lookup("aaaa");
+  ASSERT_TRUE(winner.has_value());
+  EXPECT_EQ(winner->verdict, Verdict::Fails);
+  EXPECT_EQ(winner->rule, "rechecked");
+  EXPECT_TRUE(reloaded.lookup("bbbb").has_value());
+  EXPECT_TRUE(reloaded.lookup("cccc").has_value());
+  EXPECT_TRUE(reloaded.lookup("old1").has_value());
+
+  // Compaction is idempotent: a second pass finds nothing to drop.
+  ASSERT_TRUE(compactObligationStore(dir.string(), &result, &err)) << err;
+  EXPECT_EQ(result.duplicates, 0u);
+  EXPECT_EQ(result.corrupt, 0u);
+  EXPECT_EQ(result.entriesBefore, result.entriesAfter);
+  fs::remove_all(dir);
+}
+
+TEST(ObligationCacheCompaction, RefusesMissingOrForeignStores) {
+  CompactionResult result;
+  std::string err;
+  const fs::path missing = scratchDir("cmc_obligation_cache_compact_missing");
+  EXPECT_FALSE(compactObligationStore(missing.string(), &result, &err));
+  EXPECT_FALSE(err.empty());
+
+  // A store of some other format must be left alone, not rewritten.
+  const fs::path dir = scratchDir("cmc_obligation_cache_compact_foreign");
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / "obligations.jsonl");
+    out << frameLine("{\"format\": \"somebody-elses-v9\"}") << "\n";
+    out << "{\"fp\": \"x\", \"verdict\": \"Holds\", \"rule\": \"direct\", "
+           "\"engine\": \"partitioned\", \"seconds\": 0.5}\n";
+  }
+  const std::uint64_t sizeBefore = fs::file_size(dir / "obligations.jsonl");
+  EXPECT_FALSE(compactObligationStore(dir.string(), &result, &err));
+  EXPECT_NE(err.find("format"), std::string::npos) << err;
+  EXPECT_EQ(fs::file_size(dir / "obligations.jsonl"), sizeBefore);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace cmc::service

@@ -2,7 +2,9 @@
 //
 //   cmc check [options] <model.smv> [more.smv ...]
 //   cmc serve --socket /path [--tcp PORT] [options]
+//   cmc coordinator --socket /path --topology shards.jsonl [options]
 //   cmc submit --socket /path [options] <model.smv> [more.smv ...]
+//   cmc cache compact --cache-dir DIR
 //   cmc failpoints | version | help
 //
 // Each model file becomes one VerificationJob; all jobs run as one batch on
@@ -44,8 +46,11 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/coordinator.hpp"
+#include "cluster/topology.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "service/obligation_cache.hpp"
 #include "service/scheduler.hpp"
 #include "util/failpoint.hpp"
 #include "util/version.hpp"
@@ -60,8 +65,13 @@ commands:
   check       parse, elaborate and verify every SPEC of the given models
   serve       run the persistent verification daemon (wire protocol over a
               Unix-domain socket; see README.md "Server mode")
-  submit      client for a serving daemon: submit checks, query STATUS/STATS,
-              CANCEL a request, or DRAIN the server
+  coordinator front a fleet of serve daemons as one: route each obligation
+              to its shard by content fingerprint, merge the verdicts
+              (see README.md "Cluster mode" and docs/OPERATIONS.md)
+  submit      client for a serving daemon or coordinator: submit checks,
+              query STATUS/STATS, CANCEL a request, or DRAIN the server
+  cache       maintain an on-disk obligation cache: `cmc cache compact`
+              deduplicates DIR/obligations.jsonl offline
   failpoints  list the fault-injection sites (see docs/OPERATIONS.md)
   version     print the version string
   help        print this help
@@ -123,6 +133,27 @@ cmc serve options:
   in-flight requests finish and respond, new CHECKs get DRAINING, then the
   server exits 0.
 
+cmc coordinator options:
+  --socket PATH      Unix-domain listener (required; unlinked on shutdown)
+  --tcp PORT         also listen on 127.0.0.1:PORT (0 = ephemeral, printed)
+  --topology FILE    shard roster, one JSON object per line (required):
+                     {"name": "s1", "socket": "/run/s1.sock"} or
+                     {"name": "s2", "tcp": 7401}; # comments allowed
+  --max-inflight N   CHECK jobs at once (default 16); one more answers BUSY
+  --forward-threads N
+                     obligation-forwarding pool width (default: 2 per
+                     shard, at least 4)
+  --probe-interval-ms N
+                     shard health-probe period (default 1000)
+  --fail-threshold N consecutive probe failures that mark a shard down
+                     (default 2)
+  --model-root DIR   resolve request "model" paths under DIR
+  --trace PATH       write the coordinator's JSONL event trace to PATH
+  plus --failpoint and the job-option defaults as in serve.  All shards
+  must run this exact cmc version and protocol revision; the coordinator
+  refuses to start against a mixed-version fleet.  SIGTERM/SIGINT (or
+  DRAIN) drains and exits 0; the shards keep running.
+
 cmc submit options:
   --socket PATH      connect to the daemon's Unix-domain socket
   --tcp PORT         connect to 127.0.0.1:PORT instead
@@ -132,9 +163,21 @@ cmc submit options:
   --id ID            request id (one model) or id prefix (several)
   --name NAME        job name for a single submitted model
   --report PATH      write the returned report JSON (unescaped) to PATH
+  --max-retries N    retry a CHECK refused with BUSY/DRAINING (or lost to
+                     a transport failure) up to N times (default 0 = fail
+                     fast with exit 6, as before)
+  --retry-ms N       base of the jittered exponential backoff between
+                     retries: attempt k sleeps uniform in [c/2, c],
+                     c = N·2^k ms, capped at 30 s (default 200)
   plus the job options above, overriding the server's defaults per CHECK.
   Model text is read client-side and sent inline, so the daemon need not
   share a filesystem with the client.
+
+cmc cache compact options:
+  cmc cache compact --cache-dir DIR   (or a positional DIR)
+  Rewrite DIR/obligations.jsonl keeping only the last write per
+  fingerprint, dropping corrupt lines, under the store's lock with an
+  atomic rename.  Offline only: stop daemons appending to the store first.
 
 exit codes: 0 completed (all hold under --strict); 1 --strict and a spec
 fails; 2 usage/I-O/model error; 3 --strict and Timeout/MemoryOut;
@@ -720,6 +763,207 @@ int runServe(const ServeOptions& opts) {
 }
 
 // ---------------------------------------------------------------------------
+// cmc coordinator
+
+struct CoordinatorCliOptions {
+  cluster::CoordinatorOptions coord;
+  std::string topologyPath;
+  std::string tracePath;
+  std::vector<std::string> failpoints;
+};
+
+int parseCoordinatorArgs(int argc, char** argv, CoordinatorCliOptions* opts) {
+  service::JobOptions& job = opts->coord.defaults;
+  job.engine = symbolic::EngineMode::Auto;  // CLI default, as in check
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "cmc coordinator: " << arg << " requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const auto nextUint = [&](std::uint64_t* out) {
+      const char* v = next();
+      return v != nullptr && parseUint(v, out);
+    };
+    std::uint64_t n = 0;
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->coord.socketPath = v;
+    } else if (arg == "--tcp") {
+      if (!nextUint(&n) || n > 65535) return 2;
+      opts->coord.tcpPort = static_cast<int>(n);
+    } else if (arg == "--topology") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->topologyPath = v;
+    } else if (arg == "--max-inflight") {
+      if (!nextUint(&n)) return 2;
+      opts->coord.maxInFlight = static_cast<unsigned>(n);
+    } else if (arg == "--forward-threads") {
+      if (!nextUint(&n)) return 2;
+      opts->coord.forwardThreads = static_cast<unsigned>(n);
+    } else if (arg == "--probe-interval-ms") {
+      if (!nextUint(&n)) return 2;
+      opts->coord.probeIntervalSeconds = static_cast<double>(n) / 1e3;
+    } else if (arg == "--fail-threshold") {
+      if (!nextUint(&n) || n == 0) return 2;
+      opts->coord.failThreshold = static_cast<int>(n);
+    } else if (arg == "--model-root") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->coord.modelRoot = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->tracePath = v;
+    } else if (arg == "--failpoint") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->failpoints.push_back(v);
+    } else if (arg == "--compose") {
+      job.compose = true;
+    } else if (arg == "--engine") {
+      if (!parseEngineMode(next(), &job.engine)) return 2;
+    } else if (arg == "--monolithic") {
+      warnMonolithicDeprecated("cmc coordinator");
+      job.engine = symbolic::EngineMode::Monolithic;
+    } else if (arg == "--no-retry") {
+      job.retryOtherEngine = false;
+    } else if (arg == "--reorder") {
+      job.reorderBeforeCheck = true;
+    } else if (arg == "--deadline-ms") {
+      if (!nextUint(&n)) return 2;
+      job.limits.deadlineSeconds = static_cast<double>(n) / 1e3;
+    } else if (arg == "--node-budget") {
+      if (!nextUint(&n)) return 2;
+      job.limits.nodeBudget = n;
+    } else if (arg == "--cluster") {
+      if (!nextUint(&n)) return 2;
+      job.clusterThreshold = n;
+    } else {
+      std::cerr << "cmc coordinator: unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opts->coord.socketPath.empty() && opts->coord.tcpPort < 0) {
+    std::cerr << "cmc coordinator: --socket PATH is required\n";
+    return 2;
+  }
+  if (opts->topologyPath.empty()) {
+    std::cerr << "cmc coordinator: --topology FILE is required\n";
+    return 2;
+  }
+  return 0;
+}
+
+int runCoordinator(CoordinatorCliOptions& opts) {
+  if (const int rc = armFailpoints(opts.failpoints); rc != 0) return rc;
+
+  std::string err;
+  if (!cluster::loadTopology(opts.topologyPath, &opts.coord.topology, &err)) {
+    std::cerr << "cmc coordinator: " << err << "\n";
+    return 2;
+  }
+
+  service::MetricsRegistry metrics;
+  std::ofstream traceFile;
+  if (!opts.tracePath.empty()) {
+    traceFile.open(opts.tracePath);
+    if (!traceFile) {
+      std::cerr << "cmc coordinator: cannot write " << opts.tracePath << "\n";
+      return 2;
+    }
+  }
+  service::RunTrace trace(traceFile.is_open() ? &traceFile : nullptr);
+
+  cluster::Coordinator coordinator(opts.coord, metrics, trace);
+  if (!coordinator.start(&err)) {
+    std::cerr << "cmc coordinator: " << err << "\n";
+    return 2;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::cout << "cmc coordinator: listening on " << opts.coord.socketPath;
+  if (coordinator.boundTcpPort() >= 0) {
+    std::cout << " and 127.0.0.1:" << coordinator.boundTcpPort();
+  }
+  std::cout << " fronting " << coordinator.shardsUp() << "/"
+            << coordinator.shardsTotal() << " shard(s)" << std::endl;
+
+  // As in serve: a signal means drain, turned into action by this loop.
+  while (gSignal.load(std::memory_order_relaxed) == 0 &&
+         !coordinator.drainRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (const int sig = gSignal.load(std::memory_order_relaxed); sig != 0) {
+    std::cout << "cmc coordinator: signal " << sig << "; draining"
+              << std::endl;
+  }
+  coordinator.requestDrain();
+  coordinator.shutdown();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  std::cout << "cmc coordinator: drained; "
+            << metrics.counterValue("checks_completed")
+            << " check(s) completed, "
+            << metrics.counterValue("cluster_obligations_forwarded")
+            << " obligation(s) forwarded, "
+            << metrics.counterValue("cluster_redispatches")
+            << " re-dispatched" << std::endl;
+  // The shards keep serving; draining the coordinator is orderly: exit 0.
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// cmc cache
+
+int runCacheCompact(int argc, char** argv) {
+  std::string dir;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::cerr << "cmc cache compact: --cache-dir requires a value\n";
+        return 2;
+      }
+      dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "cmc cache compact: unknown option " << arg << "\n";
+      return 2;
+    } else if (dir.empty()) {
+      dir = arg;
+    } else {
+      std::cerr << "cmc cache compact: one cache directory only\n";
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "cmc cache compact: need --cache-dir DIR (or a positional "
+                 "directory)\n";
+    return 2;
+  }
+  service::CompactionResult result;
+  std::string err;
+  if (!service::compactObligationStore(dir, &result, &err)) {
+    std::cerr << "cmc cache compact: " << err << "\n";
+    return 2;
+  }
+  std::cout << "== cache compact: " << result.entriesBefore << " -> "
+            << result.entriesAfter << " entries, " << result.bytesBefore
+            << " -> " << result.bytesAfter << " bytes (" << result.duplicates
+            << " duplicate(s) dropped, " << result.corrupt
+            << " corrupt line(s) dropped) ==\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // cmc submit
 
 struct SubmitOptions {
@@ -734,6 +978,10 @@ struct SubmitOptions {
   std::string reportPath;
   bool strict = false;
   bool quiet = false;
+  /// CHECK retry on BUSY/DRAINING or transport failure: off by default
+  /// (maxRetries 0 keeps the historical fail-fast exit 6).
+  int maxRetries = 0;
+  int retryMs = 200;
   service::JobOptions job;
   // Only explicitly given options are sent; the server's defaults cover
   // the rest.
@@ -788,6 +1036,14 @@ int parseSubmitArgs(int argc, char** argv, SubmitOptions* opts) {
       opts->strict = true;
     } else if (arg == "--quiet") {
       opts->quiet = true;
+    } else if (arg == "--max-retries") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &n)) return 2;
+      opts->maxRetries = static_cast<int>(n);
+    } else if (arg == "--retry-ms") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &n) || n == 0) return 2;
+      opts->retryMs = static_cast<int>(n);
     } else if (arg == "--compose") {
       opts->job.compose = true;
       opts->setCompose = true;
@@ -913,6 +1169,37 @@ int renderCheckResponse(const std::string& resp, bool quiet,
   return 0;
 }
 
+/// Send one CHECK, retrying BUSY/DRAINING refusals and transport failures
+/// with jittered exponential backoff when --max-retries is set.  True with
+/// *resp filled on any server response (the caller maps refusal codes to
+/// exit 6 as before); false with *err after the last transport failure.
+bool sendCheckWithRetry(net::Client& client, const SubmitOptions& opts,
+                        const std::string& reqLine, std::string* resp,
+                        std::string* err) {
+  for (int attempt = 0;; ++attempt) {
+    const bool transportOk = client.request(reqLine, resp, err);
+    std::string code;
+    if (transportOk) {
+      bool ok = false;
+      service::jsonExtractBool(*resp, "ok", &ok);
+      if (!ok) service::jsonExtractString(*resp, "code", &code);
+      const bool refused = code == net::kBusy || code == net::kDraining;
+      if (ok || !refused) return true;  // decided, or not worth retrying
+    }
+    if (attempt >= opts.maxRetries) return transportOk;
+    const int delay = net::Client::backoffMs(attempt, opts.retryMs);
+    std::cerr << "cmc submit: " << (transportOk ? code : *err) << "; retry "
+              << attempt + 1 << "/" << opts.maxRetries << " in " << delay
+              << " ms\n";
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    if (!transportOk || !client.connected()) {
+      client.close();
+      std::string redial;
+      client.reconnect(&redial);  // a failed redial fails the next request
+    }
+  }
+}
+
 int runSubmit(const SubmitOptions& opts) {
   net::Client client;
   std::string err;
@@ -981,8 +1268,9 @@ int runSubmit(const SubmitOptions& opts) {
                                  ? opts.name
                                  : basenameStem(path);
     std::string resp;
-    if (!client.request(buildCheckRequest(opts, id, name, buffer.str()),
-                        &resp, &err)) {
+    if (!sendCheckWithRetry(client, opts,
+                            buildCheckRequest(opts, id, name, buffer.str()),
+                            &resp, &err)) {
       std::cerr << "cmc submit: " << err << "\n";
       return 2;
     }
@@ -1068,11 +1356,24 @@ int main(int argc, char** argv) {
         return rc;
       return runServe(opts);
     }
+    if (command == "coordinator") {
+      CoordinatorCliOptions opts;
+      if (const int rc = parseCoordinatorArgs(argc, argv, &opts); rc != 0)
+        return rc;
+      return runCoordinator(opts);
+    }
     if (command == "submit") {
       SubmitOptions opts;
       if (const int rc = parseSubmitArgs(argc, argv, &opts); rc != 0)
         return rc;
       return runSubmit(opts);
+    }
+    if (command == "cache") {
+      if (argc < 3 || std::string(argv[2]) != "compact") {
+        std::cerr << "cmc cache: the only subcommand is `compact`\n";
+        return 2;
+      }
+      return runCacheCompact(argc, argv);
     }
   } catch (const Error& e) {
     std::cerr << "cmc: " << e.what() << "\n";
