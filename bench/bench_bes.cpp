@@ -1,0 +1,163 @@
+// BES backend vs the symbolic engine vs per-obligation racing, through
+// the verification service (so all three modes pay the same scout /
+// snapshot / dispatch overhead and the race rows measure the *real*
+// scheduler race, thread spawn and loser cancellation included).  The
+// verdicts are identical across modes by construction — cross-validated
+// by BesChecker.MatchesSymbolicCheckerOnEveryModel and
+// RaceTest.RacedVerdictsAgreeWithFixedEnginesOnEveryModel; what changes
+// is wall clock: the BES solver wins on small explicit state spaces
+// (no BDD fixpoints to set up), the symbolic engine wins once the state
+// count grows past what local solving wants to touch, and racing should
+// track the better of the two per obligation at the cost of extra CPU.
+// bench_smoke.sh gates race against the best fixed engine on the ring
+// family.
+#include <map>
+#include <sstream>
+
+#include "afs/smv_sources.hpp"
+#include "bench_common.hpp"
+#include "ring/token_ring.hpp"
+#include "service/scheduler.hpp"
+#include "util/timer.hpp"
+
+using namespace cmc;
+
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::string smv;
+};
+
+/// n ring stations as separate modules, each with one component-local
+/// spec (st<i> leaves cs in one step), so the job has n obligations the
+/// BES backend can take whole.
+std::string ringSmv(int n) {
+  std::ostringstream out;
+  for (int i = 0; i < n; ++i) {
+    out << ring::stationSmv(i, n);
+    out << "SPEC AG (st" << i << " = cs -> AX st" << i << " = idle)\n";
+  }
+  return out.str();
+}
+
+std::vector<ModelCase> cases() {
+  return {
+      // Server only: the client listing also names its module "main", so
+      // the two cannot share one program text.
+      {"afs1", afs::afs1ServerSmv()},
+      {"afs2-2", afs::afs2ServerSmv(2)},
+      {"ring-3", ringSmv(3)},
+      {"ring-4", ringSmv(4)},
+      {"ring-5", ringSmv(5)},
+      {"ring-6", ringSmv(6)},
+  };
+}
+
+enum class Mode { Bes, Partitioned, Race };
+
+const char* modeName(Mode m) {
+  switch (m) {
+    case Mode::Bes: return "bes";
+    case Mode::Partitioned: return "partitioned";
+    case Mode::Race: return "race";
+  }
+  return "?";
+}
+
+symbolic::EngineMode engineFor(Mode m) {
+  switch (m) {
+    case Mode::Bes: return symbolic::EngineMode::Bes;
+    case Mode::Partitioned: return symbolic::EngineMode::Partitioned;
+    case Mode::Race: return symbolic::EngineMode::Race;
+  }
+  return symbolic::EngineMode::Partitioned;
+}
+
+struct ModeStats {
+  bool allHold = true;
+  double seconds = 0.0;
+  std::size_t obligations = 0;
+};
+
+ModeStats runMode(const ModelCase& mc, Mode mode) {
+  service::ServiceOptions sopts;
+  sopts.threads = 2;
+  sopts.cacheEnabled = false;  // measure the engines, not cache replay
+  service::VerificationService svc(sopts);
+  service::VerificationJob job;
+  job.name = mc.name;
+  job.smvText = mc.smv;
+  job.options.engine = engineFor(mode);
+  WallTimer timer;
+  const service::JobReport report = svc.run(job);
+  ModeStats s;
+  s.seconds = timer.seconds();
+  s.allHold = report.allHold();
+  s.obligations = report.obligations.size();
+  return s;
+}
+
+void report() {
+  std::printf("== bes vs symbolic vs per-obligation race ==\n");
+  std::printf("%-8s  %-12s  %5s  %12s  %10s\n", "model", "mode", "holds",
+              "obligations", "time (s)");
+  for (const ModelCase& mc : cases()) {
+    // Best-of-3 wall time, round-robin across modes (see bench_partition
+    // for why interleaving decorrelates scheduler noise).
+    std::map<Mode, ModeStats> byMode;
+    for (int round = 0; round < 3; ++round) {
+      for (const Mode mode : {Mode::Bes, Mode::Partitioned, Mode::Race}) {
+        const ModeStats s = runMode(mc, mode);
+        auto [it, fresh] = byMode.try_emplace(mode, s);
+        if (!fresh) {
+          it->second.seconds = std::min(it->second.seconds, s.seconds);
+        }
+      }
+    }
+    for (const Mode mode : {Mode::Bes, Mode::Partitioned, Mode::Race}) {
+      const ModeStats& s = byMode.at(mode);
+      std::printf("%-8s  %-12s  %5s  %12zu  %10.4f\n", mc.name.c_str(),
+                  modeName(mode), s.allHold ? "yes" : "NO", s.obligations,
+                  s.seconds);
+      bench::JsonEntry summary;
+      summary.model = mc.name;
+      summary.spec = "ALL";
+      summary.holds = s.allHold;
+      summary.seconds = s.seconds;
+      summary.mode = modeName(mode);
+      bench::recordResult(std::move(summary));
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_RingEngines(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Mode mode = static_cast<Mode>(state.range(1));
+  const ModelCase mc{"ring", ringSmv(n)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runMode(mc, mode).allHold);
+  }
+  state.counters["stations"] = n;
+  state.SetLabel(modeName(mode));
+}
+BENCHMARK(BM_RingEngines)
+    ->Args({4, 0})->Args({4, 1})->Args({4, 2})
+    ->Args({6, 0})->Args({6, 1})->Args({6, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Afs2Engines(benchmark::State& state) {
+  const Mode mode = static_cast<Mode>(state.range(0));
+  const ModelCase mc{"afs2-2", afs::afs2ServerSmv(2)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runMode(mc, mode).allHold);
+  }
+  state.SetLabel(modeName(mode));
+}
+BENCHMARK(BM_Afs2Engines)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+CMC_BENCH_MAIN("bes", report)

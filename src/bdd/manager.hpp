@@ -216,6 +216,11 @@ class Manager {
   void setGcThreshold(std::uint64_t threshold) noexcept {
     gcThreshold_ = threshold < 64 ? 64 : threshold;
   }
+  /// The current auto-GC trigger.  The 25% rule raises it silently after an
+  /// unproductive sweep, so callers running allocation bursts they intend
+  /// to clean up themselves (e.g. the engine-choice probe) save and restore
+  /// it around the burst.
+  std::uint64_t gcThreshold() const noexcept { return gcThreshold_; }
 
   // ---- Internal node access (io.cpp and ops.cpp) --------------------------
 

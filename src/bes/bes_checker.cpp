@@ -1,0 +1,579 @@
+#include "bes/bes_checker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "symbolic/prop.hpp"
+#include "util/common.hpp"
+
+namespace cmc::bes {
+
+using ctl::FormulaPtr;
+using ctl::Op;
+
+namespace {
+
+/// True iff every fairness formula is the literal `true` (or the list is
+/// empty) — the case where fair-EG degenerates to plain EG and the whole
+/// obligation is alternation-free.
+bool trivialFairness(const std::vector<FormulaPtr>& fairness) {
+  for (const FormulaPtr& f : fairness) {
+    if (f == nullptr || f->op() != Op::True) return false;
+  }
+  return true;
+}
+
+/// Validate one atom text against the system: the variable must be in the
+/// system's alphabet and the value (if any) declared.
+bool atomOk(const symbolic::SymbolicSystem& sys, const std::string& text,
+            std::string* whyNot) {
+  const symbolic::Context& ctx = *sys.ctx;
+  const std::size_t eq = text.find('=');
+  const std::string name = eq == std::string::npos ? text : text.substr(0, eq);
+  if (!ctx.hasVar(name)) {
+    if (whyNot) *whyNot = "atom '" + text + "' names an unknown variable";
+    return false;
+  }
+  const symbolic::VarId id = ctx.varId(name);
+  if (!std::binary_search(sys.vars.begin(), sys.vars.end(), id)) {
+    if (whyNot) {
+      *whyNot = "atom '" + text + "' is outside the system's alphabet";
+    }
+    return false;
+  }
+  if (eq == std::string::npos) {
+    if (!ctx.variable(id).isBool) {
+      if (whyNot) *whyNot = "atom '" + text + "' needs an =value";
+      return false;
+    }
+  } else if (!ctx.variable(id).hasValue(text.substr(eq + 1))) {
+    if (whyNot) *whyNot = "atom '" + text + "' names an undeclared value";
+    return false;
+  }
+  return true;
+}
+
+bool atomsOk(const symbolic::SymbolicSystem& sys, const FormulaPtr& f,
+             std::string* whyNot) {
+  if (f == nullptr) return true;
+  for (const std::string& a : ctl::collectAtoms(f)) {
+    if (!atomOk(sys, a, whyNot)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BesChecker::BesChecker(const symbolic::SymbolicSystem& sys, BesOptions opts)
+    : sys_(&sys), opts_(std::move(opts)) {
+  CMC_ASSERT(sys.ctx != nullptr);
+}
+
+bool BesChecker::supports(const symbolic::SymbolicSystem& sys,
+                          const ctl::Spec& spec, std::string* whyNot) {
+  if (spec.r.init != nullptr && !ctl::isPropositional(spec.r.init)) {
+    if (whyNot) *whyNot = "non-propositional initial-state restriction";
+    return false;
+  }
+  if (!atomsOk(sys, spec.r.init, whyNot)) return false;
+  if (!atomsOk(sys, spec.f, whyNot)) return false;
+  for (const FormulaPtr& f : spec.r.fairness) {
+    if (!atomsOk(sys, f, whyNot)) return false;
+  }
+  return true;
+}
+
+// ---- Normalization ---------------------------------------------------------
+
+BesChecker::Ref BesChecker::mkNode(Node n) {
+  std::string key;
+  key += static_cast<char>('A' + static_cast<int>(n.kind));
+  key += std::to_string(n.a.node) + (n.a.neg ? "!" : ".");
+  key += std::to_string(n.b.node) + (n.b.neg ? "!" : ".");
+  key += n.atom;
+  const auto it = nodeIndex_.find(key);
+  if (it != nodeIndex_.end()) return Ref{it->second, false};
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  nodeIndex_.emplace(std::move(key), id);
+  return Ref{id, false};
+}
+
+BesChecker::Ref BesChecker::normalize(const FormulaPtr& f, bool neg) {
+  CMC_ASSERT(f != nullptr);
+  const auto lift = [neg](Ref r) {
+    r.neg = r.neg != neg;
+    return r;
+  };
+  switch (f->op()) {
+    case Op::True:
+      return Ref{0, neg};  // node 0 is the shared True node
+    case Op::False:
+      return Ref{0, !neg};
+    case Op::Atom: {
+      Node n;
+      n.kind = Kind::Atom;
+      n.atom = f->atom();
+      return lift(mkNode(std::move(n)));
+    }
+    case Op::Not:
+      return normalize(f->lhs(), !neg);
+    case Op::And:
+    case Op::Or: {
+      Node n;
+      n.kind = f->op() == Op::And ? Kind::And : Kind::Or;
+      n.a = normalize(f->lhs(), false);
+      n.b = normalize(f->rhs(), false);
+      return lift(mkNode(std::move(n)));
+    }
+    case Op::Implies: {  // a → b ≡ ¬a ∨ b
+      Node n;
+      n.kind = Kind::Or;
+      n.a = normalize(f->lhs(), true);
+      n.b = normalize(f->rhs(), false);
+      return lift(mkNode(std::move(n)));
+    }
+    case Op::Iff: {  // a ↔ b ≡ (¬a∨b) ∧ (¬b∨a)
+      const Ref a = normalize(f->lhs(), false);
+      const Ref b = normalize(f->rhs(), false);
+      Node fwd;
+      fwd.kind = Kind::Or;
+      fwd.a = Ref{a.node, !a.neg};
+      fwd.b = b;
+      Node bwd;
+      bwd.kind = Kind::Or;
+      bwd.a = Ref{b.node, !b.neg};
+      bwd.b = a;
+      Node n;
+      n.kind = Kind::And;
+      n.a = mkNode(std::move(fwd));
+      n.b = mkNode(std::move(bwd));
+      return lift(mkNode(std::move(n)));
+    }
+    case Op::EX:
+    case Op::AX: {  // AX f ≡ ¬EX ¬f
+      const bool dual = f->op() == Op::AX;
+      Node n;
+      n.kind = Kind::Ex;
+      n.a = normalize(f->lhs(), dual);
+      Ref r = mkNode(std::move(n));
+      r.neg = dual != neg;
+      return r;
+    }
+    case Op::EF:
+    case Op::AG: {  // EF f ≡ E[true U f];  AG f ≡ ¬E[true U ¬f]
+      const bool dual = f->op() == Op::AG;
+      Node n;
+      n.kind = Kind::Eu;
+      n.a = Ref{0, false};
+      n.b = normalize(f->lhs(), dual);
+      Ref r = mkNode(std::move(n));
+      r.neg = dual != neg;
+      return r;
+    }
+    case Op::EG:
+    case Op::AF: {  // AF f ≡ ¬EG ¬f
+      const bool dual = f->op() == Op::AF;
+      Node n;
+      n.kind = Kind::Eg;
+      n.a = normalize(f->lhs(), dual);
+      Ref r = mkNode(std::move(n));
+      r.neg = dual != neg;
+      return r;
+    }
+    case Op::EU: {
+      Node n;
+      n.kind = Kind::Eu;
+      n.a = normalize(f->lhs(), false);
+      n.b = normalize(f->rhs(), false);
+      return lift(mkNode(std::move(n)));
+    }
+    case Op::AU: {  // A[f U g] ≡ ¬(E[¬g U ¬f∧¬g] ∨ EG ¬g)
+      const Ref nf = normalize(f->lhs(), true);
+      const Ref ng = normalize(f->rhs(), true);
+      Node both;
+      both.kind = Kind::And;
+      both.a = nf;
+      both.b = ng;
+      Node eu;
+      eu.kind = Kind::Eu;
+      eu.a = ng;
+      eu.b = mkNode(std::move(both));
+      Node eg;
+      eg.kind = Kind::Eg;
+      eg.a = ng;
+      Node either;
+      either.kind = Kind::Or;
+      either.a = mkNode(std::move(eu));
+      either.b = mkNode(std::move(eg));
+      Ref r = mkNode(std::move(either));
+      r.neg = !neg;
+      return r;
+    }
+  }
+  throw Error("bes normalize: unreachable");
+}
+
+// ---- Local solver ----------------------------------------------------------
+
+bool BesChecker::fairTruth(StateId s) {
+  return fairNode_ < 0 || rawValue(fairNode_, s);
+}
+
+bool BesChecker::rawValue(int n, StateId s) {
+  const Node& nd = nodes_[n];
+  switch (nd.kind) {
+    case Kind::True:
+      return true;
+    case Kind::Atom:
+      return graph_->atomHolds(s, nd.atom);
+    case Kind::And:
+      return evalRef(nd.a, s) && evalRef(nd.b, s);
+    case Kind::Or:
+      return evalRef(nd.a, s) || evalRef(nd.b, s);
+    case Kind::Ex: {
+      const std::uint64_t key = (static_cast<std::uint64_t>(n) << 32) | s;
+      const auto it = memo_.find(key);
+      if (it != memo_.end()) return it->second;
+      if (opts_.cancelCheck) opts_.cancelCheck();
+      bool value = false;
+      for (const StateId t : graph_->successors(s)) {
+        if (evalRef(nd.a, t) && fairTruth(t)) {
+          value = true;
+          break;
+        }
+      }
+      memo_.emplace(key, value);
+      return value;
+    }
+    case Kind::Eu:
+    case Kind::Eg: {
+      const std::uint64_t key = (static_cast<std::uint64_t>(n) << 32) | s;
+      const auto it = memo_.find(key);
+      if (it != memo_.end()) return it->second;
+      const bool flipped = solveBlock(n, s);
+      // Eu flips default-false → true; Eg (solved complemented) flips
+      // default-true → false.
+      return nd.kind == Kind::Eu ? flipped : !flipped;
+    }
+  }
+  throw Error("bes rawValue: unreachable");
+}
+
+bool BesChecker::solveBlock(int n, StateId s) {
+  ++stats_.blockSolves;
+  const Node& nd = nodes_[n];
+  const bool isEu = nd.kind == Kind::Eu;
+  const std::uint64_t base = static_cast<std::uint64_t>(n) << 32;
+
+  // Per-variable solve state.  References into the map stay valid across
+  // inserts (unordered_map is node-based), which the lambdas below rely on.
+  struct Entry {
+    bool flipped = false;
+    bool expanded = false;
+    std::uint32_t need = 0;          ///< unflipped children (AND-style only)
+    std::vector<StateId> parents;    ///< block-internal reverse dependencies
+  };
+  std::unordered_map<StateId, Entry> vars;
+  std::vector<StateId> todo{s};
+  std::vector<StateId> flips;
+  vars.emplace(s, Entry{});
+
+  const auto flip = [&](StateId t) {
+    Entry& e = vars[t];
+    if (e.flipped) return;
+    e.flipped = true;
+    ++stats_.varsFlipped;
+    // A flip is final (monotone iteration toward the fixpoint), so it is
+    // memoized immediately even if the solve later short-circuits.
+    memo_[base | t] = isEu;
+    flips.push_back(t);
+  };
+
+  while (!todo.empty() || !flips.empty()) {
+    if (vars[s].flipped) break;  // the query is decided: short-circuit
+    if (!flips.empty()) {
+      // Drain pending propagation before exploring further — a cascade can
+      // reach the query without ever touching the unexplored frontier.
+      const StateId t = flips.back();
+      flips.pop_back();
+      for (const StateId p : vars[t].parents) {
+        Entry& pe = vars[p];
+        if (pe.flipped) continue;
+        if (isEu) {
+          flip(p);  // OR over successors: one flipped child suffices
+        } else if (--pe.need == 0) {
+          flip(p);  // AND over successors: the last child just flipped
+        }
+      }
+      continue;
+    }
+    const StateId t = todo.back();
+    todo.pop_back();
+    Entry& e = vars[t];
+    if (e.expanded || e.flipped) continue;
+    e.expanded = true;
+    if (opts_.cancelCheck) opts_.cancelCheck();
+
+    // A previous solve of this block may have decided the variable.  A
+    // memoized no-flip is final — it contributes nothing and never will,
+    // which for an AND-parent correctly pins `need` above zero forever.
+    const auto mIt = memo_.find(base | t);
+    if (mIt != memo_.end()) {
+      const bool wasFlipped = isEu ? mIt->second : !mIt->second;
+      if (wasFlipped) flip(t);
+      continue;
+    }
+
+    // Literals before successors: E[f U g] decided by g∧fair / blocked by
+    // ¬f, ¬EG f flipped by ¬f — all without expanding the graph.
+    if (isEu) {
+      if (evalRef(nd.b, t) && fairTruth(t)) {
+        flip(t);
+        continue;
+      }
+      if (!evalRef(nd.a, t)) continue;  // guard false: X_t never flips
+    } else if (!evalRef(nd.a, t)) {
+      flip(t);  // ¬f(t) ⇒ ¬EG f at t
+      continue;
+    }
+
+    const std::vector<StateId>& succs = graph_->successors(t);
+    if (isEu) {
+      bool anyFlipped = false;
+      for (const StateId u : succs) {
+        auto [uIt, fresh] = vars.emplace(u, Entry{});
+        if (uIt->second.flipped) {
+          anyFlipped = true;
+          break;
+        }
+        uIt->second.parents.push_back(t);
+        if (fresh) todo.push_back(u);
+      }
+      if (anyFlipped) flip(t);
+      // Deadlock: no successor can ever witness the until — stays default.
+    } else {
+      std::uint32_t pending = 0;
+      for (const StateId u : succs) {
+        auto [uIt, fresh] = vars.emplace(u, Entry{});
+        if (uIt->second.flipped) continue;
+        ++pending;
+        uIt->second.parents.push_back(t);
+        if (fresh) todo.push_back(u);
+      }
+      if (pending == 0) {
+        flip(t);  // all (possibly zero) successors flipped: ⋀ holds
+      } else {
+        e.need = pending;
+      }
+    }
+  }
+
+  const bool queryFlipped = vars[s].flipped;
+  if (!queryFlipped) {
+    // The worklist drained with the dependency closure fully explored, so
+    // the remaining defaults are the fixpoint values: final, memoize them.
+    for (const auto& [t, e] : vars) {
+      if (!e.flipped) memo_[base | t] = !isEu;
+    }
+  }
+  return queryFlipped;
+}
+
+// ---- Dense fallback --------------------------------------------------------
+
+void BesChecker::denseHolds(const ctl::Spec& spec, BesResult* out) {
+  stats_.densePath = true;
+  graph_->close(opts_.cancelCheck);
+  const std::size_t n = graph_->stateCount();
+  using Set = std::vector<char>;
+  const Set all(n, 1), none(n, 0);
+
+  const auto preE = [&](const Set& x) {
+    if (opts_.cancelCheck) opts_.cancelCheck();
+    Set out_(n, 0);
+    for (StateId st = 0; st < n; ++st) {
+      for (const StateId t : graph_->successors(st)) {
+        if (x[t]) {
+          out_[st] = 1;
+          break;
+        }
+      }
+    }
+    return out_;
+  };
+  const auto conj = [&](const Set& a, const Set& b) {
+    Set out_(n);
+    for (std::size_t i = 0; i < n; ++i) out_[i] = a[i] & b[i];
+    return out_;
+  };
+  const auto disj = [&](const Set& a, const Set& b) {
+    Set out_(n);
+    for (std::size_t i = 0; i < n; ++i) out_[i] = a[i] | b[i];
+    return out_;
+  };
+  const auto compl_ = [&](const Set& a) {
+    Set out_(n);
+    for (std::size_t i = 0; i < n; ++i) out_[i] = a[i] ? 0 : 1;
+    return out_;
+  };
+  const auto untilE = [&](const Set& f, const Set& g) {
+    Set q = g;  // lfp Q. g ∨ (f ∧ EX Q)
+    for (;;) {
+      const Set next = disj(q, conj(f, preE(q)));
+      if (next == q) return q;
+      q = next;
+    }
+  };
+  const auto fairEG = [&](const Set& region, const std::vector<Set>& fairIn) {
+    std::vector<Set> fair = fairIn;  // νZ. region ∧ ⋀_F EX E[region U Z∧F]
+    if (fair.empty()) fair.push_back(all);
+    Set z = region;
+    for (;;) {
+      Set next = z;
+      for (const Set& fc : fair) {
+        next = conj(next, conj(region, preE(untilE(region, conj(next, fc)))));
+      }
+      if (next == z) return z;
+      z = next;
+    }
+  };
+
+  // The exact mirror of symbolic::Checker::satRec over bit-vectors.
+  const std::function<Set(const FormulaPtr&, const std::vector<Set>&,
+                          const Set&)>
+      satRec = [&](const FormulaPtr& f, const std::vector<Set>& fairSets,
+                   const Set& fair) -> Set {
+    CMC_ASSERT(f != nullptr);
+    switch (f->op()) {
+      case Op::True:
+        return all;
+      case Op::False:
+        return none;
+      case Op::Atom: {
+        Set out_(n, 0);
+        for (StateId st = 0; st < n; ++st) {
+          out_[st] = graph_->atomHolds(st, f->atom()) ? 1 : 0;
+        }
+        return out_;
+      }
+      case Op::Not:
+        return compl_(satRec(f->lhs(), fairSets, fair));
+      case Op::And:
+        return conj(satRec(f->lhs(), fairSets, fair),
+                    satRec(f->rhs(), fairSets, fair));
+      case Op::Or:
+        return disj(satRec(f->lhs(), fairSets, fair),
+                    satRec(f->rhs(), fairSets, fair));
+      case Op::Implies:
+        return disj(compl_(satRec(f->lhs(), fairSets, fair)),
+                    satRec(f->rhs(), fairSets, fair));
+      case Op::Iff: {
+        const Set a = satRec(f->lhs(), fairSets, fair);
+        const Set b = satRec(f->rhs(), fairSets, fair);
+        return disj(conj(a, b), conj(compl_(a), compl_(b)));
+      }
+      case Op::EX:
+        return preE(conj(satRec(f->lhs(), fairSets, fair), fair));
+      case Op::AX:
+        return compl_(
+            preE(conj(compl_(satRec(f->lhs(), fairSets, fair)), fair)));
+      case Op::EU:
+        return untilE(satRec(f->lhs(), fairSets, fair),
+                      conj(satRec(f->rhs(), fairSets, fair), fair));
+      case Op::EF:
+        return untilE(all, conj(satRec(f->lhs(), fairSets, fair), fair));
+      case Op::EG:
+        return fairEG(satRec(f->lhs(), fairSets, fair), fairSets);
+      case Op::AF:
+        return compl_(
+            fairEG(compl_(satRec(f->lhs(), fairSets, fair)), fairSets));
+      case Op::AG:
+        return compl_(untilE(
+            all, conj(compl_(satRec(f->lhs(), fairSets, fair)), fair)));
+      case Op::AU: {
+        const Set sf = satRec(f->lhs(), fairSets, fair);
+        const Set ng = compl_(satRec(f->rhs(), fairSets, fair));
+        const Set part1 = untilE(ng, conj(conj(compl_(sf), ng), fair));
+        const Set part2 = fairEG(ng, fairSets);
+        return compl_(disj(part1, part2));
+      }
+    }
+    throw Error("bes denseSat: unreachable");
+  };
+
+  std::vector<Set> fairSets;
+  for (const FormulaPtr& fc : spec.r.fairness) {
+    fairSets.push_back(satRec(fc, {}, all));
+  }
+  const Set fair = fairSets.empty() ? all : fairEG(all, fairSets);
+  const Set satF = satRec(spec.f, fairSets, fair);
+
+  // Roots are exactly the init ∧ domain states the symbolic checker tests.
+  for (const StateId r : graph_->roots()) {
+    if (!satF[r]) {
+      out->holds = false;
+      out->counterexample = "violating state: " + graph_->render(r);
+      return;
+    }
+  }
+  out->holds = true;
+}
+
+// ---- Entry point -----------------------------------------------------------
+
+BesResult BesChecker::holds(const ctl::Spec& spec) {
+  std::string whyNot;
+  if (!supports(*sys_, spec, &whyNot)) {
+    throw ModelError("bes backend cannot decide spec '" + spec.name +
+                     "': " + whyNot);
+  }
+  BesResult result;
+  nodes_.clear();
+  nodeIndex_.clear();
+  memo_.clear();
+  fairNode_ = -1;
+  stats_ = BesStats{};
+
+  // Roots: every valid state satisfying the restriction's init predicate
+  // (the symbolic checker's domain ∧ sat(init) — enumeration over declared
+  // value indices never produces an invalid encoding).
+  const FormulaPtr init =
+      spec.r.init != nullptr ? spec.r.init : ctl::mkTrue();
+  graph_ = std::make_unique<StateGraph>(
+      *sys_, symbolic::propositionalBdd(*sys_->ctx, init));
+
+  if (!trivialFairness(spec.r.fairness)) {
+    // Nontrivial fairness alternates (μ-until inside the ν-fair-EG), which
+    // the hierarchical local solver cannot express — evaluate densely.
+    denseHolds(spec, &result);
+  } else {
+    // Node 0 is the shared True leaf; create it before anything else so
+    // every Ref{0, neg} in normalize() lands on it.
+    Node trueNode;
+    trueNode.kind = Kind::True;
+    mkNode(std::move(trueNode));
+    if (!spec.r.fairness.empty()) {
+      // FAIR ≡ EG true: the states admitting an infinite path.  Created
+      // before the formula so its block is below every client in the DAG.
+      Node fairEg;
+      fairEg.kind = Kind::Eg;
+      fairEg.a = Ref{0, false};
+      fairNode_ = mkNode(std::move(fairEg)).node;
+    }
+    const Ref root = normalize(spec.f, false);
+    for (const StateId r : graph_->roots()) {
+      if (opts_.cancelCheck) opts_.cancelCheck();
+      if (!evalRef(root, r)) {
+        result.holds = false;
+        result.counterexample = "violating state: " + graph_->render(r);
+        break;
+      }
+    }
+  }
+  stats_.statesExplored = graph_->stateCount();
+  result.stats = stats_;
+  return result;
+}
+
+}  // namespace cmc::bes

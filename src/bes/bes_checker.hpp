@@ -1,0 +1,143 @@
+// The BES solving backend: compiles a CTL obligation into a Boolean
+// Equation System over the explicit states of the model and solves it with
+// a local (on-the-fly) worklist solver — no BDD fixpoints, no Gauss
+// elimination, and no full state-space materialization unless the query
+// demands it (Lang & Mateescu, "Partial Model Checking using Networks of
+// LTSs and Boolean Equation Systems").
+//
+// Translation.  The spec formula is normalized to a DAG over the core
+// operators {True, False, Atom, And, Or, EX, EU, EG}; negation lives on
+// *references* (polarity flags), and the derived operators desugar exactly
+// the way symbolic::Checker::satRec evaluates them:
+//
+//   AX f          ≡ ¬EX ¬f
+//   EF f          ≡ E[true U f]           AF f ≡ ¬EG ¬f
+//   AG f          ≡ ¬E[true U ¬f]         a→b  ≡ ¬a ∨ b
+//   A[f U g]      ≡ ¬(E[¬g U ¬f∧¬g] ∨ EG ¬g)
+//
+// The fairness constraint of the restriction r=(I,F) is woven in at the
+// same points satRec conjoins `fair`: EX steps into fair successors, the
+// target of every EU is fair-constrained, and EG is the fair νZ-iteration.
+// Each temporal node spawns one equation *block* per queried state:
+//
+//   EU:   X_s =μ (g(s) ∧ fair(s)) ∨ (f(s) ∧ ⋁_{t∈succ(s)} X_t)
+//   EG:   X_s =ν f(s) ∧ ⋁_{t∈succ(s)} X_t
+//   FAIR: X_s =ν ⋁_{t∈succ(s)} X_t        (the trivial-fairness {true} set)
+//
+// Blocks reference each other only along the (acyclic) formula DAG, so the
+// system is hierarchical — the alternation-free fragment — and each block
+// is solved independently in "flip space": ν-blocks are complemented into
+// μ-form, defaults flip monotonically toward the fixpoint, a flip is
+// final the moment it happens, and the solve short-circuits as soon as the
+// queried variable flips.  Unflipped variables are final only once the
+// block's dependency closure is exhausted.
+//
+// Scope.  Nontrivial fairness (fairness formulas other than `true`) makes
+// fair-EG genuinely alternating; those specs are evaluated on a dense
+// bit-vector mirror of satRec over the *closed* reachable graph instead —
+// sound because CTL is forward-looking, so the forward closure of the
+// init ∧ domain states determines every verdict (see THEORY.md).  Specs the
+// backend cannot take at all (non-propositional init, atoms outside the
+// system's alphabet) are reported by supports(); the scheduler falls back
+// to the symbolic engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bes/state_graph.hpp"
+#include "ctl/formula.hpp"
+#include "symbolic/system.hpp"
+
+namespace cmc::bes {
+
+struct BesOptions {
+  /// Polled once per solver step / expanded state; throws to abort (the
+  /// scheduler installs the same BudgetToken + cancel hook the symbolic
+  /// checker gets via CheckerOptions::cancelCheck).
+  std::function<void()> cancelCheck;
+};
+
+struct BesStats {
+  std::uint64_t statesExplored = 0;  ///< interned states at the end
+  std::uint64_t varsFlipped = 0;     ///< BES variables flipped while solving
+  std::uint64_t blockSolves = 0;     ///< local block fixpoints run
+  bool densePath = false;            ///< nontrivial fairness: dense satRec
+};
+
+struct BesResult {
+  bool holds = true;
+  /// For a failed spec: the violating initial state, rendered.
+  std::string counterexample;
+  BesStats stats;
+};
+
+class BesChecker {
+ public:
+  explicit BesChecker(const symbolic::SymbolicSystem& sys,
+                      BesOptions opts = {});
+
+  /// True iff this backend can decide `spec` on `sys` exactly.  On false,
+  /// `whyNot` (when non-null) gets a short reason for the engine-choice
+  /// record.
+  static bool supports(const symbolic::SymbolicSystem& sys,
+                       const ctl::Spec& spec, std::string* whyNot = nullptr);
+
+  /// Decide the spec under its restriction, matching symbolic::Checker
+  /// verdicts exactly.  Throws (ModelError / the cancelCheck exception) on
+  /// unsupported input or abort — call supports() first.
+  BesResult holds(const ctl::Spec& spec);
+
+ private:
+  // ---- Normalized formula DAG ---------------------------------------------
+  enum class Kind : std::uint8_t { True, Atom, And, Or, Ex, Eu, Eg };
+  struct Ref {
+    int node = -1;
+    bool neg = false;
+  };
+  struct Node {
+    Kind kind = Kind::True;
+    Ref a, b;          ///< And/Or: operands; Ex/Eg: a; Eu: a=f, b=g
+    std::string atom;  ///< Kind::Atom only
+  };
+
+  Ref normalize(const ctl::FormulaPtr& f, bool neg);
+  Ref mkNode(Node n);
+
+  // ---- Local solver --------------------------------------------------------
+  /// Truth of node `n`'s formula at state `s` (positive polarity; negation
+  /// is resolved at the reference).
+  bool rawValue(int n, StateId s);
+  bool evalRef(Ref r, StateId s) {
+    return rawValue(r.node, s) != r.neg;
+  }
+  /// Truth of the fairness constraint at `s` (constant true when the
+  /// restriction has no fairness formulas).
+  bool fairTruth(StateId s);
+  /// Solve the equation block of temporal node `n` for state `s` in flip
+  /// space; returns whether X_s flipped away from the block's default.
+  bool solveBlock(int n, StateId s);
+
+  // ---- Dense fallback (nontrivial fairness) -------------------------------
+  /// Close the graph and evaluate the spec with a bit-vector mirror of
+  /// symbolic::Checker::satRec over the explicit reachable states.
+  void denseHolds(const ctl::Spec& spec, BesResult* out);
+
+  const symbolic::SymbolicSystem* sys_;
+  BesOptions opts_;
+  std::unique_ptr<StateGraph> graph_;
+  BesStats stats_;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, int> nodeIndex_;  ///< structural hash-cons
+  int fairNode_ = -1;  ///< FAIR block node, or -1 when fairness is empty
+
+  /// Global memo: (node, state) → truth, keyed node * 2^32 + state.
+  std::unordered_map<std::uint64_t, bool> memo_;
+};
+
+}  // namespace cmc::bes

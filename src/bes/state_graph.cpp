@@ -1,0 +1,167 @@
+#include "bes/state_graph.hpp"
+
+#include <utility>
+
+#include "util/common.hpp"
+
+namespace cmc::bes {
+
+std::size_t StateGraph::VectorHash::operator()(
+    const std::vector<std::uint32_t>& v) const noexcept {
+  // FNV-1a over the value indices.
+  std::size_t h = 1469598103934665603ull;
+  for (const std::uint32_t x : v) {
+    h ^= x;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+StateGraph::StateGraph(const symbolic::SymbolicSystem& sys, bdd::Bdd init)
+    : sys_(&sys) {
+  for (std::size_t i = 0; i < sys.vars.size(); ++i) varPos_[sys.vars[i]] = i;
+  enumerateStates(init, /*next=*/false, &roots_);
+}
+
+StateId StateGraph::intern(const std::vector<std::uint32_t>& values) {
+  const auto it = index_.find(values);
+  if (it != index_.end()) return it->second;
+  const StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(values);
+  index_.emplace(values, id);
+  succKnown_.push_back(false);
+  succ_.emplace_back();
+  return id;
+}
+
+void StateGraph::enumerateStates(const bdd::Bdd& b, bool next,
+                                 std::vector<StateId>* out) {
+  if (b.isFalse()) return;
+  std::vector<std::uint32_t> partial;
+  partial.reserve(sys_->vars.size());
+  enumerateRec(b, next, 0, &partial, out);
+}
+
+void StateGraph::enumerateRec(const bdd::Bdd& b, bool next, std::size_t varPos,
+                              std::vector<std::uint32_t>* partial,
+                              std::vector<StateId>* out) {
+  if (varPos == sys_->vars.size()) {
+    // Every bit of every variable is fixed, so b is non-false iff this
+    // assignment satisfies it (any residual support is outside Σ and
+    // existential).
+    out->push_back(intern(*partial));
+    return;
+  }
+  symbolic::Context& ctx = *sys_->ctx;
+  const symbolic::VarId v = sys_->vars[varPos];
+  const std::size_t domainSize = ctx.variable(v).values.size();
+  for (std::size_t idx = 0; idx < domainSize; ++idx) {
+    bdd::Bdd restricted = b & ctx.varEqIndex(v, idx, next);
+    if (restricted.isFalse()) continue;
+    partial->push_back(static_cast<std::uint32_t>(idx));
+    enumerateRec(restricted, next, varPos + 1, partial, out);
+    partial->pop_back();
+  }
+}
+
+bdd::Bdd StateGraph::stateBdd(StateId s) {
+  symbolic::Context& ctx = *sys_->ctx;
+  bdd::Bdd b = ctx.mgr().bddTrue();
+  const std::vector<std::uint32_t>& values = states_[s];
+  for (std::size_t i = 0; i < sys_->vars.size(); ++i) {
+    b &= ctx.varEqIndex(sys_->vars[i], values[i], /*next=*/false);
+  }
+  return b;
+}
+
+const std::vector<StateId>& StateGraph::successors(StateId s) {
+  if (succKnown_[s]) return succ_[s];
+  const bdd::Bdd cur = stateBdd(s);
+  std::vector<StateId> result;
+  // The current bits are fixed, so each track's conjunction collapses fast;
+  // preimage machinery (early quantification, partial swaps) buys nothing
+  // for a single source state.
+  for (const symbolic::PartitionedRelation& track : sys_->partition.tracks) {
+    bdd::Bdd restricted = cur;
+    for (const symbolic::Conjunct& c : track.conjuncts()) {
+      restricted &= c.rel;
+      if (restricted.isFalse()) break;
+    }
+    if (restricted.isFalse()) continue;
+    enumerateStates(restricted, /*next=*/true, &result);
+  }
+  // Tracks overlap (e.g. the stutter transition appears in several), so
+  // dedupe; order is irrelevant to the solver.
+  std::vector<StateId> deduped;
+  deduped.reserve(result.size());
+  std::vector<bool> seen;
+  for (const StateId t : result) {
+    if (t >= seen.size()) seen.resize(states_.size(), false);
+    if (seen[t]) continue;
+    seen[t] = true;
+    deduped.push_back(t);
+  }
+  // successors() interns new states, so succ_/succKnown_ may have grown
+  // (and been reallocated) since the check at the top — index again.
+  succ_[s] = std::move(deduped);
+  succKnown_[s] = true;
+  return succ_[s];
+}
+
+bool StateGraph::atomHolds(StateId s, const std::string& atomText) {
+  auto it = atoms_.find(atomText);
+  if (it == atoms_.end()) {
+    symbolic::Context& ctx = *sys_->ctx;
+    std::size_t pos = 0;
+    std::uint32_t valueIdx = 0;
+    const std::size_t eq = atomText.find('=');
+    if (eq == std::string::npos) {
+      const symbolic::VarId id = ctx.varId(atomText);
+      if (!ctx.variable(id).isBool) {
+        throw ModelError("atom '" + atomText +
+                         "' names a non-boolean variable; use " + atomText +
+                         "=value");
+      }
+      const auto posIt = varPos_.find(id);
+      if (posIt == varPos_.end()) {
+        throw ModelError("atom '" + atomText + "' is outside the system");
+      }
+      pos = posIt->second;
+      valueIdx = 1;  // booleans are {"0", "1"}
+    } else {
+      const symbolic::VarId id = ctx.varId(atomText.substr(0, eq));
+      const auto posIt = varPos_.find(id);
+      if (posIt == varPos_.end()) {
+        throw ModelError("atom '" + atomText + "' is outside the system");
+      }
+      pos = posIt->second;
+      valueIdx = static_cast<std::uint32_t>(
+          ctx.variable(id).valueIndex(atomText.substr(eq + 1)));
+    }
+    it = atoms_.emplace(atomText, std::make_pair(pos, valueIdx)).first;
+  }
+  return states_[s][it->second.first] == it->second.second;
+}
+
+std::string StateGraph::render(StateId s) const {
+  std::string out;
+  for (std::size_t i = 0; i < sys_->vars.size(); ++i) {
+    const symbolic::Variable& v = sys_->ctx->variable(sys_->vars[i]);
+    if (!out.empty()) out += " ";
+    out += v.name + "=" + v.values[states_[s][i]];
+  }
+  return out.empty() ? "<empty state>" : out;
+}
+
+void StateGraph::close(const std::function<void()>& cancelCheck) {
+  if (closed_) return;
+  // states_ grows as we sweep; the index doubles as the BFS frontier since
+  // every interned state gets expanded exactly once.
+  for (StateId s = 0; s < states_.size(); ++s) {
+    if (cancelCheck) cancelCheck();
+    successors(s);
+  }
+  closed_ = true;
+}
+
+}  // namespace cmc::bes

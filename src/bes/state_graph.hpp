@@ -1,0 +1,94 @@
+// Explicit state graph over a SymbolicSystem, for the BES solving backend.
+//
+// The BES engine trades BDD fixpoints for local worklist propagation over
+// *explicit* states, so it needs the model as a graph: states are full
+// assignments of the system's variables (interned to dense ids), roots are
+// the states satisfying init ∧ domain, and edges follow the partitioned
+// transition relation.  Both enumerations are BDD-guided — a state's
+// candidate extensions are pruned by conjoining `var = value` predicates and
+// dropping false branches — so the graph is only ever grown on demand: the
+// solver explores exactly the dependency closure of the query, never the
+// full state space.
+//
+// The graph owns no BDDs long-term; enumeration intermediates die at the end
+// of each call.  The underlying Context must outlive the graph and must not
+// be shared with another thread while the graph is in use (BDD managers are
+// single-threaded).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "symbolic/system.hpp"
+
+namespace cmc::bes {
+
+using StateId = std::uint32_t;
+
+class StateGraph {
+ public:
+  /// `init` is the propositional initial-state predicate over current-state
+  /// bits; roots are its satisfying valid assignments of `sys.vars`.
+  StateGraph(const symbolic::SymbolicSystem& sys, bdd::Bdd init);
+
+  const std::vector<StateId>& roots() const noexcept { return roots_; }
+
+  /// Successor states of `s` under the system's transition relation
+  /// (deduplicated, lazily computed and memoized).
+  const std::vector<StateId>& successors(StateId s);
+
+  /// Truth of a CTL atom ("x" or "var=value") in state `s`.  Parsed atom
+  /// texts are memoized; throws ModelError for unknown variables/values.
+  bool atomHolds(StateId s, const std::string& atomText);
+
+  /// Human-readable rendering "v1=a v2=0 ..." for counterexamples.
+  std::string render(StateId s) const;
+
+  /// States interned so far (grows as the solver explores).
+  std::size_t stateCount() const noexcept { return states_.size(); }
+
+  /// Explore the full forward closure of the roots (BFS).  `cancelCheck`
+  /// is invoked once per expanded state and may throw to abort.  Needed by
+  /// the dense evaluation path, which iterates fixpoints over bit-vectors
+  /// and so requires the reachable set up front.
+  void close(const std::function<void()>& cancelCheck);
+
+  /// True once close() has completed.
+  bool closed() const noexcept { return closed_; }
+
+ private:
+  /// Enumerate all valid assignments of sys_->vars satisfying `b` (over the
+  /// current or next columns) and intern each, appending ids to `out`.
+  void enumerateStates(const bdd::Bdd& b, bool next, std::vector<StateId>* out);
+  void enumerateRec(const bdd::Bdd& b, bool next, std::size_t varPos,
+                    std::vector<std::uint32_t>* partial,
+                    std::vector<StateId>* out);
+  StateId intern(const std::vector<std::uint32_t>& values);
+  /// Conjunction of `var = value` over every variable, current column.
+  bdd::Bdd stateBdd(StateId s);
+
+  struct VectorHash {
+    std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept;
+  };
+
+  const symbolic::SymbolicSystem* sys_;
+  std::vector<std::vector<std::uint32_t>> states_;  ///< id → value indices
+  std::unordered_map<std::vector<std::uint32_t>, StateId, VectorHash> index_;
+  std::vector<StateId> roots_;
+
+  std::vector<bool> succKnown_;
+  std::vector<std::vector<StateId>> succ_;
+
+  /// Atom text → (position in sys.vars, value index).
+  std::unordered_map<std::string, std::pair<std::size_t, std::uint32_t>>
+      atoms_;
+  /// VarId → position in sys_->vars.
+  std::unordered_map<symbolic::VarId, std::size_t> varPos_;
+
+  bool closed_ = false;
+};
+
+}  // namespace cmc::bes

@@ -178,6 +178,13 @@ bool Coordinator::probeShard(Shard& shard, std::string* statusLine,
 }
 
 void Coordinator::markDown(Shard& shard, const std::string& reason) {
+  {
+    // Reason before the atomic flip: a roster snapshot that observes
+    // up=false always finds the reason already in place (the old order
+    // had a window where STATUS showed a down shard with no reason).
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    shard.downReason = reason;
+  }
   if (shard.up.exchange(false, std::memory_order_relaxed)) {
     metrics_.counter("cluster_shard_markdowns").inc();
     trace_.emit(service::JsonObject()
@@ -186,8 +193,6 @@ void Coordinator::markDown(Shard& shard, const std::string& reason) {
                     .put("shard", shard.spec.name)
                     .put("reason", reason));
   }
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  shard.downReason = reason;
 }
 
 void Coordinator::markUp(Shard& shard) {
@@ -779,30 +784,51 @@ void Coordinator::handleCheck(net::LineSocket& sock, const net::Request& req) {
     metrics_.counter("responses_dropped").inc();
 }
 
+std::vector<Coordinator::RosterEntry> Coordinator::snapshotRoster() const {
+  std::vector<RosterEntry> roster;
+  roster.reserve(shards_.size());
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
+    const Shard& s = *shardPtr;
+    RosterEntry e;
+    e.spec = &s.spec;
+    e.up = s.up.load(std::memory_order_relaxed);
+    if (!e.up) e.reason = s.downReason;
+    e.version = s.version;
+    e.inFlight = s.inFlight;
+    e.queued = s.queued;
+    e.dispatched = s.dispatched.load(std::memory_order_relaxed);
+    e.redispatched = s.redispatched.load(std::memory_order_relaxed);
+    roster.push_back(std::move(e));
+  }
+  return roster;
+}
+
 std::string Coordinator::statusResponse() {
+  // One roster snapshot per request: the per-shard array and the derived
+  // shards_up count come from the same instant, so a shard marked down
+  // mid-aggregation never makes them disagree.
+  const std::vector<RosterEntry> roster = snapshotRoster();
+  std::size_t up = 0;
   std::string shardArray = "[";
-  {
-    std::lock_guard<std::mutex> lock(stateMutex_);
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      const Shard& s = *shards_[i];
-      if (i > 0) shardArray += ", ";
-      service::JsonObject one;
-      one.put("name", s.spec.name);
-      if (s.spec.tcpPort >= 0)
-        one.putUint("tcp", static_cast<std::uint64_t>(s.spec.tcpPort));
-      else
-        one.put("socket", s.spec.socketPath);
-      one.put("state", s.up.load(std::memory_order_relaxed) ? "up" : "down");
-      if (!s.downReason.empty()) one.put("reason", s.downReason);
-      if (!s.version.empty()) one.put("cmc_version", s.version);
-      one.putUint("in_flight", s.inFlight)
-          .putUint("queued", s.queued)
-          .putUint("dispatched",
-                   s.dispatched.load(std::memory_order_relaxed))
-          .putUint("redispatched",
-                   s.redispatched.load(std::memory_order_relaxed));
-      shardArray += one.str();
-    }
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    const RosterEntry& e = roster[i];
+    if (e.up) ++up;
+    if (i > 0) shardArray += ", ";
+    service::JsonObject one;
+    one.put("name", e.spec->name);
+    if (e.spec->tcpPort >= 0)
+      one.putUint("tcp", static_cast<std::uint64_t>(e.spec->tcpPort));
+    else
+      one.put("socket", e.spec->socketPath);
+    one.put("state", e.up ? "up" : "down");
+    if (!e.reason.empty()) one.put("reason", e.reason);
+    if (!e.version.empty()) one.put("cmc_version", e.version);
+    one.putUint("in_flight", e.inFlight)
+        .putUint("queued", e.queued)
+        .putUint("dispatched", e.dispatched)
+        .putUint("redispatched", e.redispatched);
+    shardArray += one.str();
   }
   shardArray += "]";
   unsigned active;
@@ -818,8 +844,8 @@ std::string Coordinator::statusResponse() {
       .put("cmc_version", util::versionString())
       .putUint("protocol_rev", net::kProtocolRevision)
       .putDouble("uptime_seconds", uptime_.seconds())
-      .putUint("shards_total", shards_.size())
-      .putUint("shards_up", shardsUp())
+      .putUint("shards_total", roster.size())
+      .putUint("shards_up", up)
       .putUint("in_flight", active)
       .putUint("max_inflight", opts_.maxInFlight)
       .putRaw("shards", shardArray)
@@ -827,30 +853,42 @@ std::string Coordinator::statusResponse() {
 }
 
 std::string Coordinator::statsResponse() {
-  // Live scatter: every up shard is asked for its STATS (short timeout);
-  // the flat per-shard fields are summed into one fleet view and echoed
-  // per shard for drill-down.
+  // Live scatter over one roster snapshot: a shard already marked down is
+  // tagged "down" and skipped (its control timeout is never paid — a
+  // mid-aggregation mark-down cannot wedge the aggregate), an up shard
+  // that fails the scatter is tagged "unreachable" with the error, and
+  // every count is derived from the same snapshot.  The flat per-shard
+  // fields are summed into one fleet view and echoed per shard for
+  // drill-down.
   struct ShardStats {
-    std::string name;
+    const RosterEntry* roster = nullptr;
     bool responded = false;
+    std::string scatterError;  ///< up-but-unreachable: what went wrong
     std::uint64_t admitted = 0, completed = 0, rejectedBusy = 0;
     std::uint64_t cacheEntries = 0, cacheHits = 0, cacheMisses = 0;
     std::uint64_t inFlight = 0, queued = 0, poolQueue = 0;
     double p50 = 0.0, p99 = 0.0;
   };
+  const std::vector<RosterEntry> roster = snapshotRoster();
+  std::size_t up = 0;
   std::vector<ShardStats> all;
+  all.reserve(roster.size());
   static const std::string kStatsLine =
       service::JsonObject().put("cmd", "STATS").str();
-  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
-    Shard& shard = *shardPtr;
+  for (const RosterEntry& entry : roster) {
     ShardStats stats;
-    stats.name = shard.spec.name;
-    if (shard.up.load(std::memory_order_relaxed)) {
+    stats.roster = &entry;
+    if (entry.up) {
+      ++up;
       net::Client client;
       std::string response, error;
-      if (connectShard(shard.spec, &client, &error)) {
+      if (!connectShard(*entry.spec, &client, &error)) {
+        stats.scatterError = "connect: " + error;
+      } else {
         setRecvTimeout(client, opts_.controlTimeoutSeconds);
-        if (client.request(kStatsLine, &response, &error)) {
+        if (!client.request(kStatsLine, &response, &error)) {
+          stats.scatterError = "stats: " + error;
+        } else {
           stats.responded = true;
           service::jsonExtractUint(response, "checks_admitted",
                                    &stats.admitted);
@@ -884,7 +922,16 @@ std::string Coordinator::statsResponse() {
     const ShardStats& s = all[i];
     if (i > 0) shardArray += ", ";
     service::JsonObject one;
-    one.put("name", s.name).putBool("responded", s.responded);
+    one.put("name", s.roster->spec->name).putBool("responded", s.responded);
+    if (!s.roster->up) {
+      one.put("state", "down");
+      if (!s.roster->reason.empty()) one.put("reason", s.roster->reason);
+    } else if (!s.responded) {
+      one.put("state", "unreachable");
+      if (!s.scatterError.empty()) one.put("reason", s.scatterError);
+    } else {
+      one.put("state", "up");
+    }
     if (s.responded) {
       ++responded;
       total.admitted += s.admitted;
@@ -923,8 +970,8 @@ std::string Coordinator::statsResponse() {
       .put("cmc_version", util::versionString())
       .putUint("protocol_rev", net::kProtocolRevision)
       .putDouble("uptime_seconds", uptime_.seconds())
-      .putUint("shards_total", shards_.size())
-      .putUint("shards_up", shardsUp())
+      .putUint("shards_total", roster.size())
+      .putUint("shards_up", up)
       .putUint("shards_responding", responded)
       .putUint("checks_admitted", total.admitted)
       .putUint("checks_completed", total.completed)

@@ -142,6 +142,23 @@ class Coordinator {
     std::uint64_t queued = 0;     ///< last observed; stateMutex_
   };
 
+  /// One shard's roster state, captured under a single stateMutex_ hold so
+  /// a STATUS/STATS aggregate is internally consistent: a shard marked
+  /// down mid-aggregation cannot make the per-shard array and the derived
+  /// counts disagree, and a down shard is never scattered to (no wedge on
+  /// its control timeout).
+  struct RosterEntry {
+    const ShardSpec* spec = nullptr;
+    bool up = true;
+    std::string reason;  ///< down reason; empty when up
+    std::string version;
+    std::uint64_t inFlight = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t redispatched = 0;
+  };
+  std::vector<RosterEntry> snapshotRoster() const;
+
   void acceptLoop(int listenFd);
   void probeLoop();
   void handleConnection(int fd);

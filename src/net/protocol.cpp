@@ -109,6 +109,8 @@ bool parseRequest(const std::string& line, const service::JobOptions& defaults,
                        error) ||
           !overlayBool(line, "compose", &req.options.compose, error) ||
           !overlayBool(line, "reorder", &req.options.reorderBeforeCheck,
+                       error) ||
+          !overlayBool(line, "trace_force", &req.options.traceForce,
                        error)) {
         return false;
       }
@@ -125,8 +127,8 @@ bool parseRequest(const std::string& line, const service::JobOptions& defaults,
         service::jsonExtractString(line, "engine", &engine);
         if (!symbolic::engineModeFromString(engine, &req.options.engine)) {
           *error =
-              "field 'engine' must be 'auto', 'partitioned', or "
-              "'monolithic'";
+              "field 'engine' must be 'auto', 'partitioned', "
+              "'monolithic', 'bes', or 'race'";
           return false;
         }
       }

@@ -66,12 +66,14 @@ struct JobOptions {
   /// Also verify every spec on the composition of all modules (through the
   /// compositional rules, with a ProofTree certificate in the report).
   bool compose = false;
-  /// First-attempt preimage engine.  Auto resolves per obligation through
-  /// symbolic::chooseEngine (capped materialization probe, run once during
-  /// the job's elaboration snapshot); Partitioned/Monolithic force
-  /// CheckerOptions::usePartitionedTrans directly.  The library default
-  /// stays Partitioned for reproducible behavior; the cmc CLI defaults to
-  /// Auto.
+  /// First-attempt verification engine.  Auto resolves per obligation
+  /// through symbolic::chooseEngine (capped materialization probe, run once
+  /// during the job's elaboration snapshot); Partitioned/Monolithic force
+  /// CheckerOptions::usePartitionedTrans directly; Bes runs the explicit
+  /// BES solver (falling back to partitioned where it declines); Race runs
+  /// BES and the symbolic engine concurrently per obligation — first sound
+  /// verdict wins, the loser is cancelled.  The library default stays
+  /// Partitioned for reproducible behavior; the cmc CLI defaults to Auto.
   symbolic::EngineMode engine = symbolic::EngineMode::Partitioned;
   /// Degradation policy: an obligation that exhausts its budget under one
   /// engine is retried once under the other before being reported
@@ -82,6 +84,13 @@ struct JobOptions {
   /// Sift variables (Manager::reorderSift) after elaboration, before
   /// checking — the service counterpart of `cmc_check --reorder`.
   bool reorderBeforeCheck = false;
+  /// A cache/journal-replayed Fails may carry no counterexample (trace
+  /// search is best-effort and older entries may predate it).  By default
+  /// the replay stands and the trace notes trace_unavailable; with this
+  /// set the obligation is re-checked so a trace can be derived.  Not part
+  /// of the obligation fingerprint: it changes how a verdict is *served*,
+  /// never the verdict.
+  bool traceForce = false;
 };
 
 /// Builds a job's modules inside a fresh per-obligation context.  Used for
@@ -110,7 +119,7 @@ struct VerificationJob {
 
 /// One engine attempt of one obligation.
 struct AttemptRecord {
-  std::string engine;  ///< "partitioned" or "monolithic"
+  std::string engine;  ///< "partitioned", "monolithic", or "bes"
   Verdict verdict = Verdict::Error;
   double seconds = 0.0;
   std::uint64_t peakLiveNodes = 0;

@@ -13,6 +13,10 @@ const char* toString(EngineMode m) noexcept {
       return "partitioned";
     case EngineMode::Monolithic:
       return "monolithic";
+    case EngineMode::Bes:
+      return "bes";
+    case EngineMode::Race:
+      return "race";
   }
   return "auto";
 }
@@ -28,6 +32,14 @@ bool engineModeFromString(std::string_view text, EngineMode* out) noexcept {
   }
   if (text == "monolithic") {
     *out = EngineMode::Monolithic;
+    return true;
+  }
+  if (text == "bes") {
+    *out = EngineMode::Bes;
+    return true;
+  }
+  if (text == "race") {
+    *out = EngineMode::Race;
     return true;
   }
   return false;
@@ -64,6 +76,15 @@ EngineChoice chooseEngine(const SymbolicSystem& sys) {
   // probe therefore does O(allocations / cap) walks, and an aborting one
   // still stops within O(cap) allocations of the crossing.
   c.probed = true;
+  // The probe is an allocation burst on the caller's manager.  Mid-probe
+  // auto-GC is unproductive (the accumulators are externally referenced),
+  // so the 25% rule can double the auto-GC threshold — repeatedly — and an
+  // abort leaves the dead intermediates in the live-node count until the
+  // next sweep.  Both distort BudgetToken's live-node recheck on
+  // tight-budget jobs into spurious MemoryOut/Inconclusive verdicts, so
+  // the threshold is pinned across the probe and every non-caching exit
+  // sweeps the probe's allocations before returning.
+  const std::uint64_t savedGcThreshold = mgr.gcThreshold();
   std::uint64_t lastWalkAlloc = mgr.stats().nodesAllocatedTotal;
   const auto abortsProbe = [&](const bdd::Bdd& f) {
     if (mgr.stats().nodesAllocatedTotal - lastWalkAlloc <= c.capNodes) {
@@ -72,27 +93,34 @@ EngineChoice chooseEngine(const SymbolicSystem& sys) {
     lastWalkAlloc = mgr.stats().nodesAllocatedTotal;
     return mgr.dagSize(f) > c.capNodes;
   };
+  bool aborted = false;
   bdd::Bdd acc = mgr.bddFalse();
   for (const PartitionedRelation& track : sys.partition.tracks) {
     bdd::Bdd prod = mgr.bddTrue();
     for (const Conjunct& cj : track.conjuncts()) {
       prod &= cj.rel;
       if (abortsProbe(prod)) {
-        c.probeAborted = true;
-        c.usePartitioned = true;
         c.monolithicNodes = mgr.dagSize(prod);  // lower bound at abort
-        c.reason = "monolithic probe exceeded cap; keeping partition";
-        return c;
+        aborted = true;
+        break;
       }
     }
+    if (aborted) break;
     acc |= prod;
     if (abortsProbe(acc)) {
-      c.probeAborted = true;
-      c.usePartitioned = true;
       c.monolithicNodes = mgr.dagSize(acc);
-      c.reason = "monolithic probe exceeded cap; keeping partition";
-      return c;
+      aborted = true;
+      break;
     }
+  }
+  if (aborted) {
+    c.probeAborted = true;
+    c.usePartitioned = true;
+    c.reason = "monolithic probe exceeded cap; keeping partition";
+    acc = bdd::Bdd();  // release before the sweep so the nodes actually die
+    mgr.setGcThreshold(savedGcThreshold);
+    mgr.collectGarbage();
+    return c;
   }
 
   // The sparse trigger can let a product complete past the cap (it is a
@@ -101,13 +129,19 @@ EngineChoice chooseEngine(const SymbolicSystem& sys) {
   if (c.monolithicNodes > c.capNodes) {
     c.usePartitioned = true;
     c.reason = "completed monolithic product exceeds cap; keeping partition";
+    acc = bdd::Bdd();
+    mgr.setGcThreshold(savedGcThreshold);
+    mgr.collectGarbage();
     return c;
   }
   c.usePartitioned = false;
   c.reason = "monolithic product fits within cap";
   // The probe just *is* the materialization — cache it so transBdd() and a
-  // worker importing this system reuse it instead of rebuilding.
+  // worker importing this system reuse it instead of rebuilding.  The
+  // cached product keeps its intermediates' survivors live, so no forced
+  // sweep here: the next natural collection reclaims the rest.
   sys.monolithic_ = std::move(acc);
+  mgr.setGcThreshold(savedGcThreshold);
   return c;
 }
 

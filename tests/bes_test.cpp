@@ -1,0 +1,206 @@
+// Tests for the BES solving backend: translation coverage of the
+// alternation-free CTL fragment (Holds and Fails with a counterexample),
+// the supports() gate the scheduler's fallback relies on, cooperative
+// cancellation, cross-validation against the symbolic checker over every
+// models/*.smv, and the engine-probe regression (gc threshold pinned and
+// restored so a tight BudgetToken stays usable after a probe).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bes/bes_checker.hpp"
+#include "service/budget.hpp"
+#include "smv/elaborate.hpp"
+#include "symbolic/checker.hpp"
+#include "symbolic/composition.hpp"
+#include "symbolic/engine_choice.hpp"
+
+namespace cmc::bes {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kChainSmv = R"(
+MODULE chain
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;
+SPEC AG (s = a | s = b | s = c)
+SPEC AG EF s = c
+SPEC AF (s = c)
+SPEC AG (s = a)
+SPEC E [ s = a U s = b ]
+SPEC A [ s = a U s = c ]
+)";
+
+TEST(BesChecker, DecidesCoreFragmentAndProducesCounterexample) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kChainSmv);
+  ASSERT_EQ(mod.specs.size(), 6u);
+
+  BesChecker checker(mod.sys);
+  // AG invariant, AG EF (reset property), and AF eventuality hold on the
+  // a->b->c chain; AG (s = a) fails at the second state.  The until specs
+  // fail under the paper's check-all-I-states semantics (state c is an
+  // initial state too, and satisfies neither side).
+  EXPECT_TRUE(checker.holds(mod.specs[0]).holds);
+  EXPECT_TRUE(checker.holds(mod.specs[1]).holds);
+  EXPECT_TRUE(checker.holds(mod.specs[2]).holds);
+  const BesResult fails = checker.holds(mod.specs[3]);
+  EXPECT_FALSE(fails.holds);
+  EXPECT_FALSE(fails.counterexample.empty());
+  EXPECT_FALSE(checker.holds(mod.specs[4]).holds);
+  EXPECT_FALSE(checker.holds(mod.specs[5]).holds);
+
+  // And every one of them matches the symbolic checker exactly.
+  symbolic::Checker sym(mod.sys);
+  for (const ctl::Spec& spec : mod.specs) {
+    EXPECT_EQ(checker.holds(spec).holds, sym.holds(spec)) << spec.name;
+  }
+}
+
+TEST(BesChecker, SupportsGateExplainsDeclinedSpecs) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kChainSmv);
+
+  std::string whyNot;
+  EXPECT_TRUE(BesChecker::supports(mod.sys, mod.specs[0], &whyNot)) << whyNot;
+
+  // An atom outside the system's alphabet is declined with a reason, not
+  // decided wrongly.
+  ctl::Spec alien = mod.specs[0];
+  alien.f = ctl::atom("no_such_var");
+  whyNot.clear();
+  EXPECT_FALSE(BesChecker::supports(mod.sys, alien, &whyNot));
+  EXPECT_FALSE(whyNot.empty());
+
+  // A non-propositional restriction init (temporal operator inside I) is
+  // outside the enumerable-preimage fragment.
+  ctl::Spec temporalInit = mod.specs[0];
+  temporalInit.r.init = ctl::EX(ctl::eq("s", "a"));
+  whyNot.clear();
+  EXPECT_FALSE(BesChecker::supports(mod.sys, temporalInit, &whyNot));
+  EXPECT_FALSE(whyNot.empty());
+}
+
+TEST(BesChecker, CancelHookAbortsTheSolve) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kChainSmv);
+  BesOptions opts;
+  opts.cancelCheck = [] {
+    throw symbolic::CancelledError(symbolic::CancelReason::External,
+                                   "test cancel");
+  };
+  BesChecker checker(mod.sys, opts);
+  EXPECT_THROW(checker.holds(mod.specs[0]), symbolic::CancelledError);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation: BES verdicts match the symbolic checker on every
+// models/*.smv, including the nontrivial-fairness model (dense path).
+// ---------------------------------------------------------------------------
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(BesChecker, MatchesSymbolicCheckerOnEveryModel) {
+  std::size_t specsCompared = 0;
+  std::size_t densePathSpecs = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(CMC_MODELS_DIR)) {
+    if (entry.path().extension() != ".smv") continue;
+    const std::string text = readFile(entry.path());
+    symbolic::Context ctx(1 << 16);
+    const std::vector<smv::ElaboratedModule> modules =
+        smv::elaborateProgram(ctx, text);
+    for (const smv::ElaboratedModule& mod : modules) {
+      symbolic::Checker symbolicChecker(mod.sys);
+      BesChecker besChecker(mod.sys);
+      for (const ctl::Spec& spec : mod.specs) {
+        std::string whyNot;
+        ASSERT_TRUE(BesChecker::supports(mod.sys, spec, &whyNot))
+            << entry.path().filename() << " " << mod.sys.name << "."
+            << spec.name << ": " << whyNot;
+        const BesResult bes = besChecker.holds(spec);
+        EXPECT_EQ(bes.holds, symbolicChecker.holds(spec))
+            << entry.path().filename() << " " << mod.sys.name << "."
+            << spec.name;
+        if (!bes.holds) EXPECT_FALSE(bes.counterexample.empty());
+        if (bes.stats.densePath) ++densePathSpecs;
+        ++specsCompared;
+      }
+    }
+  }
+  // The models directory must actually exercise both solver paths.
+  EXPECT_GE(specsCompared, 20u);
+  EXPECT_GE(densePathSpecs, 1u);  // figure2_strong_fairness.smv
+}
+
+// ---------------------------------------------------------------------------
+// Engine-probe regression (satellite 1): chooseEngine's materialization
+// probe must not leak its allocation burst into the caller's GC policy or
+// live-node count — a tight BudgetToken checked right after a probe used
+// to see the probe's dead intermediates and report a spurious MemoryOut.
+// ---------------------------------------------------------------------------
+
+TEST(EngineProbe, RestoresGcThresholdAndSweepsAbortedProbes) {
+  // The composed AFS-2 system is the documented blow-up case: the probe
+  // aborts at the cap, so every allocation it made is garbage.
+  symbolic::Context ctx(1 << 16);
+  const std::vector<smv::ElaboratedModule> modules = smv::elaborateProgram(
+      ctx, readFile(fs::path(CMC_MODELS_DIR) / "afs2_composed.smv"));
+  std::vector<symbolic::SymbolicSystem> parts;
+  for (const smv::ElaboratedModule& mod : modules) {
+    symbolic::SymbolicSystem sys = mod.sys;
+    symbolic::addReflexive(sys);
+    parts.push_back(std::move(sys));
+  }
+  const symbolic::SymbolicSystem composed = symbolic::composeAll(parts);
+
+  ctx.mgr().setGcThreshold(256);
+  ctx.mgr().collectGarbage();
+  const std::uint64_t liveBefore = ctx.mgr().liveNodeCount();
+
+  const symbolic::EngineChoice choice = symbolic::chooseEngine(composed);
+  EXPECT_TRUE(choice.probed);
+  EXPECT_TRUE(choice.probeAborted);
+  EXPECT_TRUE(choice.usePartitioned);
+
+  // The probe's auto-GC doubling is rolled back...
+  EXPECT_EQ(ctx.mgr().gcThreshold(), 256u);
+  // ...and its dead intermediates are swept before returning, so a
+  // live-node budget recheck sees the pre-probe footprint.
+  EXPECT_LE(ctx.mgr().liveNodeCount(), liveBefore);
+
+  // A BudgetToken sized to the model (plus slack) stays usable: the probe
+  // must not have consumed the budget.
+  service::ObligationLimits limits;
+  limits.nodeBudget = liveBefore + 4096;
+  service::BudgetToken token(ctx.mgr(), limits);
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(EngineProbe, CompletingProbeCachesTheProductAndRestoresThreshold) {
+  symbolic::Context ctx(1 << 16);
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, kChainSmv);
+  ctx.mgr().setGcThreshold(256);
+  const symbolic::EngineChoice choice = symbolic::chooseEngine(mod.sys);
+  EXPECT_TRUE(choice.probed);
+  EXPECT_FALSE(choice.usePartitioned);
+  EXPECT_EQ(ctx.mgr().gcThreshold(), 256u);
+  // The probe's product is cached, so deciding again is probe-free.
+  EXPECT_TRUE(mod.sys.transMaterialized());
+  const symbolic::EngineChoice again = symbolic::chooseEngine(mod.sys);
+  EXPECT_FALSE(again.probed);
+  EXPECT_FALSE(again.usePartitioned);
+}
+
+}  // namespace
+}  // namespace cmc::bes

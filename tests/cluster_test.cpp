@@ -458,6 +458,52 @@ TEST(ClusterCoordinator, MarksDeadShardDownAndRedispatchesItsWork) {
   EXPECT_NE(resp.find("\"state\": \"down\""), std::string::npos);
 }
 
+TEST(ClusterCoordinator, StatusAndStatsStayConsistentWithADownShard) {
+  // Regression: STATUS/STATS used to read shard health field-by-field, so
+  // a shard transitioning to marked-down mid-aggregation could make the
+  // per-shard array and the derived shards_up count disagree — and STATS
+  // still scattered to it, wedging the whole aggregate on its control
+  // timeout.  Both now consume one roster snapshot per request.
+  ClusterHarness cluster(3, /*failThreshold=*/1);
+  ASSERT_TRUE(cluster.started);
+  cluster.shards[2]->server->shutdown();
+  cluster.coordinator->probeNow();
+  ASSERT_EQ(cluster.coordinator->shardsUp(), 2u);
+
+  net::Client client = cluster.connect();
+  std::string err, resp;
+  ASSERT_TRUE(client.request("{\"cmd\": \"STATUS\"}", &resp, &err)) << err;
+  std::uint64_t up = 0, total = 0;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_total", &total));
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_up", &up));
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(up, 2u);
+  // The derived count and the per-shard array come from the same snapshot,
+  // and the down entry carries its mark-down reason.
+  EXPECT_EQ(countOccurrences(resp, "\"state\": \"down\""), 1u);
+  EXPECT_EQ(countOccurrences(resp, "\"state\": \"up\""), 2u);
+  EXPECT_NE(resp.find("\"reason\": \""), std::string::npos);
+
+  // STATS: the down shard is tagged and skipped (never scattered to, so
+  // its timeout is never paid), and the fleet totals sum exactly the
+  // responding shards.
+  ASSERT_TRUE(client.request("{\"cmd\": \"STATS\"}", &resp, &err)) << err;
+  bool ok = false;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_total", &total));
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_up", &up));
+  std::uint64_t responding = 0;
+  EXPECT_TRUE(
+      service::jsonExtractUint(resp, "shards_responding", &responding));
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(up, 2u);
+  EXPECT_EQ(responding, 2u);
+  EXPECT_EQ(countOccurrences(resp, "\"state\": \"down\""), 1u);
+  EXPECT_EQ(countOccurrences(resp, "\"responded\": true"), 2u);
+  EXPECT_EQ(countOccurrences(resp, "\"responded\": false"), 1u);
+}
+
 TEST(ClusterCoordinator, RefusesToStartWithNoReachableShard) {
   CoordinatorOptions opts;
   opts.socketPath = freshSocketPath("lonely");

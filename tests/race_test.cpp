@@ -1,0 +1,272 @@
+// Tests for --engine race and the replayed-verdict trace semantics: a
+// deterministically delayed lane loses in both directions (winner recorded
+// last, loser Cancelled, no quarantine), raced verdicts agree with the
+// fixed engines on every model, cached raced obligations replay with the
+// winning engine attributed, and a cache-served Fails without a stored
+// counterexample is surfaced as trace_unavailable — or re-checked on
+// demand under --trace-force.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/obligation_cache.hpp"
+#include "service/scheduler.hpp"
+#include "service/snapshot.hpp"
+#include "util/failpoint.hpp"
+
+namespace cmc::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kChainSmv = R"(
+MODULE chain
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;
+SPEC AG (s = a | s = b | s = c)
+)";
+
+const char* kFailingSmv = R"(
+MODULE stuck
+VAR s : {a, b};
+ASSIGN next(s) := b;
+SPEC AG (s = a)
+)";
+
+VerificationJob raceJob(const char* smv) {
+  VerificationJob job;
+  job.name = "race";
+  job.smvText = smv;
+  job.options.engine = symbolic::EngineMode::Race;
+  return job;
+}
+
+ServiceOptions withThreads(unsigned n) {
+  ServiceOptions opts;
+  opts.threads = n;
+  return opts;
+}
+
+/// A scratch directory under the system temp dir, wiped on entry.
+fs::path scratchDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+class RaceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::Failpoint::disarmAll(); }
+};
+
+/// Run a race with `delaySite` armed so the other lane deterministically
+/// wins, and return the single obligation outcome.
+ObligationOutcome runDelayedRace(const char* delaySite, const char* smv,
+                                 RunTrace* trace) {
+  util::Failpoint::site(delaySite).arm(util::Failpoint::Action::Delay, 400);
+  VerificationService svc(withThreads(1));
+  const JobReport report = svc.run(raceJob(smv), trace);
+  util::Failpoint::disarmAll();
+  EXPECT_EQ(report.obligations.size(), 1u);
+  return report.obligations.front();
+}
+
+TEST_F(RaceTest, SymbolicWinsWhenBesLaneIsDelayed) {
+  RunTrace trace;
+  const ObligationOutcome o =
+      runDelayedRace("race.bes_delay", kChainSmv, &trace);
+  EXPECT_EQ(o.verdict, Verdict::Holds);
+
+  // Both lanes are recorded, loser first and the winner last (so
+  // attempts.back() names the deciding engine for journal and cache).
+  ASSERT_EQ(o.attempts.size(), 2u);
+  EXPECT_EQ(o.attempts[0].engine, "bes");
+  EXPECT_EQ(o.attempts[0].verdict, Verdict::Cancelled);
+  EXPECT_NE(o.attempts[1].engine, "bes");
+  EXPECT_EQ(o.attempts[1].verdict, Verdict::Holds);
+
+  // The engine-choice record attributes the raced decision.
+  EXPECT_NE(o.engineChoiceJson.find("\"raced\": true"), std::string::npos)
+      << o.engineChoiceJson;
+  EXPECT_NE(o.engineChoiceJson.find("\"winner\": \"" + o.attempts[1].engine),
+            std::string::npos)
+      << o.engineChoiceJson;
+  EXPECT_NE(o.engineChoiceJson.find("\"loser\": \"bes\""), std::string::npos);
+
+  // A cancelled loser is a cancelled loser — never a quarantined worker.
+  EXPECT_EQ(trace.countContaining("\"event\": \"race_decided\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"quarantine\""), 0u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"retry\""), 0u);
+}
+
+TEST_F(RaceTest, BesWinsWhenSymbolicLaneIsDelayed) {
+  RunTrace trace;
+  const ObligationOutcome o =
+      runDelayedRace("race.symbolic_delay", kChainSmv, &trace);
+  EXPECT_EQ(o.verdict, Verdict::Holds);
+
+  ASSERT_EQ(o.attempts.size(), 2u);
+  EXPECT_NE(o.attempts[0].engine, "bes");
+  EXPECT_EQ(o.attempts[0].verdict, Verdict::Cancelled);
+  EXPECT_EQ(o.attempts[1].engine, "bes");
+  EXPECT_EQ(o.attempts[1].verdict, Verdict::Holds);
+
+  EXPECT_NE(o.engineChoiceJson.find("\"winner\": \"bes\""),
+            std::string::npos)
+      << o.engineChoiceJson;
+  EXPECT_EQ(trace.countContaining("\"event\": \"race_decided\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"quarantine\""), 0u);
+}
+
+TEST_F(RaceTest, RacedFailsCarriesTheCounterexample) {
+  RunTrace trace;
+  const ObligationOutcome o =
+      runDelayedRace("race.bes_delay", kFailingSmv, &trace);
+  EXPECT_EQ(o.verdict, Verdict::Fails);
+  EXPECT_FALSE(o.counterexample.empty());
+}
+
+TEST_F(RaceTest, RacedVerdictsAgreeWithFixedEnginesOnEveryModel) {
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(CMC_MODELS_DIR)) {
+    if (entry.path().extension() != ".smv") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    VerificationJob job;
+    job.name = entry.path().stem().string();
+    job.smvText = buf.str();
+
+    job.options.engine = symbolic::EngineMode::Partitioned;
+    VerificationService fixed(withThreads(2));
+    const JobReport fixedReport = fixed.run(job, nullptr);
+
+    job.options.engine = symbolic::EngineMode::Race;
+    VerificationService raced(withThreads(2));
+    const JobReport racedReport = raced.run(job, nullptr);
+
+    ASSERT_EQ(racedReport.obligations.size(),
+              fixedReport.obligations.size())
+        << entry.path().filename();
+    for (std::size_t i = 0; i < racedReport.obligations.size(); ++i) {
+      EXPECT_EQ(racedReport.obligations[i].verdict,
+                fixedReport.obligations[i].verdict)
+          << entry.path().filename() << " "
+          << racedReport.obligations[i].id;
+    }
+  }
+}
+
+TEST_F(RaceTest, CachedRacedObligationReplaysWithWinningEngine) {
+  util::Failpoint::site("race.symbolic_delay")
+      .arm(util::Failpoint::Action::Delay, 400);
+  VerificationService svc(withThreads(1));
+  const JobReport cold = svc.run(raceJob(kChainSmv), nullptr);
+  util::Failpoint::disarmAll();
+  ASSERT_EQ(cold.obligations.size(), 1u);
+  EXPECT_EQ(cold.obligations.front().verdictSource, "checked");
+  ASSERT_EQ(cold.obligations.front().attempts.size(), 2u);
+  const std::string winner = cold.obligations.front().attempts.back().engine;
+  EXPECT_EQ(winner, "bes");
+
+  // The cache entry is the race winner's verdict; a replay names it.
+  const JobReport warm = svc.run(raceJob(kChainSmv), nullptr);
+  ASSERT_EQ(warm.obligations.size(), 1u);
+  const ObligationOutcome& o = warm.obligations.front();
+  EXPECT_EQ(o.verdictSource, "cache");
+  EXPECT_TRUE(o.attempts.empty());
+  EXPECT_NE(o.engineChoiceJson.find("\"engine\": \"" + winner + "\""),
+            std::string::npos)
+      << o.engineChoiceJson;
+  EXPECT_NE(o.engineChoiceJson.find("cache replay"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Replayed Fails without a stored counterexample (satellite bugfix): the
+// trace must say so instead of silently presenting a Fails that looks
+// uninvestigable, and --trace-force re-checks to regenerate the trace.
+// ---------------------------------------------------------------------------
+
+/// Seed `dir` with a decided Fails for kFailingSmv's one obligation whose
+/// counterexample was not stored (an old-format or trimmed cache entry).
+std::string seedCounterexampleFreeFails(const fs::path& dir,
+                                        const JobOptions& options) {
+  VerificationJob job;
+  job.name = "race";
+  job.smvText = kFailingSmv;
+  job.options = options;
+  const SnapshotResult snap = buildSnapshot(job, /*wantCanon=*/true);
+  EXPECT_TRUE(snap.snapshot) << snap.error;
+  const std::vector<ObligationRef> refs =
+      enumerateObligations(*snap.snapshot, job.options);
+  EXPECT_EQ(refs.size(), 1u);
+  EXPECT_FALSE(refs.front().fingerprint.empty());
+
+  ObligationCache::Options copts;
+  copts.dir = dir.string();
+  ObligationCache cache(copts);
+  CachedVerdict v;
+  v.verdict = Verdict::Fails;
+  v.rule = "direct";
+  v.engine = "partitioned";
+  EXPECT_TRUE(cache.insert(refs.front().fingerprint, v));
+  return refs.front().fingerprint;
+}
+
+TEST_F(RaceTest, CacheServedFailsWithoutCounterexampleIsAnnounced) {
+  const fs::path dir = scratchDir("cmc_trace_unavailable");
+  VerificationJob job;
+  job.name = "race";
+  job.smvText = kFailingSmv;
+  seedCounterexampleFreeFails(dir, job.options);
+
+  ServiceOptions so = withThreads(1);
+  so.cacheDir = dir.string();
+  VerificationService svc(so);
+  RunTrace trace;
+  const JobReport report = svc.run(job, &trace);
+  ASSERT_EQ(report.obligations.size(), 1u);
+  const ObligationOutcome& o = report.obligations.front();
+  // The verdict is served as stored — but the trace says the
+  // counterexample is not reconstructible from the replay.
+  EXPECT_EQ(o.verdict, Verdict::Fails);
+  EXPECT_EQ(o.verdictSource, "cache");
+  EXPECT_TRUE(o.counterexample.empty());
+  EXPECT_EQ(trace.countContaining("\"event\": \"trace_unavailable\""), 1u);
+  EXPECT_EQ(trace.countContaining("\"event\": \"trace_forced_recheck\""), 0u);
+  fs::remove_all(dir);
+}
+
+TEST_F(RaceTest, TraceForceRechecksACounterexampleFreeReplay) {
+  const fs::path dir = scratchDir("cmc_trace_force");
+  VerificationJob job;
+  job.name = "race";
+  job.smvText = kFailingSmv;
+  // traceForce must not change the fingerprint — the seeded entry is
+  // written without it and must still be the one the forced run hits.
+  seedCounterexampleFreeFails(dir, job.options);
+  job.options.traceForce = true;
+
+  ServiceOptions so = withThreads(1);
+  so.cacheDir = dir.string();
+  VerificationService svc(so);
+  RunTrace trace;
+  const JobReport report = svc.run(job, &trace);
+  ASSERT_EQ(report.obligations.size(), 1u);
+  const ObligationOutcome& o = report.obligations.front();
+  // Re-checked on demand: same verdict, fresh counterexample.
+  EXPECT_EQ(o.verdict, Verdict::Fails);
+  EXPECT_EQ(o.verdictSource, "checked");
+  EXPECT_FALSE(o.counterexample.empty());
+  EXPECT_FALSE(o.attempts.empty());
+  EXPECT_EQ(trace.countContaining("\"event\": \"trace_forced_recheck\""), 1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace cmc::service

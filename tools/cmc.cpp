@@ -79,11 +79,23 @@ commands:
 cmc check options:
   --compose          also verify each spec on the composition of all modules
                      (compositional rules first, certificate in the report)
-  --engine MODE      first-attempt preimage engine: auto (default; probes
-                     the monolithic product size per obligation and picks
-                     the cheaper engine), partitioned, or monolithic
+  --engine MODE      first-attempt verification engine:
+                       auto         probe the monolithic product size per
+                                    obligation, pick the cheaper symbolic
+                                    engine (default)
+                       partitioned  symbolic fixpoints, partitioned relation
+                       monolithic   symbolic fixpoints, materialized product
+                       bes          explicit-state Boolean Equation System
+                                    solver (falls back to partitioned where
+                                    it declines, e.g. composed obligations)
+                       race         run bes and the symbolic engine
+                                    concurrently per obligation; first sound
+                                    verdict wins, the loser is cancelled
+                                    (costs up to 2x CPU per obligation)
   --monolithic       deprecated alias for --engine monolithic
   --no-retry         disable the budget-exhaustion retry on the other engine
+  --trace-force      re-check a cache/journal-replayed Fails that stored no
+                     counterexample, so the report carries a trace
   --deadline-ms N    per-attempt wall-clock deadline in milliseconds
   --node-budget N    per-attempt budget of live BDD nodes
   --cluster N        partition clustering threshold in nodes (default 1024)
@@ -128,7 +140,8 @@ cmc serve options:
                      10000; 0 = off)
   plus, as in check: --threads --cache-dir --no-cache --journal --resume
   --trace --failpoint, and the job-option defaults (--compose --engine
-  --no-retry --deadline-ms --node-budget --cluster --reorder), which
+  --no-retry --trace-force --deadline-ms --node-budget --cluster
+  --reorder), which
   requests overlay per CHECK.  SIGTERM/SIGINT (or a DRAIN command) drains:
   in-flight requests finish and respond, new CHECKs get DRAINING, then the
   server exits 0.
@@ -245,7 +258,9 @@ bool parseUint(const char* text, std::uint64_t* out) {
 /// Parse an --engine value; prints the usage error itself.
 bool parseEngineMode(const char* v, symbolic::EngineMode* out) {
   if (v != nullptr && symbolic::engineModeFromString(v, out)) return true;
-  std::cerr << "cmc: --engine must be auto, partitioned, or monolithic\n";
+  std::cerr
+      << "cmc: --engine must be auto, partitioned, monolithic, bes, or "
+         "race\n";
   return false;
 }
 
@@ -276,6 +291,8 @@ int parseArgs(int argc, char** argv, CliOptions* cli) {
       cli->job.engine = symbolic::EngineMode::Monolithic;
     } else if (arg == "--no-retry") {
       cli->job.retryOtherEngine = false;
+    } else if (arg == "--trace-force") {
+      cli->job.traceForce = true;
     } else if (arg == "--reorder") {
       cli->job.reorderBeforeCheck = true;
     } else if (arg == "--strict") {
@@ -649,6 +666,8 @@ int parseServeArgs(int argc, char** argv, ServeOptions* opts) {
       job.engine = symbolic::EngineMode::Monolithic;
     } else if (arg == "--no-retry") {
       job.retryOtherEngine = false;
+    } else if (arg == "--trace-force") {
+      job.traceForce = true;
     } else if (arg == "--reorder") {
       job.reorderBeforeCheck = true;
     } else if (arg == "--deadline-ms") {
@@ -833,6 +852,8 @@ int parseCoordinatorArgs(int argc, char** argv, CoordinatorCliOptions* opts) {
       job.engine = symbolic::EngineMode::Monolithic;
     } else if (arg == "--no-retry") {
       job.retryOtherEngine = false;
+    } else if (arg == "--trace-force") {
+      job.traceForce = true;
     } else if (arg == "--reorder") {
       job.reorderBeforeCheck = true;
     } else if (arg == "--deadline-ms") {
@@ -987,7 +1008,7 @@ struct SubmitOptions {
   // the rest.
   bool setCompose = false, setEngine = false, setNoRetry = false;
   bool setDeadline = false, setNodeBudget = false, setCluster = false;
-  bool setReorder = false;
+  bool setReorder = false, setTraceForce = false;
   std::vector<std::string> models;
 };
 
@@ -1057,6 +1078,9 @@ int parseSubmitArgs(int argc, char** argv, SubmitOptions* opts) {
     } else if (arg == "--no-retry") {
       opts->job.retryOtherEngine = false;
       opts->setNoRetry = true;
+    } else if (arg == "--trace-force") {
+      opts->job.traceForce = true;
+      opts->setTraceForce = true;
     } else if (arg == "--reorder") {
       opts->job.reorderBeforeCheck = true;
       opts->setReorder = true;
@@ -1108,6 +1132,7 @@ std::string buildCheckRequest(const SubmitOptions& opts, const std::string& id,
   if (opts.setCompose) req.putBool("compose", opts.job.compose);
   if (opts.setReorder) req.putBool("reorder", opts.job.reorderBeforeCheck);
   if (opts.setNoRetry) req.putBool("no_retry", !opts.job.retryOtherEngine);
+  if (opts.setTraceForce) req.putBool("trace_force", opts.job.traceForce);
   if (opts.setEngine) {
     req.put("engine", symbolic::toString(opts.job.engine));
   }
