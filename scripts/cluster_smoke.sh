@@ -21,10 +21,23 @@
 #   4. `cmc cache compact` over a shard's store: idempotent, size
 #      reported, and the store still loads afterwards (the warm resubmit
 #      repeated after compaction stays all-cache).
-#   5. Submit retry: against a coordinator with --max-inflight 0 (always
+#   5. Dynamic membership: TOPOLOGY lists the roster with lifecycle
+#      state; JOIN admits a fourth shard without restarting the
+#      coordinator (and rendezvous routing hands it keys); LEAVE
+#      decommissions it again; SIGHUP re-reads the topology file.
+#   6. Hedged dispatch: a second coordinator with --hedge-ms fronts the
+#      same shards; with one shard SIGSTOPped, its obligations must be
+#      hedged to the next rendezvous candidate ("hedged": true) and the
+#      job still completes with no attribution to the stalled shard.
+#   7. Replica tier: SIGKILL a shard that decided cold work; the warm
+#      resubmit is still all-cache with nothing attributed to the dead
+#      shard (its verdicts are served by the rendezvous successor's
+#      replica); restart the same `cmc serve` and JOIN it back — the
+#      fleet returns to 3/3 with no coordinator restart.
+#   8. Submit retry: against a coordinator with --max-inflight 0 (always
 #      BUSY), `--max-retries 2` must retry with backoff and then exit 6;
 #      without the flag it must fail fast with exit 6 and no retries.
-#   6. SIGTERM drains the coordinator (exit 0, socket unlinked) while the
+#   9. SIGTERM drains the coordinator (exit 0, socket unlinked) while the
 #      shards keep serving; then the shards drain cleanly too.
 set -u
 
@@ -131,7 +144,138 @@ warm_all_cache warm2
 note "compaction: stores rewritten, resubmission still all-cache"
 
 # ---------------------------------------------------------------------------
-# 5. Submit retry backoff against an always-BUSY coordinator
+# 5. Dynamic membership: TOPOLOGY, JOIN, LEAVE, SIGHUP reload
+# ---------------------------------------------------------------------------
+"$CMC" submit --socket "$WORK/coord.sock" --topology > "$WORK/topo.json" 2>&1 \
+  || fail "TOPOLOGY failed: $(cat "$WORK/topo.json")"
+[ "$(grep -o '"state": "up"' "$WORK/topo.json" | wc -l)" -eq 3 ] \
+  || fail "TOPOLOGY does not list 3 up shards: $(cat "$WORK/topo.json")"
+grep -q '"protocol_rev": 3' "$WORK/topo.json" || fail "TOPOLOGY lacks protocol_rev 3"
+grep -q '"replication": ' "$WORK/topo.json" || fail "TOPOLOGY lacks the replication factor"
+grep -q '"probation_required": ' "$WORK/topo.json" || fail "TOPOLOGY lacks lifecycle detail"
+
+# JOIN a fourth shard while the coordinator keeps serving.
+"$CMC" serve --socket "$WORK/s4.sock" --cache-dir "$WORK/cache4" \
+  > "$WORK/s4.log" 2>&1 &
+S4=$!
+PIDS="$PIDS $S4"
+wait_ready "$WORK/s4.sock" "$WORK/s4.log"
+"$CMC" submit --socket "$WORK/coord.sock" --join s4 \
+  --shard-socket "$WORK/s4.sock" > "$WORK/join.json" 2>&1 \
+  || fail "JOIN s4 failed: $(cat "$WORK/join.json")"
+grep -q '"state": "up"' "$WORK/join.json" || fail "joined shard not up: $(cat "$WORK/join.json")"
+"$CMC" submit --socket "$WORK/coord.sock" --topology > "$WORK/topo4.json" 2>&1
+grep -q '"shards_total": 4' "$WORK/topo4.json" || fail "roster did not grow to 4"
+
+# Rendezvous hashing must hand the newcomer keys.  The cluster threshold
+# is part of the fingerprint, so each threshold re-keys the whole job;
+# the chance that three independent keyings all miss one of four shards
+# is (3/4)^36 — negligible.
+found=
+for t in 1025 1026 1027; do
+  "$CMC" submit --socket "$WORK/coord.sock" --id "join-t$t" --compose \
+    --cluster "$t" --report "$WORK/join-t$t.json" "$MODEL" \
+    > "$WORK/join-t$t.log" 2>&1 \
+    || fail "submission at threshold $t failed: $(cat "$WORK/join-t$t.log")"
+  if grep -q '"shard": "s4"' "$WORK/join-t$t.json"; then found=$t; break; fi
+done
+[ -n "$found" ] || fail "no keying ever routed an obligation to the joined shard"
+note "membership: s4 joined live and owns keys (threshold $found)"
+
+# LEAVE decommissions it again, and SIGHUP re-reads the topology file
+# (which still names the original three) as a no-op diff.
+"$CMC" submit --socket "$WORK/coord.sock" --leave s4 > "$WORK/leave.json" 2>&1 \
+  || fail "LEAVE s4 failed: $(cat "$WORK/leave.json")"
+"$CMC" submit --socket "$WORK/coord.sock" --topology > "$WORK/topo3.json" 2>&1
+grep -q '"shards_total": 3' "$WORK/topo3.json" || fail "roster did not shrink to 3"
+kill -TERM "$S4" 2>/dev/null
+wait "$S4" 2>/dev/null
+kill -HUP "$COORD"
+for _ in $(seq 50); do
+  grep -q "topology reload" "$WORK/coord.log" && break
+  sleep 0.1
+done
+grep -q "topology reload" "$WORK/coord.log" \
+  || fail "SIGHUP produced no topology reload summary: $(cat "$WORK/coord.log")"
+note "membership: s4 left, SIGHUP reload acknowledged"
+
+# ---------------------------------------------------------------------------
+# 6. Hedged dispatch around a stalled shard
+# ---------------------------------------------------------------------------
+victim=$(grep -o '"shard": "s[0-9]*"' "$WORK/cold.json" | head -1 \
+  | sed 's/.*"\(s[0-9]*\)"/\1/')
+[ -n "$victim" ] || fail "no shard attribution in the cold report"
+eval "VPID=\$S${victim#s}"
+
+# A dedicated coordinator with hedging on and probes effectively off, so
+# the stalled shard stays nominally healthy and the hedge (not a
+# mark-down) is what rescues its keys.
+"$CMC" coordinator --socket "$WORK/hedge.sock" --topology "$WORK/topology.jsonl" \
+  --hedge-ms 200 --probe-interval-ms 60000 > "$WORK/hedge-coord.log" 2>&1 &
+HEDGE=$!
+PIDS="$PIDS $HEDGE"
+wait_ready "$WORK/hedge.sock" "$WORK/hedge-coord.log"
+
+kill -STOP "$VPID"
+"$CMC" submit --socket "$WORK/hedge.sock" --id hedged --compose \
+  --report "$WORK/hedged.json" "$MODEL" > "$WORK/hedged.log" 2>&1 \
+  || { kill -CONT "$VPID"; fail "hedged submission failed: $(cat "$WORK/hedged.log")"; }
+kill -CONT "$VPID"
+grep -q '"verdict": "Holds"' "$WORK/hedged.json" || fail "hedged run does not hold"
+grep -q '"hedged": true' "$WORK/hedged.json" \
+  || fail "no obligation was hedged around the stalled shard"
+grep -q "\"shard\": \"$victim\"" "$WORK/hedged.json" \
+  && fail "the stalled shard still won an obligation"
+kill -TERM "$HEDGE"
+wait "$HEDGE" 2>/dev/null
+note "hedging: $victim stalled, its keys hedged to the next candidate"
+
+# ---------------------------------------------------------------------------
+# 7. Replica tier serves a dead shard's verdicts; the shard rejoins live
+# ---------------------------------------------------------------------------
+vnum=${victim#s}
+kill -9 "$VPID"
+"$CMC" submit --socket "$WORK/coord.sock" --id replica --compose \
+  --report "$WORK/replica.json" "$MODEL" > "$WORK/replica.log" 2>&1 \
+  || fail "post-kill submission failed: $(cat "$WORK/replica.log")"
+hits=$(grep -c '"verdict_source": "cache"' "$WORK/replica.json")
+[ "$hits" -eq 12 ] || fail "replica run: only $hits of 12 from cache"
+grep -q '"verdict_source": "checked"' "$WORK/replica.json" \
+  && fail "replica run re-checked an obligation"
+grep -q "\"shard\": \"$victim\"" "$WORK/replica.json" \
+  && fail "an obligation is still attributed to the dead shard"
+note "replica tier: $victim dead, all 12 verdicts served from caches"
+
+# The same `cmc serve` invocation comes back, and JOIN readmits it — the
+# coordinator never restarts.  A rejoin lands in probation (or, if the
+# background probe beat us to it, is already serving).
+"$CMC" serve --socket "$WORK/s$vnum.sock" --cache-dir "$WORK/cache$vnum" \
+  >> "$WORK/s$vnum.log" 2>&1 &
+eval "S$vnum=$!"
+PIDS="$PIDS $!"
+wait_ready "$WORK/s$vnum.sock" "$WORK/s$vnum.log"
+rc=0
+"$CMC" submit --socket "$WORK/coord.sock" --join "$victim" \
+  --shard-socket "$WORK/s$vnum.sock" > "$WORK/rejoin.json" 2>&1 || rc=$?
+if [ "$rc" -eq 0 ]; then
+  grep -q '"state": "probation"' "$WORK/rejoin.json" \
+    || fail "rejoin not in probation: $(cat "$WORK/rejoin.json")"
+else
+  grep -q "already" "$WORK/rejoin.json" \
+    || fail "rejoin failed: $(cat "$WORK/rejoin.json")"
+fi
+for _ in $(seq 100); do
+  "$CMC" submit --socket "$WORK/coord.sock" --status > "$WORK/rejoin-status.json" 2>/dev/null
+  grep -q '"shards_up": 3' "$WORK/rejoin-status.json" && break
+  sleep 0.2
+done
+grep -q '"shards_up": 3' "$WORK/rejoin-status.json" \
+  || fail "$victim never served out probation: $(cat "$WORK/rejoin-status.json")"
+warm_all_cache warm3
+note "rejoin: $victim back through probation, fleet 3/3, still all-cache"
+
+# ---------------------------------------------------------------------------
+# 8. Submit retry backoff against an always-BUSY coordinator
 # ---------------------------------------------------------------------------
 "$CMC" coordinator --socket "$WORK/busy.sock" --max-inflight 0 \
   --topology "$WORK/topology.jsonl" > "$WORK/busy-coord.log" 2>&1 &
@@ -156,7 +300,7 @@ wait "$BUSY" 2>/dev/null
 note "submit retry: fail-fast without the flag, 2 backoff retries with it"
 
 # ---------------------------------------------------------------------------
-# 6. Drain the coordinator; the shards must survive it
+# 9. Drain the coordinator; the shards must survive it
 # ---------------------------------------------------------------------------
 kill -TERM "$COORD"
 rc=0

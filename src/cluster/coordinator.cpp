@@ -14,9 +14,11 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <random>
 #include <sstream>
 
 #include "service/journal.hpp"
+#include "util/failpoint.hpp"
 #include "util/version.hpp"
 
 namespace cmc::cluster {
@@ -118,7 +120,32 @@ service::ObligationOutcome outcomeFromResponse(
   return out;
 }
 
+/// An error outcome attributed to nothing in particular (ring exhausted)
+/// or to a refusing shard; shared by the dispatch failure paths.
+service::ObligationOutcome errorOutcome(const service::ObligationRef& ref,
+                                        const std::string& message) {
+  service::ObligationOutcome out;
+  out.id = ref.id;
+  out.target = ref.target;
+  out.spec = ref.specName;
+  out.specText = ref.specText;
+  out.fingerprint = ref.fingerprint;
+  out.verdict = service::Verdict::Error;
+  out.error = message;
+  return out;
+}
+
 }  // namespace
+
+const char* toString(ShardState s) noexcept {
+  switch (s) {
+    case ShardState::Up: return "up";
+    case ShardState::Suspect: return "suspect";
+    case ShardState::Down: return "down";
+    case ShardState::Probation: return "probation";
+  }
+  return "?";
+}
 
 bool shardCompatible(const std::string& statusResponse, std::string* why) {
   std::string version;
@@ -152,9 +179,9 @@ Coordinator::Coordinator(CoordinatorOptions opts,
       pool_(forwardPoolWidth(opts_)) {
   shards_.reserve(opts_.topology.shards.size());
   for (const ShardSpec& spec : opts_.topology.shards) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_shared<Shard>();
     shard->spec = spec;
-    shardNames_.push_back(spec.name);
+    shard->probationRequired = opts_.probationProbes;
     shards_.push_back(std::move(shard));
   }
 }
@@ -169,85 +196,204 @@ bool Coordinator::connectShard(const ShardSpec& spec, net::Client* client,
 
 bool Coordinator::probeShard(Shard& shard, std::string* statusLine,
                              std::string* error) {
+  ShardSpec spec;
+  {
+    // Copy under the lock: a rejoin/reload may move a (non-dispatchable)
+    // shard's endpoint while the probe thread is walking the roster.
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    spec = shard.spec;
+  }
   net::Client client;
-  if (!connectShard(shard.spec, &client, error)) return false;
+  if (!connectShard(spec, &client, error)) return false;
   setRecvTimeout(client, opts_.controlTimeoutSeconds);
   static const std::string kStatusLine =
       service::JsonObject().put("cmd", "STATUS").str();
   return client.request(kStatusLine, statusLine, error);
 }
 
+bool Coordinator::handshakeShard(const ShardSpec& spec, std::string* version,
+                                 std::string* error) const {
+  net::Client client;
+  if (!connectShard(spec, &client, error)) return false;
+  setRecvTimeout(client, opts_.controlTimeoutSeconds);
+  static const std::string kStatusLine =
+      service::JsonObject().put("cmd", "STATUS").str();
+  std::string statusLine;
+  if (!client.request(kStatusLine, &statusLine, error)) return false;
+  std::string why;
+  if (!shardCompatible(statusLine, &why)) {
+    *error = why;
+    return false;
+  }
+  service::jsonExtractString(statusLine, "cmc_version", version);
+  return true;
+}
+
 void Coordinator::markDown(Shard& shard, const std::string& reason) {
+  bool transitioned = false;
+  ShardState prev = ShardState::Down;
   {
-    // Reason before the atomic flip: a roster snapshot that observes
-    // up=false always finds the reason already in place (the old order
-    // had a window where STATUS showed a down shard with no reason).
+    // Reason before the state flip: a roster snapshot that observes a
+    // non-up state always finds the reason already in place.
     std::lock_guard<std::mutex> lock(stateMutex_);
     shard.downReason = reason;
+    prev = shard.state.exchange(ShardState::Down, std::memory_order_relaxed);
+    if (prev != ShardState::Down) {
+      transitioned = true;
+      shard.probationPasses = 0;
+      if (prev != ShardState::Probation) {
+        // A fresh failure (not a failed recovery): the flap guard grows —
+        // each mark-down doubles the probation the shard must serve.
+        shard.downs += 1;
+      }
+      const int shift = std::min(shard.downs > 0 ? shard.downs - 1 : 0, 6);
+      shard.probationRequired =
+          std::min(opts_.probationProbes << shift, 64);
+    }
   }
-  if (shard.up.exchange(false, std::memory_order_relaxed)) {
+  if (transitioned) {
     metrics_.counter("cluster_shard_markdowns").inc();
     trace_.emit(service::JsonObject()
                     .put("event", "shard_down")
                     .putDouble("t", trace_.elapsedSeconds())
                     .put("shard", shard.spec.name)
+                    .put("from", toString(prev))
                     .put("reason", reason));
   }
 }
 
 void Coordinator::markUp(Shard& shard) {
-  if (!shard.up.exchange(true, std::memory_order_relaxed)) {
+  const ShardState prev =
+      shard.state.exchange(ShardState::Up, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    shard.downReason.clear();
+    shard.probationPasses = 0;
+  }
+  if (prev != ShardState::Up) {
     metrics_.counter("cluster_shard_markups").inc();
     trace_.emit(service::JsonObject()
                     .put("event", "shard_up")
                     .putDouble("t", trace_.elapsedSeconds())
-                    .put("shard", shard.spec.name));
+                    .put("shard", shard.spec.name)
+                    .put("from", toString(prev)));
   }
-  std::lock_guard<std::mutex> lock(stateMutex_);
-  shard.downReason.clear();
+}
+
+void Coordinator::enterProbation(Shard& shard, const std::string& reason) {
+  int required = 0;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    shard.state.store(ShardState::Probation, std::memory_order_relaxed);
+    shard.probationPasses = 0;
+    if (shard.probationRequired <= 0)
+      shard.probationRequired = opts_.probationProbes;
+    required = shard.probationRequired;
+    shard.downReason = reason;
+  }
+  metrics_.counter("cluster_shard_probations").inc();
+  trace_.emit(service::JsonObject()
+                  .put("event", "shard_probation")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("shard", shard.spec.name)
+                  .put("reason", reason)
+                  .putUint("required", static_cast<std::uint64_t>(required)));
+}
+
+void Coordinator::probeOne(Shard& shard) {
+  std::string statusLine, error;
+  if (!probeShard(shard, &statusLine, &error)) {
+    const ShardState cur = shard.state.load(std::memory_order_relaxed);
+    if (cur == ShardState::Down) return;  // already out; reason stands
+    if (cur == ShardState::Probation) {
+      // A probation shard must serve *consecutive* successes; one failure
+      // sends it straight back down (the flap guard is already sized).
+      markDown(shard, "probation probe: " + error);
+      return;
+    }
+    int failures = 0;
+    bool becameSuspect = false;
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      failures = ++shard.consecutiveFailures;
+      if (failures < opts_.failThreshold &&
+          shard.state.load(std::memory_order_relaxed) == ShardState::Up) {
+        shard.state.store(ShardState::Suspect, std::memory_order_relaxed);
+        shard.downReason = "suspect: " + error;
+        becameSuspect = true;
+      }
+    }
+    if (becameSuspect) {
+      metrics_.counter("cluster_shard_suspects").inc();
+      trace_.emit(service::JsonObject()
+                      .put("event", "shard_suspect")
+                      .putDouble("t", trace_.elapsedSeconds())
+                      .put("shard", shard.spec.name)
+                      .put("reason", error));
+    }
+    if (failures >= opts_.failThreshold) markDown(shard, "probe: " + error);
+    return;
+  }
+
+  std::string why;
+  const bool compatible = shardCompatible(statusLine, &why);
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    shard.consecutiveFailures = 0;
+    service::jsonExtractString(statusLine, "cmc_version", &shard.version);
+    service::jsonExtractUint(statusLine, "in_flight", &shard.inFlight);
+    service::jsonExtractUint(statusLine, "queued", &shard.queued);
+  }
+  if (!compatible) {
+    // A responding-but-incompatible shard stays out of the ring: an old
+    // build would ignore "only" and check whole jobs.
+    markDown(shard, why);
+    return;
+  }
+  switch (shard.state.load(std::memory_order_relaxed)) {
+    case ShardState::Up:
+      break;
+    case ShardState::Suspect:
+      // A suspect never left the ring; one good probe clears it.
+      markUp(shard);
+      break;
+    case ShardState::Down:
+      enterProbation(shard, "recovered; serving probes in probation");
+      break;
+    case ShardState::Probation: {
+      int passes = 0, required = 0;
+      {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        passes = ++shard.probationPasses;
+        required = shard.probationRequired;
+      }
+      if (passes >= required) markUp(shard);
+      break;
+    }
+  }
 }
 
 void Coordinator::probeNow() {
-  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
-    Shard& shard = *shardPtr;
-    std::string statusLine, error;
-    if (!probeShard(shard, &statusLine, &error)) {
-      int failures;
-      {
-        std::lock_guard<std::mutex> lock(stateMutex_);
-        failures = ++shard.consecutiveFailures;
-      }
-      if (failures >= opts_.failThreshold) {
-        markDown(shard, "probe: " + error);
-      }
-      continue;
-    }
-    std::string why;
-    const bool compatible = shardCompatible(statusLine, &why);
-    {
-      std::lock_guard<std::mutex> lock(stateMutex_);
-      shard.consecutiveFailures = 0;
-      service::jsonExtractString(statusLine, "cmc_version", &shard.version);
-      service::jsonExtractUint(statusLine, "in_flight", &shard.inFlight);
-      service::jsonExtractUint(statusLine, "queued", &shard.queued);
-    }
-    if (!compatible) {
-      // A responding-but-incompatible shard stays out of the ring: an old
-      // build would ignore "only" and check whole jobs.
-      markDown(shard, why);
-      continue;
-    }
-    markUp(shard);
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    shards = shards_;
   }
+  for (const std::shared_ptr<Shard>& shard : shards) probeOne(*shard);
 }
 
 void Coordinator::probeLoop() {
+  // Jitter every sleep so N coordinators sharing a fleet spread their
+  // probe load instead of stampeding the shards in lockstep.
+  std::mt19937_64 rng{std::random_device{}()};
+  std::uniform_real_distribution<double> jitter(0.5, 1.5);
   while (!stopping_.load(std::memory_order_relaxed)) {
     {
       std::unique_lock<std::mutex> lock(stopMutex_);
       stopCv_.wait_for(
           lock,
-          std::chrono::duration<double>(opts_.probeIntervalSeconds),
+          std::chrono::duration<double>(opts_.probeIntervalSeconds *
+                                        jitter(rng)),
           [&] { return stopping_.load(std::memory_order_relaxed); });
     }
     if (stopping_.load(std::memory_order_relaxed)) break;
@@ -256,11 +402,27 @@ void Coordinator::probeLoop() {
 }
 
 std::size_t Coordinator::shardsUp() const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
   std::size_t up = 0;
-  for (const std::unique_ptr<Shard>& s : shards_) {
-    if (s->up.load(std::memory_order_relaxed)) ++up;
+  for (const std::shared_ptr<Shard>& s : shards_) {
+    if (dispatchable(s->state.load(std::memory_order_relaxed))) ++up;
   }
   return up;
+}
+
+std::size_t Coordinator::shardsTotal() const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  return shards_.size();
+}
+
+Coordinator::Roster Coordinator::rosterSnapshot() const {
+  Roster roster;
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  roster.shards = shards_;
+  roster.names.reserve(shards_.size());
+  for (const std::shared_ptr<Shard>& s : shards_)
+    roster.names.push_back(s->spec.name);
+  return roster;
 }
 
 bool Coordinator::start(std::string* error) {
@@ -268,7 +430,8 @@ bool Coordinator::start(std::string* error) {
     *error = "no listener configured (need a socket path or a TCP port)";
     return false;
   }
-  if (shards_.empty()) {
+  const Roster roster = rosterSnapshot();
+  if (roster.shards.empty()) {
     *error = "topology has no shards";
     return false;
   }
@@ -277,7 +440,7 @@ bool Coordinator::start(std::string* error) {
   // A responding shard with the wrong version/revision is a configuration
   // error the operator must fix; an unreachable shard just starts down.
   std::size_t responding = 0;
-  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
+  for (const std::shared_ptr<Shard>& shardPtr : roster.shards) {
     Shard& shard = *shardPtr;
     std::string statusLine, probeError;
     if (!probeShard(shard, &statusLine, &probeError)) {
@@ -294,7 +457,7 @@ bool Coordinator::start(std::string* error) {
     service::jsonExtractString(statusLine, "cmc_version", &shard.version);
   }
   if (responding == 0) {
-    *error = "none of the " + std::to_string(shards_.size()) +
+    *error = "none of the " + std::to_string(roster.shards.size()) +
              " shards answered STATUS; start the shard daemons first";
     return false;
   }
@@ -378,8 +541,10 @@ bool Coordinator::start(std::string* error) {
                   .putDouble("t", trace_.elapsedSeconds())
                   .put("cmc_version", util::versionString())
                   .put("socket", opts_.socketPath)
-                  .putUint("shards", shards_.size())
+                  .putUint("shards", roster.shards.size())
                   .putUint("shards_up", shardsUp())
+                  .putUint("replication", static_cast<std::uint64_t>(
+                                              opts_.replicationFactor))
                   .putUint("forward_threads", pool_.size()));
   return true;
 }
@@ -492,6 +657,21 @@ void Coordinator::handleConnection(int fd) {
       case net::Command::Stats:
         closeAfter = !sock.writeLine(statsResponse());
         break;
+      case net::Command::Topology:
+        closeAfter = !sock.writeLine(topologyResponse());
+        break;
+      case net::Command::Join:
+        closeAfter = !sock.writeLine(joinResponse(req));
+        break;
+      case net::Command::Leave:
+        closeAfter = !sock.writeLine(leaveResponse(req));
+        break;
+      case net::Command::CachePut:
+        closeAfter = !sock.writeLine(net::errorResponse(
+            "CACHE_PUT", net::kBadRequest,
+            "CACHE_PUT is a shard command; the coordinator writes "
+            "replicas, it does not hold a cache"));
+        break;
       case net::Command::Cancel:
         closeAfter = !sock.writeLine(net::errorResponse(
             "CANCEL", net::kBadRequest,
@@ -522,24 +702,30 @@ void Coordinator::handleConnection(int fd) {
 }
 
 service::ObligationOutcome Coordinator::forwardObligation(
-    const std::string& jobId, const std::string& jobName,
-    const std::string& smvText, const service::JobOptions& options,
-    const service::ObligationRef& ref) {
+    const Roster& roster, const std::string& jobId,
+    const std::string& jobName, const std::string& smvText,
+    const service::JobOptions& options, const service::ObligationRef& ref) {
   metrics_.counter("cluster_obligations_forwarded").inc();
   WallTimer forwardTimer;
   // Route by fingerprint so a warm resubmission revisits the shard whose
   // cache holds the verdict; obligations the scout could not fingerprint
   // route by id (stable, just not content-addressed).
   const std::string& key = ref.fingerprint.empty() ? ref.id : ref.fingerprint;
-  const std::vector<std::size_t> order = rendezvousOrder(shardNames_, key);
+  const std::vector<std::size_t> order = rendezvousOrder(roster.names, key);
   const std::string requestLine =
       forwardRequestLine(jobId + "/" + ref.id, jobName, smvText, options, ref);
+  const int hedgeMs =
+      opts_.hedgeDelaySeconds > 0.0
+          ? std::max(1, static_cast<int>(
+                            std::llround(opts_.hedgeDelaySeconds * 1e3)))
+          : -1;
   std::string lastError = "all shards down";
   for (int sweep = 0; sweep < opts_.dispatchSweeps; ++sweep) {
     bool sawBusy = false;
     for (std::size_t rank = 0; rank < order.size(); ++rank) {
-      Shard& shard = *shards_[order[rank]];
-      if (!shard.up.load(std::memory_order_relaxed)) continue;
+      Shard& shard = *roster.shards[order[rank]];
+      if (!dispatchable(shard.state.load(std::memory_order_relaxed)))
+        continue;
       const bool isRedispatch = rank > 0 || sweep > 0;
       net::Client client;
       std::string error;
@@ -558,47 +744,161 @@ service::ObligationOutcome Coordinator::forwardObligation(
                         .put("obligation", ref.id)
                         .put("shard", shard.spec.name));
       }
-      std::string response;
-      // No recv timeout here: a long check is legitimate, and a SIGKILLed
-      // shard closes the connection, which lands as a transport error.
-      if (!client.request(requestLine, &response, &error)) {
-        // The shard died (or vanished) with our obligation in flight.
-        // Obligations are pure and cache-keyed by fingerprint, so
-        // re-dispatching to the next shard in the rendezvous order is
-        // always safe — at worst the same verdict is computed twice.
-        markDown(shard, "forward: " + error);
-        lastError = shard.spec.name + ": " + error;
+      // No recv timeout on CHECK lanes: a long check is legitimate, and a
+      // SIGKILLed shard closes the connection, which lands as a transport
+      // error below.
+      if (!client.send(requestLine)) {
+        markDown(shard, "forward: send failed (shard gone?)");
+        lastError = shard.spec.name + ": send failed";
         continue;
       }
-      bool ok = false;
-      service::jsonExtractBool(response, "ok", &ok);
-      if (!ok) {
-        std::string code;
-        service::jsonExtractString(response, "code", &code);
-        if (code == net::kBusy || code == net::kDraining) {
-          // Healthy but saturated/draining: not a health event.  Try the
-          // rest of the ring; later sweeps back off briefly.
-          sawBusy = true;
-          lastError = shard.spec.name + ": " + code;
+
+      // Lane 0 is the primary; lane 1, when the primary straggles past
+      // the hedge threshold, races it on the next rendezvous candidate.
+      struct Lane {
+        net::Client* client = nullptr;
+        Shard* shard = nullptr;
+        bool alive = false;
+      };
+      net::Client hedgeClient;
+      Lane lanes[2];
+      lanes[0] = {&client, &shard, true};
+      bool hedged = false;
+
+      if (hedgeMs > 0) {
+        pollfd p{};
+        p.fd = client.socket()->fd();
+        p.events = POLLIN;
+        int ready;
+        do {
+          ready = ::poll(&p, 1, hedgeMs);
+        } while (ready < 0 && errno == EINTR);
+        if (ready == 0) {
+          // Straggler.  The failpoint lets tests postpone (delay) or
+          // suppress (error) the hedge deterministically; either way the
+          // primary lane keeps running.
+          bool skipHedge = false;
+          try {
+            CMC_FAILPOINT("cluster.hedge_delay");
+          } catch (const std::exception&) {
+            skipHedge = true;
+          }
+          for (std::size_t r2 = rank + 1; !skipHedge && r2 < order.size();
+               ++r2) {
+            Shard& cand = *roster.shards[order[r2]];
+            if (!dispatchable(cand.state.load(std::memory_order_relaxed)))
+              continue;
+            std::string herror;
+            if (!connectShard(cand.spec, &hedgeClient, &herror)) continue;
+            if (!hedgeClient.send(requestLine)) {
+              hedgeClient.close();
+              continue;
+            }
+            cand.dispatched.fetch_add(1, std::memory_order_relaxed);
+            lanes[1] = {&hedgeClient, &cand, true};
+            hedged = true;
+            metrics_.counter("cluster_hedges").inc();
+            trace_.emit(service::JsonObject()
+                            .put("event", "hedge")
+                            .putDouble("t", trace_.elapsedSeconds())
+                            .put("obligation", ref.id)
+                            .put("straggler", shard.spec.name)
+                            .put("hedge_to", cand.spec.name));
+            break;
+          }
+        }
+      }
+
+      // Gather: the first sound response wins.  A transport death on one
+      // lane falls back to the other; BUSY/DRAINING retires a lane
+      // politely (no health event).  The losing lane's connection is
+      // closed, which cancels its check server-side — the shard watches
+      // running requests for client hangup.
+      std::string response;
+      Shard* winner = nullptr;
+      bool refused = false;
+      std::string refusal;
+      while (lanes[0].alive || lanes[1].alive) {
+        int laneIdx = -1;
+        if (lanes[0].alive && lanes[1].alive) {
+          pollfd fds[2] = {};
+          fds[0].fd = lanes[0].client->socket()->fd();
+          fds[0].events = POLLIN;
+          fds[1].fd = lanes[1].client->socket()->fd();
+          fds[1].events = POLLIN;
+          int ready;
+          do {
+            ready = ::poll(fds, 2, -1);
+          } while (ready < 0 && errno == EINTR);
+          if (ready <= 0) break;
+          laneIdx = fds[0].revents != 0 ? 0 : 1;
+        } else {
+          laneIdx = lanes[0].alive ? 0 : 1;
+        }
+        Lane& lane = lanes[laneIdx];
+        std::string resp, lerr;
+        if (!lane.client->readResponse(&resp, &lerr)) {
+          // The lane's shard died (or vanished) with our obligation in
+          // flight.  Obligations are pure and cache-keyed by fingerprint,
+          // so falling back to the other lane — or re-dispatching down
+          // the ring — is always safe: at worst the same verdict is
+          // computed twice.
+          markDown(*lane.shard, "forward: " + lerr);
+          lastError = lane.shard->spec.name + ": " + lerr;
+          lane.alive = false;
           continue;
         }
-        std::string message;
-        service::jsonExtractString(response, "error", &message);
-        service::ObligationOutcome out;
-        out.id = ref.id;
-        out.target = ref.target;
-        out.spec = ref.specName;
-        out.specText = ref.specText;
-        out.fingerprint = ref.fingerprint;
-        out.verdict = service::Verdict::Error;
-        out.error = shard.spec.name + ": " + code + ": " + message;
-        out.shard = shard.spec.name;
+        bool ok = false;
+        service::jsonExtractBool(resp, "ok", &ok);
+        if (!ok) {
+          std::string code;
+          service::jsonExtractString(resp, "code", &code);
+          if (code == net::kBusy || code == net::kDraining) {
+            sawBusy = true;
+            lastError = lane.shard->spec.name + ": " + code;
+            lane.alive = false;
+            continue;
+          }
+          std::string message;
+          service::jsonExtractString(resp, "error", &message);
+          winner = lane.shard;
+          refused = true;
+          refusal = code + ": " + message;
+        } else {
+          winner = lane.shard;
+          response = resp;
+        }
+        lane.alive = false;
+        Lane& other = lanes[1 - laneIdx];
+        if (other.alive) {
+          other.client->close();
+          other.alive = false;
+          metrics_.counter("cluster_hedge_cancels").inc();
+        }
+        break;
+      }
+      if (winner == nullptr) continue;  // every lane died or was refused
+      if (hedged) {
+        if (winner != &shard) metrics_.counter("cluster_hedge_wins").inc();
+        trace_.emit(service::JsonObject()
+                        .put("event", "hedge_winner")
+                        .putDouble("t", trace_.elapsedSeconds())
+                        .put("obligation", ref.id)
+                        .put("winner", winner->spec.name));
+      }
+      if (refused) {
+        service::ObligationOutcome out =
+            errorOutcome(ref, winner->spec.name + ": " + refusal);
+        out.shard = winner->spec.name;
+        out.hedged = hedged;
         return out;
       }
       service::ObligationOutcome out = outcomeFromResponse(response, ref);
-      out.shard = shard.spec.name;
+      out.shard = winner->spec.name;
+      out.hedged = hedged;
       metrics_.histogram("cluster_forward_seconds")
           .observe(forwardTimer.seconds());
+      maybeReplicate(roster, order, out);
       return out;
     }
     if (!sawBusy) break;  // nothing is busy, nothing is up: sweeps can't help
@@ -607,17 +907,68 @@ service::ObligationOutcome Coordinator::forwardObligation(
       std::this_thread::sleep_for(std::chrono::milliseconds(100 * (sweep + 1)));
     }
   }
-  service::ObligationOutcome out;
-  out.id = ref.id;
-  out.target = ref.target;
-  out.spec = ref.specName;
-  out.specText = ref.specText;
-  out.fingerprint = ref.fingerprint;
-  out.verdict = service::Verdict::Error;
-  out.error = "no shard could take obligation '" + ref.id +
-              "' (last: " + lastError + ")";
+  service::ObligationOutcome out = errorOutcome(
+      ref, "no shard could take obligation '" + ref.id +
+               "' (last: " + lastError + ")");
   metrics_.counter("cluster_dispatch_failures").inc();
   return out;
+}
+
+void Coordinator::maybeReplicate(const Roster& roster,
+                                 const std::vector<std::size_t>& order,
+                                 const service::ObligationOutcome& out) {
+  if (opts_.replicationFactor < 2) return;
+  if (out.fingerprint.empty()) return;
+  if (out.verdict != service::Verdict::Holds &&
+      out.verdict != service::Verdict::Fails)
+    return;
+  // "checked" verdicts are the fresh decisions; replicating "cache" hits
+  // too lets a rebuilt replica heal from warm traffic.  Journal replays
+  // and errors stay local.
+  if (out.verdictSource != "checked" && out.verdictSource != "cache") return;
+  service::JsonObject put;
+  put.put("cmd", "CACHE_PUT")
+      .put("fingerprint", out.fingerprint)
+      .put("verdict", service::toString(out.verdict))
+      .put("rule", out.rule)
+      .put("engine", out.attempts.empty() ? "" : out.attempts.back().engine)
+      .putDouble("seconds", out.seconds);
+  if (!out.counterexample.empty())
+    put.put("counterexample", out.counterexample);
+  if (!out.proofJson.empty()) put.put("proof", out.proofJson);
+  const std::string line = put.str();
+  // Targets: the first replicationFactor-1 dispatchable shards in the
+  // key's rendezvous order that are not the shard that served it — the
+  // same shards a re-dispatch would fall to, which is the whole point.
+  int replicas = opts_.replicationFactor - 1;
+  for (std::size_t rank = 0; rank < order.size() && replicas > 0; ++rank) {
+    Shard& target = *roster.shards[order[rank]];
+    if (target.spec.name == out.shard) continue;
+    if (!dispatchable(target.state.load(std::memory_order_relaxed))) continue;
+    --replicas;
+    net::Client client;
+    std::string response, error;
+    bool ok = false;
+    if (connectShard(target.spec, &client, &error)) {
+      setRecvTimeout(client, opts_.controlTimeoutSeconds);
+      if (client.request(line, &response, &error))
+        service::jsonExtractBool(response, "ok", &ok);
+    }
+    if (ok) {
+      target.replicaPuts.fetch_add(1, std::memory_order_relaxed);
+      metrics_.counter("cluster_replica_puts").inc();
+    } else {
+      // Soft failure: the replica tier is an availability optimization,
+      // never a correctness dependency — the verdict is already safe on
+      // its owner (and in the coordinator's report).
+      metrics_.counter("cluster_replica_put_failures").inc();
+      trace_.emit(service::JsonObject()
+                      .put("event", "replica_put_failed")
+                      .putDouble("t", trace_.elapsedSeconds())
+                      .put("shard", target.spec.name)
+                      .put("reason", error));
+    }
+  }
 }
 
 void Coordinator::handleCheck(net::LineSocket& sock, const net::Request& req) {
@@ -722,15 +1073,20 @@ void Coordinator::handleCheck(net::LineSocket& sock, const net::Request& req) {
         report.verdict = service::Verdict::Error;
       }
     }
+    // One roster snapshot for the whole job: every obligation routes over
+    // the same consistent ring, so a JOIN/LEAVE mid-batch only affects
+    // later jobs (the shared_ptrs keep a concurrently-removed shard alive
+    // for in-flight forwards).
+    const auto roster = std::make_shared<const Roster>(rosterSnapshot());
     // Scatter: every obligation is an independent pool task; gather in
     // enumeration order so the merged report reads like a local run.
     std::vector<std::future<service::ObligationOutcome>> futures;
     futures.reserve(refs.size());
     for (const service::ObligationRef& ref : refs) {
       futures.push_back(pool_.submit(
-          [this, requestId, &job, ref] {
-            return forwardObligation(requestId, job.name, job.smvText,
-                                     job.options, ref);
+          [this, requestId, &job, ref, roster] {
+            return forwardObligation(*roster, requestId, job.name,
+                                     job.smvText, job.options, ref);
           }));
     }
     for (std::future<service::ObligationOutcome>& f : futures) {
@@ -786,19 +1142,23 @@ void Coordinator::handleCheck(net::LineSocket& sock, const net::Request& req) {
 
 std::vector<Coordinator::RosterEntry> Coordinator::snapshotRoster() const {
   std::vector<RosterEntry> roster;
-  roster.reserve(shards_.size());
   std::lock_guard<std::mutex> lock(stateMutex_);
-  for (const std::unique_ptr<Shard>& shardPtr : shards_) {
+  roster.reserve(shards_.size());
+  for (const std::shared_ptr<Shard>& shardPtr : shards_) {
     const Shard& s = *shardPtr;
     RosterEntry e;
-    e.spec = &s.spec;
-    e.up = s.up.load(std::memory_order_relaxed);
-    if (!e.up) e.reason = s.downReason;
+    e.shard = shardPtr;
+    e.state = s.state.load(std::memory_order_relaxed);
+    if (e.state != ShardState::Up) e.reason = s.downReason;
     e.version = s.version;
+    e.downs = s.downs;
+    e.probationPasses = s.probationPasses;
+    e.probationRequired = s.probationRequired;
     e.inFlight = s.inFlight;
     e.queued = s.queued;
     e.dispatched = s.dispatched.load(std::memory_order_relaxed);
     e.redispatched = s.redispatched.load(std::memory_order_relaxed);
+    e.replicaPuts = s.replicaPuts.load(std::memory_order_relaxed);
     roster.push_back(std::move(e));
   }
   return roster;
@@ -813,15 +1173,15 @@ std::string Coordinator::statusResponse() {
   std::string shardArray = "[";
   for (std::size_t i = 0; i < roster.size(); ++i) {
     const RosterEntry& e = roster[i];
-    if (e.up) ++up;
+    if (dispatchable(e.state)) ++up;
     if (i > 0) shardArray += ", ";
     service::JsonObject one;
-    one.put("name", e.spec->name);
-    if (e.spec->tcpPort >= 0)
-      one.putUint("tcp", static_cast<std::uint64_t>(e.spec->tcpPort));
+    one.put("name", e.shard->spec.name);
+    if (e.shard->spec.tcpPort >= 0)
+      one.putUint("tcp", static_cast<std::uint64_t>(e.shard->spec.tcpPort));
     else
-      one.put("socket", e.spec->socketPath);
-    one.put("state", e.up ? "up" : "down");
+      one.put("socket", e.shard->spec.socketPath);
+    one.put("state", toString(e.state));
     if (!e.reason.empty()) one.put("reason", e.reason);
     if (!e.version.empty()) one.put("cmc_version", e.version);
     one.putUint("in_flight", e.inFlight)
@@ -855,15 +1215,15 @@ std::string Coordinator::statusResponse() {
 std::string Coordinator::statsResponse() {
   // Live scatter over one roster snapshot: a shard already marked down is
   // tagged "down" and skipped (its control timeout is never paid — a
-  // mid-aggregation mark-down cannot wedge the aggregate), an up shard
-  // that fails the scatter is tagged "unreachable" with the error, and
-  // every count is derived from the same snapshot.  The flat per-shard
-  // fields are summed into one fleet view and echoed per shard for
-  // drill-down.
+  // mid-aggregation mark-down cannot wedge the aggregate); a suspect or
+  // probation shard is still reachable and is scattered to; a reachable
+  // shard that fails the scatter is tagged "unreachable" with the error.
+  // The flat per-shard fields are summed into one fleet view and echoed
+  // per shard for drill-down.
   struct ShardStats {
     const RosterEntry* roster = nullptr;
     bool responded = false;
-    std::string scatterError;  ///< up-but-unreachable: what went wrong
+    std::string scatterError;  ///< reachable-but-failed: what went wrong
     std::uint64_t admitted = 0, completed = 0, rejectedBusy = 0;
     std::uint64_t cacheEntries = 0, cacheHits = 0, cacheMisses = 0;
     std::uint64_t inFlight = 0, queued = 0, poolQueue = 0;
@@ -878,11 +1238,11 @@ std::string Coordinator::statsResponse() {
   for (const RosterEntry& entry : roster) {
     ShardStats stats;
     stats.roster = &entry;
-    if (entry.up) {
-      ++up;
+    if (dispatchable(entry.state)) ++up;
+    if (entry.state != ShardState::Down) {
       net::Client client;
       std::string response, error;
-      if (!connectShard(*entry.spec, &client, &error)) {
+      if (!connectShard(entry.shard->spec, &client, &error)) {
         stats.scatterError = "connect: " + error;
       } else {
         setRecvTimeout(client, opts_.controlTimeoutSeconds);
@@ -922,15 +1282,16 @@ std::string Coordinator::statsResponse() {
     const ShardStats& s = all[i];
     if (i > 0) shardArray += ", ";
     service::JsonObject one;
-    one.put("name", s.roster->spec->name).putBool("responded", s.responded);
-    if (!s.roster->up) {
+    one.put("name", s.roster->shard->spec.name)
+        .putBool("responded", s.responded);
+    if (s.roster->state == ShardState::Down) {
       one.put("state", "down");
       if (!s.roster->reason.empty()) one.put("reason", s.roster->reason);
     } else if (!s.responded) {
       one.put("state", "unreachable");
       if (!s.scatterError.empty()) one.put("reason", s.scatterError);
     } else {
-      one.put("state", "up");
+      one.put("state", toString(s.roster->state));
     }
     if (s.responded) {
       ++responded;
@@ -993,6 +1354,278 @@ std::string Coordinator::statsResponse() {
       .put("metrics", metrics_.toJson())
       .put("metrics_text", metrics_.toText());
   return resp.str();
+}
+
+std::string Coordinator::topologyResponse() {
+  // The admin view of the roster: full lifecycle detail per shard — the
+  // state machine's position, the flap history, the probation progress,
+  // and the replica-put count — everything a join/leave/replace runbook
+  // needs to verify its effect.
+  const std::vector<RosterEntry> roster = snapshotRoster();
+  std::size_t up = 0;
+  std::string shardArray = "[";
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    const RosterEntry& e = roster[i];
+    if (dispatchable(e.state)) ++up;
+    if (i > 0) shardArray += ", ";
+    service::JsonObject one;
+    one.put("name", e.shard->spec.name);
+    if (e.shard->spec.tcpPort >= 0)
+      one.putUint("tcp", static_cast<std::uint64_t>(e.shard->spec.tcpPort));
+    else
+      one.put("socket", e.shard->spec.socketPath);
+    one.put("state", toString(e.state));
+    if (!e.reason.empty()) one.put("reason", e.reason);
+    if (!e.version.empty()) one.put("cmc_version", e.version);
+    one.putUint("downs", static_cast<std::uint64_t>(e.downs))
+        .putUint("probation_passes",
+                 static_cast<std::uint64_t>(e.probationPasses))
+        .putUint("probation_required",
+                 static_cast<std::uint64_t>(e.probationRequired))
+        .putUint("dispatched", e.dispatched)
+        .putUint("redispatched", e.redispatched)
+        .putUint("replica_puts", e.replicaPuts);
+    shardArray += one.str();
+  }
+  shardArray += "]";
+  return service::JsonObject()
+      .putBool("ok", true)
+      .put("cmd", "TOPOLOGY")
+      .put("role", "coordinator")
+      .put("cmc_version", util::versionString())
+      .putUint("protocol_rev", net::kProtocolRevision)
+      .putUint("shards_total", roster.size())
+      .putUint("shards_up", up)
+      .putUint("replication",
+               static_cast<std::uint64_t>(opts_.replicationFactor))
+      .putRaw("shards", shardArray)
+      .str();
+}
+
+std::string Coordinator::joinResponse(const net::Request& req) {
+  ShardSpec spec;
+  spec.name = req.shard;
+  spec.socketPath = req.shardSocket;
+  spec.tcpPort = req.shardTcp;
+  std::shared_ptr<Shard> existing;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    for (const std::shared_ptr<Shard>& s : shards_) {
+      if (s->spec.name == spec.name) {
+        existing = s;
+        break;
+      }
+    }
+    if (existing != nullptr &&
+        dispatchable(existing->state.load(std::memory_order_relaxed))) {
+      return net::errorResponse(
+          "JOIN", net::kBadRequest,
+          "shard '" + spec.name + "' is already in the roster and serving");
+    }
+    // A rejoin may move the endpoint (replaced hardware, new socket); the
+    // shard is not dispatchable here, so nothing races the update.
+    if (existing != nullptr) existing->spec = spec;
+  }
+  std::string version, error;
+  if (!handshakeShard(spec, &version, &error)) {
+    metrics_.counter("cluster_join_failures").inc();
+    return net::errorResponse(
+        "JOIN", net::kBadRequest,
+        "shard '" + spec.name + "' failed the join handshake: " + error);
+  }
+  std::string state;
+  if (existing != nullptr) {
+    // A shard this coordinator has marked down re-enters through
+    // probation — a flapper cannot JOIN its way straight back into the
+    // ring; the probe thread promotes it once it proves stable.
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      existing->version = version;
+    }
+    enterProbation(*existing, "rejoined; serving probes in probation");
+    state = "probation";
+  } else {
+    // A genuinely new shard passed the handshake this instant — that IS
+    // its first successful probe, so it enters the ring immediately.
+    auto shard = std::make_shared<Shard>();
+    shard->spec = spec;
+    shard->version = version;
+    shard->probationRequired = opts_.probationProbes;
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      for (const std::shared_ptr<Shard>& s : shards_) {
+        if (s->spec.name == spec.name) {
+          return net::errorResponse(
+              "JOIN", net::kBadRequest,
+              "shard '" + spec.name + "' was joined concurrently");
+        }
+      }
+      shards_.push_back(shard);
+    }
+    state = "up";
+  }
+  metrics_.counter("cluster_joins").inc();
+  trace_.emit(service::JsonObject()
+                  .put("event", "shard_join")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("shard", spec.name)
+                  .put("state", state));
+  return service::JsonObject()
+      .putBool("ok", true)
+      .put("cmd", "JOIN")
+      .put("shard", spec.name)
+      .put("state", state)
+      .put("cmc_version", version)
+      .putUint("shards_total", shardsTotal())
+      .str();
+}
+
+std::string Coordinator::leaveResponse(const net::Request& req) {
+  std::shared_ptr<Shard> removed;
+  std::size_t remaining = 0;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    auto it = std::find_if(shards_.begin(), shards_.end(),
+                           [&req](const std::shared_ptr<Shard>& s) {
+                             return s->spec.name == req.shard;
+                           });
+    if (it == shards_.end()) {
+      return net::errorResponse(
+          "LEAVE", net::kNotFound,
+          "no shard named '" + req.shard + "' in the roster");
+    }
+    if (shards_.size() == 1) {
+      return net::errorResponse(
+          "LEAVE", net::kBadRequest,
+          "refusing to remove the last shard; the ring would be empty");
+    }
+    removed = *it;
+    shards_.erase(it);
+    remaining = shards_.size();
+  }
+  // In-flight forwards hold the old roster snapshot (and its shared_ptr),
+  // so they finish cleanly; every later job routes without this shard —
+  // rendezvous hashing moves exactly the keys it owned.
+  metrics_.counter("cluster_leaves").inc();
+  trace_.emit(service::JsonObject()
+                  .put("event", "shard_leave")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("shard", removed->spec.name)
+                  .putUint("shards_total", remaining));
+  return service::JsonObject()
+      .putBool("ok", true)
+      .put("cmd", "LEAVE")
+      .put("shard", removed->spec.name)
+      .putUint("shards_total", remaining)
+      .str();
+}
+
+bool Coordinator::reloadTopology(std::string* summary, std::string* error) {
+  if (opts_.topologyPath.empty()) {
+    *error =
+        "no topology file configured; use JOIN/LEAVE for an inline "
+        "topology";
+    return false;
+  }
+  Topology fresh;
+  if (!loadTopology(opts_.topologyPath, &fresh, error)) return false;
+
+  std::vector<std::string> added, removed, failed, deferred;
+  // Adds + endpoint adoption.
+  for (const ShardSpec& spec : fresh.shards) {
+    std::shared_ptr<Shard> existing;
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      for (const std::shared_ptr<Shard>& s : shards_) {
+        if (s->spec.name == spec.name) {
+          existing = s;
+          break;
+        }
+      }
+    }
+    if (existing != nullptr) {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      const bool moved = existing->spec.socketPath != spec.socketPath ||
+                         existing->spec.tcpPort != spec.tcpPort;
+      if (moved) {
+        if (dispatchable(existing->state.load(std::memory_order_relaxed))) {
+          // Never mutate the endpoint of a shard mid-dispatch; the next
+          // reload after it drops out (or a LEAVE+JOIN) applies the move.
+          deferred.push_back(spec.name);
+        } else {
+          existing->spec = spec;
+        }
+      }
+      continue;
+    }
+    std::string version, herror;
+    if (!handshakeShard(spec, &version, &herror)) {
+      failed.push_back(spec.name + " (" + herror + ")");
+      continue;
+    }
+    auto shard = std::make_shared<Shard>();
+    shard->spec = spec;
+    shard->version = version;
+    shard->probationRequired = opts_.probationProbes;
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      shards_.push_back(shard);
+    }
+    metrics_.counter("cluster_joins").inc();
+    trace_.emit(service::JsonObject()
+                    .put("event", "shard_join")
+                    .putDouble("t", trace_.elapsedSeconds())
+                    .put("shard", spec.name)
+                    .put("state", "up")
+                    .put("via", "reload"));
+    added.push_back(spec.name);
+  }
+  // Removes: roster names the file no longer lists.
+  std::vector<std::shared_ptr<Shard>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    for (auto it = shards_.begin(); it != shards_.end();) {
+      const bool listed = std::any_of(
+          fresh.shards.begin(), fresh.shards.end(),
+          [&](const ShardSpec& s) { return s.name == (*it)->spec.name; });
+      if (!listed && shards_.size() > 1) {
+        dropped.push_back(*it);
+        it = shards_.erase(it);
+      } else {
+        if (!listed) failed.push_back((*it)->spec.name + " (last shard)");
+        ++it;
+      }
+    }
+  }
+  for (const std::shared_ptr<Shard>& shard : dropped) {
+    metrics_.counter("cluster_leaves").inc();
+    trace_.emit(service::JsonObject()
+                    .put("event", "shard_leave")
+                    .putDouble("t", trace_.elapsedSeconds())
+                    .put("shard", shard->spec.name)
+                    .put("via", "reload"));
+    removed.push_back(shard->spec.name);
+  }
+
+  const auto join = [](const std::vector<std::string>& names) {
+    std::string out;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += names[i];
+    }
+    return out.empty() ? std::string("none") : out;
+  };
+  *summary = "topology reload: " + std::to_string(shardsTotal()) +
+             " shards (added: " + join(added) + "; removed: " +
+             join(removed) + "; unreachable: " + join(failed) +
+             (deferred.empty()
+                  ? std::string(")")
+                  : "; endpoint change deferred: " + join(deferred) + ")");
+  trace_.emit(service::JsonObject()
+                  .put("event", "topology_reload")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("summary", *summary));
+  return true;
 }
 
 }  // namespace cmc::cluster

@@ -8,7 +8,8 @@
 //      runs) and enumerates its obligations with ids + content
 //      fingerprints.
 //   2. Route: each obligation's fingerprint is rendezvous-hashed over the
-//      up shards (cluster/topology.hpp); the top-ranked shard owns it.
+//      dispatchable shards (cluster/topology.hpp); the top-ranked shard
+//      owns it.
 //   3. Forward: the obligation goes to its shard daemon-to-daemon as an
 //      ordinary single-obligation CHECK ({"only": "<id>", "smv": ...})
 //      with every verdict-relevant option made explicit, so the shard
@@ -24,15 +25,43 @@
 // that decided it first, so a warm resubmission through the coordinator
 // is served all-cache no matter how the batch was originally spread.
 //
-// Failure handling: a probe thread sends periodic STATUS to every shard;
-// `failThreshold` consecutive failures mark a shard down (new obligations
-// skip it) and a later successful, version-compatible probe marks it back
-// up.  A transport failure while forwarding marks the shard down
+// Self-healing (protocol rev 3)
+//   Membership is dynamic: JOIN adds a shard after a version/protocol
+//   handshake, LEAVE decommissions one, TOPOLOGY lists the live roster,
+//   and SIGHUP (cmc coordinator) re-reads the topology file and diffs it
+//   against the roster.  Rendezvous hashing makes every change minimal:
+//   a join/leave moves exactly the keys the affected shard owns.
+//
+//   Shard health is a state machine, not a flag:
+//       up → suspect → down → probation → up
+//   A probe failure on an up shard makes it suspect (still dispatchable);
+//   failThreshold consecutive failures mark it down.  A down shard that
+//   answers a probe enters probation: it must serve `probationRequired`
+//   consecutive successful probes before re-entering the dispatch ring,
+//   and that requirement doubles with each mark-down (capped), so a
+//   flapping shard is held out longer each time it flaps.
+//
+//   Each decided obligation is also written through to the next
+//   `replicationFactor - 1` shards in its rendezvous order (CACHE_PUT),
+//   so when a shard dies its successor already holds the verdicts and
+//   serves them `verdict_source:"cache"` instead of re-checking.  The
+//   tier is last-write-wins, which is safe: cache keys are content
+//   fingerprints, and fingerprint ⇒ verdict, so two writers can only
+//   ever write the same verdict.
+//
+//   Hedged dispatch (off by default): when a forwarded CHECK has been in
+//   flight longer than hedgeDelaySeconds, the coordinator launches the
+//   same CHECK on the next dispatchable shard in the key's rendezvous
+//   order; the first sound verdict wins and the loser's connection is
+//   closed, which cancels its check server-side (the shard watches for
+//   client hangup).  Safe for the same reason re-dispatch is: obligations
+//   are pure functions of fingerprinted content.
+//
+// Failure handling: a probe thread sends periodic (jittered) STATUS to
+// every shard.  A transport failure while forwarding marks the shard down
 // immediately and re-dispatches the obligation to the next shard in its
-// rendezvous order — safe because obligations are pure functions of
-// fingerprinted content, so checking one twice (or on a different shard)
-// cannot change its verdict.  Mixed-version shards are refused at
-// startup, and probes keep a version-mismatched shard out of the ring.
+// rendezvous order.  Mixed-version shards are refused at startup and at
+// JOIN, and probes keep a version-mismatched shard out of the ring.
 #pragma once
 
 #include <atomic>
@@ -62,12 +91,22 @@ namespace cmc::cluster {
 /// pre-cluster build and is refused too.
 bool shardCompatible(const std::string& statusResponse, std::string* why);
 
+/// Shard lifecycle.  Up and Suspect are dispatchable; Down and Probation
+/// are not.  Probation is the re-entry gate: a recovered shard serves
+/// probes only, until enough consecutive successes prove it stable.
+enum class ShardState { Up, Suspect, Down, Probation };
+
+const char* toString(ShardState s) noexcept;
+
 struct CoordinatorOptions {
   /// Unix-domain listener (required unless tcpPort >= 0).
   std::string socketPath;
   /// Loopback TCP listener: -1 disabled, 0 ephemeral.
   int tcpPort = -1;
   Topology topology;
+  /// Path the topology was loaded from; SIGHUP reload re-reads it (empty
+  /// disables reload — embedded coordinators drive JOIN/LEAVE instead).
+  std::string topologyPath;
   /// Defaults for per-request job options; requests overlay their own.
   service::JobOptions defaults;
   /// Directory request "model" paths resolve under.
@@ -77,17 +116,29 @@ struct CoordinatorOptions {
   /// Obligation-forwarding pool width (0 = 2 per shard, min 4).
   unsigned forwardThreads = 0;
   /// Health-probe period; 0 disables the probe thread (tests drive
-  /// probeNow() instead).
+  /// probeNow() instead).  The actual sleep is jittered uniformly in
+  /// [0.5, 1.5)·period so multiple coordinators sharing a fleet never
+  /// probe in lockstep.
   double probeIntervalSeconds = 1.0;
   /// Consecutive probe failures before a shard is marked down.
   int failThreshold = 2;
+  /// Consecutive successful probes a recovered shard must serve in
+  /// probation before re-entering the ring; doubles per mark-down
+  /// (capped at 64) so flapping shards are held out progressively longer.
+  int probationProbes = 1;
+  /// Copies of every decided obligation across the fleet: 1 = owner only
+  /// (replication off), 2 = owner + its rendezvous successor, ...
+  int replicationFactor = 2;
+  /// Hedge a forwarded CHECK to the next rendezvous candidate after this
+  /// many seconds in flight; 0 disables hedging.
+  double hedgeDelaySeconds = 0.0;
   /// Full passes over a key's rendezvous order before the obligation is
   /// reported Error "no shard available" (later passes wait briefly, for
   /// all-BUSY rings).
   int dispatchSweeps = 3;
-  /// recv timeout for probes and STATS scatter, seconds.  CHECK forwards
-  /// run without one: a killed shard closes the connection, which is the
-  /// signal to re-dispatch.
+  /// recv timeout for probes, STATS scatter, and replica CACHE_PUTs,
+  /// seconds.  CHECK forwards run without one: a killed shard closes the
+  /// connection, which is the signal to re-dispatch.
   double controlTimeoutSeconds = 5.0;
 };
 
@@ -121,41 +172,70 @@ class Coordinator {
   int boundTcpPort() const noexcept { return boundTcpPort_; }
 
   std::size_t shardsUp() const;
-  std::size_t shardsTotal() const { return shards_.size(); }
+  std::size_t shardsTotal() const;
 
   /// Run one synchronous probe round (the probe thread's body); the test
-  /// seam for deterministic mark-down/mark-up.
+  /// seam for deterministic state-machine transitions.
   void probeNow();
 
+  /// Re-read the topology file (opts.topologyPath) and diff it against
+  /// the roster: new names are handshaken and added, missing names are
+  /// decommissioned, changed endpoints are adopted.  The SIGHUP handler
+  /// of `cmc coordinator` calls this from the main loop.  False with a
+  /// message when the file is missing/malformed (the roster is untouched)
+  /// or no topologyPath is configured.
+  bool reloadTopology(std::string* summary, std::string* error);
+
  private:
-  /// Live per-shard state.  `up` is read lock-free on the dispatch path;
-  /// the observed STATUS fields are guarded by stateMutex_.
+  /// Live per-shard state.  `state` is read lock-free on the dispatch
+  /// path; transitions and the observed STATUS fields are guarded by
+  /// stateMutex_.
   struct Shard {
     ShardSpec spec;
-    std::atomic<bool> up{true};
+    std::atomic<ShardState> state{ShardState::Up};
     std::atomic<std::uint64_t> dispatched{0};
     std::atomic<std::uint64_t> redispatched{0};
+    std::atomic<std::uint64_t> replicaPuts{0};  ///< CACHE_PUTs sent to it
     int consecutiveFailures = 0;  ///< probe rounds; stateMutex_
+    int downs = 0;                ///< lifetime mark-downs; stateMutex_
+    int probationPasses = 0;      ///< consecutive probe successes; stateMutex_
+    int probationRequired = 0;    ///< passes needed to re-enter; stateMutex_
     std::string downReason;       ///< stateMutex_
     std::string version;          ///< last observed; stateMutex_
     std::uint64_t inFlight = 0;   ///< last observed; stateMutex_
     std::uint64_t queued = 0;     ///< last observed; stateMutex_
   };
 
-  /// One shard's roster state, captured under a single stateMutex_ hold so
-  /// a STATUS/STATS aggregate is internally consistent: a shard marked
-  /// down mid-aggregation cannot make the per-shard array and the derived
-  /// counts disagree, and a down shard is never scattered to (no wedge on
-  /// its control timeout).
+  static bool dispatchable(ShardState s) noexcept {
+    return s == ShardState::Up || s == ShardState::Suspect;
+  }
+
+  /// An immutable roster snapshot: the shard set (kept alive by the
+  /// shared_ptrs across a concurrent LEAVE) plus the parallel name list
+  /// rendezvous hashing ranks.  One snapshot is taken per CHECK job at
+  /// scatter time, so a JOIN mid-batch only affects later jobs — every
+  /// obligation of one job routes over one consistent ring.
+  struct Roster {
+    std::vector<std::shared_ptr<Shard>> shards;
+    std::vector<std::string> names;  ///< parallel to shards
+  };
+  Roster rosterSnapshot() const;
+
+  /// One shard's observable state, captured under a single stateMutex_
+  /// hold so a STATUS/STATS/TOPOLOGY aggregate is internally consistent.
   struct RosterEntry {
-    const ShardSpec* spec = nullptr;
-    bool up = true;
-    std::string reason;  ///< down reason; empty when up
+    std::shared_ptr<Shard> shard;  ///< keeps spec alive across LEAVE
+    ShardState state = ShardState::Up;
+    std::string reason;  ///< down/probation reason; empty when up
     std::string version;
+    int downs = 0;
+    int probationPasses = 0;
+    int probationRequired = 0;
     std::uint64_t inFlight = 0;
     std::uint64_t queued = 0;
     std::uint64_t dispatched = 0;
     std::uint64_t redispatched = 0;
+    std::uint64_t replicaPuts = 0;
   };
   std::vector<RosterEntry> snapshotRoster() const;
 
@@ -165,26 +245,48 @@ class Coordinator {
   void handleCheck(net::LineSocket& sock, const net::Request& req);
   std::string statusResponse();
   std::string statsResponse();
+  std::string topologyResponse();
+  std::string joinResponse(const net::Request& req);
+  std::string leaveResponse(const net::Request& req);
 
   bool probeShard(Shard& shard, std::string* statusLine, std::string* error);
+  /// Run one probe against one shard and apply the lifecycle transition.
+  void probeOne(Shard& shard);
   void markDown(Shard& shard, const std::string& reason);
   void markUp(Shard& shard);
+  void enterProbation(Shard& shard, const std::string& reason);
   bool connectShard(const ShardSpec& spec, net::Client* client,
                     std::string* error) const;
+  /// Connect + STATUS + shardCompatible, the JOIN/reload admission gate.
+  bool handshakeShard(const ShardSpec& spec, std::string* version,
+                      std::string* error) const;
 
   /// Forward one obligation along its rendezvous order until a shard
   /// decides it; Error "no shard available" when the ring is exhausted.
+  /// Hedges to the next candidate after hedgeDelaySeconds (when enabled),
+  /// and write-replicates the decided verdict to the key's next
+  /// replicationFactor-1 rendezvous shards.
   service::ObligationOutcome forwardObligation(
-      const std::string& jobId, const std::string& jobName,
-      const std::string& smvText, const service::JobOptions& options,
-      const service::ObligationRef& ref);
+      const Roster& roster, const std::string& jobId,
+      const std::string& jobName, const std::string& smvText,
+      const service::JobOptions& options, const service::ObligationRef& ref);
+
+  /// Write `out`'s decided verdict through to the key's replica shards
+  /// (everyone in the first replicationFactor ranks of `order` except the
+  /// shard that served it).  Failures are soft: the replica tier is an
+  /// availability optimization, never a correctness dependency.
+  void maybeReplicate(const Roster& roster,
+                      const std::vector<std::size_t>& order,
+                      const service::ObligationOutcome& out);
 
   CoordinatorOptions opts_;
   service::MetricsRegistry& metrics_;
   service::RunTrace& trace_;
 
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::string> shardNames_;  ///< parallel to shards_
+  /// The live roster; mutable via JOIN/LEAVE/reload, guarded by
+  /// stateMutex_.  Dispatch never touches it directly — it works on a
+  /// Roster snapshot whose shared_ptrs outlive any concurrent removal.
+  std::vector<std::shared_ptr<Shard>> shards_;
   mutable std::mutex stateMutex_;
 
   ThreadPool pool_;

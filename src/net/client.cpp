@@ -7,8 +7,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <random>
+#include <thread>
+
+#include "service/journal.hpp"
 
 namespace cmc::net {
 
@@ -107,6 +111,66 @@ bool Client::reconnect(std::string* error) {
   if (tcpPort_ >= 0) return connectTcp(tcpPort_, error);
   *error = "reconnect before any connect";
   return false;
+}
+
+bool Client::connectRetrying(const std::string& socketPath, int tcpPort,
+                             int maxRetries, int baseMs, std::string* error,
+                             const RetryObserver& onRetry) {
+  for (int attempt = 0;; ++attempt) {
+    const bool ok = !socketPath.empty() ? connectUnix(socketPath, error)
+                                        : connectTcp(tcpPort, error);
+    if (ok) return true;
+    if (attempt >= maxRetries) return false;
+    const int delay = backoffMs(attempt, baseMs);
+    if (onRetry) onRetry(*error, attempt + 1, delay);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+}
+
+bool Client::requestWithRetry(const std::string& line, int maxRetries,
+                              int baseMs, std::string* response,
+                              std::string* error,
+                              const RetryObserver& onRetry) {
+  for (int attempt = 0;; ++attempt) {
+    std::string resp;
+    std::string why;
+    const bool transportOk = request(line, &resp, &why);
+    bool retryable = !transportOk;
+    if (transportOk) {
+      bool ok = true;
+      service::jsonExtractBool(resp, "ok", &ok);
+      std::string code;
+      if (!ok) service::jsonExtractString(resp, "code", &code);
+      if (!ok && (code == kBusy || code == kDraining)) {
+        retryable = true;
+        why = "server answered " + code;
+      }
+    }
+    if (!retryable) {
+      *response = resp;
+      return true;
+    }
+    if (attempt >= maxRetries) {
+      // Out of budget.  A refusal response still reaches the caller (its
+      // exit-code mapping depends on seeing the code); only transport
+      // death reports failure.
+      if (transportOk) {
+        *response = resp;
+        return true;
+      }
+      *error = why;
+      return false;
+    }
+    const int delay = backoffMs(attempt, baseMs);
+    if (onRetry) onRetry(why, attempt + 1, delay);
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    if (!transportOk) {
+      std::string reconnectError;
+      // A failed re-dial is not fatal here: the next request() fails in
+      // send and the loop retries (the daemon may still be restarting).
+      reconnect(&reconnectError);
+    }
+  }
 }
 
 int Client::backoffMs(int attempt, int baseMs) {

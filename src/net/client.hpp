@@ -5,6 +5,7 @@
 // caller, which knows which fields it wants.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,33 @@ class Client {
   /// False when nothing was ever dialed, or the dial fails.  The retry
   /// path of `cmc submit` uses this after a transport failure.
   bool reconnect(std::string* error);
+
+  /// Called before each retry sleep: (why, attempt 1-based, delay ms).
+  using RetryObserver =
+      std::function<void(const std::string&, int, int)>;
+
+  /// Connect with up to `maxRetries` retries on failure (connection
+  /// refused / no such socket while a daemon restarts), sleeping
+  /// backoffMs(attempt, baseMs) between attempts.  Exactly one of
+  /// socketPath / tcpPort (>= 0) selects the transport.  False with the
+  /// last dial error once the budget is exhausted.
+  bool connectRetrying(const std::string& socketPath, int tcpPort,
+                       int maxRetries, int baseMs, std::string* error,
+                       const RetryObserver& onRetry = {});
+
+  /// Send one request line, retrying transient failures up to
+  /// `maxRetries` times with backoffMs(attempt, baseMs) sleeps:
+  ///   - transport failures (ECONNRESET / EOF while a daemon restarts)
+  ///     reconnect() first, so a restarted server on the same endpoint
+  ///     picks the request up;
+  ///   - BUSY / DRAINING responses retry on the live connection.
+  /// True whenever a response line was obtained — including a final
+  /// BUSY/DRAINING after the budget runs out, so the caller's exit-code
+  /// mapping (refusal vs transport death) is preserved.  False only when
+  /// every attempt died in transport.
+  bool requestWithRetry(const std::string& line, int maxRetries, int baseMs,
+                        std::string* response, std::string* error,
+                        const RetryObserver& onRetry = {});
 
   bool connected() const noexcept { return sock_ != nullptr && sock_->valid(); }
 

@@ -18,6 +18,20 @@
 //   CANCEL  {"cmd": "CANCEL", "id": "r1"}
 //   DRAIN   {"cmd": "DRAIN"}
 //
+// Cluster administration (rev 3; the coordinator answers these, a plain
+// shard refuses them with BAD_REQUEST):
+//   TOPOLOGY {"cmd": "TOPOLOGY"}                 — list the live roster
+//   JOIN     {"cmd": "JOIN", "shard": "s3", "socket": "/run/s3.sock"}
+//            (or "tcp": <port> instead of "socket") — add a shard after a
+//            version/protocol handshake
+//   LEAVE    {"cmd": "LEAVE", "shard": "s3"}     — graceful decommission
+// Replica write-through (rev 3; a *shard* answers this, the coordinator
+// refuses it):
+//   CACHE_PUT {"cmd": "CACHE_PUT", "fingerprint": ..., "verdict":
+//             "Holds"|"Fails", "rule": ..., "engine": ..., "seconds": ...,
+//             "counterexample"?: ..., "proof"?: ...} — insert one decided
+//             verdict into the shard's obligation cache
+//
 // Responses always carry "ok" (bool) and "cmd".  Failures carry "code" —
 // one of BAD_REQUEST, BUSY, DRAINING, NOT_FOUND, INTERNAL — plus a
 // human-readable "error".  A successful CHECK response embeds the full
@@ -45,11 +59,12 @@ constexpr std::size_t kMaxLineBytes = 8u << 20;
 /// Wire protocol revision, stamped (with CMC_VERSION) into STATUS and
 /// STATS responses.  Bumped whenever a verb or field changes in a way a
 /// peer must understand — rev 2 added the single-obligation CHECK filter
-/// ("only") the cluster coordinator forwards on.  The coordinator refuses
-/// shards whose revision differs from its own: an old shard would
-/// silently ignore "only" and check the whole job, which is wrong, not
-/// slow.
-constexpr std::uint64_t kProtocolRevision = 2;
+/// ("only") the cluster coordinator forwards on; rev 3 added the cluster
+/// admin verbs (TOPOLOGY/JOIN/LEAVE) and the CACHE_PUT replica
+/// write-through.  The coordinator refuses shards whose revision differs
+/// from its own: an old shard would silently ignore "only" (wrong, not
+/// slow) or drop replica puts (silently un-replicated).
+constexpr std::uint64_t kProtocolRevision = 3;
 
 /// Error codes of failure responses.
 inline constexpr const char* kBadRequest = "BAD_REQUEST";
@@ -58,7 +73,17 @@ inline constexpr const char* kDraining = "DRAINING";
 inline constexpr const char* kNotFound = "NOT_FOUND";
 inline constexpr const char* kInternal = "INTERNAL";
 
-enum class Command { Check, Status, Stats, Cancel, Drain };
+enum class Command {
+  Check,
+  Status,
+  Stats,
+  Cancel,
+  Drain,
+  Topology,
+  Join,
+  Leave,
+  CachePut,
+};
 
 const char* toString(Command c) noexcept;
 bool commandFromString(std::string_view text, Command* out) noexcept;
@@ -75,6 +100,15 @@ struct Request {
   /// yields an Error verdict, not a silent full run.
   std::string only;
   service::JobOptions options;  ///< seeded from the server defaults
+  // Cluster admin fields (JOIN/LEAVE).
+  std::string shard;        ///< roster name of the shard to add/remove
+  std::string shardSocket;  ///< JOIN: Unix-domain endpoint (or shardTcp)
+  int shardTcp = -1;        ///< JOIN: loopback TCP port (or shardSocket)
+  /// CACHE_PUT: the content fingerprint being written through.  The
+  /// remaining verdict fields (verdict/rule/engine/seconds/
+  /// counterexample/proof) stay in the raw line; the shard extracts them
+  /// with the same parsers the disk store uses.
+  std::string fingerprint;
 };
 
 /// Parse one request line.  `defaults` seeds Request::options; fields

@@ -306,6 +306,18 @@ void Server::handleConnection(int fd) {
                                          .put("state", "draining")
                                          .str());
         break;
+      case Command::CachePut:
+        closeAfter = !sock.writeLine(cachePutResponse(req, line));
+        break;
+      case Command::Topology:
+      case Command::Join:
+      case Command::Leave:
+        closeAfter = !sock.writeLine(errorResponse(
+            toString(req.cmd), kBadRequest,
+            std::string(toString(req.cmd)) +
+                " is a cluster admin command; send it to the coordinator, "
+                "not a shard"));
+        break;
     }
   }
   {
@@ -594,6 +606,47 @@ std::string Server::cancelResponse(const Request& req) {
       .put("id", req.id)
       .putBool("delivered", true)
       .put("phase", wasRunning ? "running" : "queued")
+      .str();
+}
+
+std::string Server::cachePutResponse(const Request& req,
+                                     const std::string& line) {
+  service::ObligationCache* cache = svc_.cache();
+  if (cache == nullptr) {
+    return errorResponse("CACHE_PUT", kBadRequest,
+                         "the obligation cache is disabled on this shard");
+  }
+  service::CachedVerdict v;
+  std::string verdict;
+  service::jsonExtractString(line, "verdict", &verdict);
+  v.verdict = verdict == "Fails" ? service::Verdict::Fails
+                                 : service::Verdict::Holds;
+  service::jsonExtractString(line, "rule", &v.rule);
+  service::jsonExtractString(line, "engine", &v.engine);
+  service::jsonExtractDouble(line, "seconds", &v.seconds);
+  service::jsonExtractString(line, "counterexample", &v.counterexample);
+  service::jsonExtractString(line, "proof", &v.proofJson);
+  // insert() returns false both for a genuinely uncacheable verdict and
+  // for a fingerprint it already held (it updates in place); only the
+  // former is an error.  Duplicate puts are routine — every warm run
+  // re-replicates its decided obligations.
+  const bool hadIt = cache->lookup(req.fingerprint).has_value();
+  if (!cache->insert(req.fingerprint, v) && !hadIt) {
+    return errorResponse("CACHE_PUT", kInternal,
+                         "cache refused the verdict (not cacheable)");
+  }
+  metrics_.counter("cache_replica_puts").inc();
+  trace_.emit(service::JsonObject()
+                  .put("event", "cache_replica_put")
+                  .putDouble("t", trace_.elapsedSeconds())
+                  .put("fingerprint", req.fingerprint)
+                  .put("verdict", verdict)
+                  .putBool("fresh", !hadIt));
+  return service::JsonObject()
+      .putBool("ok", true)
+      .put("cmd", "CACHE_PUT")
+      .put("fingerprint", req.fingerprint)
+      .putBool("inserted", !hadIt)
       .str();
 }
 

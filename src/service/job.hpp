@@ -150,6 +150,11 @@ struct ObligationOutcome {
   /// verdicts, so a clustered report still explains where each verdict
   /// came from.
   std::string shard;
+  /// True when the coordinator hedged this obligation's in-flight CHECK to
+  /// a second shard after its latency threshold; `shard` names the lane
+  /// whose sound verdict arrived first (the hedge winner), the loser was
+  /// cancelled.  Always false for local runs and unhedged forwards.
+  bool hedged = false;
   /// True when this obligation's decided verdict became a new cache entry.
   bool cacheInserted = false;
   bool retried = false;

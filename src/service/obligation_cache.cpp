@@ -305,8 +305,19 @@ bool compactObligationStore(const std::string& dir, CompactionResult* result,
     *error = "cannot open " + path + ": " + std::strerror(errno);
     return false;
   }
-  if (::flock(fd, LOCK_EX) != 0) {
-    *error = "flock on " + path + " failed: " + std::strerror(errno);
+  // LOCK_NB: appenders hold the store flock only for the duration of one
+  // append, so a lock we cannot take immediately means a live writer is
+  // mid-append — refuse rather than silently rewriting a store another
+  // process is actively growing.  (A writer that appends *between* our
+  // lock and the rename still loses nothing: it waits on the same flock.)
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    if (errno == EWOULDBLOCK) {
+      *error = path +
+               " is locked by a live writer (a running cmc serve or check "
+               "is appending); compact when the store is quiescent";
+    } else {
+      *error = "flock on " + path + " failed: " + std::strerror(errno);
+    }
     ::close(fd);
     return false;
   }
@@ -395,6 +406,17 @@ bool compactObligationStore(const std::string& dir, CompactionResult* result,
   }
   const bool wrote = writeAll(tmpFd, data) && ::fsync(tmpFd) == 0;
   ::close(tmpFd);
+  // Crash window under test: the temp file exists but the rename has not
+  // happened.  The original store must survive untouched and the flock
+  // must be released (the error path below does both).
+  try {
+    CMC_FAILPOINT("cache.compact");
+  } catch (const std::exception& e) {
+    *error = std::string("compaction aborted: ") + e.what();
+    ::unlink(tmpPath.c_str());
+    unlockAndClose();
+    return false;
+  }
   if (!wrote || ::rename(tmpPath.c_str(), path.c_str()) != 0) {
     *error = "rewrite of " + path + " failed: " + std::strerror(errno);
     ::unlink(tmpPath.c_str());

@@ -25,6 +25,8 @@ constexpr CatalogEntry kCatalog[] = {
     {"smv.elaborate", "SMV module elaboration (scout phase and workers)"},
     {"cache.disk_append", "obligation-cache JSONL store append"},
     {"cache.disk_load", "obligation-cache JSONL store load (per line)"},
+    {"cache.compact",
+     "store compaction, after the temp file is written, before the rename"},
     {"trace.write", "run-trace JSONL sink write (per event)"},
     {"scheduler.dispatch", "worker pickup of an obligation, before attempts"},
     {"scheduler.retry", "engine-degradation retry decision"},
@@ -35,6 +37,8 @@ constexpr CatalogEntry kCatalog[] = {
     {"journal.load", "run-journal load on --resume (per line)"},
     {"net.accept", "server accept of a new connection (before the handler)"},
     {"net.read", "server read of a request line (per read attempt)"},
+    {"cluster.hedge_delay",
+     "coordinator hedge-lane launch (delay it to let the primary win)"},
 };
 
 }  // namespace

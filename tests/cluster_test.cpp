@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/coordinator.hpp"
@@ -22,6 +24,7 @@
 #include "service/scheduler.hpp"
 #include "service/snapshot.hpp"
 #include "service/trace_log.hpp"
+#include "util/failpoint.hpp"
 #include "util/version.hpp"
 
 namespace cmc::cluster {
@@ -251,6 +254,20 @@ struct ShardHarness {
 
   ~ShardHarness() { server->shutdown(); }
 
+  /// Rebind on the same socket path with the same service (so the
+  /// in-memory cache survives) — the test seam for shard restarts: the
+  /// coordinator sees the same endpoint come back to life.
+  void restart() {
+    server->shutdown();
+    net::ServerOptions opts;
+    opts.socketPath = sockPath;
+    server = std::make_unique<net::Server>(opts, *svc, metrics, trace,
+                                           nullptr, nullptr);
+    std::string err;
+    started = server->start(&err);
+    EXPECT_TRUE(started) << err;
+  }
+
   service::MetricsRegistry metrics;
   service::RunTrace trace;
   std::unique_ptr<service::VerificationService> svc;
@@ -262,7 +279,9 @@ struct ShardHarness {
 /// A coordinator fronting `n` in-process shards.  The probe thread is
 /// disabled; tests drive probeNow() for deterministic health transitions.
 struct ClusterHarness {
-  explicit ClusterHarness(int n, int failThreshold = 2) {
+  explicit ClusterHarness(
+      int n, int failThreshold = 2,
+      const std::function<void(CoordinatorOptions&)>& tweak = {}) {
     for (int i = 0; i < n; ++i) {
       shards.push_back(std::make_unique<ShardHarness>());
     }
@@ -278,6 +297,7 @@ struct ClusterHarness {
     opts.probeIntervalSeconds = 0.0;
     opts.failThreshold = failThreshold;
     opts.controlTimeoutSeconds = 2.0;
+    if (tweak) tweak(opts);
     coordinator = std::make_unique<Coordinator>(opts, metrics, trace);
     sockPath = opts.socketPath;
     std::string err;
@@ -519,6 +539,453 @@ TEST(ClusterCoordinator, RefusesToStartWithNoReachableShard) {
   EXPECT_FALSE(coordinator.start(&err));
   EXPECT_NE(err.find("STATUS"), std::string::npos) << err;
   coordinator.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic membership, shard lifecycle, replication, hedging
+// ---------------------------------------------------------------------------
+
+/// Per-obligation shard attribution parsed out of a job report: id → shard.
+std::map<std::string, std::string> shardById(const std::string& report) {
+  std::map<std::string, std::string> out;
+  std::size_t at = report.find("\"id\": \"");
+  while (at != std::string::npos) {
+    const std::size_t idStart = at + 7;
+    const std::size_t idEnd = report.find('"', idStart);
+    const std::string id = report.substr(idStart, idEnd - idStart);
+    const std::size_t next = report.find("\"id\": \"", idEnd);
+    const std::size_t sh = report.find("\"shard\": \"", idEnd);
+    if (sh != std::string::npos &&
+        (next == std::string::npos || sh < next)) {
+      const std::size_t shStart = sh + 10;
+      const std::size_t shEnd = report.find('"', shStart);
+      out[id] = report.substr(shStart, shEnd - shStart);
+    }
+    at = next;
+  }
+  return out;
+}
+
+/// The owner map the coordinator must produce for kPairSmv over `names`:
+/// enumerate the obligations the same way and take each fingerprint's
+/// rank-0 rendezvous shard.
+std::map<std::string, std::string> expectedOwners(
+    const std::vector<std::string>& names) {
+  service::VerificationJob job;
+  job.name = "pair";
+  job.smvText = kPairSmv;
+  job.options.compose = true;
+  const service::SnapshotResult snap = service::buildSnapshot(job, true);
+  EXPECT_TRUE(snap.snapshot) << snap.error;
+  std::map<std::string, std::string> owners;
+  for (const service::ObligationRef& ref :
+       service::enumerateObligations(*snap.snapshot, job.options)) {
+    owners[ref.id] = names[rendezvousOrder(names, ref.fingerprint).front()];
+  }
+  return owners;
+}
+
+std::string joinRequest(const std::string& name, const std::string& socket) {
+  service::JsonObject req;
+  req.put("cmd", "JOIN").put("shard", name).put("socket", socket);
+  return req.str();
+}
+
+TEST(ClusterAdmin, TopologyListsLifecycleStateAndRefusesMisroutedCommands) {
+  ClusterHarness cluster(2);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  std::string err, resp;
+  ASSERT_TRUE(client.request("{\"cmd\": \"TOPOLOGY\"}", &resp, &err)) << err;
+  bool ok = false;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok);
+  std::uint64_t total = 0, up = 0, rev = 0, replication = 0;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_total", &total));
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_up", &up));
+  EXPECT_TRUE(service::jsonExtractUint(resp, "protocol_rev", &rev));
+  EXPECT_TRUE(service::jsonExtractUint(resp, "replication", &replication));
+  EXPECT_EQ(total, 2u);
+  EXPECT_EQ(up, 2u);
+  EXPECT_EQ(rev, net::kProtocolRevision);
+  EXPECT_EQ(replication, 2u);
+  EXPECT_EQ(countOccurrences(resp, "\"state\": \"up\""), 2u);
+  EXPECT_NE(resp.find("\"probation_required\""), std::string::npos);
+  EXPECT_NE(resp.find("\"downs\""), std::string::npos);
+
+  // CACHE_PUT is shard-side only; the coordinator refuses it.
+  ASSERT_TRUE(client.request("{\"cmd\": \"CACHE_PUT\", \"fingerprint\": "
+                             "\"deadbeef\", \"verdict\": \"Holds\"}",
+                             &resp, &err))
+      << err;
+  std::string code;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kBadRequest);
+
+  // And the admin commands are coordinator-side only; a shard refuses.
+  net::Client shardClient;
+  ASSERT_TRUE(shardClient.connectUnix(cluster.shards[0]->sockPath, &err))
+      << err;
+  ASSERT_TRUE(shardClient.request("{\"cmd\": \"TOPOLOGY\"}", &resp, &err))
+      << err;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kBadRequest);
+  EXPECT_NE(resp.find("coordinator"), std::string::npos);
+}
+
+TEST(ClusterAdmin, JoinAddsShardAndRoutesByRendezvous) {
+  ClusterHarness cluster(2);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  std::string err, resp;
+
+  auto extra = std::make_unique<ShardHarness>();
+  ASSERT_TRUE(extra->started);
+  ASSERT_TRUE(
+      client.request(joinRequest("s2", extra->sockPath), &resp, &err))
+      << err;
+  bool ok = false;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok) << resp;
+  std::string state;
+  EXPECT_TRUE(service::jsonExtractString(resp, "state", &state));
+  EXPECT_EQ(state, "up");  // the join handshake doubles as the first probe
+  std::uint64_t total = 0;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_total", &total));
+  EXPECT_EQ(total, 3u);
+
+  // Joining a name that is already serving is refused...
+  ASSERT_TRUE(
+      client.request(joinRequest("s2", extra->sockPath), &resp, &err))
+      << err;
+  std::string code;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kBadRequest);
+  EXPECT_NE(resp.find("already"), std::string::npos);
+
+  // ...and a join whose endpoint never answers fails the handshake
+  // without touching the roster.
+  ASSERT_TRUE(client.request(
+      joinRequest("ghost", freshSocketPath("ghost-join")), &resp, &err))
+      << err;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kBadRequest);
+  EXPECT_NE(resp.find("handshake"), std::string::npos);
+  ASSERT_TRUE(client.request("{\"cmd\": \"TOPOLOGY\"}", &resp, &err)) << err;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_total", &total));
+  EXPECT_EQ(total, 3u);
+
+  // Work now routes over the three-shard ring exactly as rendezvous
+  // hashing dictates.
+  ASSERT_TRUE(client.request(checkRequest("joined", kPairSmv), &resp, &err))
+      << err;
+  std::string report;
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  EXPECT_EQ(shardById(report), expectedOwners({"s0", "s1", "s2"}));
+}
+
+TEST(ClusterAdmin, LeaveRefusesTheLastShardAndUnknownNames) {
+  ClusterHarness cluster(1);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  std::string err, resp, code;
+  ASSERT_TRUE(client.request("{\"cmd\": \"LEAVE\", \"shard\": \"nobody\"}",
+                             &resp, &err))
+      << err;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kNotFound);
+  ASSERT_TRUE(client.request("{\"cmd\": \"LEAVE\", \"shard\": \"s0\"}",
+                             &resp, &err))
+      << err;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kBadRequest);
+  EXPECT_NE(resp.find("last shard"), std::string::npos);
+}
+
+TEST(ClusterAdmin, LeaveAndRejoinRestoreTheExactRouting) {
+  ClusterHarness cluster(3);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  std::string err, resp, report;
+
+  ASSERT_TRUE(client.request(checkRequest("cold", kPairSmv), &resp, &err))
+      << err;
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  const std::map<std::string, std::string> before = shardById(report);
+  ASSERT_EQ(before.size(), 6u);
+  // Replication ran: every decided obligation was written through to its
+  // next rendezvous shard.
+  EXPECT_EQ(cluster.metrics.counterValue("cluster_replica_puts"), 6u);
+
+  ASSERT_TRUE(client.request("{\"cmd\": \"LEAVE\", \"shard\": \"s1\"}",
+                             &resp, &err))
+      << err;
+  bool ok = false;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok) << resp;
+  std::uint64_t total = 0;
+  EXPECT_TRUE(service::jsonExtractUint(resp, "shards_total", &total));
+  EXPECT_EQ(total, 2u);
+
+  // Minimal re-keying: only s1's keys move, and — thanks to the replica
+  // tier — even those are served from the successor's cache, so the whole
+  // warm job is cache hits.
+  ASSERT_TRUE(client.request(checkRequest("warm", kPairSmv), &resp, &err))
+      << err;
+  std::uint64_t cacheHits = 0;
+  ASSERT_TRUE(service::jsonExtractUint(resp, "cache_hits", &cacheHits));
+  EXPECT_EQ(cacheHits, 6u);
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  const std::map<std::string, std::string> during = shardById(report);
+  for (const auto& [id, shard] : before) {
+    if (shard == "s1") {
+      EXPECT_NE(during.at(id), "s1") << id;
+    } else {
+      EXPECT_EQ(during.at(id), shard) << id;
+    }
+  }
+
+  // Rejoin: rendezvous hashing is pure in the shard name, so the original
+  // owner map comes back exactly.
+  ASSERT_TRUE(client.request(
+      joinRequest("s1", cluster.shards[1]->sockPath), &resp, &err))
+      << err;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok) << resp;
+  ASSERT_TRUE(client.request(checkRequest("rejoined", kPairSmv), &resp,
+                             &err))
+      << err;
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  EXPECT_EQ(shardById(report), before);
+}
+
+TEST(ClusterLifecycle, FlappingShardServesProbationWithExponentialHoldDown) {
+  ClusterHarness cluster(2, /*failThreshold=*/1);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  std::string err, resp;
+
+  // First flap: down, then one probation pass readmits.
+  cluster.shards[1]->server->shutdown();
+  cluster.coordinator->probeNow();
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 1u);
+  ASSERT_TRUE(client.request("{\"cmd\": \"TOPOLOGY\"}", &resp, &err)) << err;
+  EXPECT_NE(resp.find("\"state\": \"down\""), std::string::npos);
+  EXPECT_NE(resp.find("\"downs\": 1"), std::string::npos);
+
+  cluster.shards[1]->restart();
+  cluster.coordinator->probeNow();  // down → probation
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 1u);
+  ASSERT_TRUE(client.request("{\"cmd\": \"TOPOLOGY\"}", &resp, &err)) << err;
+  EXPECT_NE(resp.find("\"state\": \"probation\""), std::string::npos);
+
+  // A shard in probation takes no traffic, and its keys are dispatched
+  // exactly once to the survivor — never to both.
+  std::string report;
+  ASSERT_TRUE(client.request(checkRequest("held", kPairSmv), &resp, &err))
+      << err;
+  std::uint64_t obligations = 0;
+  ASSERT_TRUE(service::jsonExtractUint(resp, "obligations", &obligations));
+  EXPECT_EQ(obligations, 6u);
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  EXPECT_EQ(countOccurrences(report, "\"shard\": \"s0\""), 6u);
+  EXPECT_EQ(countOccurrences(report, "\"shard\": \"s1\""), 0u);
+  EXPECT_EQ(countOccurrences(report, "\"id\": \""), 6u);
+
+  cluster.coordinator->probeNow();  // probation pass 1 of 1 → up
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 2u);
+
+  // Second flap: the hold-down doubles — two probation passes required.
+  cluster.shards[1]->server->shutdown();
+  cluster.coordinator->probeNow();
+  ASSERT_TRUE(client.request("{\"cmd\": \"TOPOLOGY\"}", &resp, &err)) << err;
+  EXPECT_NE(resp.find("\"downs\": 2"), std::string::npos);
+  EXPECT_NE(resp.find("\"probation_required\": 2"), std::string::npos);
+
+  cluster.shards[1]->restart();
+  cluster.coordinator->probeNow();  // down → probation (0 passes)
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 1u);
+  cluster.coordinator->probeNow();  // pass 1 of 2: still held out
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 1u);
+  cluster.coordinator->probeNow();  // pass 2 of 2 → up
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 2u);
+}
+
+TEST(ClusterReplication, ReplicaServesADeadShardsVerdictsFromCache) {
+  ClusterHarness cluster(3);
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  std::string err, resp, report;
+
+  ASSERT_TRUE(client.request(checkRequest("cold", kPairSmv), &resp, &err))
+      << err;
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  const std::map<std::string, std::string> owners = shardById(report);
+  ASSERT_EQ(owners.size(), 6u);
+  // RF=2 with everyone up: exactly one replica write per decided
+  // obligation, all successful.
+  EXPECT_EQ(cluster.metrics.counterValue("cluster_replica_puts"), 6u);
+  EXPECT_EQ(cluster.metrics.counterValue("cluster_replica_put_failures"),
+            0u);
+
+  // Kill the owner of the first obligation and let probes mark it down.
+  const std::string victim = owners.begin()->second;
+  const int victimIndex = victim[1] - '0';
+  cluster.shards[victimIndex]->server->shutdown();
+  cluster.coordinator->probeNow();
+  cluster.coordinator->probeNow();  // failThreshold = 2
+  EXPECT_EQ(cluster.coordinator->shardsUp(), 2u);
+
+  // The warm job is still all cache hits: the victim's keys fall to their
+  // rendezvous successor, which holds the replicated verdicts.
+  ASSERT_TRUE(client.request(checkRequest("warm", kPairSmv), &resp, &err))
+      << err;
+  std::string verdict;
+  ASSERT_TRUE(service::jsonExtractString(resp, "verdict", &verdict));
+  EXPECT_EQ(verdict, "Holds");
+  std::uint64_t cacheHits = 0;
+  ASSERT_TRUE(service::jsonExtractUint(resp, "cache_hits", &cacheHits));
+  EXPECT_EQ(cacheHits, 6u);
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  EXPECT_EQ(countOccurrences(report, "\"verdict_source\": \"checked\""), 0u);
+  EXPECT_EQ(countOccurrences(report, "\"shard\": \"" + victim + "\""), 0u);
+}
+
+TEST(ClusterCachePut, ShardStoresReplicasAndServesThemAsCacheHits) {
+  service::VerificationJob job;
+  job.name = "pair";
+  job.smvText = kPairSmv;
+  job.options.compose = true;
+  const service::SnapshotResult snap = service::buildSnapshot(job, true);
+  ASSERT_TRUE(snap.snapshot) << snap.error;
+  const std::vector<service::ObligationRef> refs =
+      service::enumerateObligations(*snap.snapshot, job.options);
+  ASSERT_FALSE(refs.empty());
+
+  ShardHarness shard;
+  ASSERT_TRUE(shard.started);
+  net::Client client;
+  std::string err, resp;
+  ASSERT_TRUE(client.connectUnix(shard.sockPath, &err)) << err;
+
+  service::JsonObject put;
+  put.put("cmd", "CACHE_PUT")
+      .put("fingerprint", refs[0].fingerprint)
+      .put("verdict", "Holds")
+      .put("engine", "partitioned");
+  ASSERT_TRUE(client.request(put.str(), &resp, &err)) << err;
+  bool ok = false, inserted = false;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok) << resp;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "inserted", &inserted));
+  EXPECT_TRUE(inserted);
+
+  // Idempotent: a duplicate put is acknowledged, not double-stored.
+  ASSERT_TRUE(client.request(put.str(), &resp, &err)) << err;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "inserted", &inserted));
+  EXPECT_FALSE(inserted);
+
+  // The replicated verdict serves a later CHECK without re-checking.
+  ASSERT_TRUE(client.request(
+      checkRequest("replica-hit", kPairSmv,
+                   "\"compose\": true, \"only\": \"" + refs[0].id + "\""),
+      &resp, &err))
+      << err;
+  std::string source;
+  EXPECT_TRUE(service::jsonExtractString(resp, "verdict_source", &source));
+  EXPECT_EQ(source, "cache");
+
+  // Only terminal verdicts replicate; Error is refused at the parse layer.
+  ASSERT_TRUE(client.request("{\"cmd\": \"CACHE_PUT\", \"fingerprint\": "
+                             "\"deadbeef\", \"verdict\": \"Error\"}",
+                             &resp, &err))
+      << err;
+  std::string code;
+  EXPECT_TRUE(service::jsonExtractString(resp, "code", &code));
+  EXPECT_EQ(code, net::kBadRequest);
+}
+
+TEST(ClusterHedge, HedgesAStragglerAndFirstSoundVerdictWins) {
+  if (!util::Failpoint::compiledIn()) {
+    GTEST_SKIP() << "needs -DCMC_FAILPOINTS=ON";
+  }
+  ClusterHarness cluster(3, /*failThreshold=*/2,
+                         [](CoordinatorOptions& opts) {
+                           opts.hedgeDelaySeconds = 0.05;
+                         });
+  ASSERT_TRUE(cluster.started);
+  net::Client client = cluster.connect();
+  // Every dispatch stalls well past the hedge threshold, so every
+  // obligation grows a second lane.
+  util::Failpoint::configure("scheduler.dispatch=delay(300)");
+  std::string err, resp;
+  const bool sent =
+      client.request(checkRequest("straggler", kPairSmv), &resp, &err);
+  util::Failpoint::disarmAll();
+  ASSERT_TRUE(sent) << err;
+
+  std::string verdict, report;
+  ASSERT_TRUE(service::jsonExtractString(resp, "verdict", &verdict));
+  EXPECT_EQ(verdict, "Holds");
+  std::uint64_t obligations = 0;
+  ASSERT_TRUE(service::jsonExtractUint(resp, "obligations", &obligations));
+  EXPECT_EQ(obligations, 6u);
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  // Exactly one outcome per obligation even with two lanes racing, and the
+  // report says which ones were hedged.
+  EXPECT_EQ(countOccurrences(report, "\"id\": \""), 6u);
+  EXPECT_GE(countOccurrences(report, "\"hedged\": true"), 1u);
+  EXPECT_GE(cluster.metrics.counterValue("cluster_hedges"), 1u);
+  EXPECT_EQ(countOccurrences(report, "\"verdict\": \"Error\""), 0u);
+}
+
+TEST(ClusterAdmin, JoinMidBatchOnlyAffectsLaterJobs) {
+  if (!util::Failpoint::compiledIn()) {
+    GTEST_SKIP() << "needs -DCMC_FAILPOINTS=ON";
+  }
+  ClusterHarness cluster(2);
+  ASSERT_TRUE(cluster.started);
+
+  // Slow the batch down so the JOIN lands squarely in the middle of it.
+  util::Failpoint::configure("scheduler.dispatch=delay(200)");
+  std::string inflightResp, inflightErr;
+  bool inflightOk = false;
+  std::thread checker([&] {
+    net::Client c = cluster.connect();
+    inflightOk = c.request(checkRequest("inflight", kPairSmv),
+                           &inflightResp, &inflightErr);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  auto late = std::make_unique<ShardHarness>();
+  ASSERT_TRUE(late->started);
+  net::Client admin = cluster.connect();
+  std::string err, resp;
+  ASSERT_TRUE(
+      admin.request(joinRequest("late", late->sockPath), &resp, &err))
+      << err;
+  bool ok = false;
+  EXPECT_TRUE(service::jsonExtractBool(resp, "ok", &ok));
+  EXPECT_TRUE(ok) << resp;
+
+  checker.join();
+  util::Failpoint::disarmAll();
+  ASSERT_TRUE(inflightOk) << inflightErr;
+
+  // The in-flight job took its roster snapshot before the join, so none
+  // of its obligations reached the new shard.
+  std::string report;
+  ASSERT_TRUE(
+      service::jsonExtractString(inflightResp, "report", &report));
+  EXPECT_EQ(countOccurrences(report, "\"id\": \""), 6u);
+  EXPECT_EQ(countOccurrences(report, "\"shard\": \"late\""), 0u);
+
+  // The next job routes over the widened ring.
+  ASSERT_TRUE(
+      admin.request(checkRequest("after", kPairSmv), &resp, &err))
+      << err;
+  ASSERT_TRUE(service::jsonExtractString(resp, "report", &report));
+  EXPECT_EQ(shardById(report), expectedOwners({"s0", "s1", "late"}));
 }
 
 TEST(ClusterCoordinator, DrainRefusesNewChecks) {

@@ -203,6 +203,70 @@ TEST(NetProtocol, ParseOverlaysDefaults) {
   EXPECT_DOUBLE_EQ(req.options.limits.deadlineSeconds, 0.0);
 }
 
+TEST(NetProtocol, ParsesRev3ClusterAdminCommands) {
+  // The admin commands arrived with protocol revision 3; the gate test in
+  // cluster_test.cpp proves older revisions are refused outright.
+  EXPECT_EQ(kProtocolRevision, 3u);
+  const service::JobOptions defaults;
+  Request req;
+  std::string err;
+
+  ASSERT_TRUE(parseRequest("{\"cmd\": \"TOPOLOGY\"}", defaults, &req, &err))
+      << err;
+  EXPECT_EQ(req.cmd, Command::Topology);
+
+  ASSERT_TRUE(parseRequest(
+      "{\"cmd\": \"JOIN\", \"shard\": \"s3\", \"socket\": \"/run/s3.sock\"}",
+      defaults, &req, &err))
+      << err;
+  EXPECT_EQ(req.cmd, Command::Join);
+  EXPECT_EQ(req.shard, "s3");
+  EXPECT_EQ(req.shardSocket, "/run/s3.sock");
+  EXPECT_EQ(req.shardTcp, -1);
+  ASSERT_TRUE(parseRequest("{\"cmd\": \"JOIN\", \"shard\": \"s4\", "
+                           "\"tcp\": 7402}",
+                           defaults, &req, &err))
+      << err;
+  EXPECT_EQ(req.shardTcp, 7402);
+  EXPECT_TRUE(req.shardSocket.empty());
+  // JOIN needs a name and exactly one transport, in range.
+  EXPECT_FALSE(parseRequest("{\"cmd\": \"JOIN\", \"socket\": \"/run/x\"}",
+                            defaults, &req, &err));
+  EXPECT_NE(err.find("shard"), std::string::npos) << err;
+  EXPECT_FALSE(parseRequest("{\"cmd\": \"JOIN\", \"shard\": \"s3\"}",
+                            defaults, &req, &err));
+  EXPECT_FALSE(parseRequest(
+      "{\"cmd\": \"JOIN\", \"shard\": \"s3\", \"socket\": \"/run/x\", "
+      "\"tcp\": 7402}",
+      defaults, &req, &err));
+  EXPECT_FALSE(parseRequest("{\"cmd\": \"JOIN\", \"shard\": \"s3\", "
+                            "\"tcp\": 99999}",
+                            defaults, &req, &err));
+
+  ASSERT_TRUE(parseRequest("{\"cmd\": \"LEAVE\", \"shard\": \"s3\"}",
+                           defaults, &req, &err))
+      << err;
+  EXPECT_EQ(req.cmd, Command::Leave);
+  EXPECT_EQ(req.shard, "s3");
+  EXPECT_FALSE(parseRequest("{\"cmd\": \"LEAVE\"}", defaults, &req, &err));
+
+  ASSERT_TRUE(parseRequest("{\"cmd\": \"CACHE_PUT\", \"fingerprint\": "
+                           "\"ab12\", \"verdict\": \"Fails\"}",
+                           defaults, &req, &err))
+      << err;
+  EXPECT_EQ(req.cmd, Command::CachePut);
+  EXPECT_EQ(req.fingerprint, "ab12");
+  // The write-through carries decided verdicts only: no fingerprint, or a
+  // non-terminal verdict, is refused at the parse layer.
+  EXPECT_FALSE(parseRequest("{\"cmd\": \"CACHE_PUT\", \"verdict\": "
+                            "\"Holds\"}",
+                            defaults, &req, &err));
+  EXPECT_NE(err.find("fingerprint"), std::string::npos) << err;
+  EXPECT_FALSE(parseRequest("{\"cmd\": \"CACHE_PUT\", \"fingerprint\": "
+                            "\"ab12\", \"verdict\": \"Timeout\"}",
+                            defaults, &req, &err));
+}
+
 // ---------------------------------------------------------------------------
 // LineSocket framing
 // ---------------------------------------------------------------------------
@@ -580,6 +644,111 @@ TEST(NetServer, LoopbackTcpListenerServes) {
   std::string resp;
   ASSERT_TRUE(c.request(checkRequest("tcp", kChainSmv), &resp, &err)) << err;
   EXPECT_NE(resp.find("\"verdict\": \"Holds\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Client retry loops: transient transport failures, including the
+// initial dial
+// ---------------------------------------------------------------------------
+
+TEST(NetClient, ConnectRetryingWaitsForALateServer) {
+  // The daemon comes up well after the client starts dialing: the
+  // retrying dial keeps at it instead of failing the submit outright.
+  service::MetricsRegistry metrics;
+  service::RunTrace trace;
+  service::ServiceOptions so;
+  so.threads = 1;
+  so.metrics = &metrics;
+  service::VerificationService svc(so);
+  static std::atomic<int> counter{0};
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("cmc_net_late_" + std::to_string(::getpid()) + "_" +
+        std::to_string(++counter) + ".sock"))
+          .string();
+  ServerOptions opts;
+  opts.socketPath = path;
+  std::unique_ptr<Server> server;
+  std::thread starter([&] {
+    std::this_thread::sleep_for(200ms);
+    server = std::make_unique<Server>(opts, svc, metrics, trace, nullptr,
+                                      nullptr);
+    std::string err;
+    EXPECT_TRUE(server->start(&err)) << err;
+  });
+  Client c;
+  std::string err;
+  std::atomic<int> attempts{0};
+  EXPECT_TRUE(c.connectRetrying(path, /*tcpPort=*/-1, /*maxRetries=*/50,
+                                /*baseMs=*/20, &err,
+                                [&](const std::string&, int, int) {
+                                  ++attempts;
+                                }))
+      << err;
+  starter.join();
+  EXPECT_GE(attempts.load(), 1);
+  std::string resp;
+  ASSERT_TRUE(c.request("{\"cmd\": \"STATUS\"}", &resp, &err)) << err;
+  EXPECT_NE(resp.find("\"ok\": true"), std::string::npos);
+  server->shutdown();
+}
+
+TEST(NetClient, ConnectRetryingReportsFailureWhenTheBudgetRunsOut) {
+  Client c;
+  std::string err;
+  EXPECT_FALSE(c.connectRetrying(
+      (fs::temp_directory_path() / "cmc_net_never_bound.sock").string(),
+      /*tcpPort=*/-1, /*maxRetries=*/2, /*baseMs=*/1, &err));
+  EXPECT_NE(err.find("connect"), std::string::npos) << err;
+}
+
+TEST(NetClient, RequestWithRetrySurvivesAServerRestartOnTheSameSocket) {
+  service::MetricsRegistry metrics;
+  service::RunTrace trace;
+  service::ServiceOptions so;
+  so.threads = 1;
+  so.metrics = &metrics;
+  service::VerificationService svc(so);
+  static std::atomic<int> counter{0};
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("cmc_net_restart_" + std::to_string(::getpid()) + "_" +
+        std::to_string(++counter) + ".sock"))
+          .string();
+  ServerOptions opts;
+  opts.socketPath = path;
+  auto server = std::make_unique<Server>(opts, svc, metrics, trace, nullptr,
+                                         nullptr);
+  std::string err;
+  ASSERT_TRUE(server->start(&err)) << err;
+  Client c;
+  ASSERT_TRUE(c.connectUnix(path, &err)) << err;
+
+  // Kill the daemon under the connected client, then bring a new one up
+  // on the same socket a beat later.
+  server->shutdown();
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(150ms);
+    server = std::make_unique<Server>(opts, svc, metrics, trace, nullptr,
+                                      nullptr);
+    std::string startErr;
+    EXPECT_TRUE(server->start(&startErr)) << startErr;
+  });
+
+  // The in-flight request rides out the restart: transport failure →
+  // backoff → re-dial → success, invisibly to the caller.
+  std::string resp;
+  std::atomic<int> attempts{0};
+  ASSERT_TRUE(c.requestWithRetry("{\"cmd\": \"STATUS\"}", /*maxRetries=*/10,
+                                 /*baseMs=*/50, &resp, &err,
+                                 [&](const std::string&, int, int) {
+                                   ++attempts;
+                                 }))
+      << err;
+  EXPECT_NE(resp.find("\"ok\": true"), std::string::npos);
+  EXPECT_GE(attempts.load(), 1);
+  restarter.join();
+  server->shutdown();
 }
 
 }  // namespace

@@ -6,17 +6,21 @@
 // service instances, shared cache under a concurrent batch).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "service/obligation_cache.hpp"
 #include "service/scheduler.hpp"
 #include "smv/fingerprint.hpp"
+#include "util/failpoint.hpp"
 
 namespace cmc::service {
 namespace {
@@ -581,6 +585,100 @@ TEST(ObligationCacheCompaction, RefusesMissingOrForeignStores) {
   EXPECT_FALSE(compactObligationStore(dir.string(), &result, &err));
   EXPECT_NE(err.find("format"), std::string::npos) << err;
   EXPECT_EQ(fs::file_size(dir / "obligations.jsonl"), sizeBefore);
+  fs::remove_all(dir);
+}
+
+TEST(ObligationCacheCompaction, RefusesAStoreFlockedByALiveWriter) {
+  const fs::path dir = scratchDir("cmc_obligation_cache_compact_locked");
+  {
+    ObligationCache::Options opts;
+    opts.dir = dir.string();
+    ObligationCache cache(opts);
+    CachedVerdict v;
+    v.verdict = Verdict::Holds;
+    v.rule = "direct";
+    v.engine = "partitioned";
+    v.seconds = 0.125;
+    EXPECT_TRUE(cache.insert("aaaa", v));
+  }
+  const fs::path store = dir / "obligations.jsonl";
+  const std::uint64_t sizeBefore = fs::file_size(store);
+
+  // A "live writer": someone holds the store's exclusive flock, exactly
+  // as an appending `cmc serve` would mid-append.
+  const int writerFd = ::open(store.c_str(), O_RDWR);
+  ASSERT_GE(writerFd, 0);
+  ASSERT_EQ(::flock(writerFd, LOCK_EX), 0);
+
+  CompactionResult result;
+  std::string err;
+  EXPECT_FALSE(compactObligationStore(dir.string(), &result, &err));
+  EXPECT_NE(err.find("live writer"), std::string::npos) << err;
+  EXPECT_EQ(fs::file_size(store), sizeBefore);
+
+  // Once the writer lets go, the same compaction goes through.
+  ASSERT_EQ(::flock(writerFd, LOCK_UN), 0);
+  ::close(writerFd);
+  EXPECT_TRUE(compactObligationStore(dir.string(), &result, &err)) << err;
+  fs::remove_all(dir);
+}
+
+TEST(ObligationCacheCompaction, AbortBeforeRenameLeavesTheOriginalIntact) {
+  if (!util::Failpoint::compiledIn()) {
+    GTEST_SKIP() << "needs -DCMC_FAILPOINTS=ON";
+  }
+  const fs::path dir = scratchDir("cmc_obligation_cache_compact_crash");
+  {
+    ObligationCache::Options opts;
+    opts.dir = dir.string();
+    ObligationCache cache(opts);
+    CachedVerdict v;
+    v.verdict = Verdict::Holds;
+    v.rule = "direct";
+    v.engine = "partitioned";
+    v.seconds = 0.125;
+    EXPECT_TRUE(cache.insert("aaaa", v));
+    EXPECT_TRUE(cache.insert("bbbb", v));
+  }
+  const fs::path store = dir / "obligations.jsonl";
+  {
+    // A duplicate, so a successful compaction would rewrite the store —
+    // proving the aborted one really did leave it alone.
+    std::ofstream out(store, std::ios::app);
+    out << frameLine("{\"fp\": \"aaaa\", \"verdict\": \"Fails\", \"rule\": "
+                     "\"rechecked\", \"engine\": \"monolithic\", "
+                     "\"seconds\": 0.5}")
+        << "\n";
+  }
+  std::string original;
+  {
+    std::ifstream in(store);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    original = buf.str();
+  }
+
+  util::Failpoint::configure("cache.compact=error");
+  CompactionResult result;
+  std::string err;
+  EXPECT_FALSE(compactObligationStore(dir.string(), &result, &err));
+  util::Failpoint::disarmAll();
+  EXPECT_NE(err.find("compaction aborted"), std::string::npos) << err;
+
+  // The crash window left no trace: original byte-identical, temp file
+  // gone.
+  {
+    std::ifstream in(store);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), original);
+  }
+  EXPECT_FALSE(fs::exists(dir / "obligations.jsonl.compact.tmp"));
+
+  // And the flock was released: an immediate retry succeeds and resolves
+  // the duplicate.
+  ASSERT_TRUE(compactObligationStore(dir.string(), &result, &err)) << err;
+  EXPECT_EQ(result.duplicates, 1u);
   fs::remove_all(dir);
 }
 

@@ -157,15 +157,27 @@ cmc coordinator options:
                      obligation-forwarding pool width (default: 2 per
                      shard, at least 4)
   --probe-interval-ms N
-                     shard health-probe period (default 1000)
+                     shard health-probe period (default 1000; the actual
+                     sleep is jittered in [0.5, 1.5)x the period)
   --fail-threshold N consecutive probe failures that mark a shard down
                      (default 2)
+  --probation-probes N
+                     consecutive successful probes a recovered shard must
+                     serve before re-entering the ring (default 1; doubles
+                     per mark-down, so flapping shards are held out longer)
+  --replication N    copies of every decided obligation across the fleet
+                     (default 2: owner + its rendezvous successor; 1 = off)
+  --hedge-ms N       re-send a straggling CHECK to the next rendezvous
+                     candidate after N ms in flight; first sound verdict
+                     wins, the loser is cancelled (default 0 = off)
   --model-root DIR   resolve request "model" paths under DIR
   --trace PATH       write the coordinator's JSONL event trace to PATH
   plus --failpoint and the job-option defaults as in serve.  All shards
   must run this exact cmc version and protocol revision; the coordinator
   refuses to start against a mixed-version fleet.  SIGTERM/SIGINT (or
-  DRAIN) drains and exits 0; the shards keep running.
+  DRAIN) drains and exits 0; the shards keep running.  SIGHUP re-reads
+  --topology FILE and diffs it against the live roster (add/remove shards
+  without a restart); JOIN/LEAVE do the same over the wire.
 
 cmc submit options:
   --socket PATH      connect to the daemon's Unix-domain socket
@@ -173,12 +185,22 @@ cmc submit options:
   --status | --stats | --drain | --cancel ID
                      control commands (no model arguments); --stats prints
                      the Prometheus-style metrics text
+  --topology         coordinator only: print the shard roster with per-shard
+                     lifecycle state (up/suspect/down/probation), flap
+                     counts and replica-put counters
+  --join NAME --shard-socket PATH | --shard-tcp PORT
+                     coordinator only: add shard NAME to the ring after a
+                     version handshake (a previously removed or down shard
+                     re-enters through probation)
+  --leave NAME       coordinator only: decommission shard NAME (refused for
+                     the last shard; in-flight forwards finish first)
   --id ID            request id (one model) or id prefix (several)
   --name NAME        job name for a single submitted model
   --report PATH      write the returned report JSON (unescaped) to PATH
-  --max-retries N    retry a CHECK refused with BUSY/DRAINING (or lost to
-                     a transport failure) up to N times (default 0 = fail
-                     fast with exit 6, as before)
+  --max-retries N    retry a CHECK refused with BUSY/DRAINING, lost to a
+                     transport failure, or whose initial dial is refused
+                     (a daemon restarting) up to N times (default 0 = fail
+                     fast with exit 6 / exit 2, as before)
   --retry-ms N       base of the jittered exponential backoff between
                      retries: attempt k sleeps uniform in [c/2, c],
                      c = N·2^k ms, capped at 30 s (default 200)
@@ -190,7 +212,8 @@ cmc cache compact options:
   cmc cache compact --cache-dir DIR   (or a positional DIR)
   Rewrite DIR/obligations.jsonl keeping only the last write per
   fingerprint, dropping corrupt lines, under the store's lock with an
-  atomic rename.  Offline only: stop daemons appending to the store first.
+  atomic rename.  Offline only: a store locked by a live writer (a running
+  serve or check) is refused rather than raced.
 
 exit codes: 0 completed (all hold under --strict); 1 --strict and a spec
 fails; 2 usage/I-O/model error; 3 --strict and Timeout/MemoryOut;
@@ -228,6 +251,15 @@ extern "C" void onSignal(int sig) {
   // A second signal falls through to the default action (immediate kill)
   // in case the wind-down itself wedges.
   std::signal(sig, SIG_DFL);
+}
+
+/// SIGHUP on `cmc coordinator` = re-read the topology file.  A dedicated
+/// flag — NOT onSignal — because reload must not drain the coordinator;
+/// the main loop polls it and runs the reload outside signal context.
+std::atomic<bool> gReloadRequested{false};
+
+extern "C" void onReload(int) {
+  gReloadRequested.store(true, std::memory_order_relaxed);
 }
 
 std::string basenameStem(const std::string& path) {
@@ -831,6 +863,15 @@ int parseCoordinatorArgs(int argc, char** argv, CoordinatorCliOptions* opts) {
     } else if (arg == "--fail-threshold") {
       if (!nextUint(&n) || n == 0) return 2;
       opts->coord.failThreshold = static_cast<int>(n);
+    } else if (arg == "--probation-probes") {
+      if (!nextUint(&n) || n == 0) return 2;
+      opts->coord.probationProbes = static_cast<int>(n);
+    } else if (arg == "--replication") {
+      if (!nextUint(&n) || n == 0) return 2;
+      opts->coord.replicationFactor = static_cast<int>(n);
+    } else if (arg == "--hedge-ms") {
+      if (!nextUint(&n)) return 2;
+      opts->coord.hedgeDelaySeconds = static_cast<double>(n) / 1e3;
     } else if (arg == "--model-root") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -889,6 +930,8 @@ int runCoordinator(CoordinatorCliOptions& opts) {
     std::cerr << "cmc coordinator: " << err << "\n";
     return 2;
   }
+  // Remember where the topology came from: SIGHUP re-reads this path.
+  opts.coord.topologyPath = opts.topologyPath;
 
   service::MetricsRegistry metrics;
   std::ofstream traceFile;
@@ -909,6 +952,7 @@ int runCoordinator(CoordinatorCliOptions& opts) {
 
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
+  std::signal(SIGHUP, onReload);
 
   std::cout << "cmc coordinator: listening on " << opts.coord.socketPath;
   if (coordinator.boundTcpPort() >= 0) {
@@ -918,8 +962,19 @@ int runCoordinator(CoordinatorCliOptions& opts) {
             << coordinator.shardsTotal() << " shard(s)" << std::endl;
 
   // As in serve: a signal means drain, turned into action by this loop.
+  // SIGHUP instead means re-read the topology file and diff it against
+  // the roster — the zero-downtime alternative to restart-on-edit.
   while (gSignal.load(std::memory_order_relaxed) == 0 &&
          !coordinator.drainRequested()) {
+    if (gReloadRequested.exchange(false, std::memory_order_relaxed)) {
+      std::string summary, reloadErr;
+      if (coordinator.reloadTopology(&summary, &reloadErr)) {
+        std::cout << "cmc coordinator: " << summary << std::endl;
+      } else {
+        std::cerr << "cmc coordinator: reload failed: " << reloadErr
+                  << " (roster unchanged)" << std::endl;
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   if (const int sig = gSignal.load(std::memory_order_relaxed); sig != 0) {
@@ -930,6 +985,7 @@ int runCoordinator(CoordinatorCliOptions& opts) {
   coordinator.shutdown();
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGHUP, SIG_DFL);
 
   std::cout << "cmc coordinator: drained; "
             << metrics.counterValue("checks_completed")
@@ -993,6 +1049,11 @@ struct SubmitOptions {
   bool status = false;
   bool stats = false;
   bool drain = false;
+  bool topology = false;   ///< TOPOLOGY: coordinator roster + lifecycle
+  std::string joinName;    ///< JOIN: shard name to add/readmit
+  std::string leaveName;   ///< LEAVE: shard name to decommission
+  std::string shardSocket; ///< JOIN: the shard's Unix endpoint ...
+  int shardTcp = -1;       ///< ... or its loopback TCP port
   std::string cancelId;
   std::string id;
   std::string name;
@@ -1037,6 +1098,24 @@ int parseSubmitArgs(int argc, char** argv, SubmitOptions* opts) {
       opts->stats = true;
     } else if (arg == "--drain") {
       opts->drain = true;
+    } else if (arg == "--topology") {
+      opts->topology = true;
+    } else if (arg == "--join") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->joinName = v;
+    } else if (arg == "--leave") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->leaveName = v;
+    } else if (arg == "--shard-socket") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opts->shardSocket = v;
+    } else if (arg == "--shard-tcp") {
+      const char* v = next();
+      if (v == nullptr || !parseUint(v, &n) || n == 0 || n > 65535) return 2;
+      opts->shardTcp = static_cast<int>(n);
     } else if (arg == "--cancel") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -1110,8 +1189,21 @@ int parseSubmitArgs(int argc, char** argv, SubmitOptions* opts) {
     std::cerr << "cmc submit: need --socket PATH or --tcp PORT\n";
     return 2;
   }
+  if (!opts->joinName.empty() &&
+      opts->shardSocket.empty() == (opts->shardTcp < 0)) {
+    std::cerr << "cmc submit: --join needs exactly one of --shard-socket "
+                 "PATH or --shard-tcp PORT\n";
+    return 2;
+  }
+  if (opts->joinName.empty() &&
+      (!opts->shardSocket.empty() || opts->shardTcp >= 0)) {
+    std::cerr << "cmc submit: --shard-socket/--shard-tcp only make sense "
+                 "with --join NAME\n";
+    return 2;
+  }
   const bool control = opts->status || opts->stats || opts->drain ||
-                       !opts->cancelId.empty();
+                       opts->topology || !opts->joinName.empty() ||
+                       !opts->leaveName.empty() || !opts->cancelId.empty();
   if (control && !opts->models.empty()) {
     std::cerr << "cmc submit: control commands take no model arguments\n";
     return 2;
@@ -1201,47 +1293,51 @@ int renderCheckResponse(const std::string& resp, bool quiet,
 bool sendCheckWithRetry(net::Client& client, const SubmitOptions& opts,
                         const std::string& reqLine, std::string* resp,
                         std::string* err) {
-  for (int attempt = 0;; ++attempt) {
-    const bool transportOk = client.request(reqLine, resp, err);
-    std::string code;
-    if (transportOk) {
-      bool ok = false;
-      service::jsonExtractBool(*resp, "ok", &ok);
-      if (!ok) service::jsonExtractString(*resp, "code", &code);
-      const bool refused = code == net::kBusy || code == net::kDraining;
-      if (ok || !refused) return true;  // decided, or not worth retrying
-    }
-    if (attempt >= opts.maxRetries) return transportOk;
-    const int delay = net::Client::backoffMs(attempt, opts.retryMs);
-    std::cerr << "cmc submit: " << (transportOk ? code : *err) << "; retry "
-              << attempt + 1 << "/" << opts.maxRetries << " in " << delay
-              << " ms\n";
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
-    if (!transportOk || !client.connected()) {
-      client.close();
-      std::string redial;
-      client.reconnect(&redial);  // a failed redial fails the next request
-    }
-  }
+  return client.requestWithRetry(
+      reqLine, opts.maxRetries, opts.retryMs, resp, err,
+      [&opts](const std::string& why, int attempt, int delay) {
+        std::cerr << "cmc submit: " << why << "; retry " << attempt << "/"
+                  << opts.maxRetries << " in " << delay << " ms\n";
+      });
 }
 
 int runSubmit(const SubmitOptions& opts) {
   net::Client client;
   std::string err;
-  const bool connected = !opts.socketPath.empty()
-                             ? client.connectUnix(opts.socketPath, &err)
-                             : client.connectTcp(opts.tcpPort, &err);
-  if (!connected) {
+  // The initial dial honors the retry budget too: a shard or coordinator
+  // restarting (connection refused, socket not yet bound) looks exactly
+  // like a mid-request transport failure from the caller's side.  The
+  // final failure keeps the historical exit 2.
+  const auto logRetry = [&opts](const std::string& why, int attempt,
+                                int delay) {
+    std::cerr << "cmc submit: " << why << "; retry " << attempt << "/"
+              << opts.maxRetries << " in " << delay << " ms\n";
+  };
+  if (!client.connectRetrying(opts.socketPath, opts.tcpPort, opts.maxRetries,
+                              opts.retryMs, &err, logRetry)) {
     std::cerr << "cmc submit: " << err << "\n";
     return 2;
   }
 
   // Control commands: one request, print, done.
-  if (opts.status || opts.stats || opts.drain || !opts.cancelId.empty()) {
+  if (opts.status || opts.stats || opts.drain || opts.topology ||
+      !opts.joinName.empty() || !opts.leaveName.empty() ||
+      !opts.cancelId.empty()) {
     service::JsonObject req;
     if (opts.status) req.put("cmd", "STATUS");
     else if (opts.stats) req.put("cmd", "STATS");
     else if (opts.drain) req.put("cmd", "DRAIN");
+    else if (opts.topology) req.put("cmd", "TOPOLOGY");
+    else if (!opts.joinName.empty()) {
+      req.put("cmd", "JOIN").put("shard", opts.joinName);
+      if (opts.shardTcp >= 0) {
+        req.putUint("tcp", static_cast<std::uint64_t>(opts.shardTcp));
+      } else {
+        req.put("socket", opts.shardSocket);
+      }
+    }
+    else if (!opts.leaveName.empty())
+      req.put("cmd", "LEAVE").put("shard", opts.leaveName);
     else req.put("cmd", "CANCEL").put("id", opts.cancelId);
     std::string resp;
     if (!client.request(req.str(), &resp, &err)) {
