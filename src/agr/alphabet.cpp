@@ -1,0 +1,159 @@
+#include "agr/alphabet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/common.hpp"
+
+namespace cmc::agr {
+
+std::size_t Alphabet::size() const noexcept {
+  std::size_t n = 1;
+  for (const InterfaceVar& v : vars) n *= v.values.size();
+  return n;
+}
+
+std::vector<std::size_t> Alphabet::decode(std::size_t letter) const {
+  std::vector<std::size_t> digits(vars.size(), 0);
+  for (std::size_t i = vars.size(); i-- > 0;) {
+    const std::size_t radix = vars[i].values.size();
+    digits[i] = letter % radix;
+    letter /= radix;
+  }
+  return digits;
+}
+
+std::size_t Alphabet::encode(const std::vector<std::size_t>& digits) const {
+  std::size_t letter = 0;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    letter = letter * vars[i].values.size() + digits[i];
+  }
+  return letter;
+}
+
+std::string Alphabet::letterText(std::size_t letter) const {
+  if (vars.empty()) return "<empty>";
+  const std::vector<std::size_t> digits = decode(letter);
+  std::string out;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ',';
+    out += vars[i].name;
+    out += '=';
+    out += vars[i].values[digits[i]];
+  }
+  return out;
+}
+
+std::string Alphabet::varsText() const {
+  std::string out;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ',';
+    out += vars[i].name;
+  }
+  return out;
+}
+
+std::set<std::string> moduleVariables(const smv::Module& mod) {
+  std::set<std::string> names;
+  for (const smv::VarDecl& v : mod.vars) names.insert(v.name);
+  return names;
+}
+
+namespace {
+
+/// Declaration of `name` within the group, validating domain agreement
+/// across all declaring modules.
+const smv::VarDecl* findDecl(const std::vector<smv::Module>& mods,
+                             const std::string& name, std::string* reason) {
+  const smv::VarDecl* found = nullptr;
+  for (const smv::Module& m : mods) {
+    const smv::VarDecl* d = m.findVar(name);
+    if (d == nullptr) continue;
+    if (found == nullptr) {
+      found = d;
+    } else if (!(found->type == d->type)) {
+      if (reason != nullptr) {
+        *reason = "shared variable '" + name +
+                  "' declared with mismatched domains";
+      }
+      return nullptr;
+    }
+  }
+  return found;
+}
+
+std::set<std::string> groupVariables(const std::vector<smv::Module>& mods,
+                                     const std::vector<std::size_t>& group) {
+  std::set<std::string> names;
+  for (std::size_t i : group) {
+    const std::set<std::string> own = moduleVariables(mods.at(i));
+    names.insert(own.begin(), own.end());
+  }
+  return names;
+}
+
+std::vector<std::string> sharedVariables(const std::vector<smv::Module>& mods,
+                                         const std::vector<std::size_t>& g1,
+                                         const std::vector<std::size_t>& g2) {
+  const std::set<std::string> v1 = groupVariables(mods, g1);
+  const std::set<std::string> v2 = groupVariables(mods, g2);
+  std::vector<std::string> shared;
+  std::set_intersection(v1.begin(), v1.end(), v2.begin(), v2.end(),
+                        std::back_inserter(shared));
+  return shared;  // set iteration order: already sorted
+}
+
+}  // namespace
+
+std::optional<Alphabet> buildAlphabet(const std::vector<smv::Module>& mods,
+                                      const std::vector<std::size_t>& g1,
+                                      const std::vector<std::size_t>& g2,
+                                      std::size_t cap, std::string* reason) {
+  Alphabet alpha;
+  std::size_t letters = 1;
+  for (const std::string& name : sharedVariables(mods, g1, g2)) {
+    std::string why;
+    const smv::VarDecl* decl = findDecl(mods, name, &why);
+    if (decl == nullptr) {
+      if (reason != nullptr) *reason = why;
+      return std::nullopt;
+    }
+    InterfaceVar iv;
+    iv.name = decl->name;
+    iv.type = decl->type;
+    iv.values = decl->type.expandedValues();
+    if (iv.values.empty()) {
+      if (reason != nullptr) {
+        *reason = "interface variable '" + name + "' has an empty domain";
+      }
+      return std::nullopt;
+    }
+    if (letters > cap / iv.values.size() ||
+        letters * iv.values.size() > cap) {
+      if (reason != nullptr) {
+        *reason = "interface alphabet exceeds cap of " +
+                  std::to_string(cap) + " letters";
+      }
+      return std::nullopt;
+    }
+    letters *= iv.values.size();
+    alpha.vars.push_back(std::move(iv));
+  }
+  return alpha;
+}
+
+double interfaceProduct(const std::vector<smv::Module>& mods,
+                        const std::vector<std::size_t>& g1,
+                        const std::vector<std::size_t>& g2) {
+  double product = 1.0;
+  for (const std::string& name : sharedVariables(mods, g1, g2)) {
+    const smv::VarDecl* decl = findDecl(mods, name, nullptr);
+    if (decl == nullptr) return std::numeric_limits<double>::infinity();
+    product *= static_cast<double>(decl->type.expandedValues().size());
+    if (product > 1e18) return 1e18;
+  }
+  return product;
+}
+
+}  // namespace cmc::agr

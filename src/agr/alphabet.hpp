@@ -1,0 +1,81 @@
+// Interface alphabets for assume-guarantee learning (agr layer).
+//
+// A 2-way partition (G1, G2) of a composed model's components communicates
+// through the *interface variables* Σ_I = Σ(G1) ∩ Σ(G2) — in the paper's
+// shared-variable style a variable is shared by being declared (with the
+// same domain) in several modules.  The learner's alphabet is the set of
+// full valuations of Σ_I: one letter per interface state, encoded as a
+// mixed-radix index over the declared domains.  A learned assumption then
+// speaks about *steps* (pairs of letters), matching the interleaving
+// semantics where the environment's influence on a component is exactly an
+// interface-state change.
+//
+// Alphabets are capped: |Σ| = Π |dom(v)| grows multiplicatively, and an
+// assumption over thousands of letters is neither learnable in few queries
+// nor a win over the monolithic check.  buildAlphabet refuses (with a
+// reason) above the cap; the decomposition searcher uses the same product
+// as its cost estimate to order candidate splits.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ctl/formula.hpp"
+#include "smv/ast.hpp"
+
+namespace cmc::agr {
+
+/// One interface variable with the domain it was declared with.
+struct InterfaceVar {
+  std::string name;
+  smv::TypeDecl type;
+  /// Expanded value list (booleans: {"0", "1"}).
+  std::vector<std::string> values;
+};
+
+/// The learner's alphabet: all valuations of the interface variables,
+/// indexed in mixed radix (last variable varies fastest).
+struct Alphabet {
+  /// Interface variables in sorted name order (deterministic letters).
+  std::vector<InterfaceVar> vars;
+
+  /// Number of letters, Π |values(v)|.  1 for an empty interface (the
+  /// single empty valuation).
+  std::size_t size() const noexcept;
+
+  /// Per-variable value indices of a letter.
+  std::vector<std::size_t> decode(std::size_t letter) const;
+  std::size_t encode(const std::vector<std::size_t>& digits) const;
+
+  /// Human-readable rendering, e.g. "r=val,failure=0".
+  std::string letterText(std::size_t letter) const;
+
+  /// Sorted interface variable names, comma-joined (for reports).
+  std::string varsText() const;
+};
+
+/// The variables a module touches: declared names (shared variables are
+/// re-declared in every module using them, so declarations are the
+/// authoritative per-module alphabet).
+std::set<std::string> moduleVariables(const smv::Module& mod);
+
+/// Σ_I between two groups of modules (indices into `mods`), as an ordered
+/// alphabet.  Returns nullopt with `reason` set when the alphabet cannot be
+/// built: more than `cap` letters, or a shared variable re-declared with
+/// mismatched domains.
+std::optional<Alphabet> buildAlphabet(const std::vector<smv::Module>& mods,
+                                      const std::vector<std::size_t>& g1,
+                                      const std::vector<std::size_t>& g2,
+                                      std::size_t cap, std::string* reason);
+
+/// Cost estimate used by the decomposition searcher: Π |dom(v)| over the
+/// shared variables of the split (without materializing letters); huge
+/// products saturate instead of overflowing.
+double interfaceProduct(const std::vector<smv::Module>& mods,
+                        const std::vector<std::size_t>& g1,
+                        const std::vector<std::size_t>& g2);
+
+}  // namespace cmc::agr

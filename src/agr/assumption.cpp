@@ -1,0 +1,151 @@
+#include "agr/assumption.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+#include "util/hash.hpp"
+
+namespace cmc::agr {
+
+std::size_t Assumption::relationSize() const {
+  return static_cast<std::size_t>(
+      std::count(allowed.begin(), allowed.end(), true));
+}
+
+bool Assumption::allowsAll() const {
+  return std::all_of(allowed.begin(), allowed.end(),
+                     [](bool b) { return b; });
+}
+
+std::string Assumption::digest() const {
+  StableHash128 h;
+  h.update("agr-assumption-v1");
+  for (const InterfaceVar& v : alphabet.vars) {
+    h.sep();
+    h.update(v.name);
+    for (const std::string& val : v.values) {
+      h.sep();
+      h.update(val);
+    }
+  }
+  h.sep();
+  h.update(std::to_string(dfa.states));
+  // The relation as a bit string; the DFA's transition table is not hashed
+  // separately — premises depend on the relation only.
+  std::string bits(allowed.size(), '0');
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    if (allowed[i]) bits[i] = '1';
+  }
+  h.sep();
+  h.update(bits);
+  return h.hex();
+}
+
+namespace {
+
+/// Declarations of the interface variables, with their original domains.
+std::vector<smv::VarDecl> interfaceDecls(const Alphabet& alphabet) {
+  std::vector<smv::VarDecl> decls;
+  decls.reserve(alphabet.vars.size());
+  for (const InterfaceVar& v : alphabet.vars) {
+    decls.push_back(smv::VarDecl{v.name, v.type});
+  }
+  return decls;
+}
+
+/// Conjunction of per-variable equations pinning one letter in the given
+/// column (current or next).
+smv::ExprPtr letterExpr(const Alphabet& alphabet, std::size_t letter,
+                        bool next) {
+  const std::vector<std::size_t> digits = alphabet.decode(letter);
+  smv::ExprPtr acc;
+  for (std::size_t i = 0; i < alphabet.vars.size(); ++i) {
+    const InterfaceVar& v = alphabet.vars[i];
+    smv::ExprPtr ref = next ? smv::mkNextRef(v.name) : smv::mkVarRef(v.name);
+    smv::ExprPtr eq = smv::mkBinary(smv::ExprKind::Eq, std::move(ref),
+                                    smv::mkValue(v.values[digits[i]]));
+    acc = acc ? smv::mkBinary(smv::ExprKind::And, std::move(acc),
+                              std::move(eq))
+              : std::move(eq);
+  }
+  return acc;
+}
+
+/// Balanced disjunction — the relation can have thousands of disjuncts and
+/// elaboration recurses over the expression tree.
+smv::ExprPtr disjoin(std::vector<smv::ExprPtr> terms) {
+  while (terms.size() > 1) {
+    std::vector<smv::ExprPtr> merged;
+    merged.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      merged.push_back(smv::mkBinary(smv::ExprKind::Or, terms[i],
+                                     terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) merged.push_back(terms.back());
+    terms = std::move(merged);
+  }
+  return terms.empty() ? nullptr : terms.front();
+}
+
+}  // namespace
+
+smv::Module Assumption::toModule(const std::string& name) const {
+  if (alphabet.vars.empty()) {
+    throw ModelError("assumption over an empty interface has no module");
+  }
+  smv::Module mod;
+  mod.name = name;
+  mod.vars = interfaceDecls(alphabet);
+  if (allowsAll()) return mod;  // no next() constraints: free inputs
+  std::vector<smv::ExprPtr> steps;
+  const std::size_t n = letters();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!allows(a, b)) continue;
+      steps.push_back(smv::mkBinary(smv::ExprKind::And,
+                                    letterExpr(alphabet, a, false),
+                                    letterExpr(alphabet, b, true)));
+    }
+  }
+  if (steps.empty()) {
+    // An empty relation still needs a well-formed TRANS; "0" is the empty
+    // step relation (the module can only stutter through composition's Id).
+    mod.transConstraints.push_back(smv::mkValue("0"));
+    return mod;
+  }
+  mod.transConstraints.push_back(disjoin(std::move(steps)));
+  return mod;
+}
+
+Assumption assumptionFromDfa(const Alphabet& alphabet, const Dfa& dfa) {
+  Assumption out;
+  out.alphabet = alphabet;
+  out.dfa = dfa;
+  const std::size_t n = alphabet.size();
+  out.allowed.assign(n * n, false);
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::size_t qa = dfa.next(0, a);
+    if (!dfa.accepting[qa]) continue;
+    for (std::size_t b = 0; b < n; ++b) {
+      const std::size_t qb = dfa.next(qa, b);
+      if (dfa.accepting[qb]) out.allowed[a * n + b] = true;
+    }
+  }
+  return out;
+}
+
+smv::Module stepModule(const Alphabet& alphabet, std::size_t a, std::size_t b,
+                       const std::string& name) {
+  if (alphabet.vars.empty()) {
+    throw ModelError("step module over an empty interface");
+  }
+  smv::Module mod;
+  mod.name = name;
+  mod.vars = interfaceDecls(alphabet);
+  mod.transConstraints.push_back(
+      smv::mkBinary(smv::ExprKind::And, letterExpr(alphabet, a, false),
+                    letterExpr(alphabet, b, true)));
+  return mod;
+}
+
+}  // namespace cmc::agr

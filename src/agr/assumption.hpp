@@ -1,0 +1,85 @@
+// Learned assumptions and the assumption→SMV bridge (agr layer).
+//
+// The learner produces a deterministic automaton over interface letters
+// whose language is (an approximation of) the *weakest safe environment*:
+// words all of whose adjacent letter pairs are safe interface steps.  Under
+// the paper's restriction semantics M ⊨_(I,F) f quantifies over EVERY
+// I-state — there is no reachability restriction — so for the one-step
+// property shapes the rules handle (p ⇒ AX q and propositional conjuncts)
+// an assumption's memory cannot influence any premise: what matters is
+// exactly the *step relation* R ⊆ Σ_I × Σ_I it allows.  We therefore carry
+// both: the DFA (what L* actually learned, reported as assumption size) and
+// the step relation extracted from it (what the premises are checked
+// against).  docs/THEORY.md ("Learned assumptions") gives the soundness
+// argument.
+//
+// The bridge reifies R as a synthetic smv::Module over the interface
+// variables whose TRANS is the disjunction of allowed steps.  Premise-1
+// queries compose this module with the G1 components through the ordinary
+// elaboration pipeline, so learned-assumption obligations reuse snapshots,
+// fingerprints, both engines, budgets, and the obligation cache unchanged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "agr/alphabet.hpp"
+
+namespace cmc::agr {
+
+/// A deterministic finite automaton over letter indices [0, alphabet).
+/// State 0 is initial; `delta` is row-major (states × alphabet).
+struct Dfa {
+  std::size_t states = 0;
+  std::vector<bool> accepting;
+  std::vector<std::size_t> delta;
+
+  std::size_t next(std::size_t state, std::size_t letter) const {
+    return delta[state * stride + letter];
+  }
+  std::size_t stride = 0;  ///< alphabet size used to build delta
+};
+
+/// A learned assumption: the DFA plus the interface-step relation the
+/// premises are checked against.
+struct Assumption {
+  Alphabet alphabet;
+  Dfa dfa;
+  /// allowed[a * |Σ| + b] — the step a→b is permitted.
+  std::vector<bool> allowed;
+
+  std::size_t letters() const noexcept { return alphabet.size(); }
+  bool allows(std::size_t a, std::size_t b) const {
+    return allowed[a * letters() + b];
+  }
+  /// Number of allowed pairs (reported as relation_size).
+  std::size_t relationSize() const;
+  /// True when every step is allowed (the initial, weakest conjecture).
+  bool allowsAll() const;
+
+  /// Content digest over the alphabet and the step relation — folded into
+  /// the obligation fingerprint of every premise query carrying this
+  /// assumption, so two different learned automata can never collide in
+  /// the obligation cache.
+  std::string digest() const;
+
+  /// The assumption as a synthetic SMV module over the interface
+  /// variables: TRANS = ∨ allowed (a, b) of (Σ_I = a ∧ next(Σ_I) = b).
+  /// An all-allowing assumption emits no TRANS constraint (free next
+  /// values — the same relation, cheaper to elaborate).  Must not be
+  /// called on an empty interface (callers skip the module entirely).
+  smv::Module toModule(const std::string& name) const;
+};
+
+/// Extract the step relation of `dfa`: a→b is allowed iff the two-letter
+/// word "ab" is accepted (init --a--> qa --b--> qb with qa, qb accepting).
+Assumption assumptionFromDfa(const Alphabet& alphabet, const Dfa& dfa);
+
+/// A single-step environment module: TRANS = (Σ_I = a ∧ next(Σ_I) = b).
+/// Composed with the G1 components it realizes exactly one interface step —
+/// the membership oracle's per-pair query.
+smv::Module stepModule(const Alphabet& alphabet, std::size_t a, std::size_t b,
+                       const std::string& name);
+
+}  // namespace cmc::agr

@@ -1,0 +1,51 @@
+// The assume-guarantee learning engine (agr layer): the public entry point
+// that discharges a job's *composed* obligations through the learned rule
+//
+//   ⟨A⟩ G1 ⟨P⟩    ∧    ⟨true⟩ G2 ⟨A⟩
+//   --------------------------------      (docs/THEORY.md, "Learned
+//        ⟨true⟩ G1 ∘ G2 ⟨P⟩               assumptions")
+//
+// per spec: the decomposition searcher proposes partitions G1 ⊎ G2 ordered
+// by interface size, an L* learner infers the assumption A with membership
+// queries answered by the service-backed teacher, premise 2 is checked
+// in-process as symbolic step-relation containment (proj(T_G2) ⊆ R ∨ Id),
+// and premise 1 is a first-class service obligation through the
+// assumption→SMV bridge.  Counterexample analysis separates "refine A"
+// from "real violation": a violating interface step the environment can
+// actually take is decided exactly on the full composition, with a
+// concrete trace.
+//
+// The engine never guesses: whenever a spec's shape, the decomposition
+// search, a query budget, or round exhaustion blocks learning, the spec
+// falls back to the ordinary direct composed check (svc.run with `only`),
+// so a job run with learning enabled always reports the same verdicts as
+// a direct run — just derived (and priced) differently.  Component
+// obligations are untouched: they run through the plain service first.
+#pragma once
+
+#include "agr/teacher.hpp"
+#include "service/scheduler.hpp"
+
+namespace cmc::agr {
+
+struct LearnOptions {
+  /// Largest interface alphabet (letters) a split may induce; larger
+  /// candidates are refused by the searcher.
+  std::size_t alphabetCap = 64;
+  /// L* refinement rounds per split before giving up on it.
+  std::size_t maxRounds = 512;
+  /// Candidate decompositions tried per spec (cheapest-interface first).
+  std::size_t maxSplits = 8;
+};
+
+/// Run `job` with composed obligations discharged through assume-guarantee
+/// learning where possible.  Component obligations and every fallback go
+/// through `svc` unchanged (same caching, budgets, engines, tracing).
+/// Factory jobs and jobs without `compose` pass straight through.
+service::JobReport runLearnedJob(service::VerificationService& svc,
+                                 const service::VerificationJob& job,
+                                 const LearnOptions& lopts,
+                                 service::RunTrace* trace = nullptr,
+                                 service::MetricsRegistry* metrics = nullptr);
+
+}  // namespace cmc::agr

@@ -1,0 +1,143 @@
+#include "agr/learner.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace cmc::agr {
+
+LStar::LStar(std::size_t alphabet, MembershipFn member)
+    : alphabet_(alphabet), member_(std::move(member)) {
+  s_.push_back({});  // ε
+  e_.push_back({});  // ε
+}
+
+bool LStar::member(const Word& w) {
+  auto it = memo_.find(w);
+  if (it != memo_.end()) return it->second;
+  ++queries_;
+  const bool verdict = member_(w);
+  memo_.emplace(w, verdict);
+  return verdict;
+}
+
+std::vector<bool> LStar::rowOf(const Word& s) {
+  std::vector<bool> row(e_.size());
+  for (std::size_t i = 0; i < e_.size(); ++i) {
+    Word w = s;
+    w.insert(w.end(), e_[i].begin(), e_[i].end());
+    row[i] = member(w);
+  }
+  return row;
+}
+
+void LStar::close() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rows of the current S (recomputed each pass: E may have grown).
+    std::vector<std::vector<bool>> sRows;
+    sRows.reserve(s_.size());
+    for (const Word& s : s_) sRows.push_back(rowOf(s));
+    for (std::size_t i = 0; i < s_.size() && !changed; ++i) {
+      for (std::size_t a = 0; a < alphabet_ && !changed; ++a) {
+        Word sa = s_[i];
+        sa.push_back(a);
+        if (std::find(s_.begin(), s_.end(), sa) != s_.end()) continue;
+        const std::vector<bool> row = rowOf(sa);
+        if (std::find(sRows.begin(), sRows.end(), row) == sRows.end()) {
+          s_.push_back(std::move(sa));
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool LStar::makeConsistent() {
+  for (std::size_t i = 0; i < s_.size(); ++i) {
+    const std::vector<bool> rowI = rowOf(s_[i]);
+    for (std::size_t j = i + 1; j < s_.size(); ++j) {
+      if (rowOf(s_[j]) != rowI) continue;
+      for (std::size_t a = 0; a < alphabet_; ++a) {
+        Word ia = s_[i];
+        ia.push_back(a);
+        Word ja = s_[j];
+        ja.push_back(a);
+        const std::vector<bool> rowIa = rowOf(ia);
+        const std::vector<bool> rowJa = rowOf(ja);
+        if (rowIa == rowJa) continue;
+        // Find the separating suffix and prepend the letter to E.
+        for (std::size_t e = 0; e < e_.size(); ++e) {
+          if (rowIa[e] == rowJa[e]) continue;
+          Word suffix;
+          suffix.push_back(a);
+          suffix.insert(suffix.end(), e_[e].begin(), e_[e].end());
+          if (std::find(e_.begin(), e_.end(), suffix) == e_.end()) {
+            e_.push_back(std::move(suffix));
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Dfa LStar::conjecture() {
+  for (;;) {
+    close();
+    if (makeConsistent()) break;
+  }
+  // Distinct rows of S become states; ε's row is the initial state.
+  std::vector<std::vector<bool>> stateRows;
+  std::vector<std::size_t> stateOf(s_.size());
+  for (std::size_t i = 0; i < s_.size(); ++i) {
+    const std::vector<bool> row = rowOf(s_[i]);
+    auto it = std::find(stateRows.begin(), stateRows.end(), row);
+    if (it == stateRows.end()) {
+      stateOf[i] = stateRows.size();
+      stateRows.push_back(row);
+    } else {
+      stateOf[i] = static_cast<std::size_t>(it - stateRows.begin());
+    }
+  }
+  Dfa dfa;
+  dfa.states = stateRows.size();
+  dfa.stride = alphabet_;
+  dfa.accepting.assign(dfa.states, false);
+  dfa.delta.assign(dfa.states * alphabet_, 0);
+  std::vector<bool> filled(dfa.states, false);
+  for (std::size_t i = 0; i < s_.size(); ++i) {
+    const std::size_t q = stateOf[i];
+    dfa.accepting[q] = stateRows[q][0];  // column ε
+    if (filled[q]) continue;
+    filled[q] = true;
+    for (std::size_t a = 0; a < alphabet_; ++a) {
+      Word sa = s_[i];
+      sa.push_back(a);
+      const std::vector<bool> row = rowOf(sa);
+      auto it = std::find(stateRows.begin(), stateRows.end(), row);
+      if (it == stateRows.end()) {
+        // close() guarantees every extension row matches an S-row.
+        throw Error("L*: observation table not closed at conjecture time");
+      }
+      dfa.delta[q * alphabet_ + a] =
+          static_cast<std::size_t>(it - stateRows.begin());
+    }
+  }
+  // The DFA's initial state must be ε's row (index 0 by construction:
+  // s_[0] = ε is processed first).
+  return dfa;
+}
+
+void LStar::addCounterexample(const Word& w) {
+  for (std::size_t len = 1; len <= w.size(); ++len) {
+    Word prefix(w.begin(), w.begin() + static_cast<std::ptrdiff_t>(len));
+    if (std::find(s_.begin(), s_.end(), prefix) == s_.end()) {
+      s_.push_back(std::move(prefix));
+    }
+  }
+}
+
+}  // namespace cmc::agr

@@ -1,0 +1,61 @@
+// Angluin-style L* over interface letters (agr layer).
+//
+// Classic observation-table L*: access strings S (prefix-closed), suffixes
+// E (containing ε), and a table T(s·e) filled by membership queries.  The
+// table is made closed (every one-letter extension of an S-row matches
+// some S-row) and consistent (equal S-rows stay equal under every letter
+// extension) before each conjecture; counterexamples are processed by
+// adding all their prefixes to S.
+//
+// The teacher here is just a callback: the service-backed oracle
+// (agr/teacher.hpp) decomposes words into per-pair obligations and
+// memoizes, so repeated table fills cost one service query per *distinct*
+// interface step, and warm reruns are pure obligation-cache hits.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "agr/assumption.hpp"
+
+namespace cmc::agr {
+
+using Word = std::vector<std::size_t>;
+
+class LStar {
+ public:
+  using MembershipFn = std::function<bool(const Word&)>;
+
+  LStar(std::size_t alphabet, MembershipFn member);
+
+  /// Close + make consistent, then conjecture the DFA of the current
+  /// table.  State 0 is the row of ε.
+  Dfa conjecture();
+
+  /// Process a counterexample word (conjecture and target language
+  /// disagree on it): all prefixes join S, guaranteeing the next
+  /// conjecture distinguishes at least one new row or fixes the word.
+  void addCounterexample(const Word& w);
+
+  /// Membership queries issued against the teacher (cache misses of the
+  /// learner's own memo).
+  std::size_t queries() const noexcept { return queries_; }
+
+ private:
+  bool member(const Word& w);
+  std::vector<bool> rowOf(const Word& s);
+  void close();
+  bool makeConsistent();
+
+  std::size_t alphabet_;
+  MembershipFn member_;
+  std::map<Word, bool> memo_;
+  std::size_t queries_ = 0;
+
+  std::vector<Word> s_;  ///< access strings, s_[0] = ε
+  std::vector<Word> e_;  ///< suffixes, e_[0] = ε
+};
+
+}  // namespace cmc::agr

@@ -1,0 +1,80 @@
+#include "agr/search.hpp"
+
+#include <algorithm>
+
+#include "agr/alphabet.hpp"
+
+namespace cmc::agr {
+
+namespace {
+
+std::vector<std::size_t> maskToGroup(std::size_t mask, std::size_t n,
+                                     bool complement) {
+  std::vector<std::size_t> group;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool in = (mask >> i) & 1U;
+    if (in != complement) group.push_back(i);
+  }
+  return group;
+}
+
+bool covers(const std::vector<smv::Module>& modules,
+            const std::vector<std::size_t>& group,
+            const std::set<std::string>& needed) {
+  std::set<std::string> have;
+  for (std::size_t i : group) {
+    const std::set<std::string> own = moduleVariables(modules[i]);
+    have.insert(own.begin(), own.end());
+  }
+  return std::includes(have.begin(), have.end(), needed.begin(),
+                       needed.end());
+}
+
+}  // namespace
+
+std::vector<Split> enumerateSplits(const std::vector<smv::Module>& modules,
+                                   const std::set<std::string>& needed,
+                                   std::size_t alphabetCap,
+                                   std::size_t maxSplits) {
+  const std::size_t n = modules.size();
+  std::vector<Split> splits;
+  if (n < 2) return splits;
+
+  std::vector<std::size_t> masks;
+  if (n <= 12) {
+    // All proper nonempty subsets as G1.
+    for (std::size_t mask = 1; mask + 1 < (std::size_t{1} << n); ++mask) {
+      masks.push_back(mask);
+    }
+  } else {
+    // Too many modules for exhaustive enumeration: leave-one-out
+    // (G2 = {i}) and take-one (G1 = {i}) candidates only.
+    const std::size_t all = n >= 64 ? ~std::size_t{0}
+                                    : (std::size_t{1} << n) - 1;
+    for (std::size_t i = 0; i < n && i < 63; ++i) {
+      masks.push_back(all & ~(std::size_t{1} << i));
+      masks.push_back(std::size_t{1} << i);
+    }
+  }
+
+  for (std::size_t mask : masks) {
+    Split s;
+    s.g1 = maskToGroup(mask, n, /*complement=*/false);
+    s.g2 = maskToGroup(mask, n, /*complement=*/true);
+    if (s.g1.empty() || s.g2.empty()) continue;
+    if (!covers(modules, s.g1, needed)) continue;
+    s.cost = interfaceProduct(modules, s.g1, s.g2);
+    if (s.cost > static_cast<double>(alphabetCap)) continue;
+    splits.push_back(std::move(s));
+  }
+
+  std::stable_sort(splits.begin(), splits.end(),
+                   [](const Split& a, const Split& b) {
+                     if (a.cost != b.cost) return a.cost < b.cost;
+                     return a.g1.size() < b.g1.size();
+                   });
+  if (splits.size() > maxSplits) splits.resize(maxSplits);
+  return splits;
+}
+
+}  // namespace cmc::agr

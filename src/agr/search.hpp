@@ -1,0 +1,33 @@
+// Decomposition search (agr layer): enumerate 2-way partitions
+// G1 ⊎ G2 of the program's modules, keep those where G1 covers the spec's
+// variables (and the restriction's), and order them by estimated
+// interface-alphabet size — the dominant cost of learning.  The engine
+// tries splits in this order and takes the first that learns to a verdict,
+// i.e. the cheapest successful decomposition.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "smv/ast.hpp"
+
+namespace cmc::agr {
+
+struct Split {
+  std::vector<std::size_t> g1;  ///< spec-side component indices
+  std::vector<std::size_t> g2;  ///< environment-side component indices
+  double cost = 0.0;            ///< estimated interface-alphabet size
+};
+
+/// Enumerate candidate splits of `modules` (all of them when there are at
+/// most 12 modules; leave-one-out and take-one otherwise), requiring
+/// `needed` ⊆ vars(G1), both sides nonempty, and cost ≤ `alphabetCap`.
+/// Sorted by (cost, |G1|) and truncated to `maxSplits`.
+std::vector<Split> enumerateSplits(const std::vector<smv::Module>& modules,
+                                   const std::set<std::string>& needed,
+                                   std::size_t alphabetCap,
+                                   std::size_t maxSplits);
+
+}  // namespace cmc::agr

@@ -1,0 +1,198 @@
+#include "agr/teacher.hpp"
+
+#include <utility>
+
+#include "comp/classify.hpp"
+#include "symbolic/composition.hpp"
+
+namespace cmc::agr {
+
+namespace {
+
+bool fairnessTrivial(const ctl::Restriction& r) {
+  for (const ctl::FormulaPtr& f : r.fairness) {
+    if (f == nullptr || f->op() != ctl::Op::True) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<LearnableSpec> decomposeLearnable(const ctl::Spec& spec,
+                                                std::size_t owner,
+                                                std::string* reason) {
+  if (!fairnessTrivial(spec.r)) {
+    if (reason != nullptr) {
+      *reason = "restriction carries nontrivial fairness";
+    }
+    return std::nullopt;
+  }
+  if (spec.r.init != nullptr && !ctl::isPropositional(spec.r.init)) {
+    if (reason != nullptr) {
+      *reason = "restriction init is not propositional";
+    }
+    return std::nullopt;
+  }
+  LearnableSpec out;
+  out.spec = spec;
+  out.owner = owner;
+  for (const ctl::FormulaPtr& c : comp::conjuncts(spec.f)) {
+    ctl::FormulaPtr p;
+    ctl::FormulaPtr q;
+    if (comp::matchImpliesAX(c, &p, &q)) {
+      out.steps.emplace_back(std::move(p), std::move(q));
+    } else if (ctl::isPropositional(c)) {
+      out.props.push_back(c);
+    } else {
+      if (reason != nullptr) {
+        *reason = "conjunct is neither propositional nor p => AX q: " +
+                  ctl::toString(c);
+      }
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+Teacher::Teacher(service::VerificationService& svc,
+                 std::shared_ptr<const std::vector<smv::Module>> modules,
+                 std::vector<std::size_t> g1, Alphabet alphabet,
+                 LearnableSpec spec, service::JobOptions options,
+                 std::string jobName, service::RunTrace* trace)
+    : svc_(svc),
+      modules_(std::move(modules)),
+      g1_(std::move(g1)),
+      alphabet_(std::move(alphabet)),
+      spec_(std::move(spec)),
+      options_(std::move(options)),
+      jobName_(std::move(jobName)),
+      trace_(trace) {
+  // Query jobs are single-system factory jobs; a composed pass over them
+  // would be meaningless, and a nested learn pass would recurse.
+  options_.compose = false;
+  options_.learn = false;
+}
+
+service::Verdict Teacher::runQuery(const std::string& kind,
+                                   std::optional<smv::Module> environment,
+                                   const std::string& digest) {
+  service::VerificationJob job;
+  job.name = jobName_ + "#" + kind;
+  job.options = options_;
+  job.options.assumptionDigest = digest;
+
+  // Everything the factory touches is captured by value: it runs on
+  // service worker threads, possibly several times (quarantine retries).
+  auto mods = modules_;
+  auto g1 = g1_;
+  auto env = std::make_shared<const std::optional<smv::Module>>(
+      std::move(environment));
+  ctl::Spec querySpec;
+  querySpec.name = spec_.spec.name;
+  querySpec.r.init = spec_.spec.r.init;
+  querySpec.f = spec_.spec.f;
+  job.factory = [mods, g1, env,
+                 querySpec](symbolic::Context& ctx) {
+    // Reflexive-closed components folded with ∘ — the same construction
+    // the scheduler uses for composed obligations, so verdicts line up.
+    std::vector<symbolic::SymbolicSystem> parts;
+    parts.reserve(g1.size() + 1);
+    for (std::size_t i : g1) {
+      smv::ElaboratedModule em = smv::elaborate(ctx, (*mods)[i]);
+      symbolic::addReflexive(em.sys);
+      parts.push_back(std::move(em.sys));
+    }
+    if (env->has_value()) {
+      // The environment module is NOT reflexive-closed: its steps are
+      // exactly the assumption's relation; stuttering comes from the
+      // composition's global Id.
+      smv::ElaboratedModule em = smv::elaborate(ctx, **env);
+      parts.push_back(std::move(em.sys));
+    }
+    smv::ElaboratedModule out;
+    out.sys = symbolic::composeAll(parts);
+    out.sys.name = "agr";
+    out.initFormula = querySpec.r.init;
+    out.specs = {querySpec};
+    return std::vector<smv::ElaboratedModule>{std::move(out)};
+  };
+
+  const service::JobReport report = svc_.run(job, trace_);
+  stats_.cacheHits += report.cacheHits;
+  stats_.cacheMisses += report.cacheMisses;
+  stats_.cacheInserts += report.cacheInserts;
+  if (report.obligations.size() != 1) return service::Verdict::Error;
+  return report.obligations.front().verdict;
+}
+
+namespace {
+
+QueryVerdict toQueryVerdict(service::Verdict v) {
+  switch (v) {
+    case service::Verdict::Holds:
+      return QueryVerdict::Safe;
+    case service::Verdict::Fails:
+      return QueryVerdict::Unsafe;
+    default:
+      return QueryVerdict::Undecided;
+  }
+}
+
+}  // namespace
+
+QueryVerdict Teacher::baseSafe() {
+  if (baseMemo_.has_value()) return *baseMemo_;
+  const service::Verdict v = runQuery("base", std::nullopt, "agr-base");
+  baseMemo_ = toQueryVerdict(v);
+  return *baseMemo_;
+}
+
+QueryVerdict Teacher::pairSafe(std::size_t a, std::size_t b) {
+  const auto key = std::make_pair(a, b);
+  auto it = pairMemo_.find(key);
+  if (it != pairMemo_.end()) return it->second;
+  ++stats_.pairQueries;
+  QueryVerdict qv;
+  if (alphabet_.vars.empty()) {
+    // Empty interface: the only environment "step" is the stutter, whose
+    // safety is part of baseSafe.
+    qv = baseSafe();
+  } else {
+    const std::string kind = "step:" + std::to_string(a) + ">" +
+                             std::to_string(b);
+    const std::string digest =
+        "agr-step:" + alphabet_.varsText() + ":" + alphabet_.letterText(a) +
+        ">" + alphabet_.letterText(b);
+    qv = toQueryVerdict(
+        runQuery(kind, stepModule(alphabet_, a, b, "agr_env"), digest));
+  }
+  pairMemo_.emplace(key, qv);
+  return qv;
+}
+
+QueryVerdict Teacher::member(const Word& w) {
+  ++stats_.membershipQueries;
+  if (w.size() < 2) return QueryVerdict::Safe;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    const QueryVerdict qv = pairSafe(w[i], w[i + 1]);
+    if (qv != QueryVerdict::Safe) return qv;
+  }
+  return QueryVerdict::Safe;
+}
+
+QueryVerdict Teacher::premise1(const Assumption& assumption) {
+  ++stats_.candidateQueries;
+  if (alphabet_.vars.empty()) {
+    // No interface: the environment cannot move at all, so ⟨A⟩ G1 ⟨P⟩
+    // degenerates to G1 alone (with stutter) — exactly baseSafe's query.
+    return toQueryVerdict(runQuery("premise1", std::nullopt,
+                                   "agr-assume-empty"));
+  }
+  // Note an all-allowing assumption still contributes moves (free
+  // interface steps); toModule just encodes it without a TRANS constraint.
+  return toQueryVerdict(runQuery("premise1",
+                                 assumption.toModule("agr_assume"),
+                                 assumption.digest()));
+}
+
+}  // namespace cmc::agr

@@ -1,0 +1,30 @@
+// Parameterized SMV model generation (gen layer): scalable families of the
+// paper's systems for learning, benchmarking, and scaling experiments.
+//
+//  - ringModel(n): a token ring of n stations.  Station i owns st<i> and
+//    shares the token bits tok<i> (with its predecessor) and tok<i+1 mod n>
+//    (with its successor), so every 2-way split has a 2-bit interface —
+//    the minimal nontrivial assumption-learning exercise: under a free
+//    environment a station in its critical section can have its token
+//    stolen, so the learner must discover "the environment never clears
+//    tok<i>".
+//  - afs2Model(n): the AFS-2 server of Figure 12 generalized to n clients
+//    plus the n clients of Figure 13, mirroring models/afs2_composed.smv
+//    (which is this family at n = 2, modulo formatting).
+//
+// Generated text is deterministic: goldens under models/gen/ are
+// byte-compared against regeneration in tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cmc::gen {
+
+/// Token ring with `n` stations (n >= 2).
+std::string ringModel(std::size_t n);
+
+/// AFS-2 server + `n` clients (n >= 1).
+std::string afs2Model(std::size_t n);
+
+}  // namespace cmc::gen

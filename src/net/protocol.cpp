@@ -117,7 +117,8 @@ bool parseRequest(const std::string& line, const service::JobOptions& defaults,
           !overlayBool(line, "reorder", &req.options.reorderBeforeCheck,
                        error) ||
           !overlayBool(line, "trace_force", &req.options.traceForce,
-                       error)) {
+                       error) ||
+          !overlayBool(line, "learn", &req.options.learn, error)) {
         return false;
       }
       if (hadDeadline) {

@@ -23,7 +23,7 @@ namespace {
 /// Bumped whenever checker semantics or the canonical serialization
 /// change, so a persisted store from an older build can never serve a
 /// verdict computed under different semantics.
-constexpr const char* kCacheVersion = "cmc-obligation-cache-v1";
+constexpr const char* kCacheVersion = "cmc-obligation-cache-v2";
 
 constexpr const char* kStoreFile = "obligations.jsonl";
 
@@ -457,6 +457,11 @@ std::string obligationFingerprint(const std::vector<std::string>& moduleCanon,
   h.update(symbolic::toString(options.engine)).sep();
   h.update(std::to_string(options.clusterThreshold)).sep();
   h.update(options.reorderBeforeCheck ? "reorder" : "noreorder").sep();
+  // Assumption provenance: a learned-assumption premise query composes a
+  // synthetic environment module into the model.  The module content is
+  // already in the canon, but folding the digest keeps two different
+  // assumptions apart even if canonicalization ever coarsens (v2 bump).
+  h.update("assume:").update(options.assumptionDigest).sep();
   return h.hex();
 }
 

@@ -1,0 +1,489 @@
+// Tests for the assume-guarantee learning engine (agr layer): interface
+// alphabets, the L* learner against a mock oracle, the assumption→SMV
+// bridge (round-tripped through elaboration), the decomposition searcher,
+// fingerprint provenance of assumption-backed query obligations, and — the
+// load-bearing property — cross-validation that a learned run reports the
+// same verdicts as a direct composed run on every shipped model.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agr/alphabet.hpp"
+#include "agr/assumption.hpp"
+#include "agr/engine.hpp"
+#include "agr/learner.hpp"
+#include "agr/search.hpp"
+#include "service/obligation_cache.hpp"
+#include "service/scheduler.hpp"
+#include "smv/elaborate.hpp"
+#include "smv/fingerprint.hpp"
+#include "smv/parser.hpp"
+#include "symbolic/composition.hpp"
+#include "symbolic/encode.hpp"
+
+namespace cmc::agr {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Two stations sharing a boolean token; used by the alphabet, bridge and
+// search tests.
+const char* kPairSmv = R"(
+MODULE left
+VAR st : {idle, cs};
+VAR tok : boolean;
+ASSIGN next(st) := case st = idle & tok : cs; 1 : idle; esac;
+ASSIGN next(tok) := case st = cs : 0; 1 : tok; esac;
+SPEC st = cs -> AX st = idle
+
+MODULE right
+VAR tok : boolean;
+VAR busy : boolean;
+ASSIGN next(tok) := case busy : 1; 1 : tok; esac;
+ASSIGN next(busy) := !busy;
+SPEC busy | !busy
+)";
+
+// ---------------------------------------------------------------------------
+// Alphabets
+// ---------------------------------------------------------------------------
+
+TEST(AgrAlphabet, SharedDeclarationsFormTheInterface) {
+  const std::vector<smv::Module> mods = smv::parseProgram(kPairSmv);
+  ASSERT_EQ(mods.size(), 2u);
+  std::string reason;
+  const std::optional<Alphabet> alpha =
+      buildAlphabet(mods, {0}, {1}, 64, &reason);
+  ASSERT_TRUE(alpha.has_value()) << reason;
+  ASSERT_EQ(alpha->vars.size(), 1u);  // `tok` is the only shared name
+  EXPECT_EQ(alpha->vars[0].name, "tok");
+  EXPECT_EQ(alpha->size(), 2u);
+  EXPECT_EQ(alpha->varsText(), "tok");
+  // Mixed-radix encode/decode round-trips every letter.
+  for (std::size_t a = 0; a < alpha->size(); ++a) {
+    EXPECT_EQ(alpha->encode(alpha->decode(a)), a);
+  }
+}
+
+TEST(AgrAlphabet, CapAndDomainMismatchRefuse) {
+  const std::vector<smv::Module> mods = smv::parseProgram(kPairSmv);
+  std::string reason;
+  EXPECT_FALSE(buildAlphabet(mods, {0}, {1}, 1, &reason).has_value());
+  EXPECT_FALSE(reason.empty());
+
+  const std::vector<smv::Module> clash = smv::parseProgram(R"(
+MODULE a
+VAR x : boolean;
+MODULE b
+VAR x : {p, q, r};
+)");
+  reason.clear();
+  EXPECT_FALSE(buildAlphabet(clash, {0}, {1}, 64, &reason).has_value());
+  EXPECT_FALSE(reason.empty());
+}
+
+// ---------------------------------------------------------------------------
+// L* against a mock oracle
+// ---------------------------------------------------------------------------
+
+bool accepts(const Dfa& dfa, const Word& w) {
+  std::size_t q = 0;
+  for (std::size_t a : w) q = dfa.next(q, a);
+  return dfa.accepting[q];
+}
+
+/// All words over {0, 1} up to `maxLen`, shortest first.
+std::vector<Word> wordsUpTo(std::size_t maxLen) {
+  std::vector<Word> out{{}};
+  std::size_t begin = 0;
+  for (std::size_t len = 1; len <= maxLen; ++len) {
+    const std::size_t end = out.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t a = 0; a < 2; ++a) {
+        Word w = out[i];
+        w.push_back(a);
+        out.push_back(std::move(w));
+      }
+    }
+    begin = end;
+  }
+  return out;
+}
+
+TEST(AgrLearner, ConvergesToTheNoAdjacentOnesLanguage) {
+  // Target: words over {0, 1} with no "1 1" factor — the shape of every
+  // step-pair safe language the teacher answers with, so this is the
+  // learner exercised exactly as the engine uses it.
+  const auto target = [](const Word& w) {
+    for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+      if (w[i] == 1 && w[i + 1] == 1) return false;
+    }
+    return true;
+  };
+
+  LStar lstar(2, target);
+  const std::vector<Word> probe = wordsUpTo(7);
+  Dfa dfa;
+  bool converged = false;
+  for (int round = 0; round < 10 && !converged; ++round) {
+    dfa = lstar.conjecture();
+    converged = true;
+    for (const Word& w : probe) {
+      if (accepts(dfa, w) != target(w)) {
+        lstar.addCounterexample(w);
+        converged = false;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(converged);
+  // The minimal DFA: start, "just read a 1", and a rejecting trap.
+  EXPECT_EQ(dfa.states, 3u);
+  for (const Word& w : wordsUpTo(9)) {
+    EXPECT_EQ(accepts(dfa, w), target(w));
+  }
+  EXPECT_GT(lstar.queries(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Assumption → SMV bridge
+// ---------------------------------------------------------------------------
+
+Alphabet twoBooleanAlphabet() {
+  const std::vector<smv::Module> mods = smv::parseProgram(R"(
+MODULE a
+VAR x : boolean;
+VAR y : boolean;
+MODULE b
+VAR x : boolean;
+VAR y : boolean;
+)");
+  std::string reason;
+  const std::optional<Alphabet> alpha =
+      buildAlphabet(mods, {0}, {1}, 64, &reason);
+  EXPECT_TRUE(alpha.has_value()) << reason;
+  return *alpha;
+}
+
+Assumption withRelation(const Alphabet& alpha, std::vector<bool> allowed) {
+  Assumption a;
+  a.alphabet = alpha;
+  a.dfa.states = 1;
+  a.dfa.accepting = {true};
+  a.allowed = std::move(allowed);
+  return a;
+}
+
+TEST(AgrBridge, ModuleTransitionRelationMatchesTheAssumption) {
+  const Alphabet alpha = twoBooleanAlphabet();
+  const std::size_t n = alpha.size();
+  ASSERT_EQ(n, 4u);
+
+  // A nontrivial relation: allow (a, b) iff a != b (all moves, no self
+  // loops — the self loops come back through composition's Id).
+  std::vector<bool> allowed(n * n, false);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b) allowed[a * n + b] = true;
+    }
+  }
+  const Assumption assume = withRelation(alpha, allowed);
+
+  // Elaborate the synthetic module and every single-step module into one
+  // shared context; the bridge is correct iff the assumption's transition
+  // BDD is exactly the union of its allowed steps.
+  symbolic::Context ctx;
+  const smv::ElaboratedModule em =
+      smv::elaborate(ctx, assume.toModule("agr_assume"));
+  bdd::Bdd expected = ctx.mgr().bddFalse();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const smv::ElaboratedModule step =
+          smv::elaborate(ctx, stepModule(alpha, a, b, "agr_step"));
+      if (assume.allows(a, b)) expected = expected | step.sys.transBdd();
+    }
+  }
+  EXPECT_TRUE(em.sys.transBdd() == expected);
+}
+
+TEST(AgrBridge, AllowsAllAndEmptyRelationsAreTheExtremes) {
+  const Alphabet alpha = twoBooleanAlphabet();
+  const std::size_t n = alpha.size();
+
+  symbolic::Context ctx;
+  const Assumption full = withRelation(alpha, std::vector<bool>(n * n, true));
+  EXPECT_TRUE(full.allowsAll());
+  const smv::ElaboratedModule fullMod =
+      smv::elaborate(ctx, full.toModule("agr_full"));
+  EXPECT_TRUE(fullMod.sys.transBdd() == ctx.mgr().bddTrue());
+
+  const Assumption none = withRelation(alpha, std::vector<bool>(n * n, false));
+  const smv::ElaboratedModule noneMod =
+      smv::elaborate(ctx, none.toModule("agr_none"));
+  EXPECT_TRUE(noneMod.sys.transBdd().isFalse());
+}
+
+TEST(AgrBridge, DfaUnrollingKeepsOnlyAcceptingSteps) {
+  const Alphabet alpha = twoBooleanAlphabet();
+  const std::size_t n = alpha.size();
+  // DFA: letter 3 leads to a rejecting trap; everything else stays home.
+  Dfa dfa;
+  dfa.states = 2;
+  dfa.stride = n;
+  dfa.accepting = {true, false};
+  dfa.delta = {0, 0, 0, 1,   // from state 0
+               1, 1, 1, 1};  // trap
+  const Assumption assume = assumptionFromDfa(alpha, dfa);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_EQ(assume.allows(a, b), a != 3 && b != 3) << a << "," << b;
+    }
+  }
+  EXPECT_EQ(assume.relationSize(), (n - 1) * (n - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Decomposition search
+// ---------------------------------------------------------------------------
+
+TEST(AgrSearch, SplitsCoverTheSpecAndOrderByInterfaceCost) {
+  const std::vector<smv::Module> mods = smv::parseProgram(R"(
+MODULE a
+VAR x : boolean;
+VAR big : {v0, v1, v2, v3, v4, v5, v6, v7};
+MODULE b
+VAR x : boolean;
+VAR big : {v0, v1, v2, v3, v4, v5, v6, v7};
+MODULE c
+VAR x : boolean;
+)");
+  // The spec needs only `x`, which every module declares.
+  const std::set<std::string> needed{"x"};
+  const std::vector<Split> splits = enumerateSplits(mods, needed, 64, 8);
+  ASSERT_FALSE(splits.empty());
+  for (const Split& s : splits) {
+    EXPECT_FALSE(s.g1.empty());
+    EXPECT_FALSE(s.g2.empty());
+    EXPECT_EQ(s.g1.size() + s.g2.size(), mods.size());
+    EXPECT_LE(s.cost, 64.0);
+  }
+  // Cheapest first: any split keeping a and b together has interface {x}
+  // (2 letters); separating them costs 2 * 8 = 16.
+  EXPECT_LE(splits.front().cost, splits.back().cost);
+  EXPECT_EQ(splits.front().cost, 2.0);
+
+  // An unsatisfiable coverage requirement yields no splits.
+  EXPECT_TRUE(enumerateSplits(mods, {"nosuchvar"}, 64, 8).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint provenance (satellite: the obligation-cache key must
+// separate queries made under different assumptions)
+// ---------------------------------------------------------------------------
+
+TEST(AgrFingerprint, DifferentAssumptionsNeverCollide) {
+  symbolic::Context ctx;
+  const smv::ElaboratedModule mod = smv::elaborateText(ctx, R"(
+MODULE chain
+VAR s : {a, b, c};
+ASSIGN next(s) := case s = a : b; s = b : c; 1 : s; esac;
+SPEC AG (s = a | s = b | s = c)
+)");
+  const std::vector<std::string> canon{smv::canonicalModule(ctx, mod)};
+  const ctl::Spec& spec = mod.specs.front();
+
+  const Alphabet alpha = twoBooleanAlphabet();
+  const std::size_t n = alpha.size();
+  std::vector<bool> r1(n * n, true);
+  std::vector<bool> r2(n * n, true);
+  r2[0] = false;  // one step removed: a semantically different assumption
+  const Assumption a1 = withRelation(alpha, r1);
+  const Assumption a2 = withRelation(alpha, r2);
+  ASSERT_NE(a1.digest(), a2.digest());
+
+  service::JobOptions plain;
+  service::JobOptions under1;
+  under1.assumptionDigest = a1.digest();
+  service::JobOptions under2;
+  under2.assumptionDigest = a2.digest();
+
+  const std::string base =
+      service::obligationFingerprint(canon, 0, false, spec, plain);
+  const std::string f1 =
+      service::obligationFingerprint(canon, 0, false, spec, under1);
+  const std::string f2 =
+      service::obligationFingerprint(canon, 0, false, spec, under2);
+  // Same module, same spec, three distinct cache addresses: a verdict
+  // proved under assumption 1 must never be served to a query under
+  // assumption 2 (or to one with no assumption at all).
+  EXPECT_NE(f1, base);
+  EXPECT_NE(f2, base);
+  EXPECT_NE(f1, f2);
+  // And the address is stable for the same assumption.
+  EXPECT_EQ(service::obligationFingerprint(canon, 0, false, spec, under1),
+            f1);
+}
+
+// ---------------------------------------------------------------------------
+// The engine, cross-validated against direct composed checks
+// ---------------------------------------------------------------------------
+
+service::ServiceOptions twoThreads() {
+  service::ServiceOptions opts;
+  opts.threads = 2;
+  return opts;
+}
+
+std::map<std::string, service::Verdict> composedVerdicts(
+    const service::JobReport& report) {
+  std::map<std::string, service::Verdict> out;
+  for (const service::ObligationOutcome& o : report.obligations) {
+    if (o.target == "composed") out[o.id] = o.verdict;
+  }
+  return out;
+}
+
+TEST(AgrEngine, LearnedVerdictsMatchDirectOnEveryShippedModel) {
+  service::VerificationService svc(twoThreads());
+  std::size_t modelsCompared = 0;
+  std::size_t learnedSpecs = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(CMC_MODELS_DIR)) {
+    if (entry.path().extension() != ".smv") continue;
+    const std::string text = readFile(entry.path());
+    if (smv::parseProgram(text).size() < 2) continue;
+
+    service::VerificationJob job;
+    job.name = entry.path().stem().string();
+    job.smvText = text;
+    job.options.compose = true;
+
+    service::VerificationJob direct = job;
+    const service::JobReport directReport = svc.run(direct);
+
+    job.options.learn = true;
+    const service::JobReport learned =
+        runLearnedJob(svc, job, LearnOptions{});
+
+    const auto want = composedVerdicts(directReport);
+    const auto got = composedVerdicts(learned);
+    EXPECT_EQ(got, want) << entry.path().filename();
+    for (const service::ObligationOutcome& o : learned.obligations) {
+      if (o.verdictSource == "learned") {
+        ++learnedSpecs;
+        EXPECT_FALSE(o.learnedJson.empty());
+      }
+    }
+    ++modelsCompared;
+  }
+  EXPECT_GE(modelsCompared, 3u);
+  // The sweep must actually exercise the learner, not just fall back.
+  EXPECT_GE(learnedSpecs, 3u);
+}
+
+TEST(AgrEngine, RealViolationIsDecidedWithAConcreteTrace) {
+  // `keeper` preserves x and alone satisfies x -> AX x (its own move and
+  // the stutter both keep x); `clearer` can clear it, so the composition
+  // fails.  Counterexample analysis must recognise the violating
+  // interface step as one the real environment takes — a real violation,
+  // not a refinement — and report Fails with a trace.
+  const char* text = R"(
+MODULE keeper
+VAR x : boolean;
+VAR st : {a, b};
+ASSIGN next(x) := x;
+ASSIGN next(st) := case st = a : b; 1 : a; esac;
+SPEC x -> AX x
+
+MODULE clearer
+VAR x : boolean;
+ASSIGN next(x) := 0;
+SPEC x | !x
+)";
+  service::VerificationService svc(twoThreads());
+  service::VerificationJob job;
+  job.name = "violation";
+  job.smvText = text;
+  job.options.compose = true;
+  job.options.learn = true;
+  const service::JobReport learned = runLearnedJob(svc, job, LearnOptions{});
+
+  bool sawComposedFail = false;
+  for (const service::ObligationOutcome& o : learned.obligations) {
+    if (o.id != "composed/keeper.SPEC1") continue;
+    sawComposedFail = true;
+    EXPECT_EQ(o.verdict, service::Verdict::Fails);
+    EXPECT_FALSE(o.counterexample.empty());
+  }
+  EXPECT_TRUE(sawComposedFail);
+
+  service::VerificationJob direct = job;
+  direct.options.learn = false;
+  EXPECT_EQ(composedVerdicts(svc.run(direct)), composedVerdicts(learned));
+}
+
+TEST(AgrEngine, UnlearnableSpecsFallBackToTheDirectCheck) {
+  // AG is outside the learnable fragment (not propositional, not
+  // p => AX q): the engine must refuse to guess and serve the direct
+  // composed verdict, flagged as a fallback.
+  const char* text = R"(
+MODULE ping
+VAR x : boolean;
+ASSIGN next(x) := !x;
+SPEC AG (x | !x)
+
+MODULE pong
+VAR x : boolean;
+ASSIGN next(x) := x;
+SPEC x | !x
+)";
+  service::VerificationService svc(twoThreads());
+  service::VerificationJob job;
+  job.name = "fallback";
+  job.smvText = text;
+  job.options.compose = true;
+  job.options.learn = true;
+  const service::JobReport learned = runLearnedJob(svc, job, LearnOptions{});
+
+  bool sawFallback = false;
+  for (const service::ObligationOutcome& o : learned.obligations) {
+    if (o.id != "composed/ping.SPEC1") continue;
+    sawFallback = true;
+    EXPECT_EQ(o.verdict, service::Verdict::Holds);
+    EXPECT_NE(o.verdictSource, "learned");
+    EXPECT_NE(o.learnedJson.find("fallback_reason"), std::string::npos);
+  }
+  EXPECT_TRUE(sawFallback);
+}
+
+TEST(AgrEngine, WarmRerunServesEveryQueryFromTheCache) {
+  const fs::path model = fs::path(CMC_MODELS_DIR) / "afs2_composed.smv";
+  service::VerificationService svc(twoThreads());
+  service::VerificationJob job;
+  job.name = "afs2";
+  job.smvText = readFile(model);
+  job.options.compose = true;
+  job.options.learn = true;
+
+  const service::JobReport cold = runLearnedJob(svc, job, LearnOptions{});
+  EXPECT_GT(cold.cacheMisses, 0u);
+  const service::JobReport warm = runLearnedJob(svc, job, LearnOptions{});
+  EXPECT_EQ(warm.cacheMisses, 0u);
+  EXPECT_GT(warm.cacheHits, 0u);
+  EXPECT_EQ(composedVerdicts(warm), composedVerdicts(cold));
+}
+
+}  // namespace
+}  // namespace cmc::agr

@@ -69,6 +69,43 @@ TEST(Classify, ConjunctionsTakeTheWeakestClass) {
             PropertyClass::Unknown);
 }
 
+TEST(Classify, NestedConjunctionsClassifyLikeTheirFlattening) {
+  // Grouping must not matter: conjuncts() flattens nested & chains, so
+  // ((a & b) & c) and (a & (b & c)) take the same class.
+  const char* flat = "(p -> AX q) & (q -> EX p) & (p | q)";
+  const char* leftNested = "((p -> AX q) & (q -> EX p)) & (p | q)";
+  const char* rightNested = "(p -> AX q) & ((q -> EX p) & (p | q))";
+  const PropertyClass want = classify(trivial(), parse(flat));
+  EXPECT_EQ(want, PropertyClass::Universal);
+  EXPECT_EQ(classify(trivial(), parse(leftNested)), want);
+  EXPECT_EQ(classify(trivial(), parse(rightNested)), want);
+}
+
+TEST(Classify, UnknownConjunctPoisonsEitherSide) {
+  // Unknown ∧ universal = Unknown regardless of conjunct order: one
+  // unclassifiable conjunct makes the whole conjunction undischargeable.
+  EXPECT_EQ(classify(trivial(), parse("AG p & (p -> AX q)")),
+            PropertyClass::Unknown);
+  EXPECT_EQ(classify(trivial(), parse("(p -> AX q) & AG p")),
+            PropertyClass::Unknown);
+  // Even buried in a nested group.
+  EXPECT_EQ(classify(trivial(), parse("(p -> AX q) & ((q -> EX p) & AG p)")),
+            PropertyClass::Unknown);
+}
+
+TEST(Classify, DuplicateConjunctsDoNotChangeTheClass) {
+  EXPECT_EQ(classify(trivial(), parse("(p -> AX q) & (p -> AX q)")),
+            classify(trivial(), parse("p -> AX q")));
+  EXPECT_EQ(classify(trivial(), parse("(p -> EX q) & (p -> EX q)")),
+            PropertyClass::Existential);
+  // Idempotence under an odd mix: duplicating a universal conjunct in a
+  // universal & existential conjunction keeps the conjunction universal.
+  EXPECT_EQ(
+      classify(trivial(),
+               parse("(p -> AX q) & (q -> EX p) & (p -> AX q)")),
+      PropertyClass::Universal);
+}
+
 TEST(Classify, ShapeMatchers) {
   ctl::FormulaPtr p, q;
   EXPECT_TRUE(matchImpliesAX(parse("a & b -> AX (a | c)"), &p, &q));

@@ -189,7 +189,7 @@ TEST(ObligationCacheUnit, StoreLinesCarryTheJournalFraming) {
   // Whichever process first appends to an empty store prepends the
   // versioned header; every line — header included — is CRC-framed.
   ASSERT_EQ(lines.size(), 3u);
-  EXPECT_NE(lines[0].find("cmc-obligation-cache-v1"), std::string::npos);
+  EXPECT_NE(lines[0].find("cmc-obligation-cache-v2"), std::string::npos);
   EXPECT_NE(lines[0].find("\"cmc_version\": \""), std::string::npos);
   for (const std::string& line : lines) {
     EXPECT_NE(line.find("\"crc\": \""), std::string::npos);
@@ -484,7 +484,7 @@ TEST(ObligationCacheService, TwoProcessesShareOneStoreWithoutTornLines) {
   std::ifstream in(dir / "obligations.jsonl");
   std::string line;
   while (std::getline(in, line)) {
-    if (line.find("cmc-obligation-cache-v1") != std::string::npos) ++headers;
+    if (line.find("cmc-obligation-cache-v2") != std::string::npos) ++headers;
   }
   EXPECT_EQ(headers, 1u);
   fs::remove_all(dir);

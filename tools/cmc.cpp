@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "agr/engine.hpp"
 #include "cluster/coordinator.hpp"
 #include "cluster/topology.hpp"
 #include "net/client.hpp"
@@ -63,6 +64,9 @@ constexpr const char* kUsage = R"(usage: cmc <command> [options] <model.smv> [mo
 
 commands:
   check       parse, elaborate and verify every SPEC of the given models
+  learn       like `check --compose --learn`: discharge composed specs by
+              the assume-guarantee rule with an L*-learned assumption
+              (see docs/THEORY.md "Learned assumptions")
   serve       run the persistent verification daemon (wire protocol over a
               Unix-domain socket; see README.md "Server mode")
   coordinator front a fleet of serve daemons as one: route each obligation
@@ -79,6 +83,13 @@ commands:
 cmc check options:
   --compose          also verify each spec on the composition of all modules
                      (compositional rules first, certificate in the report)
+  --learn            discharge composed specs through assume-guarantee
+                     learning where possible (implies --compose): a learned
+                     assumption automaton replaces the product build; specs
+                     that resist learning fall back to the direct composed
+                     check, so verdicts never change.  The report carries
+                     verdict_source "learned" plus the assumption size and
+                     query counts per discharged spec
   --engine MODE      first-attempt verification engine:
                        auto         probe the monolithic product size per
                                     obligation, pick the cheaper symbolic
@@ -139,8 +150,8 @@ cmc serve options:
                      period of the "metrics" JSONL trace event (default
                      10000; 0 = off)
   plus, as in check: --threads --cache-dir --no-cache --journal --resume
-  --trace --failpoint, and the job-option defaults (--compose --engine
-  --no-retry --trace-force --deadline-ms --node-budget --cluster
+  --trace --failpoint, and the job-option defaults (--compose --learn
+  --engine --no-retry --trace-force --deadline-ms --node-budget --cluster
   --reorder), which
   requests overlay per CHECK.  SIGTERM/SIGINT (or a DRAIN command) drains:
   in-flight requests finish and respond, new CHECKs get DRAINING, then the
@@ -315,6 +326,11 @@ int parseArgs(int argc, char** argv, CliOptions* cli) {
       return argv[++i];
     };
     if (arg == "--compose") {
+      cli->job.compose = true;
+    } else if (arg == "--learn") {
+      // Learning only applies to composed obligations; asking for it is
+      // asking for the composition.
+      cli->job.learn = true;
       cli->job.compose = true;
     } else if (arg == "--engine") {
       if (!parseEngineMode(next(), &cli->job.engine)) return 2;
@@ -530,9 +546,23 @@ int runCheck(const CliOptions& cli) {
   std::signal(SIGINT, onSignal);
   std::signal(SIGTERM, onSignal);
 
-  const std::vector<service::JobReport> reports = svc.runBatch(
-      jobs, &trace, journal.isOpen() ? &journal : nullptr,
-      cli.resume ? &replay : nullptr);
+  std::vector<service::JobReport> reports;
+  if (cli.job.learn) {
+    // Learned runs drive the service job by job: each spec spawns its own
+    // query obligations through svc (cached and budgeted as usual), so the
+    // batch pool interleaving buys nothing here.  The run journal does not
+    // cover learned composed obligations — their outcomes are derived from
+    // many query jobs, not one recordable attempt.
+    reports.reserve(jobs.size());
+    for (const service::VerificationJob& job : jobs) {
+      reports.push_back(
+          agr::runLearnedJob(svc, job, agr::LearnOptions{}, &trace));
+    }
+  } else {
+    reports = svc.runBatch(jobs, &trace,
+                           journal.isOpen() ? &journal : nullptr,
+                           cli.resume ? &replay : nullptr);
+  }
 
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
@@ -1069,7 +1099,7 @@ struct SubmitOptions {
   // the rest.
   bool setCompose = false, setEngine = false, setNoRetry = false;
   bool setDeadline = false, setNodeBudget = false, setCluster = false;
-  bool setReorder = false, setTraceForce = false;
+  bool setReorder = false, setTraceForce = false, setLearn = false;
   std::vector<std::string> models;
 };
 
@@ -1147,6 +1177,11 @@ int parseSubmitArgs(int argc, char** argv, SubmitOptions* opts) {
     } else if (arg == "--compose") {
       opts->job.compose = true;
       opts->setCompose = true;
+    } else if (arg == "--learn") {
+      opts->job.learn = true;
+      opts->job.compose = true;
+      opts->setLearn = true;
+      opts->setCompose = true;
     } else if (arg == "--engine") {
       if (!parseEngineMode(next(), &opts->job.engine)) return 2;
       opts->setEngine = true;
@@ -1222,6 +1257,7 @@ std::string buildCheckRequest(const SubmitOptions& opts, const std::string& id,
   req.put("cmd", "CHECK").put("id", id);
   if (!name.empty()) req.put("name", name);
   if (opts.setCompose) req.putBool("compose", opts.job.compose);
+  if (opts.setLearn) req.putBool("learn", opts.job.learn);
   if (opts.setReorder) req.putBool("reorder", opts.job.reorderBeforeCheck);
   if (opts.setNoRetry) req.putBool("no_retry", !opts.job.retryOtherEngine);
   if (opts.setTraceForce) req.putBool("trace_force", opts.job.traceForce);
@@ -1466,8 +1502,12 @@ int main(int argc, char** argv) {
     return runFailpoints();
   }
   try {
-    if (command == "check") {
+    if (command == "check" || command == "learn") {
       CliOptions cli;
+      if (command == "learn") {
+        cli.job.learn = true;
+        cli.job.compose = true;
+      }
       if (const int rc = parseArgs(argc, argv, &cli); rc != 0) return rc;
       return runCheck(cli);
     }
